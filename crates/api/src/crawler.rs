@@ -1,0 +1,513 @@
+//! The crawler: reconstructs a [`Snapshot`] by walking the emulated Steam
+//! Web API exactly the way the paper's collection pipeline did (§3.1).
+//!
+//! * **Phase 1 — ID-space census.** Walk the 64-bit ID space from the base
+//!   ID in batches of 100 (the batch endpoint is why this phase took weeks,
+//!   not months). Valid accounts come back; invalid IDs are silently absent.
+//!   Stop after a long run of fully-empty batches.
+//! * **Phase 2 — per-user harvest.** For every valid account, fetch the
+//!   friend list, owned games, and group list — one account per call (this
+//!   is the six-month phase). Group metadata comes from the community-page
+//!   analog.
+//! * **Phase 3 — catalog.** The unpublicized app-list endpoint, then
+//!   `appdetails` per product and achievement percentages per game.
+//!
+//! Throughout, the crawler throttles itself to a configurable rate —
+//! the paper used ~85% of the allowed maximum — and retries transient
+//! failures (429/5xx) with exponential backoff.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use steam_model::{Friendship, Group, GroupId, Snapshot, SteamId};
+use steam_net::backoff::{transient, Backoff};
+use steam_net::client::HttpClient;
+use steam_net::ratelimit::TokenBucket;
+use steam_net::NetError;
+
+use crate::service::MAX_BATCH_IDS;
+use crate::wire;
+
+/// Crawler configuration.
+#[derive(Clone, Debug)]
+pub struct CrawlerConfig {
+    /// API key sent with every request.
+    pub api_key: String,
+    /// Self-imposed request rate (requests/second). The paper throttled to
+    /// ~85% of the allowed maximum; `None` disables the throttle.
+    pub self_throttle_rps: Option<f64>,
+    /// Consecutive fully-empty profile batches before the census stops.
+    pub empty_batches_to_stop: usize,
+    /// Retry policy for transient failures.
+    pub backoff: Backoff,
+    /// Worker threads for the per-user harvest (phase 2). The result is
+    /// byte-identical regardless of worker count; the throttle is shared.
+    pub workers: usize,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            api_key: "reproduction-key".into(),
+            self_throttle_rps: None,
+            empty_batches_to_stop: 25,
+            backoff: Backoff::default(),
+            workers: 1,
+        }
+    }
+}
+
+/// Progress counters (useful for the CLI and the throughput benches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrawlStats {
+    pub requests: u64,
+    pub profiles_found: u64,
+    pub ids_scanned: u64,
+    pub retries_observed: u64,
+}
+
+/// One throttled, retrying connection to the API server. Worker threads in
+/// the parallel harvest each own one, sharing the throttle and counters.
+struct Fetcher {
+    client: HttpClient,
+    backoff: Backoff,
+    throttle: Arc<Option<TokenBucket>>,
+    requests: Arc<AtomicU64>,
+    retries: Arc<AtomicU64>,
+}
+
+impl Fetcher {
+    fn get(&mut self, target: &str) -> Result<String, NetError> {
+        if let Some(t) = self.throttle.as_ref() {
+            t.acquire();
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let client = &mut self.client;
+        let mut attempts_seen = 0u64;
+        let resp = self.backoff.run(
+            || {
+                attempts_seen += 1;
+                client.get(target)
+            },
+            transient,
+        )?;
+        self.retries
+            .fetch_add(attempts_seen.saturating_sub(1), Ordering::Relaxed);
+        Ok(resp.body_text())
+    }
+}
+
+/// The crawler.
+pub struct Crawler {
+    addr: SocketAddr,
+    fetcher: Fetcher,
+    config: CrawlerConfig,
+    throttle: Arc<Option<TokenBucket>>,
+    requests: Arc<AtomicU64>,
+    retries: Arc<AtomicU64>,
+    stats: CrawlStats,
+}
+
+impl Crawler {
+    pub fn new(addr: SocketAddr, config: CrawlerConfig) -> Self {
+        let throttle = Arc::new(
+            config
+                .self_throttle_rps
+                .map(|rps| TokenBucket::new(rps, (rps / 4.0).max(1.0))),
+        );
+        let requests = Arc::new(AtomicU64::new(0));
+        let retries = Arc::new(AtomicU64::new(0));
+        let fetcher = Fetcher {
+            client: HttpClient::new(addr),
+            backoff: config.backoff,
+            throttle: Arc::clone(&throttle),
+            requests: Arc::clone(&requests),
+            retries: Arc::clone(&retries),
+        };
+        Crawler { addr, fetcher, config, throttle, requests, retries, stats: CrawlStats::default() }
+    }
+
+    pub fn stats(&self) -> CrawlStats {
+        let mut stats = self.stats;
+        stats.requests = self.requests.load(Ordering::Relaxed);
+        stats.retries_observed = self.retries.load(Ordering::Relaxed);
+        stats
+    }
+
+    fn new_fetcher(&self) -> Fetcher {
+        Fetcher {
+            client: HttpClient::new(self.addr),
+            backoff: self.config.backoff,
+            throttle: Arc::clone(&self.throttle),
+            requests: Arc::clone(&self.requests),
+            retries: Arc::clone(&self.retries),
+        }
+    }
+
+    fn get(&mut self, target: &str) -> Result<String, NetError> {
+        self.fetcher.get(target)
+    }
+
+    /// Phase 1: census of the ID space. Returns accounts sorted by ID and
+    /// the scanned ID-space size.
+    pub fn census(&mut self) -> Result<(Vec<steam_model::Account>, u64), NetError> {
+        let mut accounts = Vec::new();
+        let mut next_index: u64 = 0;
+        let mut empty_run = 0usize;
+        let mut last_valid: Option<u64> = None;
+
+        while empty_run < self.config.empty_batches_to_stop {
+            let ids: Vec<String> = (next_index..next_index + MAX_BATCH_IDS as u64)
+                .map(|i| SteamId::from_index(i).to_string())
+                .collect();
+            let body = self.get(&format!(
+                "/ISteamUser/GetPlayerSummaries/v2?key={}&steamids={}",
+                self.config.api_key,
+                ids.join(",")
+            ))?;
+            let players = wire::parse_player_summaries(&body)?;
+            if players.is_empty() {
+                empty_run += 1;
+            } else {
+                empty_run = 0;
+                for p in players {
+                    last_valid = Some(p.id.index().max(last_valid.unwrap_or(0)));
+                    accounts.push(p);
+                }
+            }
+            next_index += MAX_BATCH_IDS as u64;
+            self.stats.ids_scanned = next_index;
+        }
+        accounts.sort_by_key(|a| a.id);
+        self.stats.profiles_found = accounts.len() as u64;
+        let scanned = last_valid.map_or(0, |v| v + 1);
+        Ok((accounts, scanned))
+    }
+
+    /// Collects the week panel for the given snapshot's users, probing the
+    /// `/reproduction/panel` endpoint for every account (the paper sampled
+    /// 0.5% of users; only sampled accounts answer).
+    pub fn crawl_panel(
+        &mut self,
+        accounts: &[steam_model::Account],
+    ) -> Result<steam_model::WeekPanel, NetError> {
+        let key = self.config.api_key.clone();
+        let mut panel = steam_model::WeekPanel::default();
+        for (u, acct) in accounts.iter().enumerate() {
+            let target =
+                format!("/reproduction/panel?key={key}&steamid={}", acct.id);
+            match self.fetcher.get(&target) {
+                Ok(body) => {
+                    panel.users.push(u as u32);
+                    panel.daily_minutes.push(wire::parse_panel(&body)?);
+                }
+                Err(NetError::Status { code: 404, .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(panel)
+    }
+
+    /// Runs all three phases and assembles the snapshot.
+    ///
+    /// `collected_at` stamps the result (the crawler has no other way to
+    /// know the nominal collection instant).
+    pub fn crawl(&mut self, collected_at: steam_model::SimTime) -> Result<Snapshot, NetError> {
+        // --- phase 1 ---------------------------------------------------------
+        let (accounts, scanned_id_space) = self.census()?;
+        let index_of: HashMap<SteamId, u32> = accounts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.id, i as u32))
+            .collect();
+
+        // --- phase 2 ---------------------------------------------------------
+        // Per-user harvest, optionally on several worker threads. Work is
+        // split into contiguous account chunks and merged back in order, so
+        // the reconstructed snapshot is identical for any worker count.
+        let key = self.config.api_key.clone();
+        let workers = self.config.workers.max(1).min(accounts.len().max(1));
+        type ChunkOut = (Vec<Friendship>, Vec<Vec<steam_model::OwnedGame>>, Vec<Vec<GroupId>>);
+        let harvest_chunk = |fetcher: &mut Fetcher,
+                             start: usize,
+                             chunk: &[steam_model::Account]|
+         -> Result<ChunkOut, NetError> {
+            let mut friendships = Vec::new();
+            let mut ownerships = Vec::with_capacity(chunk.len());
+            let mut raw_memberships = Vec::with_capacity(chunk.len());
+            for (offset, acct) in chunk.iter().enumerate() {
+                let u = (start + offset) as u32;
+                let id = acct.id;
+                let friends = wire::parse_friend_list(&fetcher.get(&format!(
+                    "/ISteamUser/GetFriendList/v1?key={key}&steamid={id}"
+                ))?)?;
+                for (fid, since) in friends {
+                    if let Some(&v) = index_of.get(&fid) {
+                        // Each reciprocal edge is reported from both
+                        // endpoints; keep it when reported by the
+                        // lower-index side.
+                        if u < v {
+                            friendships.push(Friendship::new(u, v, since));
+                        }
+                    }
+                }
+                ownerships.push(wire::parse_owned_games(&fetcher.get(&format!(
+                    "/IPlayerService/GetOwnedGames/v1?key={key}&steamid={id}"
+                ))?)?);
+                raw_memberships.push(wire::parse_group_list(&fetcher.get(&format!(
+                    "/ISteamUser/GetUserGroupList/v1?key={key}&steamid={id}"
+                ))?)?);
+            }
+            Ok((friendships, ownerships, raw_memberships))
+        };
+
+        let mut friendships: Vec<Friendship> = Vec::new();
+        let mut ownerships = Vec::with_capacity(accounts.len());
+        let mut raw_memberships: Vec<Vec<GroupId>> = Vec::with_capacity(accounts.len());
+        if workers <= 1 {
+            let (f, o, m) = harvest_chunk(&mut self.fetcher, 0, &accounts)?;
+            friendships = f;
+            ownerships = o;
+            raw_memberships = m;
+        } else {
+            let chunk_size = accounts.len().div_ceil(workers);
+            let results: Vec<Result<ChunkOut, NetError>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, chunk) in accounts.chunks(chunk_size).enumerate() {
+                    let mut fetcher = self.new_fetcher();
+                    let harvest = &harvest_chunk;
+                    handles.push(scope.spawn(move || harvest(&mut fetcher, i * chunk_size, chunk)));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+            for result in results {
+                let (f, o, m) = result?;
+                friendships.extend(f);
+                ownerships.extend(o);
+                raw_memberships.extend(m);
+            }
+        }
+        let mut seen_groups: BTreeMap<GroupId, ()> = BTreeMap::new();
+        for gids in &raw_memberships {
+            for g in gids {
+                seen_groups.insert(*g, ());
+            }
+        }
+
+        // Group metadata via the community-page analog. BTreeMap gives the
+        // groups in ascending gid order, which becomes their dense index.
+        let mut groups: Vec<Group> = Vec::with_capacity(seen_groups.len());
+        let mut group_index: HashMap<GroupId, u32> = HashMap::with_capacity(seen_groups.len());
+        for (gid, ()) in seen_groups {
+            let page =
+                wire::parse_group_page(&self.get(&format!("/community/group/{}", gid.0))?)?;
+            group_index.insert(gid, groups.len() as u32);
+            groups.push(page);
+        }
+        let memberships: Vec<Vec<u32>> = raw_memberships
+            .into_iter()
+            .map(|gids| {
+                let mut m: Vec<u32> = gids.iter().map(|g| group_index[g]).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+
+        // --- phase 3 ---------------------------------------------------------
+        let app_ids =
+            wire::parse_app_list(&self.get("/ISteamApps/GetAppList/v2")?)?;
+        let mut catalog = Vec::with_capacity(app_ids.len());
+        for app in app_ids {
+            let mut game = wire::parse_app_details(
+                app,
+                &self.get(&format!("/api/appdetails?appids={}", app.0))?,
+            )?;
+            let body = self.get(&format!(
+                "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2?gameid={}",
+                app.0
+            ))?;
+            game.achievements = wire::parse_achievement_percentages(&body)?;
+            catalog.push(game);
+        }
+        catalog.sort_by_key(|g| g.app_id);
+
+        friendships.sort_by_key(|e| (e.a, e.b));
+        Ok(Snapshot {
+            collected_at,
+            scanned_id_space,
+            accounts,
+            friendships,
+            ownerships,
+            groups,
+            memberships,
+            catalog,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{serve, RateLimit};
+    use std::sync::Arc;
+    use steam_synth::{Generator, SynthConfig};
+
+    fn tiny_world() -> Arc<Snapshot> {
+        let mut cfg = SynthConfig::small(91);
+        cfg.n_users = 300;
+        cfg.n_products = 120;
+        cfg.n_groups = 25;
+        Arc::new(Generator::new(cfg).generate())
+    }
+
+    #[test]
+    fn crawl_reconstructs_snapshot() {
+        let original = tiny_world();
+        let (server, _service) =
+            serve(Arc::clone(&original), "127.0.0.1:0", 2, RateLimit::default()).unwrap();
+        let mut crawler = Crawler::new(server.addr(), CrawlerConfig::default());
+        let crawled = crawler.crawl(original.collected_at).unwrap();
+
+        crawled.validate().unwrap();
+        assert_eq!(crawled.n_users(), original.n_users());
+        assert_eq!(crawled.scanned_id_space, original.scanned_id_space);
+        // Accounts match field-by-field.
+        for (a, b) in crawled.accounts.iter().zip(&original.accounts) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.created_at, b.created_at);
+            assert_eq!(a.country, b.country);
+            assert_eq!(a.city, b.city);
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.facebook_linked, b.facebook_linked);
+        }
+        assert_eq!(crawled.friendships, original.friendships);
+        assert_eq!(crawled.ownerships, original.ownerships);
+        assert_eq!(crawled.catalog, original.catalog);
+        // Memberships compared semantically (by group id): the crawler can
+        // only see groups that have at least one member.
+        for (cm, om) in crawled.memberships.iter().zip(&original.memberships) {
+            let cg: Vec<GroupId> = cm.iter().map(|&g| crawled.groups[g as usize].id).collect();
+            let og: Vec<GroupId> = om.iter().map(|&g| original.groups[g as usize].id).collect();
+            assert_eq!(cg, og);
+        }
+        let stats = crawler.stats();
+        assert!(stats.requests > original.n_users() as u64 * 3);
+        assert_eq!(stats.profiles_found, original.n_users() as u64);
+    }
+
+    #[test]
+    fn crawl_survives_rate_limiting() {
+        // A tight server-side limit forces 429s; backoff must get through.
+        let original = {
+            let mut cfg = SynthConfig::small(92);
+            cfg.n_users = 40;
+            cfg.n_products = 30;
+            cfg.n_groups = 5;
+            Arc::new(Generator::new(cfg).generate())
+        };
+        let (server, _service) = serve(
+            Arc::clone(&original),
+            "127.0.0.1:0",
+            2,
+            RateLimit { per_key_rps: 300.0, burst: 10.0 },
+        )
+        .unwrap();
+        let mut config = CrawlerConfig::default();
+        config.empty_batches_to_stop = 2;
+        config.backoff = Backoff {
+            base: std::time::Duration::from_millis(5),
+            max: std::time::Duration::from_millis(100),
+            attempts: 10,
+        };
+        let mut crawler = Crawler::new(server.addr(), config);
+        let crawled = crawler.crawl(original.collected_at).unwrap();
+        assert_eq!(crawled.n_users(), original.n_users());
+        assert!(crawler.stats().retries_observed > 0, "expected 429 retries");
+    }
+
+    #[test]
+    fn panel_crawl_reconstructs_week_panel() {
+        let mut cfg = SynthConfig::small(95);
+        cfg.n_users = 2_000;
+        cfg.n_products = 120;
+        cfg.n_groups = 20;
+        let world = Generator::new(cfg).generate_world();
+        // Panel rows index into the population; the service is keyed by the
+        // second snapshot's accounts (same ids as the first).
+        let snapshot = Arc::new(world.second_snapshot.clone());
+        let service = crate::service::ApiService::new(
+            Arc::clone(&snapshot),
+            RateLimit::default(),
+        )
+        .with_panel(world.panel.clone());
+        let (server, _service) =
+            crate::service::serve_service(service, "127.0.0.1:0", 2).unwrap();
+        let mut crawler = Crawler::new(server.addr(), CrawlerConfig::default());
+        let crawled = crawler.crawl_panel(&snapshot.accounts).unwrap();
+        // The generated panel is ordered by day-one playtime, the crawl by
+        // account id; compare as user → days maps.
+        let as_map = |p: &steam_model::WeekPanel| -> HashMap<u32, [u32; 7]> {
+            p.users.iter().copied().zip(p.daily_minutes.iter().copied()).collect()
+        };
+        assert_eq!(as_map(&crawled), as_map(&world.panel));
+    }
+
+    #[test]
+    fn parallel_crawl_is_identical_to_sequential() {
+        let original = {
+            let mut cfg = SynthConfig::small(94);
+            cfg.n_users = 250;
+            cfg.n_products = 100;
+            cfg.n_groups = 20;
+            Arc::new(Generator::new(cfg).generate())
+        };
+        let (server, _service) =
+            serve(Arc::clone(&original), "127.0.0.1:0", 4, RateLimit::default()).unwrap();
+        let crawl_with = |workers: usize| {
+            let mut config = CrawlerConfig::default();
+            config.empty_batches_to_stop = 2;
+            config.workers = workers;
+            let mut crawler = Crawler::new(server.addr(), config);
+            crawler.crawl(original.collected_at).unwrap()
+        };
+        let sequential = crawl_with(1);
+        let parallel = crawl_with(4);
+        assert_eq!(sequential.accounts.len(), parallel.accounts.len());
+        assert_eq!(sequential.friendships, parallel.friendships);
+        assert_eq!(sequential.ownerships, parallel.ownerships);
+        assert_eq!(sequential.memberships, parallel.memberships);
+        assert_eq!(sequential.catalog, parallel.catalog);
+        parallel.validate().unwrap();
+    }
+
+    #[test]
+    fn self_throttle_limits_request_rate() {
+        let original = {
+            let mut cfg = SynthConfig::small(93);
+            cfg.n_users = 30;
+            cfg.n_products = 20;
+            cfg.n_groups = 4;
+            Arc::new(Generator::new(cfg).generate())
+        };
+        let (server, _service) =
+            serve(Arc::clone(&original), "127.0.0.1:0", 2, RateLimit::default()).unwrap();
+        let mut config = CrawlerConfig::default();
+        config.empty_batches_to_stop = 2;
+        config.self_throttle_rps = Some(400.0);
+        let mut crawler = Crawler::new(server.addr(), config);
+        let start = std::time::Instant::now();
+        let crawled = crawler.crawl(original.collected_at).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(crawled.n_users(), original.n_users());
+        let requests = crawler.stats().requests;
+        // With a 400 rps cap, n requests need at least ~(n-burst)/400 secs.
+        let min_expected =
+            std::time::Duration::from_secs_f64((requests as f64 - 100.0).max(0.0) / 400.0);
+        assert!(
+            elapsed >= min_expected,
+            "crawl of {requests} requests finished in {elapsed:?} (< {min_expected:?})"
+        );
+    }
+}

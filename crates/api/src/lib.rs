@@ -1,0 +1,21 @@
+//! # steam-api
+//!
+//! Emulation of the Steam Web API surface the paper crawled (§3.1), plus
+//! the crawler that reconstructs a [`steam_model::Snapshot`] from it.
+//!
+//! * [`wire`] — the JSON shapes of each endpoint, with parsers;
+//! * [`service`] — the HTTP service over a snapshot, with per-key
+//!   token-bucket rate limiting and the batch-100 profile endpoint;
+//! * [`crawler`] — the three-phase collection pipeline (ID-space census →
+//!   per-user harvest → catalog), self-throttled to a configurable rate and
+//!   retrying transient failures with exponential backoff.
+//!
+//! The integration tests (and the `crawl_api` example) demonstrate the key
+//! property: crawling the served snapshot reproduces it record-for-record.
+
+pub mod crawler;
+pub mod service;
+pub mod wire;
+
+pub use crawler::{CrawlStats, Crawler, CrawlerConfig};
+pub use service::{serve, serve_service, ApiService, RateLimit};

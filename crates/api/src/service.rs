@@ -1,0 +1,460 @@
+//! The emulated Steam Web API service.
+//!
+//! Serves a [`Snapshot`] through the endpoint surface the paper crawled
+//! (§3.1), with per-key token-bucket rate limiting in the spirit of Valve's
+//! terms of service:
+//!
+//! | Endpoint | Notes |
+//! |---|---|
+//! | `/ISteamUser/GetPlayerSummaries/v2?key=..&steamids=a,b,…` | ≤ 100 ids per call (this is why the paper's phase 1 was fast) |
+//! | `/ISteamUser/GetFriendList/v1?key=..&steamid=..` | one user per call |
+//! | `/IPlayerService/GetOwnedGames/v1?key=..&steamid=..` | one user per call |
+//! | `/ISteamUser/GetUserGroupList/v1?key=..&steamid=..` | one user per call |
+//! | `/ISteamApps/GetAppList/v2` | the unpublicized app-list endpoint |
+//! | `/api/appdetails?appids=..` | storefront shape, one product per call |
+//! | `/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2?gameid=..` | |
+//! | `/community/group/<gid>` | group-page scrape analog (name + kind) |
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use steam_model::{AppId, SimTime, Snapshot, SteamId, WeekPanel};
+use steam_net::http::{Request, Response};
+use steam_net::ratelimit::TokenBucket;
+use steam_net::server::{Handler, HttpServer};
+use steam_net::NetError;
+
+use crate::wire;
+
+/// Maximum Steam IDs accepted by the batch profile endpoint.
+pub const MAX_BATCH_IDS: usize = 100;
+
+/// Rate-limit configuration for the service.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Requests per second granted to each API key.
+    pub per_key_rps: f64,
+    /// Burst capacity.
+    pub burst: f64,
+}
+
+impl Default for RateLimit {
+    fn default() -> Self {
+        // Generous enough for tests; the crawler self-throttles to 85% of
+        // whatever this is set to.
+        RateLimit { per_key_rps: 100_000.0, burst: 200.0 }
+    }
+}
+
+/// The API service state. Wrap in [`Arc`] and serve with [`serve`].
+pub struct ApiService {
+    snapshot: Arc<Snapshot>,
+    limits: RateLimit,
+    /// Lazily created per-key buckets.
+    buckets: Mutex<HashMap<String, Arc<TokenBucket>>>,
+    /// index of account by steam id
+    by_id: HashMap<SteamId, u32>,
+    /// adjacency: per user, (friend index, since)
+    adjacency: Vec<Vec<(u32, SimTime)>>,
+    /// app id -> catalog index
+    app_index: HashMap<AppId, u32>,
+    /// group id -> group index (the community-page endpoint is hit once per
+    /// group by the crawler; a scan per hit would be quadratic overall)
+    group_index: HashMap<u32, u32>,
+    /// Optional week panel served at `/reproduction/panel` (the Figure 12
+    /// sample, pre-aggregated as the paper's daily queries would have
+    /// produced it).
+    panel: Option<(WeekPanel, HashMap<u32, usize>)>,
+}
+
+impl ApiService {
+    pub fn new(snapshot: Arc<Snapshot>, limits: RateLimit) -> Self {
+        let by_id: HashMap<SteamId, u32> = snapshot
+            .accounts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.id, i as u32))
+            .collect();
+        let mut adjacency: Vec<Vec<(u32, SimTime)>> = vec![Vec::new(); snapshot.n_users()];
+        for e in &snapshot.friendships {
+            adjacency[e.a as usize].push((e.b, e.created_at));
+            adjacency[e.b as usize].push((e.a, e.created_at));
+        }
+        for list in &mut adjacency {
+            list.sort_by_key(|(v, _)| *v);
+        }
+        let app_index = snapshot.catalog_index();
+        let group_index = snapshot
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.id.0, i as u32))
+            .collect();
+        ApiService {
+            snapshot,
+            limits,
+            buckets: Mutex::new(HashMap::new()),
+            by_id,
+            adjacency,
+            app_index,
+            group_index,
+            panel: None,
+        }
+    }
+
+    /// Attaches a week panel; enables the `/reproduction/panel` endpoint.
+    pub fn with_panel(mut self, panel: WeekPanel) -> Self {
+        let index = panel
+            .users
+            .iter()
+            .enumerate()
+            .map(|(row, &u)| (u, row))
+            .collect();
+        self.panel = Some((panel, index));
+        self
+    }
+
+    /// The snapshot being served.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    fn check_rate(&self, req: &Request) -> Result<(), Response> {
+        let key = req.query_param("key").unwrap_or("anonymous").to_string();
+        let bucket = {
+            let mut buckets = self.buckets.lock();
+            Arc::clone(buckets.entry(key).or_insert_with(|| {
+                Arc::new(TokenBucket::new(self.limits.per_key_rps, self.limits.burst))
+            }))
+        };
+        if bucket.try_acquire() {
+            Ok(())
+        } else {
+            Err(Response::error(429, "rate limit exceeded"))
+        }
+    }
+
+    fn user_index(&self, req: &Request) -> Result<u32, Response> {
+        let raw = match req.query_param("steamid") {
+            Some(raw) => raw,
+            None => return Err(Response::error(400, "missing steamid")),
+        };
+        let id: SteamId = match raw.parse() {
+            Ok(id) => id,
+            Err(_) => return Err(Response::error(400, "malformed steamid")),
+        };
+        match self.by_id.get(&id) {
+            Some(&idx) => Ok(idx),
+            None => Err(Response::error(404, "no such account")),
+        }
+    }
+
+    fn get_player_summaries(&self, req: &Request) -> Response {
+        let raw = match req.query_param("steamids") {
+            Some(raw) => raw,
+            None => return Response::error(400, "missing steamids"),
+        };
+        let ids: Vec<&str> = raw.split(',').filter(|s| !s.is_empty()).collect();
+        if ids.len() > MAX_BATCH_IDS {
+            return Response::error(400, "too many steamids (max 100)");
+        }
+        let mut found = Vec::new();
+        for s in ids {
+            let id: SteamId = match s.parse() {
+                Ok(id) => id,
+                Err(_) => return Response::error(400, "malformed steamid"),
+            };
+            // Unknown ids are silently absent from the response, exactly how
+            // the crawler discovers the ID space's density (§3.1).
+            if let Some(&idx) = self.by_id.get(&id) {
+                found.push(&self.snapshot.accounts[idx as usize]);
+            }
+        }
+        Response::json(wire::player_summaries_response(&found).to_text())
+    }
+
+    fn get_friend_list(&self, req: &Request) -> Response {
+        let idx = match self.user_index(req) {
+            Ok(i) => i,
+            Err(resp) => return resp,
+        };
+        let friends: Vec<(SteamId, SimTime)> = self.adjacency[idx as usize]
+            .iter()
+            .map(|&(v, since)| (self.snapshot.accounts[v as usize].id, since))
+            .collect();
+        Response::json(wire::friend_list_response(&friends).to_text())
+    }
+
+    fn get_owned_games(&self, req: &Request) -> Response {
+        let idx = match self.user_index(req) {
+            Ok(i) => i,
+            Err(resp) => return resp,
+        };
+        Response::json(
+            wire::owned_games_response(&self.snapshot.ownerships[idx as usize]).to_text(),
+        )
+    }
+
+    fn get_group_list(&self, req: &Request) -> Response {
+        let idx = match self.user_index(req) {
+            Ok(i) => i,
+            Err(resp) => return resp,
+        };
+        let gids: Vec<steam_model::GroupId> = self.snapshot.memberships[idx as usize]
+            .iter()
+            .map(|&g| self.snapshot.groups[g as usize].id)
+            .collect();
+        Response::json(wire::group_list_response(&gids).to_text())
+    }
+
+    fn get_app_list(&self) -> Response {
+        Response::json(wire::app_list_response(&self.snapshot.catalog).to_text())
+    }
+
+    fn get_app_details(&self, req: &Request) -> Response {
+        let app = match req.query_param("appids").and_then(|s| s.parse::<u32>().ok()) {
+            Some(a) => AppId(a),
+            None => return Response::error(400, "missing or malformed appids"),
+        };
+        match self.app_index.get(&app) {
+            Some(&gi) => Response::json(
+                wire::app_details_response(&self.snapshot.catalog[gi as usize]).to_text(),
+            ),
+            None => Response::error(404, "unknown app"),
+        }
+    }
+
+    fn get_achievements(&self, req: &Request) -> Response {
+        let app = match req.query_param("gameid").and_then(|s| s.parse::<u32>().ok()) {
+            Some(a) => AppId(a),
+            None => return Response::error(400, "missing or malformed gameid"),
+        };
+        match self.app_index.get(&app) {
+            Some(&gi) => Response::json(
+                wire::achievement_percentages_response(
+                    &self.snapshot.catalog[gi as usize].achievements,
+                )
+                .to_text(),
+            ),
+            None => Response::error(404, "unknown app"),
+        }
+    }
+
+    fn get_panel(&self, req: &Request) -> Response {
+        let Some((panel, index)) = &self.panel else {
+            return Response::error(404, "no panel attached to this service");
+        };
+        let idx = match self.user_index(req) {
+            Ok(i) => i,
+            Err(resp) => return resp,
+        };
+        match index.get(&idx) {
+            Some(&row) => {
+                Response::json(wire::panel_response(&panel.daily_minutes[row]).to_text())
+            }
+            None => Response::error(404, "user not in the panel sample"),
+        }
+    }
+
+    fn get_group_page(&self, gid_str: &str) -> Response {
+        let gid: u32 = match gid_str.parse() {
+            Ok(g) => g,
+            Err(_) => return Response::error(400, "malformed gid"),
+        };
+        match self.group_index.get(&gid) {
+            Some(&gi) => Response::json(
+                wire::group_page_response(&self.snapshot.groups[gi as usize]).to_text(),
+            ),
+            None => Response::error(404, "unknown group"),
+        }
+    }
+}
+
+impl Handler for ApiService {
+    fn handle(&self, req: Request) -> Response {
+        if req.method != "GET" {
+            return Response::error(400, "only GET is supported");
+        }
+        if let Err(resp) = self.check_rate(&req) {
+            return resp;
+        }
+        if let Some(gid) = req.path.strip_prefix("/community/group/") {
+            return self.get_group_page(gid);
+        }
+        match req.path.as_str() {
+            "/ISteamUser/GetPlayerSummaries/v2" => self.get_player_summaries(&req),
+            "/ISteamUser/GetFriendList/v1" => self.get_friend_list(&req),
+            "/IPlayerService/GetOwnedGames/v1" => self.get_owned_games(&req),
+            "/ISteamUser/GetUserGroupList/v1" => self.get_group_list(&req),
+            "/ISteamApps/GetAppList/v2" => self.get_app_list(),
+            "/api/appdetails" => self.get_app_details(&req),
+            "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2" => {
+                self.get_achievements(&req)
+            }
+            "/reproduction/panel" => self.get_panel(&req),
+            _ => Response::error(404, "unknown endpoint"),
+        }
+    }
+}
+
+/// Binds an HTTP server serving the snapshot. Port 0 picks an ephemeral
+/// port; read it back from [`HttpServer::addr`].
+pub fn serve(
+    snapshot: Arc<Snapshot>,
+    addr: &str,
+    workers: usize,
+    limits: RateLimit,
+) -> Result<(HttpServer, Arc<ApiService>), NetError> {
+    serve_service(ApiService::new(snapshot, limits), addr, workers)
+}
+
+/// Binds an HTTP server around a pre-built service (e.g. one with a week
+/// panel attached via [`ApiService::with_panel`]).
+pub fn serve_service(
+    service: ApiService,
+    addr: &str,
+    workers: usize,
+) -> Result<(HttpServer, Arc<ApiService>), NetError> {
+    let service = Arc::new(service);
+    let handler: Arc<dyn Handler> = Arc::clone(&service) as Arc<dyn Handler>;
+    let server = HttpServer::bind(addr, workers, handler)?;
+    Ok((server, service))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steam_model::codec;
+    use steam_synth::{Generator, SynthConfig};
+
+    fn tiny_snapshot() -> Arc<Snapshot> {
+        let mut cfg = SynthConfig::small(55);
+        cfg.n_users = 500;
+        cfg.n_products = 300;
+        cfg.n_groups = 40;
+        Arc::new(Generator::new(cfg).generate())
+    }
+
+    fn request(service: &ApiService, target: &str) -> Response {
+        service.handle(Request::get(target))
+    }
+
+    #[test]
+    fn summaries_batch_and_missing_ids() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(Arc::clone(&snap), RateLimit::default());
+        let id0 = snap.accounts[0].id;
+        let id1 = snap.accounts[1].id;
+        // One valid, one invalid (base + huge offset) id.
+        let bogus = SteamId::from_index(999_999_999);
+        let resp = request(
+            &service,
+            &format!("/ISteamUser/GetPlayerSummaries/v2?steamids={id0},{id1},{bogus}"),
+        );
+        assert_eq!(resp.status, 200);
+        let players = wire::parse_player_summaries(&resp.body_text()).unwrap();
+        assert_eq!(players.len(), 2);
+        assert_eq!(players[0].id, id0);
+    }
+
+    #[test]
+    fn batch_limit_enforced() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(snap, RateLimit::default());
+        let ids: Vec<String> =
+            (0..101).map(|i| SteamId::from_index(i).to_string()).collect();
+        let resp = request(
+            &service,
+            &format!("/ISteamUser/GetPlayerSummaries/v2?steamids={}", ids.join(",")),
+        );
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn friend_list_matches_snapshot() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(Arc::clone(&snap), RateLimit::default());
+        // Find a user with friends.
+        let deg = snap.degrees();
+        let u = deg.iter().position(|&d| d > 0).expect("someone has friends");
+        let id = snap.accounts[u].id;
+        let resp = request(&service, &format!("/ISteamUser/GetFriendList/v1?steamid={id}"));
+        let friends = wire::parse_friend_list(&resp.body_text()).unwrap();
+        assert_eq!(friends.len(), deg[u] as usize);
+    }
+
+    #[test]
+    fn owned_games_match_snapshot() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(Arc::clone(&snap), RateLimit::default());
+        let u = snap.ownerships.iter().position(|l| !l.is_empty()).unwrap();
+        let id = snap.accounts[u].id;
+        let resp = request(&service, &format!("/IPlayerService/GetOwnedGames/v1?steamid={id}"));
+        let games = wire::parse_owned_games(&resp.body_text()).unwrap();
+        assert_eq!(games, snap.ownerships[u]);
+    }
+
+    #[test]
+    fn unknown_routes_and_users_404() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(snap, RateLimit::default());
+        assert_eq!(request(&service, "/nope").status, 404);
+        let ghost = SteamId::from_index(987_654_321);
+        assert_eq!(
+            request(&service, &format!("/ISteamUser/GetFriendList/v1?steamid={ghost}")).status,
+            404
+        );
+        assert_eq!(
+            request(&service, "/ISteamUser/GetFriendList/v1?steamid=banana").status,
+            400
+        );
+        assert_eq!(request(&service, "/api/appdetails?appids=99999999").status, 404);
+    }
+
+    #[test]
+    fn rate_limit_fires() {
+        let snap = tiny_snapshot();
+        let service =
+            ApiService::new(snap, RateLimit { per_key_rps: 0.001, burst: 2.0 });
+        let ok1 = request(&service, "/ISteamApps/GetAppList/v2");
+        let ok2 = request(&service, "/ISteamApps/GetAppList/v2");
+        let limited = request(&service, "/ISteamApps/GetAppList/v2");
+        assert_eq!(ok1.status, 200);
+        assert_eq!(ok2.status, 200);
+        assert_eq!(limited.status, 429);
+        // A different key has its own bucket.
+        let other = request(&service, "/ISteamApps/GetAppList/v2?key=other");
+        assert_eq!(other.status, 200);
+    }
+
+    #[test]
+    fn group_page_serves_kind() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(Arc::clone(&snap), RateLimit::default());
+        let g = &snap.groups[0];
+        let resp = request(&service, &format!("/community/group/{}", g.id.0));
+        let page = wire::parse_group_page(&resp.body_text()).unwrap();
+        assert_eq!(page.kind, g.kind);
+    }
+
+    #[test]
+    fn post_rejected() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(snap, RateLimit::default());
+        let mut req = Request::get("/ISteamApps/GetAppList/v2");
+        req.method = "POST".into();
+        assert_eq!(service.handle(req).status, 400);
+    }
+
+    #[test]
+    fn snapshot_codec_compatible() {
+        // The service can serve a decoded snapshot (catalog indexes etc.
+        // survive the round trip).
+        let snap = tiny_snapshot();
+        let bytes = codec::encode_snapshot(&snap);
+        let decoded = Arc::new(codec::decode_snapshot(bytes).unwrap());
+        let service = ApiService::new(decoded, RateLimit::default());
+        assert_eq!(request(&service, "/ISteamApps/GetAppList/v2").status, 200);
+    }
+}

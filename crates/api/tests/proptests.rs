@@ -1,0 +1,141 @@
+//! Property tests: every wire shape round-trips arbitrary valid entities.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use steam_api::wire;
+use steam_model::{
+    Account, Achievement, AppId, AppType, CountryCode, Game, GenreSet, Group, GroupId,
+    GroupKind, OwnedGame, SimTime, SteamId, Visibility,
+};
+
+fn arb_account() -> impl Strategy<Value = Account> {
+    (
+        0u64..(1 << 40),
+        any::<i32>(),
+        any::<bool>(),
+        prop::option::of(0usize..CountryCode::universe_size()),
+        prop::option::of(any::<u16>()),
+        0u16..=60,
+        any::<bool>(),
+    )
+        .prop_map(|(idx, t, public, country, city, level, fb)| Account {
+            id: SteamId::from_index(idx),
+            created_at: SimTime::from_unix(i64::from(t)),
+            visibility: if public { Visibility::Public } else { Visibility::Private },
+            country: country.map(|c| CountryCode::from_dense_index(c).unwrap()),
+            city,
+            level,
+            facebook_linked: fb,
+        })
+}
+
+fn arb_game() -> impl Strategy<Value = Game> {
+    (
+        any::<u32>(),
+        "[a-zA-Z0-9 :'&!-]{1,40}",
+        0u8..5,
+        any::<u16>(),
+        0u32..100_000,
+        any::<bool>(),
+        any::<i32>(),
+        prop::option::of(0u8..=100),
+        vec(("[a-z_0-9]{1,16}", 0.0f32..100.0), 0..8),
+    )
+        .prop_map(|(app, name, ty, bits, price, mp, rel, meta, ach)| Game {
+            app_id: AppId(app),
+            name,
+            app_type: AppType::from_tag(ty).unwrap(),
+            genres: GenreSet::from_bits(bits),
+            price_cents: price,
+            multiplayer: mp,
+            release_date: SimTime::from_unix(i64::from(rel)),
+            metacritic: meta,
+            achievements: ach
+                .into_iter()
+                .map(|(name, pct)| Achievement { name, global_completion_pct: pct })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn player_summaries_round_trip(accounts in vec(arb_account(), 0..20)) {
+        let refs: Vec<&Account> = accounts.iter().collect();
+        let body = wire::player_summaries_response(&refs).to_text();
+        let parsed = wire::parse_player_summaries(&body).unwrap();
+        prop_assert_eq!(parsed.len(), accounts.len());
+        for (p, a) in parsed.iter().zip(&accounts) {
+            prop_assert_eq!(p.id, a.id);
+            prop_assert_eq!(p.created_at, a.created_at);
+            prop_assert_eq!(p.country, a.country);
+            prop_assert_eq!(p.city, a.city);
+            prop_assert_eq!(p.level, a.level);
+            prop_assert_eq!(p.facebook_linked, a.facebook_linked);
+        }
+    }
+
+    #[test]
+    fn friend_lists_round_trip(friends in vec((0u64..(1<<40), any::<i32>()), 0..50)) {
+        let list: Vec<(SteamId, SimTime)> = friends
+            .iter()
+            .map(|&(i, t)| (SteamId::from_index(i), SimTime::from_unix(i64::from(t))))
+            .collect();
+        let body = wire::friend_list_response(&list).to_text();
+        prop_assert_eq!(wire::parse_friend_list(&body).unwrap(), list);
+    }
+
+    #[test]
+    fn owned_games_round_trip(games in vec((any::<u32>(), any::<u32>(), 0u32..20_161), 0..40)) {
+        let list: Vec<OwnedGame> = games
+            .iter()
+            .map(|&(a, f, w)| OwnedGame {
+                app_id: AppId(a),
+                playtime_forever_min: f,
+                playtime_2weeks_min: w,
+            })
+            .collect();
+        let body = wire::owned_games_response(&list).to_text();
+        prop_assert_eq!(wire::parse_owned_games(&body).unwrap(), list);
+    }
+
+    #[test]
+    fn app_details_round_trip(game in arb_game()) {
+        let body = wire::app_details_response(&game).to_text();
+        let parsed = wire::parse_app_details(game.app_id, &body).unwrap();
+        prop_assert_eq!(parsed.name, game.name);
+        prop_assert_eq!(parsed.app_type, game.app_type);
+        prop_assert_eq!(parsed.genres, game.genres);
+        prop_assert_eq!(parsed.price_cents, game.price_cents);
+        prop_assert_eq!(parsed.multiplayer, game.multiplayer);
+        prop_assert_eq!(parsed.release_date, game.release_date);
+        prop_assert_eq!(parsed.metacritic, game.metacritic);
+
+        let ach = wire::achievement_percentages_response(&game.achievements).to_text();
+        prop_assert_eq!(wire::parse_achievement_percentages(&ach).unwrap(), game.achievements);
+    }
+
+    #[test]
+    fn group_pages_round_trip(gid in any::<u32>(), tag in 0u8..6, name in "[a-zA-Z0-9 _-]{1,30}") {
+        let g = Group { id: GroupId(gid), kind: GroupKind::from_tag(tag).unwrap(), name };
+        let body = wire::group_page_response(&g).to_text();
+        let parsed = wire::parse_group_page(&body).unwrap();
+        prop_assert_eq!(parsed.id, g.id);
+        prop_assert_eq!(parsed.kind, g.kind);
+        prop_assert_eq!(parsed.name, g.name);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_garbage(body in "\\PC{0,200}") {
+        let _ = wire::parse_player_summaries(&body);
+        let _ = wire::parse_friend_list(&body);
+        let _ = wire::parse_owned_games(&body);
+        let _ = wire::parse_group_list(&body);
+        let _ = wire::parse_group_page(&body);
+        let _ = wire::parse_app_list(&body);
+        let _ = wire::parse_app_details(AppId(1), &body);
+        let _ = wire::parse_achievement_percentages(&body);
+    }
+}

@@ -1,0 +1,113 @@
+//! API/crawl throughput benches — why the paper's phase 1 took weeks and
+//! phase 2 took six months:
+//!
+//! * batch-100 profile endpoint vs single-profile fetches;
+//! * full crawl with and without self-throttling;
+//! * raw request/response round-trip cost of the HTTP substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use steam_api::{serve, Crawler, CrawlerConfig, RateLimit};
+use steam_model::{Snapshot, SteamId};
+use steam_net::HttpClient;
+use steam_synth::{Generator, SynthConfig};
+
+fn tiny_snapshot(n_users: usize) -> Arc<Snapshot> {
+    let mut cfg = SynthConfig::small(21);
+    cfg.n_users = n_users;
+    cfg.n_products = 150;
+    cfg.n_groups = 20;
+    Arc::new(Generator::new(cfg).generate())
+}
+
+fn bench_endpoints(c: &mut Criterion) {
+    let snap = tiny_snapshot(2_000);
+    let (server, _service) =
+        serve(Arc::clone(&snap), "127.0.0.1:0", 4, RateLimit::default()).unwrap();
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("endpoints");
+    group.sample_size(30);
+
+    // Batch of 100 profiles per request (phase 1's trick).
+    let ids: Vec<String> =
+        (0..100u64).map(|i| snap.accounts[i as usize].id.to_string()).collect();
+    let batch_target =
+        format!("/ISteamUser/GetPlayerSummaries/v2?steamids={}", ids.join(","));
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("profiles_batch100", |b| {
+        let mut client = HttpClient::new(addr);
+        b.iter(|| black_box(client.get(&batch_target).unwrap()))
+    });
+
+    // One profile per request.
+    let one_target = format!(
+        "/ISteamUser/GetPlayerSummaries/v2?steamids={}",
+        snap.accounts[0].id
+    );
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("profiles_single", |b| {
+        let mut client = HttpClient::new(addr);
+        b.iter(|| black_box(client.get(&one_target).unwrap()))
+    });
+
+    // The phase-2 per-user endpoints.
+    let id: SteamId = snap.accounts[0].id;
+    for (label, target) in [
+        ("friend_list", format!("/ISteamUser/GetFriendList/v1?steamid={id}")),
+        ("owned_games", format!("/IPlayerService/GetOwnedGames/v1?steamid={id}")),
+        ("group_list", format!("/ISteamUser/GetUserGroupList/v1?steamid={id}")),
+    ] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(label, |b| {
+            let mut client = HttpClient::new(addr);
+            b.iter(|| black_box(client.get(&target).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let snap = tiny_snapshot(400);
+    let (server, _service) =
+        serve(Arc::clone(&snap), "127.0.0.1:0", 4, RateLimit::default()).unwrap();
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(snap.n_users() as u64));
+
+    group.bench_function("unthrottled", |b| {
+        b.iter(|| {
+            let mut config = CrawlerConfig::default();
+            config.empty_batches_to_stop = 2;
+            let mut crawler = Crawler::new(addr, config);
+            black_box(crawler.crawl(snap.collected_at).unwrap())
+        })
+    });
+    group.bench_function("throttled_85pct_of_2k_rps", |b| {
+        b.iter(|| {
+            let mut config = CrawlerConfig::default();
+            config.empty_batches_to_stop = 2;
+            config.self_throttle_rps = Some(2_000.0 * 0.85);
+            let mut crawler = Crawler::new(addr, config);
+            black_box(crawler.crawl(snap.collected_at).unwrap())
+        })
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_function(format!("parallel_{workers}_workers"), |b| {
+            b.iter(|| {
+                let mut config = CrawlerConfig::default();
+                config.empty_batches_to_stop = 2;
+                config.workers = workers;
+                let mut crawler = Crawler::new(addr, config);
+                black_box(crawler.crawl(snap.collected_at).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_endpoints, bench_crawl);
+criterion_main!(benches);

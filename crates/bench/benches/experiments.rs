@@ -1,0 +1,61 @@
+//! Per-experiment regeneration cost: how long each of the paper's tables and
+//! figures takes to compute from a snapshot (the analysis side of the
+//! pipeline; the rows themselves are printed by the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use steam_analysis::{render, Ctx, Experiment, ReportInput};
+use steam_synth::{Generator, SynthConfig, World};
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+fn world() -> &'static World {
+    WORLD.get_or_init(|| {
+        let mut cfg = SynthConfig::small(2016);
+        cfg.n_users = 20_000;
+        cfg.n_groups = 600;
+        Generator::new(cfg).generate_world()
+    })
+}
+
+fn bench_context_build(c: &mut Criterion) {
+    let w = world();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("context_build", |b| {
+        b.iter(|| black_box(Ctx::new(&w.snapshot)))
+    });
+    group.finish();
+}
+
+fn bench_each_experiment(c: &mut Criterion) {
+    let w = world();
+    let ctx = Ctx::new(&w.snapshot);
+    let second = Ctx::new(&w.second_snapshot);
+    let input = ReportInput { ctx: &ctx, second: Some(&second), panel: Some(&w.panel) };
+
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for e in Experiment::ALL {
+        // Table 4 runs the full fitting pipeline over 17 distributions; it
+        // gets its own timing below with fewer samples.
+        if e == Experiment::Table4 {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("render", e.name()), &e, |b, &e| {
+            b.iter(|| black_box(render(&input, e)))
+        });
+    }
+    group.finish();
+
+    let mut slow = c.benchmark_group("experiments_slow");
+    slow.sample_size(10);
+    slow.bench_function("render/table4", |b| {
+        b.iter(|| black_box(render(&input, Experiment::Table4)))
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_context_build, bench_each_experiment);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Graph-analytics cost vs population size: CSR build, degree extraction,
+//! connected components, assortativity, neighbor means (the §7 pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use steam_graph::{connected_components, degree_assortativity, neighbor_mean, Csr};
+use steam_synth::{Generator, SynthConfig};
+
+fn world(n_users: usize) -> (usize, Vec<(u32, u32)>) {
+    let mut cfg = SynthConfig::small(77);
+    cfg.n_users = n_users;
+    cfg.n_groups = (n_users / 33).max(5);
+    let snap = Generator::new(cfg).generate();
+    let edges: Vec<(u32, u32)> = snap.friendships.iter().map(|e| (e.a, e.b)).collect();
+    (snap.n_users(), edges)
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let (n_nodes, edges) = world(n);
+        group.bench_with_input(BenchmarkId::new("csr_build", n), &edges, |b, e| {
+            b.iter(|| black_box(Csr::from_edges(n_nodes, e.iter().copied())))
+        });
+        let g = Csr::from_edges(n_nodes, edges.iter().copied());
+        group.bench_with_input(BenchmarkId::new("components", n), &g, |b, g| {
+            b.iter(|| black_box(connected_components(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("assortativity", n), &g, |b, g| {
+            b.iter(|| black_box(degree_assortativity(g)))
+        });
+        let attr: Vec<f64> = (0..n_nodes).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("neighbor_mean", n), &g, |b, g| {
+            b.iter(|| black_box(neighbor_mean(g, &attr)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

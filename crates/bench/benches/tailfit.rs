@@ -1,0 +1,77 @@
+//! Ablation bench: heavy-tail fitting cost.
+//!
+//! * MLE fit cost per model family vs sample size;
+//! * the KS-minimizing `x_min` scan vs a fixed `x_min` (the design choice
+//!   DESIGN.md calls out: the scan is the expensive part of Table 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+use steam_stats::tailfit::{
+    classify_tail, fit_exponential, fit_lognormal, fit_power_law, fit_truncated_power_law,
+    scan_xmin, ClassifyOptions,
+};
+
+fn power_law_sample(n: usize, alpha: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<f64> =
+        (0..n).map(|_| (1.0 - rng.gen::<f64>()).powf(-1.0 / (alpha - 1.0))).collect();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mle_fit");
+    // The numeric 2-parameter fits cost ~1 s at 100k points; cap sampling so
+    // the suite stays minutes, not hours.
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let data = power_law_sample(n, 2.2, 7);
+        group.bench_with_input(BenchmarkId::new("power_law", n), &data, |b, d| {
+            b.iter(|| black_box(fit_power_law(d, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("exponential", n), &data, |b, d| {
+            b.iter(|| black_box(fit_exponential(d, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("lognormal", n), &data, |b, d| {
+            b.iter(|| black_box(fit_lognormal(d, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("truncated_power_law", n), &data, |b, d| {
+            b.iter(|| black_box(fit_truncated_power_law(d, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_xmin_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xmin");
+    group.sample_size(20);
+    let data = power_law_sample(100_000, 2.2, 11);
+    for candidates in [10usize, 60, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("scan", candidates),
+            &candidates,
+            |b, &cand| b.iter(|| black_box(scan_xmin(&data, 50, cand))),
+        );
+    }
+    group.bench_function("fixed_xmin_fit_only", |b| {
+        b.iter(|| black_box(fit_power_law(&data, 1.0)))
+    });
+    group.finish();
+}
+
+fn bench_full_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let data = power_law_sample(n, 1.8, 13);
+        group.bench_with_input(BenchmarkId::new("classify_tail", n), &data, |b, d| {
+            b.iter(|| black_box(classify_tail(d, &ClassifyOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fits, bench_xmin_scan, bench_full_classification);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The reproduction harness: generates the experiment-scale world and prints
+//! every table and figure of the paper, side by side with the paper's
+//! published values (quoted inside each renderer).
+//!
+//! ```text
+//! cargo run --release -p steam-bench --bin repro            # medium scale
+//! cargo run --release -p steam-bench --bin repro -- small   # quick look
+//! cargo run --release -p steam-bench --bin repro -- large   # 2M users
+//! ```
+
+use steam_analysis::{render, Ctx, Experiment, ReportInput};
+use steam_synth::{Generator, SynthConfig};
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "medium".into());
+    let seed = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+    let cfg = match scale.as_str() {
+        "small" => SynthConfig::small(seed),
+        "medium" => SynthConfig::medium(seed),
+        "large" => SynthConfig::large(seed),
+        other => {
+            eprintln!("unknown scale {other:?} (want small|medium|large)");
+            std::process::exit(1);
+        }
+    };
+
+    eprintln!("# generating {} users (seed {seed})...", cfg.n_users);
+    let t0 = std::time::Instant::now();
+    let world = Generator::new(cfg).generate_world();
+    eprintln!("# generated in {:.1?}", t0.elapsed());
+
+    let ctx = Ctx::new(&world.snapshot);
+    let second = Ctx::new(&world.second_snapshot);
+    let input = ReportInput { ctx: &ctx, second: Some(&second), panel: Some(&world.panel) };
+
+    for e in Experiment::ALL {
+        let t = std::time::Instant::now();
+        let text = render(&input, e);
+        println!("==== {} ({:.2?}) ====", e.name(), t.elapsed());
+        println!("{text}");
+    }
+    eprintln!("# total {:.1?}", t0.elapsed());
+}

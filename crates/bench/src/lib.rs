@@ -1,0 +1,1 @@
+//! Criterion benches and the reproduction harness live in benches/ and src/bin/.

@@ -1,0 +1,107 @@
+//! Minimal command-line argument parsing (no external dependencies): a
+//! subcommand followed by `--flag value` / `--flag` pairs.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand plus flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pub command: String,
+    flags: HashMap<String, String>,
+    /// Flags present without a value.
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses from an iterator of arguments (excluding the binary name).
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let command = argv.next().unwrap_or_default();
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut pending: Option<String> = None;
+        for arg in argv {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some(prev) = pending.take() {
+                    switches.push(prev);
+                }
+                pending = Some(name.to_string());
+            } else if let Some(name) = pending.take() {
+                flags.insert(name, arg);
+            } else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            }
+        }
+        if let Some(prev) = pending.take() {
+            switches.push(prev);
+        }
+        Ok(Args { command, flags, switches })
+    }
+
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name} value {raw:?} is not valid")),
+        }
+    }
+
+    /// Used by subcommands that take boolean switches; currently only
+    /// exercised in tests, so the binary build sees it as dead code.
+    #[allow(dead_code)]
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name) || self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Args, String> {
+        Args::parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse("generate --users 1000 --seed 7 --verbose").unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.get("users"), Some("1000"));
+        assert_eq!(a.get_parse("seed", 0u64).unwrap(), 7);
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+        assert_eq!(a.get_or("out", "default.bin"), "default.bin");
+    }
+
+    #[test]
+    fn empty_command_line() {
+        let a = parse("").unwrap();
+        assert_eq!(a.command, "");
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(parse("run stray").is_err());
+    }
+
+    #[test]
+    fn bad_parse_reported() {
+        let a = parse("x --n banana").unwrap();
+        assert!(a.get_parse("n", 0u32).is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = parse("serve --port 80 --quiet").unwrap();
+        assert_eq!(a.get("port"), Some("80"));
+        assert!(a.has("quiet"));
+    }
+}

@@ -1,0 +1,253 @@
+//! `steam-cli` — generate / serve / crawl / report for the *Condensing
+//! Steam* reproduction.
+//!
+//! ```text
+//! steam-cli generate --scale small|medium|large --seed 42 --out snap.bin
+//!                    [--second-out snap2.bin] [--panel-out panel.bin]
+//! steam-cli serve    --snapshot snap.bin --addr 127.0.0.1:8571 [--rps 5000]
+//! steam-cli crawl    --addr 127.0.0.1:8571 --out crawled.bin [--rps 1000]
+//! steam-cli report   --snapshot snap.bin [--second snap2.bin]
+//!                    [--panel panel.bin] [--experiment table3|figure6|...|all]
+//! steam-cli validate --snapshot snap.bin
+//! ```
+
+mod args;
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use args::Args;
+use steam_analysis::{render, Ctx, Experiment, ReportInput};
+use steam_api::{serve, Crawler, CrawlerConfig, RateLimit};
+use steam_model::codec;
+use steam_synth::{Generator, SynthConfig};
+
+fn main() -> ExitCode {
+    let argv = std::env::args().skip(1);
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "serve" => cmd_serve(&args),
+        "crawl" => cmd_crawl(&args),
+        "report" => cmd_report(&args),
+        "export" => cmd_export(&args),
+        "validate" => cmd_validate(&args),
+        "" | "help" | "--help" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `steam-cli help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+steam-cli — Condensing Steam (IMC 2016) reproduction tool
+
+COMMANDS
+  generate   Generate a synthetic Steam population snapshot
+             --scale small|medium|large   population preset (default small)
+             --users N                    override user count
+             --seed N                     RNG seed (default 2016)
+             --out PATH                   snapshot output (default snapshot.bin)
+             --second-out PATH            also write the second snapshot
+             --panel-out PATH             also write the week panel
+  serve      Serve a snapshot as the emulated Steam Web API
+             --snapshot PATH   snapshot to serve (default snapshot.bin)
+             --addr HOST:PORT  bind address (default 127.0.0.1:8571)
+             --rps N           per-key rate limit (default 100000)
+  crawl      Crawl a served API back into a snapshot file
+             --addr HOST:PORT  server address (default 127.0.0.1:8571)
+             --out PATH        output snapshot (default crawled.bin)
+             --rps N           self-throttle requests/sec (default none)
+             --workers N       phase-2 worker threads (default 4)
+  report     Render the paper's tables and figures from a snapshot
+             --snapshot PATH   snapshot (default snapshot.bin)
+             --second PATH     second snapshot (enables Table 4 2nd rows, §8)
+             --panel PATH      week panel (enables Figure 12)
+             --experiment X    one of table1..4, figure1..12, correlations,
+                               evolution, achievements, locality, aggregates,
+                               or `all` (default all)
+  export     Write the figures' underlying series as TSV files
+             --snapshot PATH   snapshot (default snapshot.bin)
+             --panel PATH      week panel (adds figure12.tsv)
+             --dir PATH        output directory (default figures/)
+  validate   Check a snapshot's structural invariants
+             --snapshot PATH   snapshot (default snapshot.bin)
+";
+
+fn scale_config(args: &Args) -> Result<SynthConfig, String> {
+    let seed = args.get_parse("seed", 2016u64)?;
+    let mut cfg = match args.get_or("scale", "small") {
+        "small" => SynthConfig::small(seed),
+        "medium" => SynthConfig::medium(seed),
+        "large" => SynthConfig::large(seed),
+        other => return Err(format!("unknown scale {other:?}")),
+    };
+    if let Some(n) = args.get("users") {
+        cfg.n_users = n.parse().map_err(|_| format!("bad --users {n:?}"))?;
+        cfg.n_groups = (cfg.n_users / 33).max(10);
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let cfg = scale_config(args)?;
+    let out = args.get_or("out", "snapshot.bin");
+    eprintln!("generating {} users (seed {})...", cfg.n_users, cfg.seed);
+    let started = std::time::Instant::now();
+    let world = Generator::new(cfg).generate_world();
+    eprintln!(
+        "generated in {:.1?}: {} friendships, {} owned games, {} memberships",
+        started.elapsed(),
+        world.snapshot.n_friendships(),
+        world.snapshot.n_owned_games(),
+        world.snapshot.n_memberships()
+    );
+    codec::write_snapshot(Path::new(out), &world.snapshot).map_err(|e| e.to_string())?;
+    eprintln!("wrote {out}");
+    if let Some(second) = args.get("second-out") {
+        codec::write_snapshot(Path::new(second), &world.second_snapshot)
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote {second}");
+    }
+    if let Some(panel) = args.get("panel-out") {
+        std::fs::write(panel, codec::encode_panel(&world.panel)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {panel}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let path = args.get_or("snapshot", "snapshot.bin");
+    let addr = args.get_or("addr", "127.0.0.1:8571");
+    let rps = args.get_parse("rps", 100_000.0)?;
+    let snapshot =
+        Arc::new(codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?);
+    eprintln!("serving {} users from {path}", snapshot.n_users());
+    let (server, _service) = serve(
+        snapshot,
+        addr,
+        8,
+        RateLimit { per_key_rps: rps, burst: (rps / 10.0).max(10.0) },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!("listening on http://{} (ctrl-c to stop)", server.addr());
+    // Serve until interrupted.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_crawl(args: &Args) -> Result<(), String> {
+    let addr: std::net::SocketAddr = args
+        .get_or("addr", "127.0.0.1:8571")
+        .parse()
+        .map_err(|_| "bad --addr".to_string())?;
+    let out = args.get_or("out", "crawled.bin");
+    let mut config = CrawlerConfig::default();
+    if let Some(rps) = args.get("rps") {
+        config.self_throttle_rps =
+            Some(rps.parse().map_err(|_| format!("bad --rps {rps:?}"))?);
+    }
+    config.workers = args.get_parse("workers", 4usize)?;
+    let mut crawler = Crawler::new(addr, config);
+    eprintln!("crawling {addr}...");
+    let started = std::time::Instant::now();
+    let snapshot = crawler
+        .crawl(steam_model::SimTime::from_ymd(2013, 11, 5))
+        .map_err(|e| e.to_string())?;
+    let stats = crawler.stats();
+    eprintln!(
+        "crawled {} users with {} requests ({} retries) in {:.1?}",
+        stats.profiles_found,
+        stats.requests,
+        stats.retries_observed,
+        started.elapsed()
+    );
+    codec::write_snapshot(Path::new(out), &snapshot).map_err(|e| e.to_string())?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args.get_or("snapshot", "snapshot.bin");
+    let snapshot = codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
+    let second = match args.get("second") {
+        Some(p) => Some(codec::read_snapshot(Path::new(p)).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let panel = match args.get("panel") {
+        Some(p) => {
+            let raw = std::fs::read(p).map_err(|e| e.to_string())?;
+            Some(codec::decode_panel(bytes::Bytes::from(raw)).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+
+    let ctx = Ctx::new(&snapshot);
+    let second_ctx = second.as_ref().map(Ctx::new);
+    let input = ReportInput { ctx: &ctx, second: second_ctx.as_ref(), panel: panel.as_ref() };
+
+    let which = args.get_or("experiment", "all");
+    if which == "all" {
+        for e in Experiment::ALL {
+            println!("==== {} ====", e.name());
+            println!("{}", render(&input, e));
+        }
+    } else {
+        let e = Experiment::from_name(which)
+            .ok_or_else(|| format!("unknown experiment {which:?}"))?;
+        println!("{}", render(&input, e));
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let path = args.get_or("snapshot", "snapshot.bin");
+    let dir = args.get_or("dir", "figures");
+    let snapshot = codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
+    let panel = match args.get("panel") {
+        Some(p) => {
+            let raw = std::fs::read(p).map_err(|e| e.to_string())?;
+            Some(codec::decode_panel(bytes::Bytes::from(raw)).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+    let ctx = Ctx::new(&snapshot);
+    let written = steam_analysis::export::write_all(&ctx, panel.as_ref(), Path::new(dir))
+        .map_err(|e| e.to_string())?;
+    for p in written {
+        eprintln!("wrote {}", p.display());
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    let path = args.get_or("snapshot", "snapshot.bin");
+    let snapshot = codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
+    snapshot.validate().map_err(|e| e.to_string())?;
+    println!(
+        "ok: {} users, {} friendships, {} owned games, {} groups, {} products",
+        snapshot.n_users(),
+        snapshot.n_friendships(),
+        snapshot.n_owned_games(),
+        snapshot.groups.len(),
+        snapshot.catalog.len()
+    );
+    Ok(())
+}

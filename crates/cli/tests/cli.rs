@@ -1,0 +1,203 @@
+//! End-to-end tests of the `steam-cli` binary: generate → validate →
+//! report → export, and the serve/crawl loop over a real socket.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_steam-cli"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("steam-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "serve", "crawl", "report", "export", "validate"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_validate_report_export() {
+    let dir = temp_dir("pipeline");
+    let snap = dir.join("snap.bin");
+    let panel = dir.join("panel.bin");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--users",
+            "2000",
+            "--seed",
+            "5",
+            "--out",
+            snap.to_str().unwrap(),
+            "--panel-out",
+            panel.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(snap.exists());
+
+    let out = bin()
+        .args(["validate", "--snapshot", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("2000 users"));
+
+    let out = bin()
+        .args([
+            "report",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--experiment",
+            "table3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Owned games"), "{text}");
+
+    let figures = dir.join("figures");
+    let out = bin()
+        .args([
+            "export",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--panel",
+            panel.to_str().unwrap(),
+            "--dir",
+            figures.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(figures.join("figure1.tsv").exists());
+    assert!(figures.join("figure12.tsv").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_rejects_bad_flags() {
+    let out = bin().args(["generate", "--scale", "galactic"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().args(["generate", "--users", "banana"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn report_rejects_unknown_experiment() {
+    let dir = temp_dir("exp");
+    let snap = dir.join("snap.bin");
+    let out = bin()
+        .args(["generate", "--users", "600", "--out", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args([
+            "report",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--experiment",
+            "figure99",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validate_rejects_corrupt_snapshot() {
+    let dir = temp_dir("corrupt");
+    let path = dir.join("bad.bin");
+    std::fs::write(&path, b"this is not a snapshot").unwrap();
+    let out = bin()
+        .args(["validate", "--snapshot", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_then_crawl_round_trips() {
+    let dir = temp_dir("crawl");
+    let snap = dir.join("snap.bin");
+    let crawled = dir.join("crawled.bin");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--users",
+            "300",
+            "--seed",
+            "9",
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Start the server on an OS-chosen free port, parse it from stderr.
+    let mut server = bin()
+        .args([
+            "serve",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = {
+        use std::io::BufRead;
+        let stderr = server.stderr.take().unwrap();
+        let mut addr = None;
+        for line in std::io::BufReader::new(stderr).lines() {
+            let line = line.unwrap();
+            if let Some(rest) = line.strip_prefix("listening on http://") {
+                addr = Some(rest.split_whitespace().next().unwrap().to_string());
+                break;
+            }
+        }
+        addr.expect("server printed its address")
+    };
+
+    let out = bin()
+        .args(["crawl", "--addr", &addr, "--out", crawled.to_str().unwrap()])
+        .output()
+        .unwrap();
+    server.kill().ok();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["validate", "--snapshot", crawled.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("300 users"));
+    std::fs::remove_dir_all(&dir).ok();
+}

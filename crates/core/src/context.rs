@@ -1,0 +1,129 @@
+//! Shared, precomputed per-user aggregates every analysis consumes.
+
+use std::collections::HashMap;
+
+use steam_graph::Csr;
+use steam_model::{AppId, Snapshot};
+
+/// Precomputed view over a snapshot: per-user degree, library sizes,
+/// playtimes and market value, plus the friendship graph in CSR form.
+///
+/// Building it is one linear pass over the data; every table/figure function
+/// then works from these vectors.
+pub struct Ctx<'a> {
+    pub snapshot: &'a Snapshot,
+    /// Friend count per user.
+    pub degrees: Vec<u32>,
+    /// Games owned per user.
+    pub owned: Vec<u32>,
+    /// Games owned and ever played per user.
+    pub played: Vec<u32>,
+    /// Lifetime playtime per user, minutes.
+    pub total_minutes: Vec<u64>,
+    /// Two-week playtime per user, minutes.
+    pub two_week_minutes: Vec<u64>,
+    /// Market value of the library per user, cents (2014 storefront prices).
+    pub value_cents: Vec<u64>,
+    /// Group memberships per user.
+    pub group_count: Vec<u32>,
+    /// `AppId -> catalog index`.
+    pub app_index: HashMap<AppId, u32>,
+    /// Friendship graph.
+    pub graph: Csr,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(snapshot: &'a Snapshot) -> Self {
+        let n = snapshot.n_users();
+        let app_index = snapshot.catalog_index();
+        let degrees = snapshot.degrees();
+        let graph = Csr::from_edges(
+            n,
+            snapshot.friendships.iter().map(|e| (e.a, e.b)),
+        );
+
+        let mut owned = vec![0u32; n];
+        let mut played = vec![0u32; n];
+        let mut total_minutes = vec![0u64; n];
+        let mut two_week_minutes = vec![0u64; n];
+        let mut value_cents = vec![0u64; n];
+        for (u, lib) in snapshot.ownerships.iter().enumerate() {
+            owned[u] = lib.len() as u32;
+            for o in lib {
+                if o.played() {
+                    played[u] += 1;
+                }
+                total_minutes[u] += u64::from(o.playtime_forever_min);
+                two_week_minutes[u] += u64::from(o.playtime_2weeks_min);
+                if let Some(&gi) = app_index.get(&o.app_id) {
+                    value_cents[u] += u64::from(snapshot.catalog[gi as usize].price_cents);
+                }
+            }
+        }
+        let group_count = snapshot.memberships.iter().map(|m| m.len() as u32).collect();
+
+        Ctx {
+            snapshot,
+            degrees,
+            owned,
+            played,
+            total_minutes,
+            two_week_minutes,
+            value_cents,
+            group_count,
+            app_index,
+            graph,
+        }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.snapshot.n_users()
+    }
+
+    /// Dollars from cents.
+    pub fn value_dollars(&self, u: usize) -> f64 {
+        self.value_cents[u] as f64 / 100.0
+    }
+
+    /// Values of an attribute restricted to users where it is non-zero,
+    /// as f64 — the paper's percentile ladders are computed among holders
+    /// of the attribute (see DESIGN.md).
+    pub fn nonzero_f64<T: Copy + Into<u64>>(attr: &[T]) -> Vec<f64> {
+        attr.iter()
+            .map(|&x| x.into() as f64)
+            .filter(|&x| x > 0.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testworld;
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let world = testworld::world();
+        let ctx = Ctx::new(&world.snapshot);
+        let n = ctx.n_users();
+        assert_eq!(ctx.degrees.len(), n);
+        // Degrees agree between snapshot and CSR.
+        assert_eq!(ctx.graph.degrees(), ctx.degrees);
+        // Owned/played/identity checks.
+        for u in 0..n {
+            assert!(ctx.played[u] <= ctx.owned[u]);
+            assert!(ctx.two_week_minutes[u] <= ctx.total_minutes[u] * 2);
+        }
+        // Totals match the snapshot-level helpers.
+        let total: u64 = ctx.total_minutes.iter().sum();
+        assert_eq!(total, world.snapshot.total_playtime_minutes());
+        let value0 = world.snapshot.account_value_cents(0, &ctx.app_index);
+        assert_eq!(value0, ctx.value_cents[0]);
+    }
+
+    #[test]
+    fn nonzero_filter() {
+        let v = Ctx::nonzero_f64(&[0u32, 3, 0, 5]);
+        assert_eq!(v, vec![3.0, 5.0]);
+    }
+}

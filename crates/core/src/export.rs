@@ -1,0 +1,202 @@
+//! TSV export of the figures' underlying series — for regenerating the
+//! paper's plots with external tooling (gnuplot, matplotlib, R).
+//!
+//! Each exporter returns one TSV document with a header row;
+//! [`write_all`] drops the full set into a directory.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::context::Ctx;
+use crate::evolution::panel_view;
+use crate::homophily::figure11_scatter;
+use crate::money::market_value_distribution;
+use crate::ownership::ownership_distribution;
+use crate::playtime::{non_zero_two_week, playtime_cdf};
+use crate::social::{degree_distributions, friendship_evolution};
+
+/// Figure 1: `year, users, friendships, new_edges`.
+pub fn figure1_tsv(ctx: &Ctx) -> String {
+    let mut out = String::from("year\tusers\tfriendships\tnew_edges\n");
+    for p in friendship_evolution(ctx) {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}",
+            p.year, p.cumulative_users, p.cumulative_friendships, p.new_friendships
+        );
+    }
+    out
+}
+
+/// Figure 2: `series, degree, users` (long format).
+pub fn figure2_tsv(ctx: &Ctx) -> String {
+    let mut out = String::from("series\tdegree\tusers\n");
+    for s in degree_distributions(ctx) {
+        for (degree, users) in &s.points {
+            let _ = writeln!(out, "{}\t{}\t{}", s.label, degree, users);
+        }
+    }
+    out
+}
+
+/// Figure 4: `kind, games, users` for owned and played curves.
+pub fn figure4_tsv(ctx: &Ctx) -> String {
+    let d = ownership_distribution(ctx);
+    let mut out = String::from("kind\tgames\tusers\n");
+    for (games, users) in &d.owned_freq {
+        let _ = writeln!(out, "owned\t{games}\t{users}");
+    }
+    for (games, users) in &d.played_freq {
+        let _ = writeln!(out, "played\t{games}\t{users}");
+    }
+    out
+}
+
+/// Figure 6: `kind, hours, cdf`.
+pub fn figure6_tsv(ctx: &Ctx) -> String {
+    let f = playtime_cdf(ctx);
+    let mut out = String::from("kind\thours\tcdf\n");
+    for (hours, cdf) in &f.total_cdf {
+        let _ = writeln!(out, "total\t{hours}\t{cdf}");
+    }
+    for (hours, cdf) in &f.two_week_cdf {
+        let _ = writeln!(out, "two_week\t{hours}\t{cdf}");
+    }
+    out
+}
+
+/// Figure 7: the sorted non-zero two-week playtimes, `rank, hours`.
+pub fn figure7_tsv(ctx: &Ctx) -> String {
+    let f = non_zero_two_week(ctx);
+    let mut out = String::from("rank\thours\n");
+    for (rank, hours) in f.hours.iter().enumerate() {
+        let _ = writeln!(out, "{rank}\t{hours}");
+    }
+    out
+}
+
+/// Figure 8: sorted account values, `rank, dollars`.
+pub fn figure8_tsv(ctx: &Ctx) -> String {
+    let d = market_value_distribution(ctx);
+    let mut out = String::from("rank\tdollars\n");
+    for (rank, dollars) in d.dollars.iter().enumerate() {
+        let _ = writeln!(out, "{rank}\t{dollars}");
+    }
+    out
+}
+
+/// Figure 11: `own_value, friends_mean_value` pairs.
+pub fn figure11_tsv(ctx: &Ctx) -> String {
+    let (own, friends) = figure11_scatter(ctx);
+    let mut out = String::from("own_value\tfriends_mean_value\n");
+    for (o, f) in own.iter().zip(&friends) {
+        let _ = writeln!(out, "{o}\t{f}");
+    }
+    out
+}
+
+/// Figure 12: `user_rank, day1..day7` minutes, ordered by day-one playtime.
+pub fn figure12_tsv(panel: &steam_model::WeekPanel) -> String {
+    let view = panel_view(panel);
+    let mut out = String::from("rank\tday1\tday2\tday3\tday4\tday5\tday6\tday7\n");
+    for (rank, days) in view.rows.iter().enumerate() {
+        let _ = write!(out, "{rank}");
+        for d in days {
+            let _ = write!(out, "\t{d}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes every figure TSV into `dir` (created if missing). Returns the
+/// paths written.
+pub fn write_all(
+    ctx: &Ctx,
+    panel: Option<&steam_model::WeekPanel>,
+    dir: &Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let docs: Vec<(&str, String)> = vec![
+        ("figure1.tsv", figure1_tsv(ctx)),
+        ("figure2.tsv", figure2_tsv(ctx)),
+        ("figure4.tsv", figure4_tsv(ctx)),
+        ("figure6.tsv", figure6_tsv(ctx)),
+        ("figure7.tsv", figure7_tsv(ctx)),
+        ("figure8.tsv", figure8_tsv(ctx)),
+        ("figure11.tsv", figure11_tsv(ctx)),
+    ];
+    for (name, body) in docs {
+        let path = dir.join(name);
+        std::fs::write(&path, body)?;
+        written.push(path);
+    }
+    if let Some(panel) = panel {
+        let path = dir.join("figure12.tsv");
+        std::fs::write(&path, figure12_tsv(panel))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testworld;
+
+    fn ctx() -> Ctx<'static> {
+        Ctx::new(&testworld::world().snapshot)
+    }
+
+    fn assert_tsv_shape(doc: &str, cols: usize) {
+        let mut lines = doc.lines();
+        let header = lines.next().expect("header row");
+        assert_eq!(header.split('\t').count(), cols, "header: {header}");
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split('\t').count(), cols, "row: {line}");
+            rows += 1;
+        }
+        assert!(rows > 0, "no data rows");
+    }
+
+    #[test]
+    fn all_documents_are_rectangular() {
+        let ctx = ctx();
+        assert_tsv_shape(&figure1_tsv(&ctx), 4);
+        assert_tsv_shape(&figure2_tsv(&ctx), 3);
+        assert_tsv_shape(&figure4_tsv(&ctx), 3);
+        assert_tsv_shape(&figure6_tsv(&ctx), 3);
+        assert_tsv_shape(&figure7_tsv(&ctx), 2);
+        assert_tsv_shape(&figure8_tsv(&ctx), 2);
+        assert_tsv_shape(&figure11_tsv(&ctx), 2);
+        assert_tsv_shape(&figure12_tsv(&testworld::world().panel), 8);
+    }
+
+    #[test]
+    fn write_all_creates_files() {
+        let ctx = ctx();
+        let dir = std::env::temp_dir().join("condensing-steam-export-test");
+        let written = write_all(&ctx, Some(&testworld::world().panel), &dir).unwrap();
+        assert_eq!(written.len(), 8);
+        for path in &written {
+            let meta = std::fs::metadata(path).unwrap();
+            assert!(meta.len() > 20, "{path:?} is empty");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn figure1_parses_back() {
+        let ctx = ctx();
+        let doc = figure1_tsv(&ctx);
+        let mut users_prev = 0u64;
+        for line in doc.lines().skip(1) {
+            let cells: Vec<&str> = line.split('\t').collect();
+            let users: u64 = cells[1].parse().unwrap();
+            assert!(users >= users_prev, "users column must be cumulative");
+            users_prev = users;
+        }
+    }
+}

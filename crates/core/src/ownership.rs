@@ -1,0 +1,142 @@
+//! §5 — game ownership: Figure 4 and the collector analysis.
+
+use steam_stats::{frequency_u32, Ecdf};
+
+use crate::context::Ctx;
+
+/// Figure 4's data: ownership distributions (owned and played) with the
+/// 80th-percentile markers the figure draws as vertical lines.
+#[derive(Clone, Debug)]
+pub struct OwnershipDistribution {
+    /// `(games owned, user count)` among users owning ≥ 1 game.
+    pub owned_freq: Vec<(u32, u64)>,
+    /// `(games played, user count)` among users who played ≥ 1 game.
+    pub played_freq: Vec<(u32, u64)>,
+    pub owned_p80: f64,
+    pub played_p80: f64,
+    /// §4.2: share of owners with fewer than 20 games (paper: 89.78%).
+    pub under_20_share: f64,
+}
+
+pub fn ownership_distribution(ctx: &Ctx) -> OwnershipDistribution {
+    let owned: Vec<u32> = ctx.owned.iter().copied().filter(|&o| o > 0).collect();
+    let played: Vec<u32> = ctx.played.iter().copied().filter(|&p| p > 0).collect();
+    let owned_ecdf = Ecdf::new(owned.iter().map(|&o| f64::from(o)).collect());
+    let played_ecdf = Ecdf::new(played.iter().map(|&p| f64::from(p)).collect());
+    let under20 = owned.iter().filter(|&&o| o < 20).count() as f64 / owned.len().max(1) as f64;
+    OwnershipDistribution {
+        owned_freq: frequency_u32(&owned).into_iter().collect(),
+        played_freq: frequency_u32(&played).into_iter().collect(),
+        owned_p80: owned_ecdf.percentile(80.0),
+        played_p80: played_ecdf.percentile(80.0),
+        under_20_share: under20,
+    }
+}
+
+/// The §5 collector findings.
+#[derive(Clone, Debug)]
+pub struct CollectorReport {
+    /// Users owning ≥ `large_threshold` games with zero played (the paper
+    /// found 29 users with ≥500 games, none played).
+    pub large_unplayed_libraries: usize,
+    pub large_threshold: u32,
+    /// The largest library and how much of it was ever played.
+    pub max_library: u32,
+    pub max_library_played_share: f64,
+    /// Share of the catalog's games the largest library covers (the paper's
+    /// top collector owned 90.3% of available games).
+    pub max_library_catalog_share: f64,
+    /// Users in the 1,268–1,290 ownership band (the Figure 4 uptick).
+    pub uptick_band_users: u64,
+    /// Users in equally wide bands on either side, for contrast.
+    pub band_below_users: u64,
+    pub band_above_users: u64,
+}
+
+pub fn collector_report(ctx: &Ctx) -> CollectorReport {
+    let large_threshold = 500u32;
+    let mut large_unplayed = 0usize;
+    let mut max_library = 0u32;
+    let mut max_played = 0u32;
+    for u in 0..ctx.n_users() {
+        let owned = ctx.owned[u];
+        if owned >= large_threshold && ctx.played[u] == 0 {
+            large_unplayed += 1;
+        }
+        if owned > max_library {
+            max_library = owned;
+            max_played = ctx.played[u];
+        }
+    }
+    let n_games = ctx
+        .snapshot
+        .catalog
+        .iter()
+        .filter(|g| g.app_type == steam_model::AppType::Game)
+        .count()
+        .max(1);
+
+    let band = |lo: u32, hi: u32| {
+        ctx.owned.iter().filter(|&&o| o >= lo && o <= hi).count() as u64
+    };
+    CollectorReport {
+        large_unplayed_libraries: large_unplayed,
+        large_threshold,
+        max_library,
+        max_library_played_share: if max_library > 0 {
+            f64::from(max_played) / f64::from(max_library)
+        } else {
+            0.0
+        },
+        max_library_catalog_share: f64::from(max_library) / n_games as f64,
+        uptick_band_users: band(1_268, 1_290),
+        band_below_users: band(1_245, 1_267),
+        band_above_users: band(1_291, 1_313),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testworld;
+
+    fn ctx() -> Ctx<'static> {
+        Ctx::new(&testworld::world().snapshot)
+    }
+
+    #[test]
+    fn figure4_p80_markers() {
+        let ctx = ctx();
+        let d = ownership_distribution(&ctx);
+        // Paper: 10 owned / 7 played at the 80th percentile.
+        assert!((6.0..16.0).contains(&d.owned_p80), "owned p80 = {}", d.owned_p80);
+        assert!((3.0..12.0).contains(&d.played_p80), "played p80 = {}", d.played_p80);
+        assert!(d.played_p80 < d.owned_p80, "played curve sits left of owned");
+        // Paper: 89.78% of owners below 20 games.
+        assert!((0.78..0.97).contains(&d.under_20_share), "{}", d.under_20_share);
+        // Frequencies non-empty and keyed by positive counts.
+        assert!(d.owned_freq.iter().all(|&(o, c)| o > 0 && c > 0));
+    }
+
+    #[test]
+    fn collector_signatures_present() {
+        let ctx = ctx();
+        let c = collector_report(&ctx);
+        // The 30k world contains at least one collector (seeded).
+        assert!(c.max_library >= 500, "max library = {}", c.max_library);
+        assert!(
+            c.max_library_played_share < 0.5,
+            "top collector plays little: {}",
+            c.max_library_played_share
+        );
+        assert!(c.max_library_catalog_share <= 1.0);
+    }
+
+    #[test]
+    fn consistency_with_context() {
+        let ctx = ctx();
+        let d = ownership_distribution(&ctx);
+        let owners: u64 = d.owned_freq.iter().map(|&(_, c)| c).sum();
+        assert_eq!(owners, ctx.owned.iter().filter(|&&o| o > 0).count() as u64);
+    }
+}

@@ -1,0 +1,140 @@
+//! §2.2 — the census-vs-crawl methodology experiment.
+//!
+//! The paper's core methodological claim: prior Steam studies (Becker et
+//! al., Blackburn et al.) crawled outward through friend lists, which (a)
+//! can only see the connected component of their seeds and (b) over-samples
+//! well-connected users ("users with fewer friends are less likely to be
+//! crawled"). The census enumeration avoids both. This module measures the
+//! bias directly on the generated network, plus the small-world metrics the
+//! prior work reported.
+
+use steam_graph::sampling::{bfs_crawl, census_sample, sample_degree_stats};
+use steam_graph::smallworld::{small_world, SmallWorld};
+use steam_stats::Ecdf;
+
+use crate::context::Ctx;
+
+/// Outcome of the census-vs-crawl comparison.
+#[derive(Clone, Debug)]
+pub struct SamplingBias {
+    /// Budget used for both samples (number of users).
+    pub budget: usize,
+    /// Mean friend count in the census sample (ground truth).
+    pub census_mean_degree: f64,
+    /// Mean friend count in the BFS crawl.
+    pub crawl_mean_degree: f64,
+    /// Share of users with zero friends in each sample. A friend-list crawl
+    /// structurally cannot contain isolated users.
+    pub census_isolated_share: f64,
+    pub crawl_isolated_share: f64,
+    /// Median degree in each sample.
+    pub census_median_degree: f64,
+    pub crawl_median_degree: f64,
+    /// Fraction of the population the crawl could ever reach (the seeds'
+    /// component).
+    pub crawl_reachable_fraction: f64,
+}
+
+/// Runs the comparison: a systematic census sample vs a BFS crawl seeded at
+/// the highest-degree user (crawlers start from prominent accounts), both
+/// with the same user budget.
+pub fn sampling_bias(ctx: &Ctx, budget: usize) -> SamplingBias {
+    let g = &ctx.graph;
+    let n = ctx.n_users();
+    let budget = budget.min(n).max(1);
+
+    // Census: every (n/budget)-th account across the whole ID space.
+    let stride = (n / budget).max(1);
+    let census: Vec<u32> = census_sample(g, stride);
+
+    // Crawl: start from the most-connected account, like a seed list of
+    // prominent community members.
+    let seed = (0..n as u32).max_by_key(|&u| g.degree(u)).unwrap_or(0);
+    let crawl = bfs_crawl(g, &[seed], budget);
+    let reachable = bfs_crawl(g, &[seed], n).len();
+
+    let (census_mean, census_isolated) = sample_degree_stats(g, &census);
+    let (crawl_mean, crawl_isolated) = sample_degree_stats(g, &crawl);
+    let median = |sample: &[u32]| {
+        if sample.is_empty() {
+            return 0.0;
+        }
+        Ecdf::new(sample.iter().map(|&u| f64::from(g.degree(u))).collect()).percentile(50.0)
+    };
+
+    SamplingBias {
+        budget,
+        census_mean_degree: census_mean,
+        crawl_mean_degree: crawl_mean,
+        census_isolated_share: census_isolated,
+        crawl_isolated_share: crawl_isolated,
+        census_median_degree: median(&census),
+        crawl_median_degree: median(&crawl),
+        crawl_reachable_fraction: reachable as f64 / n as f64,
+    }
+}
+
+/// Small-world metrics of the friendship graph (what Becker et al. reported
+/// for their crawled component).
+pub fn network_structure(ctx: &Ctx, sources: usize) -> Option<SmallWorld> {
+    small_world(&ctx.graph, sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testworld;
+
+    fn ctx() -> Ctx<'static> {
+        Ctx::new(&testworld::world().snapshot)
+    }
+
+    #[test]
+    fn crawl_overstates_connectivity() {
+        let ctx = ctx();
+        let b = sampling_bias(&ctx, 3_000);
+        // The §2.2 claim, quantified: the crawl's mean degree exceeds the
+        // census's, and the crawl contains no isolated users at all.
+        assert!(
+            b.crawl_mean_degree > b.census_mean_degree * 1.2,
+            "crawl {:.2} vs census {:.2}",
+            b.crawl_mean_degree,
+            b.census_mean_degree
+        );
+        assert_eq!(b.crawl_isolated_share, 0.0);
+        assert!(b.census_isolated_share > 0.3, "{}", b.census_isolated_share);
+        assert!(b.crawl_median_degree >= b.census_median_degree);
+    }
+
+    #[test]
+    fn crawl_cannot_reach_everyone() {
+        let ctx = ctx();
+        let b = sampling_bias(&ctx, 3_000);
+        // Isolated users alone bound reachability well below 1.
+        assert!(
+            b.crawl_reachable_fraction < 0.75,
+            "reachable = {}",
+            b.crawl_reachable_fraction
+        );
+        assert!(b.crawl_reachable_fraction > 0.05);
+    }
+
+    #[test]
+    fn small_world_metrics_plausible() {
+        let ctx = ctx();
+        let sw = network_structure(&ctx, 12).expect("graph has edges");
+        // Sparse homophilous graph: short paths inside the giant component,
+        // clustering far above the Erdős–Rényi baseline (mean degree / n).
+        assert!(sw.mean_path > 1.0 && sw.mean_path < 25.0, "{sw:?}");
+        let er_baseline = ctx.graph.mean_degree() / ctx.n_users() as f64;
+        assert!(sw.clustering > er_baseline * 10.0, "{sw:?} vs ER {er_baseline}");
+        assert!(sw.giant_fraction > 0.1 && sw.giant_fraction < 1.0, "{sw:?}");
+    }
+
+    #[test]
+    fn budget_respected() {
+        let ctx = ctx();
+        let b = sampling_bias(&ctx, 500);
+        assert_eq!(b.budget, 500);
+    }
+}

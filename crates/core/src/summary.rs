@@ -1,0 +1,185 @@
+//! §10 / Table 3 — the percentile ladder, and §6's aggregates.
+
+use steam_stats::Ecdf;
+
+use crate::context::Ctx;
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct PercentileRow {
+    pub attribute: String,
+    /// 50th / 80th / 90th / 95th / 99th percentiles.
+    pub values: [f64; 5],
+    /// Unit used when rendering ("", "$", "hrs").
+    pub unit: &'static str,
+}
+
+/// Table 3. Per DESIGN.md, rows are computed among holders of the attribute
+/// (non-zero values) except two-week playtime, whose zeros are the point —
+/// it is computed over game owners.
+#[derive(Clone, Debug)]
+pub struct PercentileTable {
+    pub rows: Vec<PercentileRow>,
+}
+
+impl std::fmt::Display for PercentileTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "Attribute", "50th", "80th", "90th", "95th", "99th"
+        )?;
+        for row in &self.rows {
+            write!(f, "{:<24}", row.attribute)?;
+            for v in row.values {
+                let rendered = match row.unit {
+                    "$" => format!("${v:.2}"),
+                    "hrs" => format!("{v:.1} hrs"),
+                    _ => format!("{v:.0}"),
+                };
+                write!(f, " {rendered:>10}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+const PCTS: [f64; 5] = [50.0, 80.0, 90.0, 95.0, 99.0];
+
+fn row(attribute: &str, unit: &'static str, data: Vec<f64>) -> PercentileRow {
+    let e = Ecdf::new(data);
+    PercentileRow { attribute: attribute.into(), values: PCTS.map(|p| e.percentile(p)), unit }
+}
+
+/// Computes Table 3 from a context.
+pub fn percentile_table_ctx(ctx: &Ctx) -> PercentileTable {
+    let owners: Vec<usize> = (0..ctx.n_users()).filter(|&u| ctx.owned[u] > 0).collect();
+    PercentileTable {
+        rows: vec![
+            row("Friends", "", Ctx::nonzero_f64(&ctx.degrees)),
+            row("Owned games", "", Ctx::nonzero_f64(&ctx.owned)),
+            row("Group membership", "", Ctx::nonzero_f64(&ctx.group_count)),
+            row(
+                "Account market value",
+                "$",
+                ctx.value_cents
+                    .iter()
+                    .map(|&c| c as f64 / 100.0)
+                    .filter(|&v| v > 0.0)
+                    .collect(),
+            ),
+            row(
+                "Total playtime",
+                "hrs",
+                ctx.total_minutes
+                    .iter()
+                    .map(|&m| m as f64 / 60.0)
+                    .filter(|&v| v > 0.0)
+                    .collect(),
+            ),
+            row(
+                "Two-week playtime",
+                "hrs",
+                owners.iter().map(|&u| ctx.two_week_minutes[u] as f64 / 60.0).collect(),
+            ),
+        ],
+    }
+}
+
+/// Convenience entry point from a snapshot.
+pub fn percentile_table(snapshot: &steam_model::Snapshot) -> PercentileTable {
+    percentile_table_ctx(&Ctx::new(snapshot))
+}
+
+/// §6's headline aggregates.
+#[derive(Clone, Copy, Debug)]
+pub struct Aggregates {
+    pub users: u64,
+    pub friendships: u64,
+    pub owned_games: u64,
+    pub group_memberships: u64,
+    pub total_playtime_years: f64,
+    pub total_market_value_dollars: f64,
+}
+
+pub fn aggregates(ctx: &Ctx) -> Aggregates {
+    let minutes: u64 = ctx.total_minutes.iter().sum();
+    let cents: u64 = ctx.value_cents.iter().sum();
+    Aggregates {
+        users: ctx.n_users() as u64,
+        friendships: ctx.snapshot.n_friendships() as u64,
+        owned_games: ctx.snapshot.n_owned_games() as u64,
+        group_memberships: ctx.snapshot.n_memberships() as u64,
+        total_playtime_years: minutes as f64 / 60.0 / 24.0 / 365.25,
+        total_market_value_dollars: cents as f64 / 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testworld;
+
+    fn table() -> PercentileTable {
+        percentile_table(&testworld::world().snapshot)
+    }
+
+    #[test]
+    fn table3_rows_and_monotonicity() {
+        let t = table();
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            for w in row.values.windows(2) {
+                assert!(w[1] >= w[0], "{} not monotone: {:?}", row.attribute, row.values);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_values_near_paper() {
+        let t = table();
+        let by_name = |name: &str| {
+            t.rows.iter().find(|r| r.attribute == name).unwrap().values
+        };
+        // Paper: Friends 4 / 15 / 29 / 50 / 122.
+        let friends = by_name("Friends");
+        assert!((2.0..7.0).contains(&friends[0]), "{friends:?}");
+        assert!((9.0..24.0).contains(&friends[1]), "{friends:?}");
+        assert!((60.0..260.0).contains(&friends[4]), "{friends:?}");
+        // Paper: Owned games 4 / 10 / 21 / 39 / 115.
+        let owned = by_name("Owned games");
+        assert!((2.0..7.0).contains(&owned[0]), "{owned:?}");
+        assert!((6.0..16.0).contains(&owned[1]), "{owned:?}");
+        // Paper: Two-week playtime 0 / 0 / 8.7 / 25.5 / 70.8 hrs.
+        let two_week = by_name("Two-week playtime");
+        assert_eq!(two_week[0], 0.0, "{two_week:?}");
+        assert_eq!(two_week[1], 0.0, "{two_week:?}");
+        assert!(two_week[4] > 10.0, "{two_week:?}");
+        // Paper: market value $49.97 / $150.88 / ...
+        let value = by_name("Account market value");
+        assert!((15.0..110.0).contains(&value[0]), "{value:?}");
+        assert!((60.0..320.0).contains(&value[1]), "{value:?}");
+    }
+
+    #[test]
+    fn rendering_contains_all_rows() {
+        let text = table().to_string();
+        for name in ["Friends", "Owned games", "Two-week playtime"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains('$'));
+        assert!(text.contains("hrs"));
+    }
+
+    #[test]
+    fn aggregates_consistent() {
+        let world = testworld::world();
+        let ctx = Ctx::new(&world.snapshot);
+        let a = aggregates(&ctx);
+        assert_eq!(a.users, world.snapshot.n_users() as u64);
+        assert_eq!(a.friendships, world.snapshot.n_friendships() as u64);
+        assert!(a.total_playtime_years > 0.0);
+        assert!(a.total_market_value_dollars > 0.0);
+    }
+}

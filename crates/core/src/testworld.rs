@@ -1,0 +1,15 @@
+//! Shared test fixture: one medium-small world generated once per test
+//! binary (generation is deterministic, so every test sees identical data).
+
+#![cfg(test)]
+
+use std::sync::OnceLock;
+
+use steam_synth::{Generator, SynthConfig, World};
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+/// A 30k-user world shared by all tests in this crate.
+pub fn world() -> &'static World {
+    WORLD.get_or_init(|| Generator::new(SynthConfig::small(2016)).generate_world())
+}

@@ -1,0 +1,110 @@
+//! Connected components (iterative BFS — the graph is far too large for
+//! recursion) and component-size summaries.
+
+use crate::csr::Csr;
+
+/// Component labeling: `label[u]` is the component id of node `u`, ids are
+/// dense `0..n_components`, assigned in order of lowest member node.
+#[derive(Clone, Debug)]
+pub struct Components {
+    pub label: Vec<u32>,
+    pub sizes: Vec<u64>,
+}
+
+impl Components {
+    pub fn n_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> u64 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of nodes in the largest component — prior Steam crawls
+    /// (Becker et al.) could only reach this component; our census covers
+    /// everything, which is exactly the sampling-bias point §2.2 makes.
+    pub fn largest_fraction(&self) -> f64 {
+        let total: u64 = self.sizes.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.largest() as f64 / total as f64
+        }
+    }
+}
+
+/// Labels connected components by BFS.
+pub fn connected_components(g: &Csr) -> Components {
+    let n = g.n_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as u32 {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        let comp = sizes.len() as u32;
+        let mut size = 0u64;
+        label[start as usize] = comp;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = comp;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components_and_isolate() {
+        // {0,1,2} path, {3,4} edge, {5} isolate
+        let g = Csr::from_edges(6, [(0, 1), (1, 2), (3, 4)].into_iter());
+        let c = connected_components(&g);
+        assert_eq!(c.n_components(), 3);
+        assert_eq!(c.sizes, vec![3, 2, 1]);
+        assert_eq!(c.largest(), 3);
+        assert!((c.largest_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(c.label[0], c.label[2]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_ne!(c.label[3], c.label[5]);
+    }
+
+    #[test]
+    fn fully_connected() {
+        let g = Csr::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)].into_iter());
+        let c = connected_components(&g);
+        assert_eq!(c.n_components(), 1);
+        assert_eq!(c.largest_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, std::iter::empty());
+        let c = connected_components(&g);
+        assert_eq!(c.n_components(), 0);
+        assert_eq!(c.largest(), 0);
+        assert_eq!(c.largest_fraction(), 0.0);
+    }
+
+    #[test]
+    fn long_path_does_not_overflow_stack() {
+        // 200k-node path: recursion would blow the stack; BFS must not.
+        let n = 200_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = Csr::from_edges(n as usize, edges.into_iter());
+        let c = connected_components(&g);
+        assert_eq!(c.n_components(), 1);
+        assert_eq!(c.largest(), u64::from(n));
+    }
+}

@@ -1,0 +1,150 @@
+//! Compressed sparse row adjacency for the friendship graph.
+//!
+//! The paper's graph has 108.7 M nodes and 196.4 M undirected edges; CSR
+//! keeps neighbor iteration cache-friendly with two flat arrays.
+
+/// An undirected graph in CSR form. Each undirected edge appears in both
+/// endpoints' neighbor lists.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    neighbors: Vec<u32>,
+    n_edges: usize,
+}
+
+impl Csr {
+    /// Builds from an undirected edge list over nodes `0..n_nodes`.
+    /// Edges may be in any order; endpoints must be `< n_nodes`.
+    pub fn from_edges(n_nodes: usize, edges: impl Iterator<Item = (u32, u32)> + Clone) -> Self {
+        let mut deg = vec![0u64; n_nodes];
+        let mut n_edges = 0usize;
+        for (a, b) in edges.clone() {
+            assert!((a as usize) < n_nodes && (b as usize) < n_nodes, "edge out of range");
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+            n_edges += 1;
+        }
+        let mut offsets = Vec::with_capacity(n_nodes + 1);
+        offsets.push(0u64);
+        let mut acc = 0u64;
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..n_nodes].to_vec();
+        let mut neighbors = vec![0u32; acc as usize];
+        for (a, b) in edges {
+            neighbors[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort each adjacency list for deterministic iteration + binary search.
+        for u in 0..n_nodes {
+            let (s, e) = (offsets[u] as usize, offsets[u + 1] as usize);
+            neighbors[s..e].sort_unstable();
+        }
+        Csr { offsets, neighbors, n_edges }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (each counted once).
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Neighbors of `u`, sorted ascending.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let s = self.offsets[u as usize] as usize;
+        let e = self.offsets[u as usize + 1] as usize;
+        &self.neighbors[s..e]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: u32) -> u32 {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as u32
+    }
+
+    /// All degrees.
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.n_nodes() as u32).map(|u| self.degree(u)).collect()
+    }
+
+    /// Whether `a` and `b` are adjacent (binary search).
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Mean degree (2·E / N); zero for an empty graph.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * self.n_edges as f64 / self.n_nodes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Csr {
+        // 0 - 1 - 2 - 3
+        Csr::from_edges(4, [(0, 1), (1, 2), (2, 3)].into_iter())
+    }
+
+    #[test]
+    fn basic_structure() {
+        let g = path_graph();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degrees(), vec![1, 2, 2, 1]);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = path_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = Csr::from_edges(5, [(0, 1)].into_iter());
+        assert_eq!(g.degree(4), 0);
+        assert!(g.neighbors(4).is_empty());
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, std::iter::empty());
+        assert_eq!(g.n_nodes(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn edge_order_does_not_matter() {
+        let a = Csr::from_edges(4, [(0, 1), (1, 2), (2, 3)].into_iter());
+        let b = Csr::from_edges(4, [(2, 3), (0, 1), (1, 2)].into_iter());
+        for u in 0..4 {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Csr::from_edges(2, [(0, 5)].into_iter());
+    }
+}

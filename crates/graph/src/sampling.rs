@@ -1,0 +1,115 @@
+//! Crawler-sampling models — the §2.2 methodological point.
+//!
+//! Becker et al. and Blackburn et al. sampled Steam by *crawling outward
+//! from seeds through friend lists*, which can only reach the connected
+//! component of the seeds and reaches high-degree users earlier; the paper's
+//! census avoids that bias. These functions simulate both collection modes
+//! so the bias is measurable (see `steam-analysis::sampling_bias`).
+
+use crate::csr::Csr;
+
+/// BFS crawl from `seeds`, stopping once `budget` users are collected —
+/// the prior studies' collection model. Returns collected node ids in
+/// discovery order.
+pub fn bfs_crawl(g: &Csr, seeds: &[u32], budget: usize) -> Vec<u32> {
+    let mut seen = vec![false; g.n_nodes()];
+    let mut out = Vec::with_capacity(budget.min(g.n_nodes()));
+    let mut queue = std::collections::VecDeque::new();
+    for &s in seeds {
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        if out.len() >= budget {
+            break;
+        }
+        out.push(u);
+        for &v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Census "crawl": every `stride`-th node of the ID space (an unbiased
+/// systematic sample standing in for the paper's full enumeration).
+pub fn census_sample(g: &Csr, stride: usize) -> Vec<u32> {
+    (0..g.n_nodes() as u32).step_by(stride.max(1)).collect()
+}
+
+/// Degree statistics of a node sample: `(mean degree, isolated share)`.
+pub fn sample_degree_stats(g: &Csr, sample: &[u32]) -> (f64, f64) {
+    if sample.is_empty() {
+        return (0.0, 0.0);
+    }
+    let total: u64 = sample.iter().map(|&u| u64::from(g.degree(u))).sum();
+    let isolated = sample.iter().filter(|&&u| g.degree(u) == 0).count();
+    (
+        total as f64 / sample.len() as f64,
+        isolated as f64 / sample.len() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star + isolated satellites: the BFS crawl reaches the star only.
+    fn biased_world() -> Csr {
+        let mut edges: Vec<(u32, u32)> = (1..6u32).map(|i| (0, i)).collect();
+        edges.push((1, 2));
+        // nodes 6..10 isolated
+        Csr::from_edges(10, edges.into_iter())
+    }
+
+    #[test]
+    fn bfs_crawl_respects_budget_and_connectivity() {
+        let g = biased_world();
+        let crawl = bfs_crawl(&g, &[0], 100);
+        assert_eq!(crawl.len(), 6, "only the connected component is reachable");
+        assert_eq!(crawl[0], 0);
+        let crawl3 = bfs_crawl(&g, &[0], 3);
+        assert_eq!(crawl3.len(), 3);
+    }
+
+    #[test]
+    fn bfs_crawl_never_reaches_isolates() {
+        let g = biased_world();
+        let crawl = bfs_crawl(&g, &[0], 100);
+        assert!(crawl.iter().all(|&u| u < 6));
+    }
+
+    #[test]
+    fn census_covers_isolates() {
+        let g = biased_world();
+        let census = census_sample(&g, 1);
+        assert_eq!(census.len(), 10);
+        let (census_mean, census_isolated) = sample_degree_stats(&g, &census);
+        let (crawl_mean, crawl_isolated) = sample_degree_stats(&g, &bfs_crawl(&g, &[0], 100));
+        // The crawl overstates connectivity: higher mean degree, zero
+        // isolated share — exactly the §2.2 bias.
+        assert!(crawl_mean > census_mean);
+        assert_eq!(crawl_isolated, 0.0);
+        assert!(census_isolated > 0.3);
+    }
+
+    #[test]
+    fn multiple_seeds_dedupe() {
+        let g = biased_world();
+        let crawl = bfs_crawl(&g, &[0, 0, 1], 100);
+        let set: std::collections::HashSet<u32> = crawl.iter().copied().collect();
+        assert_eq!(set.len(), crawl.len());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let g = biased_world();
+        assert!(bfs_crawl(&g, &[], 10).is_empty());
+        assert_eq!(sample_degree_stats(&g, &[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Small-world characteristics (§2.2: Becker et al. found the Steam
+//! friendship graph exhibits small-world structure — high clustering with
+//! short paths).
+//!
+//! Exact all-pairs paths are infeasible at network scale, so both metrics
+//! are estimated by deterministic sampling: clustering over a node sample,
+//! path lengths over a source sample of BFS runs.
+
+use crate::components::connected_components;
+use crate::csr::Csr;
+
+/// Local clustering coefficient of one node: the fraction of its neighbor
+/// pairs that are themselves connected. `None` for degree < 2.
+pub fn local_clustering(g: &Csr, u: u32) -> Option<f64> {
+    let ns = g.neighbors(u);
+    let k = ns.len();
+    if k < 2 {
+        return None;
+    }
+    let mut closed = 0u64;
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    Some(closed as f64 / (k * (k - 1) / 2) as f64)
+}
+
+/// Mean local clustering over up to `sample` evenly spaced nodes with
+/// degree ≥ 2. Deterministic (stride sampling).
+pub fn mean_clustering(g: &Csr, sample: usize) -> Option<f64> {
+    let candidates: Vec<u32> =
+        (0..g.n_nodes() as u32).filter(|&u| g.degree(u) >= 2).collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let stride = (candidates.len() / sample.max(1)).max(1);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for &u in candidates.iter().step_by(stride) {
+        if let Some(c) = local_clustering(g, u) {
+            total += c;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| total / n as f64)
+}
+
+/// BFS distances from `src`; unreachable nodes stay `u32::MAX`.
+fn bfs_distances(g: &Csr, src: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n_nodes()];
+    dist[src as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = d + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Small-world summary over the giant component.
+#[derive(Clone, Copy, Debug)]
+pub struct SmallWorld {
+    /// Mean local clustering coefficient (sampled).
+    pub clustering: f64,
+    /// Mean shortest-path length within the giant component (sampled).
+    pub mean_path: f64,
+    /// Diameter lower bound (max distance seen in the sample).
+    pub diameter_lb: u32,
+    /// Fraction of nodes in the giant component.
+    pub giant_fraction: f64,
+}
+
+/// Estimates small-world metrics from `sources` BFS runs and a clustering
+/// sample of the same size.
+pub fn small_world(g: &Csr, sources: usize) -> Option<SmallWorld> {
+    if g.n_nodes() == 0 || g.n_edges() == 0 {
+        return None;
+    }
+    let comps = connected_components(g);
+    let giant = comps
+        .sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i as u32)?;
+    let members: Vec<u32> = (0..g.n_nodes() as u32)
+        .filter(|&u| comps.label[u as usize] == giant)
+        .collect();
+    if members.len() < 2 {
+        return None;
+    }
+    let stride = (members.len() / sources.max(1)).max(1);
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    let mut diameter = 0u32;
+    for &src in members.iter().step_by(stride) {
+        let dist = bfs_distances(g, src);
+        for &u in &members {
+            let d = dist[u as usize];
+            if d != u32::MAX && d > 0 {
+                total += u64::from(d);
+                pairs += 1;
+                diameter = diameter.max(d);
+            }
+        }
+    }
+    Some(SmallWorld {
+        clustering: mean_clustering(g, sources).unwrap_or(0.0),
+        mean_path: total as f64 / pairs.max(1) as f64,
+        diameter_lb: diameter,
+        giant_fraction: comps.largest_fraction(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = Csr::from_edges(3, [(0, 1), (1, 2), (0, 2)].into_iter());
+        assert_eq!(local_clustering(&g, 0), Some(1.0));
+        assert_eq!(mean_clustering(&g, 10), Some(1.0));
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = Csr::from_edges(4, [(0, 1), (0, 2), (0, 3)].into_iter());
+        assert_eq!(local_clustering(&g, 0), Some(0.0));
+        // Leaves have degree 1 → None.
+        assert_eq!(local_clustering(&g, 1), None);
+    }
+
+    #[test]
+    fn path_lengths_on_a_path() {
+        // 0-1-2-3: mean distance from 0 is (1+2+3)/3 = 2.
+        let g = Csr::from_edges(4, [(0, 1), (1, 2), (2, 3)].into_iter());
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        let sw = small_world(&g, 4).unwrap();
+        assert_eq!(sw.diameter_lb, 3);
+        assert_eq!(sw.giant_fraction, 1.0);
+        assert!(sw.mean_path > 1.0 && sw.mean_path < 3.0);
+    }
+
+    #[test]
+    fn giant_component_only() {
+        // Big triangle + far-away edge; BFS must stay in the giant side.
+        let g = Csr::from_edges(6, [(0, 1), (1, 2), (0, 2), (0, 3), (4, 5)].into_iter());
+        let sw = small_world(&g, 6).unwrap();
+        assert!((sw.giant_fraction - 4.0 / 6.0).abs() < 1e-12);
+        assert!(sw.mean_path < 3.0);
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = Csr::from_edges(0, std::iter::empty());
+        assert!(small_world(&empty, 4).is_none());
+        let edgeless = Csr::from_edges(5, std::iter::empty());
+        assert!(small_world(&edgeless, 4).is_none());
+        assert!(mean_clustering(&edgeless, 4).is_none());
+    }
+
+    #[test]
+    fn clique_is_maximally_small_world() {
+        let mut edges = Vec::new();
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                edges.push((i, j));
+            }
+        }
+        let g = Csr::from_edges(8, edges.into_iter());
+        let sw = small_world(&g, 8).unwrap();
+        assert_eq!(sw.clustering, 1.0);
+        assert_eq!(sw.diameter_lb, 1);
+        assert!((sw.mean_path - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! User accounts.
+
+use crate::country::CountryCode;
+use crate::id::SteamId;
+use crate::time::SimTime;
+
+/// Profile visibility. The paper could only harvest public data; private
+/// profiles still count as *valid accounts* in the ID-space census but
+/// contribute no behavioral records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Visibility {
+    Public,
+    Private,
+}
+
+impl Visibility {
+    pub fn tag(self) -> u8 {
+        match self {
+            Visibility::Public => 0,
+            Visibility::Private => 1,
+        }
+    }
+
+    pub fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(Visibility::Public),
+            1 => Some(Visibility::Private),
+            _ => None,
+        }
+    }
+}
+
+/// A Steam user account as visible through `GetPlayerSummaries`.
+#[derive(Clone, Debug)]
+pub struct Account {
+    pub id: SteamId,
+    /// Account creation time (drives the ID-space ordering and Figure 1).
+    pub created_at: SimTime,
+    pub visibility: Visibility,
+    /// Self-reported country (10.7% of users in the paper).
+    pub country: Option<CountryCode>,
+    /// Self-reported city, as an opaque city index within the country
+    /// (4.0% of users in the paper).
+    pub city: Option<u16>,
+    /// Steam level (trading-card meta-game). Each level grants +5 friend
+    /// slots beyond the cap.
+    pub level: u16,
+    /// Whether the account linked Facebook (raises the friend cap 250→300).
+    pub facebook_linked: bool,
+}
+
+impl Account {
+    /// Maximum number of friends this account may have under Steam policy
+    /// (§4.1: 250 default, 300 with Facebook, +5 per level).
+    pub fn friend_cap(&self) -> u32 {
+        let base: u32 = if self.facebook_linked { 300 } else { 250 };
+        base + 5 * u32::from(self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn account() -> Account {
+        Account {
+            id: SteamId::from_index(7),
+            created_at: SimTime::from_ymd(2010, 5, 1),
+            visibility: Visibility::Public,
+            country: Some(CountryCode::Sweden),
+            city: Some(3),
+            level: 0,
+            facebook_linked: false,
+        }
+    }
+
+    #[test]
+    fn default_cap_is_250() {
+        assert_eq!(account().friend_cap(), 250);
+    }
+
+    #[test]
+    fn facebook_raises_cap_to_300() {
+        let mut a = account();
+        a.facebook_linked = true;
+        assert_eq!(a.friend_cap(), 300);
+    }
+
+    #[test]
+    fn levels_add_five_slots_each() {
+        let mut a = account();
+        a.level = 10;
+        assert_eq!(a.friend_cap(), 300);
+        a.facebook_linked = true;
+        assert_eq!(a.friend_cap(), 350);
+    }
+
+    #[test]
+    fn visibility_tags_round_trip() {
+        for v in [Visibility::Public, Visibility::Private] {
+            assert_eq!(Visibility::from_tag(v.tag()), Some(v));
+        }
+        assert_eq!(Visibility::from_tag(9), None);
+    }
+}

@@ -1,0 +1,573 @@
+//! Compact binary codec for snapshots.
+//!
+//! The paper's dataset is hundreds of millions of records; persisting and
+//! reloading snapshots must not dominate experiment time. This module defines
+//! a simple length-prefixed, varint-based format (no self-description, no
+//! compression) with a magic header and version byte.
+//!
+//! Layout (all integers varint-encoded unless noted):
+//!
+//! ```text
+//! "CSTM" u8(version)
+//! collected_at:i64(zigzag) scanned_id_space
+//! n_accounts  { id_index, created_at, vis, country(+1 or 0), city(+1 or 0),
+//!               level, facebook }
+//! n_edges     { a_delta-encoded?, no — a, b, created_at }   (a,b varint)
+//! n_catalog   { app_id, name, type, genre_bits, price, mp, release,
+//!               metacritic(+1 or 0), n_ach { name, pct(f32 le) } }
+//! per-account library { n { app_id, forever, 2weeks } }
+//! n_groups    { id, kind, name }
+//! per-account memberships { n { group_index } }
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::account::{Account, Visibility};
+use crate::country::CountryCode;
+use crate::error::ModelError;
+use crate::game::{Achievement, AppId, AppType, Game, GenreSet};
+use crate::group::{Group, GroupId, GroupKind};
+use crate::id::SteamId;
+use crate::ownership::OwnedGame;
+use crate::snapshot::{Friendship, Snapshot, WeekPanel};
+use crate::time::SimTime;
+
+const MAGIC: &[u8; 4] = b"CSTM";
+const VERSION: u8 = 1;
+
+fn err(msg: impl Into<String>) -> ModelError {
+    ModelError::Codec(msg.into())
+}
+
+// --- varint primitives ----------------------------------------------------
+
+fn put_varu64(buf: &mut BytesMut, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+fn get_varu64(buf: &mut Bytes) -> Result<u64, ModelError> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(err("truncated varint"));
+        }
+        let b = buf.get_u8();
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(err("varint overflow"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_vari64(buf: &mut BytesMut, v: i64) {
+    put_varu64(buf, zigzag(v));
+}
+
+fn get_vari64(buf: &mut Bytes) -> Result<i64, ModelError> {
+    Ok(unzigzag(get_varu64(buf)?))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varu64(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, ModelError> {
+    let len = get_varu64(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(err("truncated string"));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| err("invalid utf-8 in string"))
+}
+
+fn get_len(buf: &mut Bytes, per_item_min: usize, what: &str) -> Result<usize, ModelError> {
+    let n = get_varu64(buf)? as usize;
+    // Reject lengths that cannot possibly fit in the remaining buffer; this
+    // bounds allocations when fed corrupt data.
+    if per_item_min > 0 && n > buf.remaining() / per_item_min {
+        return Err(err(format!("implausible {what} count {n}")));
+    }
+    Ok(n)
+}
+
+// --- entity encoders --------------------------------------------------------
+
+fn put_account(buf: &mut BytesMut, a: &Account) {
+    put_varu64(buf, a.id.index());
+    put_vari64(buf, a.created_at.unix());
+    buf.put_u8(a.visibility.tag());
+    match a.country {
+        None => put_varu64(buf, 0),
+        Some(c) => put_varu64(buf, c.dense_index() as u64 + 1),
+    }
+    match a.city {
+        None => put_varu64(buf, 0),
+        Some(c) => put_varu64(buf, u64::from(c) + 1),
+    }
+    put_varu64(buf, u64::from(a.level));
+    buf.put_u8(u8::from(a.facebook_linked));
+}
+
+fn get_account(buf: &mut Bytes) -> Result<Account, ModelError> {
+    let id = SteamId::from_index(get_varu64(buf)?);
+    let created_at = SimTime::from_unix(get_vari64(buf)?);
+    if !buf.has_remaining() {
+        return Err(err("truncated account"));
+    }
+    let visibility =
+        Visibility::from_tag(buf.get_u8()).ok_or_else(|| err("bad visibility tag"))?;
+    let country = match get_varu64(buf)? {
+        0 => None,
+        c => Some(
+            CountryCode::from_dense_index(c as usize - 1)
+                .ok_or_else(|| err("bad country index"))?,
+        ),
+    };
+    let city = match get_varu64(buf)? {
+        0 => None,
+        c => Some(
+            u16::try_from(c - 1).map_err(|_| err("city index out of range"))?,
+        ),
+    };
+    let level = u16::try_from(get_varu64(buf)?).map_err(|_| err("level out of range"))?;
+    if !buf.has_remaining() {
+        return Err(err("truncated account"));
+    }
+    let facebook_linked = buf.get_u8() != 0;
+    Ok(Account { id, created_at, visibility, country, city, level, facebook_linked })
+}
+
+fn put_game(buf: &mut BytesMut, g: &Game) {
+    put_varu64(buf, u64::from(g.app_id.0));
+    put_str(buf, &g.name);
+    buf.put_u8(g.app_type.tag());
+    put_varu64(buf, u64::from(g.genres.bits()));
+    put_varu64(buf, u64::from(g.price_cents));
+    buf.put_u8(u8::from(g.multiplayer));
+    put_vari64(buf, g.release_date.unix());
+    match g.metacritic {
+        None => buf.put_u8(0),
+        Some(m) => {
+            buf.put_u8(1);
+            buf.put_u8(m);
+        }
+    }
+    put_varu64(buf, g.achievements.len() as u64);
+    for a in &g.achievements {
+        put_str(buf, &a.name);
+        buf.put_f32_le(a.global_completion_pct);
+    }
+}
+
+fn get_game(buf: &mut Bytes) -> Result<Game, ModelError> {
+    let app_id = AppId(u32::try_from(get_varu64(buf)?).map_err(|_| err("app id overflow"))?);
+    let name = get_str(buf)?;
+    if !buf.has_remaining() {
+        return Err(err("truncated game"));
+    }
+    let app_type = AppType::from_tag(buf.get_u8()).ok_or_else(|| err("bad app type"))?;
+    let genres =
+        GenreSet::from_bits(u16::try_from(get_varu64(buf)?).map_err(|_| err("genre bits"))?);
+    let price_cents = u32::try_from(get_varu64(buf)?).map_err(|_| err("price overflow"))?;
+    if !buf.has_remaining() {
+        return Err(err("truncated game"));
+    }
+    let multiplayer = buf.get_u8() != 0;
+    let release_date = SimTime::from_unix(get_vari64(buf)?);
+    if !buf.has_remaining() {
+        return Err(err("truncated game"));
+    }
+    let metacritic = match buf.get_u8() {
+        0 => None,
+        _ => {
+            if !buf.has_remaining() {
+                return Err(err("truncated metacritic"));
+            }
+            Some(buf.get_u8())
+        }
+    };
+    let n_ach = get_len(buf, 5, "achievement")?;
+    let mut achievements = Vec::with_capacity(n_ach);
+    for _ in 0..n_ach {
+        let name = get_str(buf)?;
+        if buf.remaining() < 4 {
+            return Err(err("truncated achievement pct"));
+        }
+        achievements.push(Achievement { name, global_completion_pct: buf.get_f32_le() });
+    }
+    Ok(Game {
+        app_id,
+        name,
+        app_type,
+        genres,
+        price_cents,
+        multiplayer,
+        release_date,
+        metacritic,
+        achievements,
+    })
+}
+
+// --- snapshot ---------------------------------------------------------------
+
+/// Serializes a snapshot into a byte buffer.
+pub fn encode_snapshot(s: &Snapshot) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + s.accounts.len() * 12 + s.friendships.len() * 10 + s.n_owned_games() * 8,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    put_vari64(&mut buf, s.collected_at.unix());
+    put_varu64(&mut buf, s.scanned_id_space);
+
+    put_varu64(&mut buf, s.accounts.len() as u64);
+    for a in &s.accounts {
+        put_account(&mut buf, a);
+    }
+
+    put_varu64(&mut buf, s.friendships.len() as u64);
+    for e in &s.friendships {
+        put_varu64(&mut buf, u64::from(e.a));
+        put_varu64(&mut buf, u64::from(e.b));
+        put_vari64(&mut buf, e.created_at.unix());
+    }
+
+    put_varu64(&mut buf, s.catalog.len() as u64);
+    for g in &s.catalog {
+        put_game(&mut buf, g);
+    }
+
+    for lib in &s.ownerships {
+        put_varu64(&mut buf, lib.len() as u64);
+        for o in lib {
+            put_varu64(&mut buf, u64::from(o.app_id.0));
+            put_varu64(&mut buf, u64::from(o.playtime_forever_min));
+            put_varu64(&mut buf, u64::from(o.playtime_2weeks_min));
+        }
+    }
+
+    put_varu64(&mut buf, s.groups.len() as u64);
+    for g in &s.groups {
+        put_varu64(&mut buf, u64::from(g.id.0));
+        buf.put_u8(g.kind.tag());
+        put_str(&mut buf, &g.name);
+    }
+
+    for ms in &s.memberships {
+        put_varu64(&mut buf, ms.len() as u64);
+        for &g in ms {
+            put_varu64(&mut buf, u64::from(g));
+        }
+    }
+
+    buf.freeze()
+}
+
+/// Deserializes a snapshot; the inverse of [`encode_snapshot`].
+pub fn decode_snapshot(mut buf: Bytes) -> Result<Snapshot, ModelError> {
+    if buf.remaining() < 5 || &buf.split_to(4)[..] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(err(format!("unsupported snapshot version {version}")));
+    }
+    let collected_at = SimTime::from_unix(get_vari64(&mut buf)?);
+    let scanned_id_space = get_varu64(&mut buf)?;
+
+    let n_accounts = get_len(&mut buf, 7, "account")?;
+    let mut accounts = Vec::with_capacity(n_accounts);
+    for _ in 0..n_accounts {
+        accounts.push(get_account(&mut buf)?);
+    }
+
+    let n_edges = get_len(&mut buf, 3, "edge")?;
+    let mut friendships = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let a = u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("edge endpoint"))?;
+        let b = u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("edge endpoint"))?;
+        let created_at = SimTime::from_unix(get_vari64(&mut buf)?);
+        friendships.push(Friendship { a, b, created_at });
+    }
+
+    let n_catalog = get_len(&mut buf, 10, "catalog")?;
+    let mut catalog = Vec::with_capacity(n_catalog);
+    for _ in 0..n_catalog {
+        catalog.push(get_game(&mut buf)?);
+    }
+
+    let mut ownerships = Vec::with_capacity(n_accounts);
+    for _ in 0..n_accounts {
+        let n = get_len(&mut buf, 3, "owned game")?;
+        let mut lib = Vec::with_capacity(n);
+        for _ in 0..n {
+            let app_id =
+                AppId(u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("app id"))?);
+            let forever =
+                u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("playtime"))?;
+            let two_weeks =
+                u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("playtime"))?;
+            lib.push(OwnedGame {
+                app_id,
+                playtime_forever_min: forever,
+                playtime_2weeks_min: two_weeks,
+            });
+        }
+        ownerships.push(lib);
+    }
+
+    let n_groups = get_len(&mut buf, 3, "group")?;
+    let mut groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let id = GroupId(u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("group id"))?);
+        if !buf.has_remaining() {
+            return Err(err("truncated group"));
+        }
+        let kind = GroupKind::from_tag(buf.get_u8()).ok_or_else(|| err("bad group kind"))?;
+        let name = get_str(&mut buf)?;
+        groups.push(Group { id, kind, name });
+    }
+
+    let mut memberships = Vec::with_capacity(n_accounts);
+    for _ in 0..n_accounts {
+        let n = get_len(&mut buf, 1, "membership")?;
+        let mut ms = Vec::with_capacity(n);
+        for _ in 0..n {
+            ms.push(u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("group index"))?);
+        }
+        memberships.push(ms);
+    }
+
+    if buf.has_remaining() {
+        return Err(err(format!("{} trailing bytes", buf.remaining())));
+    }
+
+    Ok(Snapshot {
+        collected_at,
+        scanned_id_space,
+        accounts,
+        friendships,
+        ownerships,
+        groups,
+        memberships,
+        catalog,
+    })
+}
+
+/// Serializes a week panel (Figure 12 sample).
+pub fn encode_panel(p: &WeekPanel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + p.users.len() * 16);
+    buf.put_slice(b"CSWP");
+    buf.put_u8(VERSION);
+    put_varu64(&mut buf, p.users.len() as u64);
+    for (u, days) in p.users.iter().zip(&p.daily_minutes) {
+        put_varu64(&mut buf, u64::from(*u));
+        for &m in days {
+            put_varu64(&mut buf, u64::from(m));
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a week panel; the inverse of [`encode_panel`].
+pub fn decode_panel(mut buf: Bytes) -> Result<WeekPanel, ModelError> {
+    if buf.remaining() < 5 || &buf.split_to(4)[..] != b"CSWP" {
+        return Err(err("bad panel magic"));
+    }
+    if buf.get_u8() != VERSION {
+        return Err(err("unsupported panel version"));
+    }
+    let n = get_len(&mut buf, 8, "panel user")?;
+    let mut panel = WeekPanel { users: Vec::with_capacity(n), daily_minutes: Vec::with_capacity(n) };
+    for _ in 0..n {
+        panel
+            .users
+            .push(u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("panel user"))?);
+        let mut days = [0u32; 7];
+        for d in &mut days {
+            *d = u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("panel minutes"))?;
+        }
+        panel.daily_minutes.push(days);
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after panel"));
+    }
+    Ok(panel)
+}
+
+/// Writes a snapshot to a file.
+pub fn write_snapshot(path: &std::path::Path, s: &Snapshot) -> Result<(), ModelError> {
+    std::fs::write(path, encode_snapshot(s))?;
+    Ok(())
+}
+
+/// Reads a snapshot from a file.
+pub fn read_snapshot(path: &std::path::Path) -> Result<Snapshot, ModelError> {
+    let raw = std::fs::read(path)?;
+    decode_snapshot(Bytes::from(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::Genre;
+
+    fn sample_snapshot() -> Snapshot {
+        let accounts = vec![
+            Account {
+                id: SteamId::from_index(0),
+                created_at: SimTime::from_ymd(2004, 2, 2),
+                visibility: Visibility::Public,
+                country: Some(CountryCode::UnitedStates),
+                city: Some(12),
+                level: 3,
+                facebook_linked: true,
+            },
+            Account {
+                id: SteamId::from_index(5),
+                created_at: SimTime::from_ymd(2012, 7, 9),
+                visibility: Visibility::Private,
+                country: None,
+                city: None,
+                level: 0,
+                facebook_linked: false,
+            },
+        ];
+        let catalog = vec![Game {
+            app_id: AppId(440),
+            name: "Team Fortress 2".into(),
+            app_type: AppType::Game,
+            genres: GenreSet::new().with(Genre::Action).with(Genre::FreeToPlay),
+            price_cents: 0,
+            multiplayer: true,
+            release_date: SimTime::from_ymd(2007, 10, 10),
+            metacritic: Some(92),
+            achievements: vec![Achievement { name: "first_blood".into(), global_completion_pct: 43.5 }],
+        }];
+        Snapshot {
+            collected_at: SimTime::from_ymd(2013, 11, 5),
+            scanned_id_space: 10,
+            accounts,
+            friendships: vec![Friendship::new(0, 1, SimTime::from_ymd(2012, 8, 1))],
+            ownerships: vec![
+                vec![OwnedGame { app_id: AppId(440), playtime_forever_min: 6000, playtime_2weeks_min: 90 }],
+                vec![],
+            ],
+            groups: vec![Group { id: GroupId(9), kind: GroupKind::GameServer, name: "srv".into() }],
+            memberships: vec![vec![0], vec![]],
+            catalog,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let s = sample_snapshot();
+        let bytes = encode_snapshot(&s);
+        let d = decode_snapshot(bytes).unwrap();
+        assert_eq!(d.collected_at, s.collected_at);
+        assert_eq!(d.scanned_id_space, s.scanned_id_space);
+        assert_eq!(d.accounts.len(), 2);
+        assert_eq!(d.accounts[0].id, s.accounts[0].id);
+        assert_eq!(d.accounts[0].country, s.accounts[0].country);
+        assert_eq!(d.accounts[0].friend_cap(), s.accounts[0].friend_cap());
+        assert_eq!(d.friendships, s.friendships);
+        assert_eq!(d.ownerships, s.ownerships);
+        assert_eq!(d.catalog[0].name, "Team Fortress 2");
+        assert_eq!(d.catalog[0].achievements, s.catalog[0].achievements);
+        assert_eq!(d.groups[0].kind, GroupKind::GameServer);
+        assert_eq!(d.memberships, s.memberships);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(decode_snapshot(Bytes::from_static(b"NOPE\x01")).is_err());
+        assert!(decode_snapshot(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut raw = encode_snapshot(&sample_snapshot()).to_vec();
+        raw[4] = 99;
+        assert!(decode_snapshot(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let raw = encode_snapshot(&sample_snapshot());
+        // Chopping the buffer at any point must produce an error, not a panic
+        // or a silently-wrong snapshot.
+        for cut in 0..raw.len() {
+            let r = decode_snapshot(raw.slice(..cut));
+            assert!(r.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut raw = encode_snapshot(&sample_snapshot()).to_vec();
+        raw.push(0);
+        assert!(decode_snapshot(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn panel_round_trips() {
+        let p = WeekPanel {
+            users: vec![3, 9],
+            daily_minutes: vec![[0, 10, 20, 30, 40, 50, 60], [5; 7]],
+        };
+        let d = decode_panel(encode_panel(&p)).unwrap();
+        assert_eq!(d.users, p.users);
+        assert_eq!(d.daily_minutes, p.daily_minutes);
+    }
+
+    #[test]
+    fn varint_extremes_round_trip() {
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            put_varu64(&mut buf, v);
+        }
+        let mut b = buf.freeze();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            assert_eq!(get_varu64(&mut b).unwrap(), v);
+        }
+        let mut buf = BytesMut::new();
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            put_vari64(&mut buf, v);
+        }
+        let mut b = buf.freeze();
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            assert_eq!(get_vari64(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("steam-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        let s = sample_snapshot();
+        write_snapshot(&path, &s).unwrap();
+        let d = read_snapshot(&path).unwrap();
+        assert_eq!(d.n_users(), s.n_users());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,221 @@
+//! Self-reported countries of residence.
+//!
+//! Steam users may optionally report a country on their profile; in the
+//! paper's crawl 10.7% did, spanning 236 distinct countries (Table 1). We
+//! model the ten countries Table 1 names explicitly plus a catch-all `Other`
+//! bucket with the published marginal shares.
+
+use std::fmt;
+
+/// A self-reported country of residence.
+///
+/// The variants are the ten countries named in Table 1 of the paper; all
+/// remaining countries collapse into [`CountryCode::Other`], which carries a
+/// small index so that "different other countries" remain distinguishable
+/// (needed for the international-friendship analysis in §4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CountryCode {
+    UnitedStates,
+    Russia,
+    Germany,
+    Britain,
+    France,
+    Brazil,
+    Canada,
+    Poland,
+    Australia,
+    Sweden,
+    /// One of the remaining 226 countries, identified by index `0..226`.
+    Other(u8),
+}
+
+impl CountryCode {
+    /// Number of explicitly named countries.
+    pub const NAMED: usize = 10;
+    /// Number of "other" countries (Table 1: 236 total − 10 named).
+    pub const OTHER_COUNT: u8 = 226;
+
+    /// Table 1 of the paper: share of *reporting* users per named country.
+    /// The remainder (35.44%) is spread across the `Other` bucket.
+    pub const TABLE1_SHARES: [(CountryCode, f64); 10] = [
+        (CountryCode::UnitedStates, 0.2021),
+        (CountryCode::Russia, 0.1018),
+        (CountryCode::Germany, 0.0756),
+        (CountryCode::Britain, 0.0522),
+        (CountryCode::France, 0.0519),
+        (CountryCode::Brazil, 0.0395),
+        (CountryCode::Canada, 0.0381),
+        (CountryCode::Poland, 0.0320),
+        (CountryCode::Australia, 0.0290),
+        (CountryCode::Sweden, 0.0234),
+    ];
+
+    /// Share of Table 1 mass in the `Other` bucket.
+    pub const OTHER_SHARE: f64 = 0.3544;
+
+    /// A stable dense index in `0..236` for tabulation.
+    pub fn dense_index(self) -> usize {
+        match self {
+            CountryCode::UnitedStates => 0,
+            CountryCode::Russia => 1,
+            CountryCode::Germany => 2,
+            CountryCode::Britain => 3,
+            CountryCode::France => 4,
+            CountryCode::Brazil => 5,
+            CountryCode::Canada => 6,
+            CountryCode::Poland => 7,
+            CountryCode::Australia => 8,
+            CountryCode::Sweden => 9,
+            CountryCode::Other(i) => Self::NAMED + i as usize,
+        }
+    }
+
+    /// Inverse of [`dense_index`](Self::dense_index).
+    pub fn from_dense_index(i: usize) -> Option<Self> {
+        match i {
+            0 => Some(CountryCode::UnitedStates),
+            1 => Some(CountryCode::Russia),
+            2 => Some(CountryCode::Germany),
+            3 => Some(CountryCode::Britain),
+            4 => Some(CountryCode::France),
+            5 => Some(CountryCode::Brazil),
+            6 => Some(CountryCode::Canada),
+            7 => Some(CountryCode::Poland),
+            8 => Some(CountryCode::Australia),
+            9 => Some(CountryCode::Sweden),
+            i if i < Self::NAMED + Self::OTHER_COUNT as usize => {
+                Some(CountryCode::Other((i - Self::NAMED) as u8))
+            }
+            _ => None,
+        }
+    }
+
+    /// Total distinct countries representable (236, as in the paper).
+    pub fn universe_size() -> usize {
+        Self::NAMED + Self::OTHER_COUNT as usize
+    }
+
+    /// Two-letter code used on the wire (ISO-3166-like for the named
+    /// countries, synthetic `QA..`-style codes for the Other bucket).
+    pub fn code(self) -> String {
+        match self {
+            CountryCode::UnitedStates => "US".into(),
+            CountryCode::Russia => "RU".into(),
+            CountryCode::Germany => "DE".into(),
+            CountryCode::Britain => "GB".into(),
+            CountryCode::France => "FR".into(),
+            CountryCode::Brazil => "BR".into(),
+            CountryCode::Canada => "CA".into(),
+            CountryCode::Poland => "PL".into(),
+            CountryCode::Australia => "AU".into(),
+            CountryCode::Sweden => "SE".into(),
+            CountryCode::Other(i) => {
+                // X00..X99, Y00..Y99, Z00..Z25 — synthetic, collision-free.
+                let prefix = [b'X', b'Y', b'Z'][usize::from(i) / 100];
+                format!("{}{:02}", prefix as char, i % 100)
+            }
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "US" => Some(CountryCode::UnitedStates),
+            "RU" => Some(CountryCode::Russia),
+            "DE" => Some(CountryCode::Germany),
+            "GB" => Some(CountryCode::Britain),
+            "FR" => Some(CountryCode::France),
+            "BR" => Some(CountryCode::Brazil),
+            "CA" => Some(CountryCode::Canada),
+            "PL" => Some(CountryCode::Poland),
+            "AU" => Some(CountryCode::Australia),
+            "SE" => Some(CountryCode::Sweden),
+            _ => {
+                let mut chars = code.chars();
+                let prefix = chars.next()?;
+                let hundreds = match prefix {
+                    'X' => 0u16,
+                    'Y' => 100,
+                    'Z' => 200,
+                    _ => return None,
+                };
+                let rest: u16 = chars.as_str().parse().ok()?;
+                if rest >= 100 || code.len() != 3 {
+                    return None;
+                }
+                let idx = hundreds + rest;
+                (idx < u16::from(Self::OTHER_COUNT)).then(|| CountryCode::Other(idx as u8))
+            }
+        }
+    }
+
+    /// Human-readable name for report rendering.
+    pub fn name(self) -> String {
+        match self {
+            CountryCode::UnitedStates => "United States".into(),
+            CountryCode::Russia => "Russia".into(),
+            CountryCode::Germany => "Germany".into(),
+            CountryCode::Britain => "Britain".into(),
+            CountryCode::France => "France".into(),
+            CountryCode::Brazil => "Brazil".into(),
+            CountryCode::Canada => "Canada".into(),
+            CountryCode::Poland => "Poland".into(),
+            CountryCode::Australia => "Australia".into(),
+            CountryCode::Sweden => "Sweden".into(),
+            CountryCode::Other(i) => format!("Other-{i:03}"),
+        }
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shares_sum_to_one() {
+        let named: f64 = CountryCode::TABLE1_SHARES.iter().map(|(_, s)| s).sum();
+        let total = named + CountryCode::OTHER_SHARE;
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn dense_index_round_trips() {
+        for i in 0..CountryCode::universe_size() {
+            let c = CountryCode::from_dense_index(i).unwrap();
+            assert_eq!(c.dense_index(), i);
+        }
+        assert!(CountryCode::from_dense_index(CountryCode::universe_size()).is_none());
+    }
+
+    #[test]
+    fn universe_matches_paper() {
+        assert_eq!(CountryCode::universe_size(), 236);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for i in 0..CountryCode::universe_size() {
+            let c = CountryCode::from_dense_index(i).unwrap();
+            assert_eq!(CountryCode::from_code(&c.code()), Some(c), "{}", c.code());
+        }
+        assert_eq!(CountryCode::from_code("ZZ"), None);
+        assert_eq!(CountryCode::from_code(""), None);
+        assert_eq!(CountryCode::from_code("Z26"), None);
+        assert_eq!(CountryCode::from_code("X1"), None);
+    }
+
+    #[test]
+    fn us_has_largest_share() {
+        let max = CountryCode::TABLE1_SHARES
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(max.0, CountryCode::UnitedStates);
+    }
+}

@@ -1,0 +1,321 @@
+//! The Steam product catalog: apps, genres, prices, achievements.
+//!
+//! The paper collected 6,156 products via the storefront (§3.1) with genre
+//! labels, type, price, multiplayer flag, Metacritic rating and release date,
+//! and (in §9) the list of achievements each game offers together with the
+//! global completion percentage of each.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A Steam application (product) identifier, as used by the storefront and
+/// the `appids` parameters of the Web API.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct AppId(pub u32);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Product type as reported by the storefront (§3.1: "game, trailer, demo").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AppType {
+    Game,
+    Demo,
+    Trailer,
+    Dlc,
+    Tool,
+}
+
+impl AppType {
+    /// Stable numeric tag for the codec / wire format.
+    pub fn tag(self) -> u8 {
+        match self {
+            AppType::Game => 0,
+            AppType::Demo => 1,
+            AppType::Trailer => 2,
+            AppType::Dlc => 3,
+            AppType::Tool => 4,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(t: u8) -> Option<Self> {
+        Some(match t {
+            0 => AppType::Game,
+            1 => AppType::Demo,
+            2 => AppType::Trailer,
+            3 => AppType::Dlc,
+            4 => AppType::Tool,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AppType::Game => "game",
+            AppType::Demo => "demo",
+            AppType::Trailer => "trailer",
+            AppType::Dlc => "dlc",
+            AppType::Tool => "tool",
+        }
+    }
+}
+
+/// Steam storefront genres used by the paper (Figures 5 and 9).
+///
+/// Most labels describe gameplay mechanics; `FreeToPlay` and `Indie` are the
+/// two exceptions the paper calls out (business model / publisher size).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Genre {
+    Action = 0,
+    Strategy = 1,
+    Indie = 2,
+    Rpg = 3,
+    Adventure = 4,
+    Simulation = 5,
+    Casual = 6,
+    FreeToPlay = 7,
+    Sports = 8,
+    Racing = 9,
+    MassivelyMultiplayer = 10,
+    EarlyAccess = 11,
+}
+
+impl Genre {
+    /// All genres, in the stable order used by reports and the codec.
+    pub const ALL: [Genre; 12] = [
+        Genre::Action,
+        Genre::Strategy,
+        Genre::Indie,
+        Genre::Rpg,
+        Genre::Adventure,
+        Genre::Simulation,
+        Genre::Casual,
+        Genre::FreeToPlay,
+        Genre::Sports,
+        Genre::Racing,
+        Genre::MassivelyMultiplayer,
+        Genre::EarlyAccess,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Genre::Action => "Action",
+            Genre::Strategy => "Strategy",
+            Genre::Indie => "Indie",
+            Genre::Rpg => "RPG",
+            Genre::Adventure => "Adventure",
+            Genre::Simulation => "Simulation",
+            Genre::Casual => "Casual",
+            Genre::FreeToPlay => "Free to Play",
+            Genre::Sports => "Sports",
+            Genre::Racing => "Racing",
+            Genre::MassivelyMultiplayer => "Massively Multiplayer",
+            Genre::EarlyAccess => "Early Access",
+        }
+    }
+
+    pub fn from_index(i: u8) -> Option<Genre> {
+        Genre::ALL.get(i as usize).copied()
+    }
+}
+
+impl fmt::Display for Genre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A set of genres, stored as a bitmask (games can carry several labels).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GenreSet(u16);
+
+impl GenreSet {
+    pub const EMPTY: GenreSet = GenreSet(0);
+
+    pub fn new() -> Self {
+        GenreSet(0)
+    }
+
+    pub fn from_bits(bits: u16) -> Self {
+        GenreSet(bits & ((1 << Genre::ALL.len()) - 1))
+    }
+
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    pub fn with(mut self, g: Genre) -> Self {
+        self.insert(g);
+        self
+    }
+
+    pub fn insert(&mut self, g: Genre) {
+        self.0 |= 1 << (g as u8);
+    }
+
+    pub fn contains(self, g: Genre) -> bool {
+        self.0 & (1 << (g as u8)) != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the genres present, in [`Genre::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = Genre> {
+        Genre::ALL.into_iter().filter(move |g| self.contains(*g))
+    }
+}
+
+impl FromIterator<Genre> for GenreSet {
+    fn from_iter<T: IntoIterator<Item = Genre>>(iter: T) -> Self {
+        let mut s = GenreSet::new();
+        for g in iter {
+            s.insert(g);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for GenreSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// An in-game achievement with its global completion percentage
+/// (the §9 endpoint reports, per game, each achievement's completion rate
+/// among owners of that game).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Achievement {
+    /// API name of the achievement.
+    pub name: String,
+    /// Percent of owners who have earned it, `0.0..=100.0`.
+    pub global_completion_pct: f32,
+}
+
+/// A product in the Steam catalog.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Game {
+    pub app_id: AppId,
+    pub name: String,
+    pub app_type: AppType,
+    pub genres: GenreSet,
+    /// 2014 storefront price in US cents (the paper's market-value proxy).
+    /// Zero for free-to-play titles.
+    pub price_cents: u32,
+    /// Whether the game has a multiplayer component (Figure 10).
+    pub multiplayer: bool,
+    pub release_date: SimTime,
+    /// Metacritic rating if present, `0..=100`.
+    pub metacritic: Option<u8>,
+    /// Achievements the game offers, with global completion rates.
+    pub achievements: Vec<Achievement>,
+}
+
+impl Game {
+    /// Price in dollars.
+    pub fn price_dollars(&self) -> f64 {
+        f64::from(self.price_cents) / 100.0
+    }
+
+    /// Number of achievements offered (§9: ranges 0..=1629, mode 12).
+    pub fn achievement_count(&self) -> usize {
+        self.achievements.len()
+    }
+
+    /// Mean global completion percentage across this game's achievements,
+    /// or `None` when it offers none.
+    pub fn mean_completion_pct(&self) -> Option<f64> {
+        if self.achievements.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .achievements
+            .iter()
+            .map(|a| f64::from(a.global_completion_pct))
+            .sum();
+        Some(sum / self.achievements.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genre_set_insert_contains() {
+        let mut s = GenreSet::new();
+        assert!(s.is_empty());
+        s.insert(Genre::Action);
+        s.insert(Genre::Indie);
+        assert!(s.contains(Genre::Action));
+        assert!(s.contains(Genre::Indie));
+        assert!(!s.contains(Genre::Rpg));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn genre_set_iter_order_is_stable() {
+        let s: GenreSet = [Genre::Racing, Genre::Action].into_iter().collect();
+        let v: Vec<Genre> = s.iter().collect();
+        assert_eq!(v, vec![Genre::Action, Genre::Racing]);
+    }
+
+    #[test]
+    fn genre_set_bits_round_trip() {
+        let s = GenreSet::new().with(Genre::Strategy).with(Genre::EarlyAccess);
+        assert_eq!(GenreSet::from_bits(s.bits()), s);
+        // Out-of-range bits are masked off.
+        assert_eq!(GenreSet::from_bits(0xFFFF).len(), Genre::ALL.len());
+    }
+
+    #[test]
+    fn genre_index_round_trips() {
+        for (i, g) in Genre::ALL.iter().enumerate() {
+            assert_eq!(Genre::from_index(i as u8), Some(*g));
+        }
+        assert_eq!(Genre::from_index(Genre::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn app_type_tag_round_trips() {
+        for t in [AppType::Game, AppType::Demo, AppType::Trailer, AppType::Dlc, AppType::Tool] {
+            assert_eq!(AppType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(AppType::from_tag(200), None);
+    }
+
+    #[test]
+    fn mean_completion() {
+        let g = Game {
+            app_id: AppId(10),
+            name: "Test".into(),
+            app_type: AppType::Game,
+            genres: GenreSet::new().with(Genre::Action),
+            price_cents: 999,
+            multiplayer: true,
+            release_date: SimTime::from_ymd(2010, 1, 1),
+            metacritic: Some(88),
+            achievements: vec![
+                Achievement { name: "A".into(), global_completion_pct: 50.0 },
+                Achievement { name: "B".into(), global_completion_pct: 10.0 },
+            ],
+        };
+        assert_eq!(g.mean_completion_pct(), Some(30.0));
+        assert!((g.price_dollars() - 9.99).abs() < 1e-12);
+        let mut free = g.clone();
+        free.achievements.clear();
+        assert_eq!(free.mean_completion_pct(), None);
+    }
+}

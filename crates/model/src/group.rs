@@ -1,0 +1,123 @@
+//! Steam community groups.
+//!
+//! The paper manually categorized the 250 largest groups into six kinds
+//! (Table 2). We carry the kind on the group record so the categorization can
+//! be re-derived by the analysis.
+
+use std::fmt;
+
+/// A Steam group identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The six group categories of Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GroupKind {
+    /// Hosts dedicated servers for one or more games (45.6% of top 250).
+    GameServer,
+    /// Fans of an individual game (20.4%).
+    SingleGame,
+    /// Community identity, plays multiple games (17.2%).
+    GamingCommunity,
+    /// Fans of topics unrelated to specific games (14.0%).
+    SpecialInterest,
+    /// Official Valve groups (1.6%).
+    Steam,
+    /// Fans of a particular publisher (1.2%).
+    Publisher,
+}
+
+impl GroupKind {
+    pub const ALL: [GroupKind; 6] = [
+        GroupKind::GameServer,
+        GroupKind::SingleGame,
+        GroupKind::GamingCommunity,
+        GroupKind::SpecialInterest,
+        GroupKind::Steam,
+        GroupKind::Publisher,
+    ];
+
+    /// Table 2 shares among the top-250 largest groups.
+    pub const TABLE2_SHARES: [(GroupKind, f64); 6] = [
+        (GroupKind::GameServer, 0.456),
+        (GroupKind::SingleGame, 0.204),
+        (GroupKind::GamingCommunity, 0.172),
+        (GroupKind::SpecialInterest, 0.140),
+        (GroupKind::Steam, 0.016),
+        (GroupKind::Publisher, 0.012),
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GroupKind::GameServer => "Game Server",
+            GroupKind::SingleGame => "Single Game",
+            GroupKind::GamingCommunity => "Gaming Community",
+            GroupKind::SpecialInterest => "Special Interest",
+            GroupKind::Steam => "Steam",
+            GroupKind::Publisher => "Publisher",
+        }
+    }
+
+    pub fn tag(self) -> u8 {
+        match self {
+            GroupKind::GameServer => 0,
+            GroupKind::SingleGame => 1,
+            GroupKind::GamingCommunity => 2,
+            GroupKind::SpecialInterest => 3,
+            GroupKind::Steam => 4,
+            GroupKind::Publisher => 5,
+        }
+    }
+
+    pub fn from_tag(t: u8) -> Option<Self> {
+        GroupKind::ALL.get(t as usize).copied()
+    }
+}
+
+impl fmt::Display for GroupKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A Steam community group.
+#[derive(Clone, Debug)]
+pub struct Group {
+    pub id: GroupId,
+    pub kind: GroupKind,
+    pub name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shares_sum_to_one() {
+        let total: f64 = GroupKind::TABLE2_SHARES.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for k in GroupKind::ALL {
+            assert_eq!(GroupKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(GroupKind::from_tag(6), None);
+    }
+
+    #[test]
+    fn game_server_dominates_table2() {
+        let max = GroupKind::TABLE2_SHARES
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(max.0, GroupKind::GameServer);
+    }
+}

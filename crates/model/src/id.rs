@@ -1,0 +1,180 @@
+//! Steam account identifiers.
+//!
+//! Steam IDs exist in two representations with a bijection between them
+//! (§3.1 of the paper):
+//!
+//! * a 64-bit form, e.g. `76561197961965701`, used by the Web API and the
+//!   community site;
+//! * a textual 32-bit form, e.g. `STEAM_0:1:849986`, used by game servers.
+//!
+//! 64-bit IDs for individual accounts are assigned sequentially starting from
+//! a base value (`76561197960265728`). The low bit of the 64-bit value is the
+//! `Y` component of the textual form and the remaining 31 bits of the account
+//! number are the `Z` component: `id64 = BASE + 2*Z + Y`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ModelError;
+
+/// The first 64-bit Steam ID ever assigned to an individual account.
+pub const STEAM_ID_BASE: u64 = 76_561_197_960_265_728;
+
+/// A 64-bit Steam account identifier.
+///
+/// Internally stores the full 64-bit value; construction enforces that the
+/// value lies at or above [`STEAM_ID_BASE`] so that the 32-bit bijection is
+/// always defined.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SteamId(u64);
+
+impl SteamId {
+    /// Creates a `SteamId` from a raw 64-bit value.
+    ///
+    /// Returns an error if the value is below [`STEAM_ID_BASE`].
+    pub fn from_u64(raw: u64) -> Result<Self, ModelError> {
+        if raw < STEAM_ID_BASE {
+            Err(ModelError::InvalidSteamId(raw))
+        } else {
+            Ok(SteamId(raw))
+        }
+    }
+
+    /// Creates a `SteamId` from a sequential account index (0 = base ID).
+    ///
+    /// This is how the crawler walks the ID space: index 0 is the very first
+    /// account, index `n` is `BASE + n`.
+    pub fn from_index(index: u64) -> Self {
+        SteamId(STEAM_ID_BASE + index)
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The sequential account index (offset from the base ID).
+    pub fn index(self) -> u64 {
+        self.0 - STEAM_ID_BASE
+    }
+
+    /// The `Y` component of the textual 32-bit form (low bit).
+    pub fn y(self) -> u8 {
+        (self.index() & 1) as u8
+    }
+
+    /// The `Z` component of the textual 32-bit form (account number half).
+    pub fn z(self) -> u32 {
+        (self.index() >> 1) as u32
+    }
+
+    /// Renders the textual 32-bit form, e.g. `STEAM_0:1:849986`.
+    pub fn to_steam2(self) -> String {
+        format!("STEAM_0:{}:{}", self.y(), self.z())
+    }
+
+    /// Parses the textual 32-bit form back into a `SteamId`.
+    pub fn from_steam2(s: &str) -> Result<Self, ModelError> {
+        let rest = s
+            .strip_prefix("STEAM_")
+            .ok_or_else(|| ModelError::ParseSteam2(s.to_string()))?;
+        let mut parts = rest.split(':');
+        let (x, y, z) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(x), Some(y), Some(z), None) => (x, y, z),
+            _ => return Err(ModelError::ParseSteam2(s.to_string())),
+        };
+        // The universe (X) is 0 or 1 for individual accounts; both map to the
+        // public universe in the 64-bit form.
+        let _universe: u8 = x.parse().map_err(|_| ModelError::ParseSteam2(s.to_string()))?;
+        let y: u64 = y.parse().map_err(|_| ModelError::ParseSteam2(s.to_string()))?;
+        let z: u64 = z.parse().map_err(|_| ModelError::ParseSteam2(s.to_string()))?;
+        if y > 1 || z > u32::MAX as u64 {
+            return Err(ModelError::ParseSteam2(s.to_string()));
+        }
+        Ok(SteamId::from_index(z * 2 + y))
+    }
+}
+
+impl fmt::Display for SteamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for SteamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SteamId({})", self.0)
+    }
+}
+
+impl FromStr for SteamId {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.starts_with("STEAM_") {
+            SteamId::from_steam2(s)
+        } else {
+            let raw: u64 = s
+                .parse()
+                .map_err(|_| ModelError::ParseSteam2(s.to_string()))?;
+            SteamId::from_u64(raw)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_id_is_index_zero() {
+        let id = SteamId::from_index(0);
+        assert_eq!(id.as_u64(), STEAM_ID_BASE);
+        assert_eq!(id.index(), 0);
+        assert_eq!(id.to_steam2(), "STEAM_0:0:0");
+    }
+
+    #[test]
+    fn paper_example_round_trips() {
+        // The paper's example pair: STEAM_0:1:849986 <-> 76561197961965701.
+        let id = SteamId::from_u64(76_561_197_961_965_701).unwrap();
+        assert_eq!(id.to_steam2(), "STEAM_0:1:849986");
+        assert_eq!(SteamId::from_steam2("STEAM_0:1:849986").unwrap(), id);
+    }
+
+    #[test]
+    fn below_base_rejected() {
+        assert!(SteamId::from_u64(STEAM_ID_BASE - 1).is_err());
+        assert!(SteamId::from_u64(0).is_err());
+    }
+
+    #[test]
+    fn from_str_accepts_both_forms() {
+        let a: SteamId = "76561197961965701".parse().unwrap();
+        let b: SteamId = "STEAM_0:1:849986".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!("".parse::<SteamId>().is_err());
+        assert!("STEAM_0:2:5".parse::<SteamId>().is_err());
+        assert!("STEAM_0:1".parse::<SteamId>().is_err());
+        assert!("STEAM_0:1:2:3".parse::<SteamId>().is_err());
+        assert!("hello".parse::<SteamId>().is_err());
+    }
+
+    #[test]
+    fn bijection_holds_across_range() {
+        for idx in [0u64, 1, 2, 3, 1_699_973, 1 << 20, (1 << 32) - 1] {
+            let id = SteamId::from_index(idx);
+            let round = SteamId::from_steam2(&id.to_steam2()).unwrap();
+            assert_eq!(round, id, "index {idx}");
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(SteamId::from_index(5) < SteamId::from_index(6));
+    }
+}

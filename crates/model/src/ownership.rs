@@ -1,0 +1,64 @@
+//! Game ownership and playtime records.
+
+use crate::game::AppId;
+
+/// One entry of a user's game library, as returned by `GetOwnedGames`.
+///
+/// Steam records playtime at minute granularity in two forms (§6): lifetime
+/// total since the game entered the library, and a rolling two-week window
+/// leading up to the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OwnedGame {
+    pub app_id: AppId,
+    /// Total minutes played since acquisition.
+    pub playtime_forever_min: u32,
+    /// Minutes played in the two weeks before the snapshot query.
+    pub playtime_2weeks_min: u32,
+}
+
+impl OwnedGame {
+    /// Whether the game has ever been launched (Figure 4's "played" curve).
+    pub fn played(&self) -> bool {
+        self.playtime_forever_min > 0
+    }
+
+    /// Lifetime playtime in hours.
+    pub fn hours_forever(&self) -> f64 {
+        f64::from(self.playtime_forever_min) / 60.0
+    }
+
+    /// Two-week playtime in hours.
+    pub fn hours_2weeks(&self) -> f64 {
+        f64::from(self.playtime_2weeks_min) / 60.0
+    }
+}
+
+/// The hard ceiling on a two-week playtime value: every minute of 14 days.
+/// Figure 7's tail reaches exactly this bound (idle farmers).
+pub const MAX_TWO_WEEK_MINUTES: u32 = 14 * 24 * 60;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn played_iff_nonzero_total() {
+        let mut g = OwnedGame { app_id: AppId(1), playtime_forever_min: 0, playtime_2weeks_min: 0 };
+        assert!(!g.played());
+        g.playtime_forever_min = 1;
+        assert!(g.played());
+    }
+
+    #[test]
+    fn hour_conversion() {
+        let g = OwnedGame { app_id: AppId(1), playtime_forever_min: 90, playtime_2weeks_min: 30 };
+        assert!((g.hours_forever() - 1.5).abs() < 1e-12);
+        assert!((g.hours_2weeks() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_week_ceiling_is_336_hours() {
+        assert_eq!(MAX_TWO_WEEK_MINUTES, 20_160);
+        assert_eq!(MAX_TWO_WEEK_MINUTES / 60, 336);
+    }
+}

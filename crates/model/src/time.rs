@@ -1,0 +1,168 @@
+//! Simulation time.
+//!
+//! All timestamps in the model are Unix seconds (UTC). The paper's analyses
+//! only ever need calendar *years* (friendship-graph evolution, Figures 1–2)
+//! and day arithmetic (two-week playtime windows, the one-week panel), so we
+//! implement the small amount of civil-calendar math directly rather than
+//! pulling in a date-time dependency.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds in one day.
+pub const DAY: i64 = 86_400;
+/// Seconds in two weeks — the rolling playtime window Steam reports.
+pub const TWO_WEEKS: i64 = 14 * DAY;
+
+/// A point in simulation time, stored as Unix seconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub i64);
+
+impl SimTime {
+    /// Constructs from Unix seconds.
+    pub fn from_unix(secs: i64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Unix seconds.
+    pub fn unix(self) -> i64 {
+        self.0
+    }
+
+    /// Midnight UTC at the start of the given civil date.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        SimTime(days_from_civil(year, month, day) * DAY)
+    }
+
+    /// The civil date (year, month, day) of this instant, UTC.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0.div_euclid(DAY))
+    }
+
+    /// The calendar year of this instant, UTC.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Days (may be fractional — truncated) since another instant.
+    pub fn days_since(self, earlier: SimTime) -> i64 {
+        (self.0 - earlier.0) / DAY
+    }
+}
+
+impl Add<i64> for SimTime {
+    type Output = SimTime;
+    fn add(self, secs: i64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+}
+
+impl Sub<i64> for SimTime {
+    type Output = SimTime;
+    fn sub(self, secs: i64) -> SimTime {
+        SimTime(self.0 - secs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "SimTime({y:04}-{m:02}-{d:02})")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Days since the Unix epoch for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m));
+    debug_assert!((1..=31).contains(&d));
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11]
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date from days since the Unix epoch (inverse of `days_from_civil`).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(SimTime(0).ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // Dates from the paper's collection timeline.
+        for (y, m, d) in [
+            (2008, 9, 1),  // friendship timestamps begin
+            (2013, 2, 28), // profile crawl start
+            (2013, 3, 18), // profile crawl end
+            (2013, 11, 5), // phase-2 end
+            (2014, 10, 3), // second snapshot end
+            (2014, 11, 7), // week panel end
+            (2016, 5, 6),  // achievement collection
+            (2000, 2, 29), // leap day
+            (1999, 12, 31),
+        ] {
+            let t = SimTime::from_ymd(y, m, d);
+            assert_eq!(t.ymd(), (y, m, d), "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn year_extraction() {
+        let t = SimTime::from_ymd(2013, 6, 15);
+        assert_eq!(t.year(), 2013);
+        assert_eq!((t + DAY).year(), 2013);
+    }
+
+    #[test]
+    fn days_since() {
+        let a = SimTime::from_ymd(2013, 1, 1);
+        let b = SimTime::from_ymd(2013, 1, 15);
+        assert_eq!(b.days_since(a), 14);
+        assert_eq!((b.0 - a.0), TWO_WEEKS);
+    }
+
+    #[test]
+    fn exhaustive_day_round_trip_decade() {
+        // Every day from 2008-01-01 through 2016-12-31 must round-trip.
+        let start = days_from_civil(2008, 1, 1);
+        let end = days_from_civil(2016, 12, 31);
+        for z in start..=end {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn negative_times_before_epoch() {
+        let t = SimTime::from_ymd(1969, 12, 31);
+        assert!(t.unix() < 0);
+        assert_eq!(t.ymd(), (1969, 12, 31));
+    }
+}

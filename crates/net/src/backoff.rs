@@ -1,0 +1,142 @@
+//! Retry with exponential backoff — the crawler's response to 429s from the
+//! rate-limited API (the paper's phase-2 crawl ran for months under exactly
+//! this regime).
+
+use std::time::Duration;
+
+use crate::error::NetError;
+
+/// Backoff policy: `base · 2^attempt`, capped at `max`.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    pub base: Duration,
+    pub max: Duration,
+    pub attempts: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff { base: Duration::from_millis(50), max: Duration::from_secs(5), attempts: 6 }
+    }
+}
+
+impl Backoff {
+    /// Delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u64 << attempt.min(20);
+        (self.base * factor as u32).min(self.max)
+    }
+
+    /// Runs `op` until it succeeds or the policy is exhausted, sleeping
+    /// between attempts. `retryable` decides which errors warrant a retry
+    /// (e.g. 429/5xx yes, 404 no).
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, NetError>,
+        retryable: impl Fn(&NetError) -> bool,
+    ) -> Result<T, NetError> {
+        let mut last: Option<NetError> = None;
+        for attempt in 0..self.attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if retryable(&e) => {
+                    if attempt + 1 < self.attempts {
+                        std::thread::sleep(self.delay(attempt));
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts: self.attempts,
+            last: last.map_or_else(|| "none".to_string(), |e| e.to_string()),
+        })
+    }
+}
+
+/// Standard retryability: 429 and 5xx statuses, plus raw I/O failures.
+pub fn transient(err: &NetError) -> bool {
+    match err {
+        NetError::Status { code, .. } => *code == 429 || *code >= 500,
+        NetError::Io(_) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fast() -> Backoff {
+        Backoff { base: Duration::from_millis(1), max: Duration::from_millis(4), attempts: 4 }
+    }
+
+    #[test]
+    fn delays_double_and_cap() {
+        let b = fast();
+        assert_eq!(b.delay(0), Duration::from_millis(1));
+        assert_eq!(b.delay(1), Duration::from_millis(2));
+        assert_eq!(b.delay(2), Duration::from_millis(4));
+        assert_eq!(b.delay(3), Duration::from_millis(4)); // capped
+        assert_eq!(b.delay(30), Duration::from_millis(4)); // shift clamp
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let calls = AtomicU32::new(0);
+        let result = fast().run(
+            || {
+                if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                    Err(NetError::Status { code: 429, body: "slow".into() })
+                } else {
+                    Ok(7)
+                }
+            },
+            transient,
+        );
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let calls = AtomicU32::new(0);
+        let result: Result<(), _> = fast().run(
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err(NetError::Status { code: 500, body: "boom".into() })
+            },
+            transient,
+        );
+        assert!(matches!(result, Err(NetError::RetriesExhausted { attempts: 4, .. })));
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let calls = AtomicU32::new(0);
+        let result: Result<(), _> = fast().run(
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err(NetError::Status { code: 404, body: "missing".into() })
+            },
+            transient,
+        );
+        assert!(matches!(result, Err(NetError::Status { code: 404, .. })));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(transient(&NetError::Status { code: 429, body: String::new() }));
+        assert!(transient(&NetError::Status { code: 503, body: String::new() }));
+        assert!(!transient(&NetError::Status { code: 404, body: String::new() }));
+        assert!(transient(&NetError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "reset"
+        ))));
+        assert!(!transient(&NetError::Http("bad".into())));
+    }
+}

@@ -1,0 +1,157 @@
+//! A blocking HTTP client with connection reuse — what the crawler uses to
+//! talk to the emulated Steam Web API.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::http::{read_response, write_request, Request, Response};
+
+/// A keep-alive HTTP client bound to one server address.
+///
+/// Reconnects transparently when the pooled connection has gone stale.
+/// Not `Sync` — each crawler thread owns its own client.
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<Conn>,
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient { addr, timeout: Duration::from_secs(30), conn: None }
+    }
+
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> Result<Conn, NetError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(Conn { writer, reader: BufReader::new(stream) })
+    }
+
+    fn send_on(conn: &mut Conn, req: &Request) -> Result<Response, NetError> {
+        write_request(&mut conn.writer, req)?;
+        read_response(&mut conn.reader)
+    }
+
+    /// Sends a request, reusing the pooled connection when possible. A stale
+    /// pooled connection gets one transparent retry on a fresh connection.
+    pub fn send(&mut self, req: &Request) -> Result<Response, NetError> {
+        if let Some(mut conn) = self.conn.take() {
+            match Self::send_on(&mut conn, req) {
+                Ok(resp) => {
+                    self.conn = Some(conn);
+                    return Ok(resp);
+                }
+                Err(_) => { /* stale — fall through to a fresh connection */ }
+            }
+        }
+        let mut conn = self.connect()?;
+        let resp = Self::send_on(&mut conn, req)?;
+        self.conn = Some(conn);
+        Ok(resp)
+    }
+
+    /// GET a target; non-2xx statuses become [`NetError::Status`].
+    pub fn get(&mut self, target: &str) -> Result<Response, NetError> {
+        let resp = self.send(&Request::get(target))?;
+        if resp.is_success() {
+            Ok(resp)
+        } else {
+            Err(NetError::Status { code: resp.status, body: resp.body_text() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Handler, HttpServer};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn counting_server() -> (HttpServer, Arc<AtomicU32>) {
+        let hits = Arc::new(AtomicU32::new(0));
+        let h2 = Arc::clone(&hits);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: Request| {
+            h2.fetch_add(1, Ordering::Relaxed);
+            match req.path.as_str() {
+                "/missing" => Response::error(404, "nope"),
+                "/limited" => Response::error(429, "slow down"),
+                _ => Response::json(format!("{{\"n\":{}}}", h2.load(Ordering::Relaxed))),
+            }
+        });
+        (HttpServer::bind("127.0.0.1:0", 2, handler).unwrap(), hits)
+    }
+
+    #[test]
+    fn get_success() {
+        let (server, _) = counting_server();
+        let mut client = HttpClient::new(server.addr());
+        let resp = client.get("/ok").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_text().contains("\"n\""));
+    }
+
+    #[test]
+    fn reuses_connection() {
+        let (server, hits) = counting_server();
+        let mut client = HttpClient::new(server.addr());
+        for _ in 0..5 {
+            client.get("/ok").unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+        assert!(client.conn.is_some(), "connection should be pooled");
+    }
+
+    #[test]
+    fn non_success_maps_to_status_error() {
+        let (server, _) = counting_server();
+        let mut client = HttpClient::new(server.addr());
+        match client.get("/missing") {
+            Err(NetError::Status { code: 404, .. }) => {}
+            other => panic!("expected 404, got {other:?}"),
+        }
+        match client.get("/limited") {
+            Err(NetError::Status { code: 429, .. }) => {}
+            other => panic!("expected 429, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reconnects_after_server_restarts_on_same_addr() {
+        // A stale pooled connection must not poison the client: simulate by
+        // shutting the server down, then binding a new one on the same port.
+        let (mut server, _) = counting_server();
+        let addr = server.addr();
+        let mut client = HttpClient::new(addr);
+        client.get("/ok").unwrap();
+        server.shutdown();
+        let handler: Arc<dyn Handler> =
+            Arc::new(|_req: Request| Response::json("{\"fresh\":true}".into()));
+        let _server2 = HttpServer::bind(&addr.to_string(), 1, handler).unwrap();
+        let resp = client.get("/again").unwrap();
+        assert!(resp.body_text().contains("fresh"));
+    }
+
+    #[test]
+    fn connect_failure_is_io_error() {
+        // Port 1 is essentially never listening.
+        let mut client =
+            HttpClient::new("127.0.0.1:1".parse().unwrap()).with_timeout(Duration::from_millis(200));
+        assert!(matches!(client.get("/x"), Err(NetError::Io(_))));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by the networking substrate.
+
+use std::fmt;
+
+/// Errors from the JSON codec, HTTP framing, client, or server.
+#[derive(Debug)]
+pub enum NetError {
+    /// Malformed JSON text.
+    Json { offset: usize, message: String },
+    /// Malformed HTTP framing (request line, headers, lengths).
+    Http(String),
+    /// Underlying socket/stream failure.
+    Io(std::io::Error),
+    /// The server answered with a non-success status.
+    Status { code: u16, body: String },
+    /// A retryable operation exhausted its attempts.
+    RetriesExhausted { attempts: u32, last: String },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Json { offset, message } => {
+                write!(f, "json error at byte {offset}: {message}")
+            }
+            NetError::Http(msg) => write!(f, "http error: {msg}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Status { code, body } => {
+                write!(f, "http status {code}: {}", truncate(body, 200))
+            }
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetError::Json { offset: 3, message: "bad".into() }
+            .to_string()
+            .contains("byte 3"));
+        assert!(NetError::Status { code: 429, body: "slow down".into() }
+            .to_string()
+            .contains("429"));
+        let long = "x".repeat(500);
+        let msg = NetError::Status { code: 500, body: long }.to_string();
+        assert!(msg.len() < 300);
+    }
+}

@@ -1,0 +1,349 @@
+//! Minimal HTTP/1.1 framing: request/response types, a reader for each, and
+//! writers. Enough protocol for a JSON REST API — `Content-Length` bodies,
+//! keep-alive, and nothing else (no chunked encoding, no TLS).
+
+use std::io::{BufRead, Write};
+
+use crate::error::NetError;
+use crate::url::split_target;
+
+/// Maximum accepted header block (DoS guard).
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted body (DoS guard; batch endpoints stay far below this).
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// An HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a GET request for a target like `/path?k=v`.
+    pub fn get(target: &str) -> Request {
+        let (path, query) = split_target(target);
+        Request { method: "GET".into(), path, query, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// First query value for a key.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the sender asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// An HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error status with a short plain-text body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Reason phrases for the statuses the API emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request from a buffered stream. Returns `Ok(None)` on a cleanly
+/// closed connection (EOF before any bytes).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, NetError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(NetError::Http(format!("malformed request line: {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(NetError::Http(format!("unsupported version {version:?}")));
+    }
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    let (path, query) = split_target(target);
+    Ok(Some(Request { method: method.to_string(), path, query, headers, body }))
+}
+
+/// Reads one response from a buffered stream.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(NetError::Http("connection closed before status line".into()));
+    }
+    let line = line.trim_end();
+    let mut parts = line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(NetError::Http(format!("bad status line: {line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| NetError::Http(format!("bad status line: {line:?}")))?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Response { status, headers, body })
+}
+
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<Vec<(String, String)>, NetError> {
+    let mut headers = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(NetError::Http("eof inside headers".into()));
+        }
+        total += n;
+        if total > MAX_HEADER_BYTES {
+            return Err(NetError::Http("header block too large".into()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        match line.split_once(':') {
+            Some((k, v)) => headers.push((k.trim().to_string(), v.trim().to_string())),
+            None => return Err(NetError::Http(format!("malformed header: {line:?}"))),
+        }
+    }
+}
+
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &[(String, String)],
+) -> Result<Vec<u8>, NetError> {
+    let len = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| NetError::Http("bad content-length".into()))?
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(NetError::Http(format!("body of {len} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes a request (always with an explicit `Content-Length`).
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), NetError> {
+    let mut target = crate::url::encode_path(&req.path);
+    if !req.query.is_empty() {
+        let pairs: Vec<(&str, String)> =
+            req.query.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        target.push('?');
+        target.push_str(&crate::url::build_query(&pairs));
+    }
+    write!(w, "{} {} HTTP/1.1\r\n", req.method, target)?;
+    for (k, v) in &req.headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", req.body.len())?;
+    w.write_all(&req.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a response (always with an explicit `Content-Length`).
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), NetError> {
+    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status))?;
+    for (k, v) in &resp.headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", resp.body.len())?;
+    w.write_all(&resp.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, req).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        read_request(&mut reader).unwrap().unwrap()
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let mut req = Request::get("/ISteamUser/GetFriendList/v1?steamid=76561197960265728&key=K");
+        req.headers.push(("Host".into(), "localhost".into()));
+        let back = round_trip_request(&req);
+        assert_eq!(back.method, "GET");
+        assert_eq!(back.path, "/ISteamUser/GetFriendList/v1");
+        assert_eq!(back.query_param("steamid"), Some("76561197960265728"));
+        assert_eq!(back.query_param("key"), Some("K"));
+        assert_eq!(back.query_param("missing"), None);
+        assert_eq!(back.header("host"), Some("localhost"));
+        assert!(back.keep_alive());
+    }
+
+    #[test]
+    fn request_with_body() {
+        let mut req = Request::get("/x");
+        req.method = "POST".into();
+        req.body = b"payload".to_vec();
+        let back = round_trip_request(&req);
+        assert_eq!(back.body, b"payload");
+    }
+
+    #[test]
+    fn query_values_with_special_chars_round_trip() {
+        let mut req = Request::get("/p");
+        req.query.push(("q".into(), "a b&c=d,e".into()));
+        let back = round_trip_request(&req);
+        assert_eq!(back.query_param("q"), Some("a b&c=d,e"));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::json("{\"ok\":true}".into());
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        let mut reader = BufReader::new(&wire[..]);
+        let back = read_response(&mut reader).unwrap();
+        assert_eq!(back.status, 200);
+        assert!(back.is_success());
+        assert_eq!(back.body_text(), "{\"ok\":true}");
+        assert_eq!(back.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn error_response() {
+        let resp = Response::error(429, "rate limited");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        assert!(String::from_utf8_lossy(&wire).contains("429 Too Many Requests"));
+    }
+
+    #[test]
+    fn connection_close_header() {
+        let mut req = Request::get("/");
+        req.headers.push(("Connection".into(), "close".into()));
+        assert!(!round_trip_request(&req).keep_alive());
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        let mut reader = BufReader::new(&b""[..]);
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_rejected() {
+        for wire in ["GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET / HTTP/2.0\r\n\r\n", "GET / HTTP/1.1 X\r\n\r\n"] {
+            let mut reader = BufReader::new(wire.as_bytes());
+            assert!(read_request(&mut reader).is_err(), "accepted {wire:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let wire = b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        let mut reader = BufReader::new(&wire[..]);
+        assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn bad_content_length_rejected() {
+        let wire = b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+        let mut reader = BufReader::new(&wire[..]);
+        assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let wire = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX / 2);
+        let mut reader = BufReader::new(wire.as_bytes());
+        assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn two_requests_on_one_connection() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::get("/a")).unwrap();
+        write_request(&mut wire, &Request::get("/b")).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/a");
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/b");
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! # steam-net
+//!
+//! Networking substrate for the *Condensing Steam* (IMC 2016) reproduction:
+//! everything needed to emulate and crawl a REST API, built directly on
+//! `std::net` (see DESIGN.md for why no async runtime):
+//!
+//! * [`json`] — a full JSON value type, parser and writer;
+//! * [`url`] — percent-encoding and query strings;
+//! * [`http`] — HTTP/1.1 request/response framing with keep-alive;
+//! * [`server`] — a thread-pool TCP server with graceful shutdown;
+//! * [`client`] — a blocking keep-alive client;
+//! * [`ratelimit`] — token buckets (the API's quota and the crawler's
+//!   85%-of-quota self-throttle from §3.1);
+//! * [`backoff`] — retry with exponential backoff.
+
+pub mod backoff;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod ratelimit;
+pub mod server;
+pub mod url;
+
+pub use backoff::{transient, Backoff};
+pub use client::HttpClient;
+pub use error::NetError;
+pub use http::{Request, Response};
+pub use json::Json;
+pub use ratelimit::TokenBucket;
+pub use server::{Handler, HttpServer};

@@ -1,0 +1,284 @@
+//! A blocking HTTP server on `std::net`: acceptor thread + fixed worker pool,
+//! keep-alive connections, graceful shutdown.
+//!
+//! Design follows the guides' advice for this workload: the API emulation is
+//! simple request/response over few connections, so a thread-per-connection
+//! pool is simpler and no slower than an async runtime here.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use crate::error::NetError;
+use crate::http::{read_request, write_response, Request, Response};
+
+/// A request handler. Must be cheap to share across worker threads.
+pub trait Handler: Send + Sync + 'static {
+    fn handle(&self, req: Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: Request) -> Response {
+        self(req)
+    }
+}
+
+/// A running HTTP server; dropping it (or calling [`shutdown`](Self::shutdown))
+/// stops the acceptor and joins all workers.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    conn_tx: Option<Sender<TcpStream>>,
+    /// Live connections, so shutdown can force-close sockets that workers
+    /// are blocked reading from.
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts serving
+    /// on `n_workers` threads.
+    pub fn bind(addr: &str, n_workers: usize, handler: Arc<dyn Handler>) -> Result<Self, NetError> {
+        assert!(n_workers > 0);
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = bounded::<TcpStream>(n_workers * 4);
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let next_conn_id = Arc::new(AtomicU64::new(0));
+
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let rx = rx.clone();
+            let handler = Arc::clone(&handler);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let next_conn_id = Arc::clone(&next_conn_id);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("http-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                            if let Ok(clone) = stream.try_clone() {
+                                conns.lock().insert(id, clone);
+                            }
+                            // Individual connection failures must not kill
+                            // the worker.
+                            let _ = serve_connection(stream, &*handler, &stop);
+                            conns.lock().remove(&id);
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            // Polling accept lets shutdown proceed without a wake-up
+            // connection.
+            listener.set_nonblocking(true)?;
+            std::thread::Builder::new()
+                .name("http-acceptor".into())
+                .spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nodelay(true).ok();
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(30)))
+                                .ok();
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            conn_tx: Some(tx),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains workers, joins threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Closing the sender unblocks workers waiting on recv; shutting the
+        // live sockets unblocks workers mid-read.
+        self.conn_tx.take();
+        for (_, stream) in self.conns.lock().drain() {
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        }
+        if let Some(h) = self.acceptor.take() {
+            h.join().ok();
+        }
+        for h in self.workers.drain(..) {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves requests on one connection until close, error, or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    stop: &AtomicBool,
+) -> Result<(), NetError> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // peer closed cleanly
+            Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Read timeout: give the shutdown flag a chance, keep waiting.
+                continue;
+            }
+            Err(e) => {
+                // Malformed request: answer 400 and drop the connection.
+                let _ = write_response(&mut writer, &Response::error(400, &e.to_string()));
+                return Err(e);
+            }
+        };
+        let keep_alive = req.keep_alive();
+        let resp = handler.handle(req);
+        write_response(&mut writer, &resp)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Request;
+    use std::io::Write;
+
+    fn echo_server() -> HttpServer {
+        let handler: Arc<dyn Handler> = Arc::new(|req: Request| {
+            Response::json(format!("{{\"path\":\"{}\"}}", req.path))
+        });
+        HttpServer::bind("127.0.0.1:0", 2, handler).unwrap()
+    }
+
+    fn raw_get(addr: SocketAddr, target: &str, close: bool) -> Response {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut req = Request::get(target);
+        if close {
+            req.headers.push(("Connection".into(), "close".into()));
+        }
+        crate::http::write_request(&mut writer, &req).unwrap();
+        let mut reader = BufReader::new(stream);
+        crate::http::read_response(&mut reader).unwrap()
+    }
+
+    #[test]
+    fn serves_requests() {
+        let server = echo_server();
+        let resp = raw_get(server.addr(), "/hello", true);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_text().contains("/hello"));
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let server = echo_server();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for path in ["/a", "/b", "/c"] {
+            crate::http::write_request(&mut writer, &Request::get(path)).unwrap();
+            let resp = crate::http::read_response(&mut reader).unwrap();
+            assert!(resp.body_text().contains(path));
+        }
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = echo_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let resp = raw_get(addr, &format!("/client{i}"), true);
+                    assert!(resp.body_text().contains(&format!("client{i}")));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let resp = crate::http::read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_idempotent() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        raw_get(addr, "/x", true);
+        server.shutdown();
+        server.shutdown();
+        // New connections now fail or hang-up immediately.
+        let result = TcpStream::connect(addr)
+            .map_err(|_| ())
+            .and_then(|stream| {
+                let mut writer = stream.try_clone().map_err(|_| ())?;
+                crate::http::write_request(&mut writer, &Request::get("/y")).map_err(|_| ())?;
+                let mut reader = BufReader::new(stream);
+                crate::http::read_response(&mut reader).map_err(|_| ())
+            });
+        assert!(result.is_err(), "server still answering after shutdown");
+    }
+}

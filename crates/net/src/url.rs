@@ -1,0 +1,149 @@
+//! Percent-encoding and query-string handling for the API's URL surface.
+
+/// Percent-encodes a string for use as a query key or value (RFC 3986
+/// unreserved characters pass through).
+pub fn encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-encodes a URL path, leaving `/` separators intact.
+pub fn encode_path(path: &str) -> String {
+    path.split('/').map(encode).collect::<Vec<_>>().join("/")
+}
+
+/// Percent-decodes; invalid escapes are passed through literally ('+' decodes
+/// to space as in form encoding).
+pub fn decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let pair = (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                );
+                if let (Some(h), Some(l)) = pair {
+                    out.push((h * 16 + l) as u8);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into `(path, query pairs)`.
+pub fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (decode(target), Vec::new()),
+        Some((path, query)) => (decode(path), parse_query(query)),
+    }
+}
+
+/// Parses `a=1&b=two` into pairs, decoding both sides.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (decode(k), decode(v)),
+            None => (decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Builds a query string from pairs, encoding both sides.
+pub fn build_query(pairs: &[(&str, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{}={}", encode(k), encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for s in ["hello", "a b&c=d", "steam id/76561", "héllo😀", "100%"] {
+            assert_eq!(decode(&encode(s)), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn unreserved_untouched() {
+        assert_eq!(encode("AZaz09-_.~"), "AZaz09-_.~");
+        assert_eq!(encode(" "), "%20");
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        assert_eq!(decode("a+b"), "a b");
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(decode("%"), "%");
+        assert_eq!(decode("%z9"), "%z9");
+        assert_eq!(decode("%4"), "%4");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("key=abc&steamids=1%2C2&flag&empty=");
+        assert_eq!(
+            q,
+            vec![
+                ("key".to_string(), "abc".to_string()),
+                ("steamids".to_string(), "1,2".to_string()),
+                ("flag".to_string(), String::new()),
+                ("empty".to_string(), String::new()),
+            ]
+        );
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn target_splitting() {
+        let (path, q) = split_target("/ISteamUser/GetFriendList/v1?steamid=5");
+        assert_eq!(path, "/ISteamUser/GetFriendList/v1");
+        assert_eq!(q, vec![("steamid".to_string(), "5".to_string())]);
+        let (path, q) = split_target("/plain");
+        assert_eq!(path, "/plain");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn build_and_parse_round_trip() {
+        let built = build_query(&[("a b", "1&2".to_string()), ("c", "~".to_string())]);
+        let parsed = parse_query(&built);
+        assert_eq!(
+            parsed,
+            vec![("a b".to_string(), "1&2".to_string()), ("c".to_string(), "~".to_string())]
+        );
+    }
+}

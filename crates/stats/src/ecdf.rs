@@ -1,0 +1,190 @@
+//! Empirical distribution functions and percentiles.
+//!
+//! Everything the paper plots is either a CCDF on log axes or a percentile
+//! table (Table 3). [`Ecdf`] owns a sorted copy of the sample and answers
+//! CDF/CCDF/quantile queries in `O(log n)`.
+
+/// An empirical cumulative distribution function over a sample.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF; NaNs are rejected.
+    pub fn new(mut data: Vec<f64>) -> Self {
+        assert!(
+            data.iter().all(|x| !x.is_nan()),
+            "Ecdf input must not contain NaN"
+        );
+        data.sort_by(f64::total_cmp);
+        Ecdf { sorted: data }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// P(X ≤ x).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// P(X > x) — the complementary CDF the paper's figures plot.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The q-quantile for q in [0, 1], with linear interpolation between
+    /// order statistics (type-7, the numpy/R default).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1]");
+        let n = self.sorted.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let h = q * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = h - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Percentile helper: `percentile(80.0)` = 80th percentile.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Points of the CCDF at each distinct sample value, as `(x, P(X > x))`
+    /// pairs — exactly what a log-log CCDF plot consumes.
+    pub fn ccdf_points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let x = self.sorted[i];
+            let mut j = i;
+            while j < n && self.sorted[j] == x {
+                j += 1;
+            }
+            out.push((x, (n - j) as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Minimum of the sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum of the sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+/// Convenience: compute the standard percentile row the paper's Table 3 uses
+/// (50th / 80th / 90th / 95th / 99th).
+pub fn table3_percentiles(data: Vec<f64>) -> [f64; 5] {
+    let e = Ecdf::new(data);
+    [50.0, 80.0, 90.0, 95.0, 99.0].map(|p| e.percentile(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_step_function() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(3.0), 1.0);
+        assert_eq!(e.cdf(99.0), 1.0);
+        assert_eq!(e.ccdf(2.0), 0.25);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(0.25), 20.0);
+        assert_eq!(e.percentile(75.0), 40.0);
+        // Between order statistics.
+        assert!((e.quantile(0.1) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        let e = Ecdf::new(vec![7.0]);
+        assert_eq!(e.quantile(0.0), 7.0);
+        assert_eq!(e.quantile(0.73), 7.0);
+        assert_eq!(e.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.cdf(1.0).is_nan());
+        assert!(e.quantile(0.5).is_nan());
+        assert!(e.min().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn ccdf_points_dedupe() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0, 5.0]);
+        let pts = e.ccdf_points();
+        assert_eq!(pts, vec![(1.0, 0.5), (2.0, 0.25), (5.0, 0.0)]);
+    }
+
+    #[test]
+    fn table3_row() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        let row = table3_percentiles(data);
+        assert!((row[0] - 50.5).abs() < 1e-9);
+        assert!((row[1] - 80.2).abs() < 1e-9);
+        assert!((row[4] - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let e = Ecdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            let c = e.cdf(x);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Histograms, including the logarithmic binning used to render the paper's
+//! long-tail distribution figures (Figures 2, 4, 7, 8).
+
+/// A histogram over fixed-width linear bins.
+#[derive(Clone, Debug)]
+pub struct LinearHistogram {
+    pub lo: f64,
+    pub hi: f64,
+    pub counts: Vec<u64>,
+    /// Samples below `lo` / at-or-above `hi`.
+    pub underflow: u64,
+    pub overflow: u64,
+}
+
+impl LinearHistogram {
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "invalid histogram range");
+        LinearHistogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.counts.len();
+            let w = (self.hi - self.lo) / n as f64;
+            let idx = (((x - self.lo) / w) as usize).min(n - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Bin centers, parallel to `counts`.
+    pub fn centers(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + w * (i as f64 + 0.5))
+            .collect()
+    }
+}
+
+/// A histogram over logarithmically spaced bins (for heavy-tailed data).
+///
+/// Bin `i` covers `[lo·r^i, lo·r^{i+1})` where `r` is the per-bin growth
+/// ratio. Zero and negative samples go to a dedicated `zeros` bucket since
+/// they have no logarithm — the paper's playtime distributions are dominated
+/// by zeros (Figure 6: over 80% of users had zero two-week playtime).
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    pub lo: f64,
+    pub ratio: f64,
+    pub counts: Vec<u64>,
+    pub zeros: u64,
+    pub overflow: u64,
+}
+
+impl LogHistogram {
+    /// `lo` — lower edge of the first bin (must be > 0);
+    /// `hi` — upper bound of the last bin;
+    /// `bins_per_decade` — resolution (10 gives clean log-log plots).
+    pub fn new(lo: f64, hi: f64, bins_per_decade: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && bins_per_decade > 0);
+        let decades = (hi / lo).log10();
+        let n = (decades * bins_per_decade as f64).ceil().max(1.0) as usize;
+        let ratio = 10f64.powf(1.0 / bins_per_decade as f64);
+        LogHistogram { lo, ratio, counts: vec![0; n], zeros: 0, overflow: 0 }
+    }
+
+    pub fn add(&mut self, x: f64) {
+        if x <= 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        if x < self.lo {
+            // Values below the first edge count into the first bin: the
+            // figures always start their axis at the sample minimum.
+            self.counts[0] += 1;
+            return;
+        }
+        let idx = ((x / self.lo).ln() / self.ratio.ln()).floor() as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.zeros + self.overflow
+    }
+
+    /// Geometric bin centers, parallel to `counts`.
+    pub fn centers(&self) -> Vec<f64> {
+        (0..self.counts.len())
+            .map(|i| self.lo * self.ratio.powf(i as f64 + 0.5))
+            .collect()
+    }
+
+    /// Density-normalized heights (count / bin width / total), suitable for
+    /// overlaying against fitted PDFs.
+    pub fn densities(&self) -> Vec<f64> {
+        let total = self.total() as f64;
+        (0..self.counts.len())
+            .map(|i| {
+                let left = self.lo * self.ratio.powf(i as f64);
+                let width = left * (self.ratio - 1.0);
+                self.counts[i] as f64 / width / total
+            })
+            .collect()
+    }
+}
+
+/// Exact integer frequency counts (for discrete plots like Figure 2 and the
+/// friend-cap anomaly detection at 250/300).
+pub fn frequency_u32(data: &[u32]) -> std::collections::BTreeMap<u32, u64> {
+    let mut m = std::collections::BTreeMap::new();
+    for &x in data {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = LinearHistogram::new(0.0, 10.0, 10);
+        for x in [0.0, 0.5, 1.0, 9.99, 10.0, -1.0, 55.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts[0], 2); // 0.0, 0.5
+        assert_eq!(h.counts[1], 1); // 1.0
+        assert_eq!(h.counts[9], 1); // 9.99
+        assert_eq!(h.overflow, 2); // 10.0, 55.0
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.centers()[0], 0.5);
+    }
+
+    #[test]
+    fn log_binning() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 1); // 3 decade bins
+        assert_eq!(h.counts.len(), 3);
+        for x in [0.0, 1.0, 5.0, 10.0, 99.0, 100.0, 999.0, 1e6] {
+            h.add(x);
+        }
+        assert_eq!(h.zeros, 1);
+        assert_eq!(h.counts[0], 2); // 1, 5
+        assert_eq!(h.counts[1], 2); // 10, 99
+        assert_eq!(h.counts[2], 2); // 100, 999
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn log_hist_below_lo_goes_to_first_bin() {
+        let mut h = LogHistogram::new(10.0, 1000.0, 2);
+        h.add(3.0);
+        assert_eq!(h.counts[0], 1);
+    }
+
+    #[test]
+    fn densities_normalize() {
+        let mut h = LogHistogram::new(1.0, 100.0, 5);
+        for i in 1..=99 {
+            h.add(f64::from(i));
+        }
+        // Integral of density * width should be ~1 (no zeros/overflow here).
+        let total: f64 = h
+            .densities()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let left = h.lo * h.ratio.powf(i as f64);
+                d * left * (h.ratio - 1.0)
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "integral = {total}");
+    }
+
+    #[test]
+    fn frequency_counts() {
+        let f = frequency_u32(&[1, 1, 2, 250, 250, 250]);
+        assert_eq!(f[&1], 2);
+        assert_eq!(f[&2], 1);
+        assert_eq!(f[&250], 3);
+        assert_eq!(f.len(), 3);
+    }
+}

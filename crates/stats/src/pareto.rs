@@ -1,0 +1,127 @@
+//! Concentration ("80-20 rule") measures.
+//!
+//! §6.1 of the paper: the top 20% of Steam users account for 82.4% of total
+//! playtime; the top 10% contribute 93.0% of two-week playtime; the top 20%
+//! hold 73% of total market value.
+
+/// Fraction of the total mass held by the top `top_fraction` of the sample.
+///
+/// E.g. `top_share(&playtimes, 0.2)` answers "what share of all playtime do
+/// the top 20% of users account for?". Returns `None` for empty input or
+/// zero total.
+pub fn top_share(data: &[f64], top_fraction: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&top_fraction));
+    if data.is_empty() {
+        return None;
+    }
+    let total: f64 = data.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let k = ((data.len() as f64) * top_fraction).round() as usize;
+    let k = k.clamp(1, data.len());
+    let top: f64 = sorted[..k].iter().sum();
+    Some(top / total)
+}
+
+/// The full Lorenz curve as `(population fraction, mass fraction)` points,
+/// from poorest to richest, at `steps` resolution.
+pub fn lorenz_curve(data: &[f64], steps: usize) -> Vec<(f64, f64)> {
+    assert!(steps >= 2);
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut cum = Vec::with_capacity(sorted.len() + 1);
+    cum.push(0.0);
+    let mut acc = 0.0;
+    for v in &sorted {
+        acc += v;
+        cum.push(acc);
+    }
+    (0..=steps)
+        .map(|i| {
+            let p = i as f64 / steps as f64;
+            // Floor keeps the curve at or below the diagonal for the
+            // ascending (poorest-first) ordering.
+            let idx = ((sorted.len() as f64) * p).floor() as usize;
+            (p, cum[idx.min(sorted.len())] / total)
+        })
+        .collect()
+}
+
+/// Gini coefficient (0 = perfectly equal, →1 = maximally concentrated).
+pub fn gini(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as f64 + 1.0) * v)
+        .sum();
+    Some((2.0 * weighted) / (n * total) - (n + 1.0) / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_has_proportional_shares() {
+        let data = vec![1.0; 100];
+        let s = top_share(&data, 0.2).unwrap();
+        assert!((s - 0.2).abs() < 1e-12);
+        assert!(gini(&data).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_concentration() {
+        let mut data = vec![0.0; 99];
+        data.push(100.0);
+        assert_eq!(top_share(&data, 0.01).unwrap(), 1.0);
+        assert!(gini(&data).unwrap() > 0.98);
+    }
+
+    #[test]
+    fn pareto_like_data() {
+        // x_i ∝ 1/i^1.2 gives heavy concentration.
+        let data: Vec<f64> = (1..=1000).map(|i| (i as f64).powf(-1.2)).collect();
+        let s = top_share(&data, 0.2).unwrap();
+        assert!(s > 0.7, "top-20% share = {s}");
+    }
+
+    #[test]
+    fn lorenz_endpoints() {
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let curve = lorenz_curve(&data, 4);
+        assert_eq!(curve.first().unwrap().1, 0.0);
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // Lorenz curve is convex/monotone.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(top_share(&[], 0.5).is_none());
+        assert!(top_share(&[0.0, 0.0], 0.5).is_none());
+        assert!(gini(&[]).is_none());
+        assert!(lorenz_curve(&[], 5).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Spearman rank correlation (§7 of the paper).
+//!
+//! Implemented as Pearson correlation of mid-ranks, which handles ties
+//! correctly (the paper's data is full of ties: integer friend counts, zero
+//! playtimes). The paper interprets |ρ| per Evans' scale: 0–0.19 very weak,
+//! 0.20–0.39 weak, 0.40–0.59 moderate, 0.60–0.79 strong, 0.80–1.0 very strong.
+
+/// Qualitative strength labels for |ρ| used throughout the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CorrelationStrength {
+    VeryWeak,
+    Weak,
+    Moderate,
+    Strong,
+    VeryStrong,
+}
+
+impl CorrelationStrength {
+    /// Classifies an absolute correlation per the paper's §7 scale.
+    pub fn from_rho(rho: f64) -> Self {
+        match rho.abs() {
+            r if r < 0.20 => CorrelationStrength::VeryWeak,
+            r if r < 0.40 => CorrelationStrength::Weak,
+            r if r < 0.60 => CorrelationStrength::Moderate,
+            r if r < 0.80 => CorrelationStrength::Strong,
+            _ => CorrelationStrength::VeryStrong,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CorrelationStrength::VeryWeak => "very weak",
+            CorrelationStrength::Weak => "weak",
+            CorrelationStrength::Moderate => "moderate",
+            CorrelationStrength::Strong => "strong",
+            CorrelationStrength::VeryStrong => "very strong",
+        }
+    }
+}
+
+/// Assigns mid-ranks (average rank over ties), 1-based.
+pub fn midranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && data[order[j]] == data[order[i]] {
+            j += 1;
+        }
+        // Positions i..j (0-based) share the average of ranks i+1 ..= j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Pearson product-moment correlation; `None` when undefined (fewer than two
+/// points or zero variance on either side).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "pearson inputs must be parallel");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman's ρ with tie correction; `None` when undefined.
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "spearman inputs must be parallel");
+    let rx = midranks(x);
+    let ry = midranks(y);
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_gives_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [10.0, 100.0, 1000.0, 1e4, 1e5]; // nonlinear but monotone
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = y.iter().rev().copied().collect();
+        assert!((spearman(&x, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_under_monotone_transform() {
+        let x = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.8, 1.8];
+        let base = spearman(&x, &y).unwrap();
+        let x2: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        let y2: Vec<f64> = y.iter().map(|v| v * 100.0 + 5.0).collect();
+        assert!((spearman(&x2, &y2).unwrap() - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midranks_average_ties() {
+        let r = midranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = midranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_input_undefined() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn known_value_with_ties() {
+        // Hand-computed example.
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 2.0, 4.0];
+        // ranks x: 1, 2.5, 2.5, 4 ; ranks y: 1, 3, 2, 4
+        let rho = spearman(&x, &y).unwrap();
+        let expect = pearson(&[1.0, 2.5, 2.5, 4.0], &[1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert!((rho - expect).abs() < 1e-12);
+        assert!(rho > 0.8);
+    }
+
+    #[test]
+    fn strength_scale_matches_paper() {
+        // The paper: 0.34 weak, 0.28 weak, 0.09 very weak, 0.45 moderate,
+        // 0.62 strong, 0.77 strong.
+        assert_eq!(CorrelationStrength::from_rho(0.34), CorrelationStrength::Weak);
+        assert_eq!(CorrelationStrength::from_rho(0.09), CorrelationStrength::VeryWeak);
+        assert_eq!(CorrelationStrength::from_rho(0.45), CorrelationStrength::Moderate);
+        assert_eq!(CorrelationStrength::from_rho(0.62), CorrelationStrength::Strong);
+        assert_eq!(CorrelationStrength::from_rho(-0.77), CorrelationStrength::Strong);
+        assert_eq!(CorrelationStrength::from_rho(0.85), CorrelationStrength::VeryStrong);
+    }
+}

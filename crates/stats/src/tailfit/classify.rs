@@ -1,0 +1,305 @@
+//! The paper's distribution-classification procedure (§3.3 + Appendix).
+//!
+//! Four pairwise tests are run at the power-law-fitted `x_min`:
+//!
+//! 1. power law vs exponential — the heavy-tail gate;
+//! 2. power law vs lognormal;
+//! 3. truncated power law vs power law (nested);
+//! 4. truncated power law vs lognormal — the final discriminator.
+//!
+//! Labels follow the paper exactly:
+//! * **Heavy-tailed** — passes the gate but nothing further can be said;
+//! * **Long-tailed** — narrowed to {lognormal, truncated power law} but test
+//!   4 cannot separate them;
+//! * **Lognormal** / **Truncated power law** — test 4 is decisive;
+//! * **Power law** — a true power law (the paper observed none);
+//! * **Not heavy-tailed** — fails the gate.
+
+use super::dist::{Exponential, Lognormal, PowerLaw, TruncatedPowerLaw};
+use super::fit::{
+    fit_exponential, fit_lognormal, fit_power_law, fit_truncated_power_law, scan_xmin,
+};
+use super::llr::{compare_nested, compare_non_nested, Comparison};
+
+/// Final classification labels, matching Table 4's vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TailClass {
+    NotHeavyTailed,
+    HeavyTailed,
+    LongTailed,
+    Lognormal,
+    TruncatedPowerLaw,
+    PowerLaw,
+}
+
+impl TailClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TailClass::NotHeavyTailed => "Not heavy-tailed",
+            TailClass::HeavyTailed => "Heavy-tailed",
+            TailClass::LongTailed => "Long-tailed",
+            TailClass::Lognormal => "Lognormal",
+            TailClass::TruncatedPowerLaw => "Truncated power law",
+            TailClass::PowerLaw => "Power law",
+        }
+    }
+
+    /// Whether the label implies a heavy tail at all.
+    pub fn is_heavy(self) -> bool {
+        self != TailClass::NotHeavyTailed
+    }
+}
+
+/// Everything Table 4 reports for one distribution, plus the fitted models.
+#[derive(Clone, Debug)]
+pub struct TailReport {
+    pub xmin: f64,
+    pub n_tail: usize,
+    pub power_law: PowerLaw,
+    pub exponential: Exponential,
+    pub lognormal: Lognormal,
+    pub truncated_power_law: TruncatedPowerLaw,
+    /// Power-law KS distance at the chosen x_min.
+    pub ks: f64,
+    pub pl_vs_exp: Comparison,
+    pub pl_vs_ln: Comparison,
+    pub tpl_vs_pl: Comparison,
+    pub tpl_vs_ln: Comparison,
+    pub class: TailClass,
+}
+
+/// Options controlling the fit.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassifyOptions {
+    /// Minimum surviving tail size during the x_min scan.
+    pub min_tail: usize,
+    /// Cap on distinct x_min candidates (quantile-thinned above this).
+    pub max_xmin_candidates: usize,
+    /// Cap on tail points used for likelihood evaluation; larger tails are
+    /// deterministically decimated. Statistical power is ample at 200k.
+    pub max_tail_points: usize,
+}
+
+impl Default for ClassifyOptions {
+    fn default() -> Self {
+        ClassifyOptions { min_tail: 50, max_xmin_candidates: 60, max_tail_points: 200_000 }
+    }
+}
+
+/// Applies the paper's decision rules to the four comparisons.
+pub fn decide(
+    pl_vs_exp: &Comparison,
+    pl_vs_ln: &Comparison,
+    tpl_vs_pl: &Comparison,
+    tpl_vs_ln: &Comparison,
+) -> TailClass {
+    // Gate: the tail must decisively beat the exponential null.
+    if !pl_vs_exp.favors_first() {
+        return TailClass::NotHeavyTailed;
+    }
+    // Decisive final test.
+    if tpl_vs_ln.significant() {
+        return if tpl_vs_ln.r > 0.0 {
+            TailClass::TruncatedPowerLaw
+        } else {
+            TailClass::Lognormal
+        };
+    }
+    // Narrowed to {lognormal, truncated power law}: both alternatives beat
+    // the pure power law, but the final test cannot separate them.
+    if pl_vs_ln.favors_second() && tpl_vs_pl.favors_first() {
+        return TailClass::LongTailed;
+    }
+    // A true power law: significantly better than lognormal and no
+    // significant cutoff.
+    if pl_vs_ln.favors_first() && !tpl_vs_pl.favors_first() {
+        return TailClass::PowerLaw;
+    }
+    TailClass::HeavyTailed
+}
+
+/// Runs the complete pipeline on raw (unsorted, possibly zero-laden) data.
+///
+/// Returns `None` when there is not enough positive data to fit a tail.
+pub fn classify_tail(data: &[f64], opts: &ClassifyOptions) -> Option<TailReport> {
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    sorted.sort_by(f64::total_cmp);
+
+    let scan = scan_xmin(&sorted, opts.min_tail, opts.max_xmin_candidates)?;
+    let start = sorted.partition_point(|&x| x < scan.xmin);
+    let full_tail = &sorted[start..];
+
+    // Deterministic decimation for very large tails.
+    let owned_tail: Vec<f64>;
+    let tail: &[f64] = if full_tail.len() > opts.max_tail_points {
+        let stride = full_tail.len() / opts.max_tail_points;
+        owned_tail = full_tail.iter().step_by(stride.max(1)).copied().collect();
+        &owned_tail
+    } else {
+        full_tail
+    };
+
+    let pl = fit_power_law(tail, scan.xmin);
+    let ex = fit_exponential(tail, scan.xmin);
+    let ln = fit_lognormal(tail, scan.xmin);
+    let tpl = fit_truncated_power_law(tail, scan.xmin);
+
+    let pl_vs_exp = compare_non_nested(tail, &pl, &ex);
+    let pl_vs_ln = compare_non_nested(tail, &pl, &ln);
+    let tpl_vs_pl = compare_nested(tail, &tpl, &pl);
+    let tpl_vs_ln = compare_non_nested(tail, &tpl, &ln);
+
+    let class = decide(&pl_vs_exp, &pl_vs_ln, &tpl_vs_pl, &tpl_vs_ln);
+
+    Some(TailReport {
+        xmin: scan.xmin,
+        n_tail: full_tail.len(),
+        power_law: pl,
+        exponential: ex,
+        lognormal: ln,
+        truncated_power_law: tpl,
+        ks: scan.ks,
+        pl_vs_exp,
+        pl_vs_ln,
+        tpl_vs_pl,
+        tpl_vs_ln,
+        class,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn cmp(r: f64, p: f64) -> Comparison {
+        Comparison { r, p }
+    }
+
+    #[test]
+    fn decision_table_matches_paper_rows() {
+        // Account market values row of Table 4:
+        // PLvExp (7423, ~0), PLvLN (-49.6, sig), TPLvPL (50.5, 0), TPLvLN (0.9, 0.861)
+        let c = decide(&cmp(7423.0, 0.0), &cmp(-49.6, 1e-12), &cmp(50.5, 0.0), &cmp(0.9, 0.861));
+        assert_eq!(c, TailClass::LongTailed);
+
+        // Total playtime row: TPLvLN (-4559, ~0) → Lognormal.
+        let c = decide(&cmp(455_501.0, 0.0), &cmp(-22_961.0, 0.0), &cmp(18_402.0, 0.0), &cmp(-4559.0, 1e-68));
+        assert_eq!(c, TailClass::Lognormal);
+
+        // Two-week playtime row: TPLvLN (493.8, ~0) → Truncated power law.
+        let c = decide(&cmp(28_049.0, 0.0), &cmp(-1678.0, 0.0), &cmp(2172.0, 0.0), &cmp(493.8, 1e-68));
+        assert_eq!(c, TailClass::TruncatedPowerLaw);
+
+        // Group size row: PLvLN (-0.97, 0.604) insignificant, TPLvPL (2.1,
+        // 0.041) significant, TPLvLN (1.13, 0.541) insignificant → Heavy-tailed.
+        let c = decide(&cmp(3381.0, 1e-28), &cmp(-0.967, 0.604), &cmp(2.097, 0.041), &cmp(1.129, 0.541));
+        assert_eq!(c, TailClass::HeavyTailed);
+
+        // Group membership row: PLvLN (-13, sig), TPLvPL (12.4, sig),
+        // TPLvLN (-0.63, 0.808) → Long-tailed.
+        let c = decide(&cmp(4812.0, 1e-37), &cmp(-13.0, 2e-5), &cmp(12.37, 6e-7), &cmp(-0.632, 0.808));
+        assert_eq!(c, TailClass::LongTailed);
+    }
+
+    #[test]
+    fn exponential_gate_rejects() {
+        let c = decide(&cmp(-5.0, 0.001), &cmp(0.0, 1.0), &cmp(0.0, 1.0), &cmp(0.0, 1.0));
+        assert_eq!(c, TailClass::NotHeavyTailed);
+        let c = decide(&cmp(5.0, 0.5), &cmp(0.0, 1.0), &cmp(0.0, 1.0), &cmp(0.0, 1.0));
+        assert_eq!(c, TailClass::NotHeavyTailed);
+        assert!(!c.is_heavy());
+    }
+
+    #[test]
+    fn pure_power_law_label() {
+        let c = decide(&cmp(100.0, 1e-9), &cmp(30.0, 1e-4), &cmp(0.2, 0.6), &cmp(5.0, 0.3));
+        assert_eq!(c, TailClass::PowerLaw);
+    }
+
+    #[test]
+    fn end_to_end_lognormal_data() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // Test power for the pairwise separations grows with tail size; at
+        // 250k samples the KS-optimal x_min retains a ~4k tail which is
+        // enough to narrow the label to {lognormal, truncated power law}.
+        let data: Vec<f64> = (0..250_000)
+            .map(|_| {
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (2.0 + 1.4 * z).exp()
+            })
+            .collect();
+        let report = classify_tail(&data, &ClassifyOptions::default()).unwrap();
+        assert!(
+            matches!(report.class, TailClass::Lognormal | TailClass::LongTailed),
+            "classified as {:?}",
+            report.class
+        );
+    }
+
+    #[test]
+    fn end_to_end_exponential_data_not_heavy() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let data: Vec<f64> = (0..30_000)
+            .map(|_| 1.0 - (1.0 - rng.gen::<f64>()).ln() / 0.8)
+            .collect();
+        let report = classify_tail(&data, &ClassifyOptions::default()).unwrap();
+        assert_eq!(report.class, TailClass::NotHeavyTailed, "{report:?}");
+    }
+
+    #[test]
+    fn end_to_end_truncated_power_law_data() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let alpha = 1.8;
+        let lambda = 0.004;
+        let mut data = Vec::new();
+        while data.len() < 40_000 {
+            let x = (1.0 - rng.gen::<f64>()).powf(-1.0 / (alpha - 1.0));
+            if rng.gen::<f64>() < (-lambda * (x - 1.0)).exp() {
+                data.push(x);
+            }
+        }
+        let report = classify_tail(&data, &ClassifyOptions::default()).unwrap();
+        assert!(
+            matches!(report.class, TailClass::TruncatedPowerLaw | TailClass::LongTailed),
+            "classified as {:?} (tpl_vs_ln R={} p={})",
+            report.class,
+            report.tpl_vs_ln.r,
+            report.tpl_vs_ln.p
+        );
+    }
+
+    #[test]
+    fn classify_handles_insufficient_data() {
+        assert!(classify_tail(&[1.0, 2.0], &ClassifyOptions::default()).is_none());
+        assert!(classify_tail(&[], &ClassifyOptions::default()).is_none());
+        assert!(classify_tail(&[0.0; 100], &ClassifyOptions::default()).is_none());
+    }
+
+    #[test]
+    fn classify_tolerates_zeros_and_nans() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut data: Vec<f64> = (0..20_000)
+            .map(|_| (1.0 - rng.gen::<f64>()).powf(-1.0 / 1.5))
+            .collect();
+        data.extend(vec![0.0; 5000]);
+        data.push(f64::NAN);
+        let report = classify_tail(&data, &ClassifyOptions::default()).unwrap();
+        assert!(report.class.is_heavy(), "{:?}", report.class);
+    }
+
+    #[test]
+    fn decimation_keeps_classification_stable() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let data: Vec<f64> = (0..300_000)
+            .map(|_| (1.0 - rng.gen::<f64>()).powf(-1.0 / 1.4))
+            .collect();
+        let small = ClassifyOptions { max_tail_points: 20_000, ..Default::default() };
+        let r1 = classify_tail(&data, &small).unwrap();
+        assert!(r1.class.is_heavy());
+        assert!(r1.n_tail > 100_000); // reported tail size is pre-decimation
+    }
+}

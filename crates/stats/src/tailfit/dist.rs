@@ -1,0 +1,399 @@
+//! The four candidate tail models the paper's appendix compares.
+//!
+//! All models are *continuous* distributions conditioned on `x ≥ x_min`,
+//! exactly as in the `powerlaw` package's default mode. The empirical data is
+//! discrete (friend counts, minutes, cents) but the paper's methodology — per
+//! Clauset et al. — treats tails continuously; see the crate docs for the
+//! discreteness caveat.
+
+use crate::special::{ln_upper_gamma, std_normal_cdf, upper_gamma};
+
+/// A fitted tail model: log-density and CDF on `x ≥ x_min`.
+pub trait TailModel {
+    /// Human-readable name ("power law", ...).
+    fn name(&self) -> &'static str;
+
+    /// Natural log of the density at `x` (conditioned on the tail).
+    fn ln_pdf(&self, x: f64) -> f64;
+
+    /// CDF on the tail: P(X ≤ x | X ≥ x_min).
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Sum of log-densities over a sample.
+    fn log_likelihood(&self, tail: &[f64]) -> f64 {
+        tail.iter().map(|&x| self.ln_pdf(x)).sum()
+    }
+
+    /// Per-point log-densities (the Vuong test needs the vector, not just
+    /// the sum). Implementations with an expensive normalization constant
+    /// override this to compute it once.
+    fn ln_pdf_batch(&self, tail: &[f64]) -> Vec<f64> {
+        tail.iter().map(|&x| self.ln_pdf(x)).collect()
+    }
+}
+
+/// Pure power law: p(x) ∝ x^{-α}, α > 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLaw {
+    pub alpha: f64,
+    pub xmin: f64,
+}
+
+impl TailModel for PowerLaw {
+    fn name(&self) -> &'static str {
+        "power law"
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.xmin {
+            return f64::NEG_INFINITY;
+        }
+        (self.alpha - 1.0).ln() - self.xmin.ln() - self.alpha * (x / self.xmin).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.xmin {
+            return 0.0;
+        }
+        1.0 - (x / self.xmin).powf(1.0 - self.alpha)
+    }
+}
+
+/// Exponential: p(x) ∝ e^{-λx}, λ > 0 — the non-heavy-tailed null model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    pub lambda: f64,
+    pub xmin: f64,
+}
+
+impl TailModel for Exponential {
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.xmin {
+            return f64::NEG_INFINITY;
+        }
+        self.lambda.ln() - self.lambda * (x - self.xmin)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.xmin {
+            return 0.0;
+        }
+        1.0 - (-self.lambda * (x - self.xmin)).exp()
+    }
+}
+
+/// Lognormal, truncated at x_min.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lognormal {
+    pub mu: f64,
+    pub sigma: f64,
+    pub xmin: f64,
+}
+
+impl Lognormal {
+    /// Survival mass above x_min under the untruncated lognormal.
+    fn tail_mass(&self) -> f64 {
+        1.0 - std_normal_cdf((self.xmin.ln() - self.mu) / self.sigma)
+    }
+}
+
+impl Lognormal {
+    /// Batch log-likelihood with the truncation mass computed once — the
+    /// per-point [`TailModel::ln_pdf`] would re-evaluate the normal CDF for
+    /// every sample, which dominates the MLE's inner loop.
+    fn log_likelihood_fast(&self, tail: &[f64]) -> f64 {
+        if self.sigma <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let mass = self.tail_mass();
+        if mass <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let n = tail.len() as f64;
+        let constant = self.sigma.ln() + 0.5 * (2.0 * std::f64::consts::PI).ln() + mass.ln();
+        let mut sum = 0.0;
+        for &x in tail {
+            if x < self.xmin {
+                return f64::NEG_INFINITY;
+            }
+            let lx = x.ln();
+            let z = (lx - self.mu) / self.sigma;
+            sum += -lx - 0.5 * z * z;
+        }
+        sum - n * constant
+    }
+}
+
+impl TailModel for Lognormal {
+    fn name(&self) -> &'static str {
+        "lognormal"
+    }
+
+    fn log_likelihood(&self, tail: &[f64]) -> f64 {
+        self.log_likelihood_fast(tail)
+    }
+
+    fn ln_pdf_batch(&self, tail: &[f64]) -> Vec<f64> {
+        let mass = self.tail_mass();
+        if self.sigma <= 0.0 || mass <= 0.0 {
+            return vec![f64::NEG_INFINITY; tail.len()];
+        }
+        let constant =
+            self.sigma.ln() + 0.5 * (2.0 * std::f64::consts::PI).ln() + mass.ln();
+        tail.iter()
+            .map(|&x| {
+                if x < self.xmin {
+                    return f64::NEG_INFINITY;
+                }
+                let lx = x.ln();
+                let z = (lx - self.mu) / self.sigma;
+                -lx - 0.5 * z * z - constant
+            })
+            .collect()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.xmin || self.sigma <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        let mass = self.tail_mass();
+        if mass <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        -x.ln()
+            - self.sigma.ln()
+            - 0.5 * (2.0 * std::f64::consts::PI).ln()
+            - 0.5 * z * z
+            - mass.ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.xmin {
+            return 0.0;
+        }
+        let mass = self.tail_mass();
+        if mass <= 0.0 {
+            return 1.0;
+        }
+        let below_x = std_normal_cdf((x.ln() - self.mu) / self.sigma);
+        let below_min = std_normal_cdf((self.xmin.ln() - self.mu) / self.sigma);
+        ((below_x - below_min) / mass).clamp(0.0, 1.0)
+    }
+}
+
+/// Truncated power law: p(x) ∝ x^{-α} e^{-λx} — a power law with an
+/// exponential cutoff. Normalization uses Γ(1-α, λ·x_min), which requires the
+/// incomplete gamma at negative first arguments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TruncatedPowerLaw {
+    pub alpha: f64,
+    pub lambda: f64,
+    pub xmin: f64,
+}
+
+impl TruncatedPowerLaw {
+    /// ln of the normalization constant C where p(x) = C·x^{-α}e^{-λx}.
+    fn ln_norm(&self) -> f64 {
+        // ∫_{xmin}^∞ x^{-α} e^{-λx} dx = λ^{α-1} Γ(1-α, λ·xmin)
+        // C = 1 / that = λ^{1-α} / Γ(1-α, λ·xmin)
+        (1.0 - self.alpha) * self.lambda.ln()
+            - ln_upper_gamma(1.0 - self.alpha, self.lambda * self.xmin)
+    }
+}
+
+impl TailModel for TruncatedPowerLaw {
+    fn name(&self) -> &'static str {
+        "truncated power law"
+    }
+
+    /// Batch log-likelihood with the Γ(1−α, λ·x_min) normalization computed
+    /// once instead of per point.
+    fn log_likelihood(&self, tail: &[f64]) -> f64 {
+        if self.lambda <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let ln_norm = self.ln_norm();
+        if !ln_norm.is_finite() {
+            return f64::NEG_INFINITY;
+        }
+        let mut sum_ln = 0.0;
+        let mut sum_x = 0.0;
+        for &x in tail {
+            if x < self.xmin {
+                return f64::NEG_INFINITY;
+            }
+            sum_ln += x.ln();
+            sum_x += x;
+        }
+        tail.len() as f64 * ln_norm - self.alpha * sum_ln - self.lambda * sum_x
+    }
+
+    fn ln_pdf_batch(&self, tail: &[f64]) -> Vec<f64> {
+        if self.lambda <= 0.0 {
+            return vec![f64::NEG_INFINITY; tail.len()];
+        }
+        let ln_norm = self.ln_norm();
+        tail.iter()
+            .map(|&x| {
+                if x < self.xmin {
+                    f64::NEG_INFINITY
+                } else {
+                    ln_norm - self.alpha * x.ln() - self.lambda * x
+                }
+            })
+            .collect()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.xmin || self.lambda <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.ln_norm() - self.alpha * x.ln() - self.lambda * x
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.xmin {
+            return 0.0;
+        }
+        let s = 1.0 - self.alpha;
+        let denom = upper_gamma(s, self.lambda * self.xmin);
+        if !(denom.is_finite() && denom > 0.0) {
+            // Underflow regime: fall back to log-space ratio.
+            let ln_num = ln_upper_gamma(s, self.lambda * x);
+            let ln_den = ln_upper_gamma(s, self.lambda * self.xmin);
+            return (1.0 - (ln_num - ln_den).exp()).clamp(0.0, 1.0);
+        }
+        let num = upper_gamma(s, self.lambda * x);
+        (1.0 - num / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically integrate a model's density over the tail; must be ~1.
+    fn integral<M: TailModel>(m: &M, xmin: f64, hi: f64, steps: usize) -> f64 {
+        let mut total = 0.0;
+        // Log-spaced trapezoid to handle the wide range.
+        let ratio = (hi / xmin).powf(1.0 / steps as f64);
+        let mut x = xmin;
+        for _ in 0..steps {
+            let x2 = x * ratio;
+            let f1 = m.ln_pdf(x).exp();
+            let f2 = m.ln_pdf(x2).exp();
+            total += 0.5 * (f1 + f2) * (x2 - x);
+            x = x2;
+        }
+        total
+    }
+
+    #[test]
+    fn power_law_normalizes() {
+        let m = PowerLaw { alpha: 2.5, xmin: 1.0 };
+        let i = integral(&m, 1.0, 1e9, 4000);
+        assert!((i - 1.0).abs() < 1e-3, "integral = {i}");
+    }
+
+    #[test]
+    fn power_law_cdf_matches_integral() {
+        let m = PowerLaw { alpha: 2.0, xmin: 2.0 };
+        assert!((m.cdf(2.0)).abs() < 1e-12);
+        assert!((m.cdf(4.0) - 0.5).abs() < 1e-12); // 1 - (4/2)^{-1}
+        assert!((m.cdf(f64::INFINITY) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_normalizes() {
+        let m = Exponential { lambda: 0.7, xmin: 3.0 };
+        let i = integral(&m, 3.0, 200.0, 20_000);
+        assert!((i - 1.0).abs() < 1e-3, "integral = {i}");
+        assert!((m.cdf(3.0)).abs() < 1e-12);
+        assert!((m.cdf(3.0 + 1.0 / 0.7) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_normalizes() {
+        let m = Lognormal { mu: 1.0, sigma: 1.2, xmin: 0.5 };
+        let i = integral(&m, 0.5, 1e6, 20_000);
+        assert!((i - 1.0).abs() < 1e-3, "integral = {i}");
+    }
+
+    #[test]
+    fn lognormal_cdf_endpoints() {
+        let m = Lognormal { mu: 0.0, sigma: 1.0, xmin: 1.0 };
+        assert_eq!(m.cdf(0.5), 0.0);
+        assert!((m.cdf(1.0)).abs() < 1e-12);
+        assert!(m.cdf(1e9) > 0.999);
+        // Monotone.
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let c = m.cdf(1.0 + i as f64 * 0.5);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn truncated_power_law_normalizes() {
+        let m = TruncatedPowerLaw { alpha: 1.8, lambda: 0.01, xmin: 1.0 };
+        let i = integral(&m, 1.0, 5000.0, 40_000);
+        assert!((i - 1.0).abs() < 2e-3, "integral = {i}");
+    }
+
+    #[test]
+    fn truncated_power_law_cdf_consistent_with_pdf() {
+        let m = TruncatedPowerLaw { alpha: 2.2, lambda: 0.05, xmin: 2.0 };
+        // CDF differences ≈ integral of pdf over the interval.
+        for (a, b) in [(2.0, 5.0), (5.0, 20.0), (20.0, 100.0)] {
+            let cdf_diff = m.cdf(b) - m.cdf(a);
+            let approx = integral(&m, a, b, 8000) * 1.0;
+            assert!(
+                (cdf_diff - approx).abs() < 5e-3,
+                "[{a},{b}] cdf {cdf_diff} vs ∫pdf {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn tpl_with_tiny_lambda_approaches_power_law() {
+        let pl = PowerLaw { alpha: 2.5, xmin: 1.0 };
+        let tpl = TruncatedPowerLaw { alpha: 2.5, lambda: 1e-9, xmin: 1.0 };
+        for x in [1.0, 2.0, 10.0, 100.0] {
+            assert!(
+                (pl.ln_pdf(x) - tpl.ln_pdf(x)).abs() < 1e-3,
+                "x={x}: {} vs {}",
+                pl.ln_pdf(x),
+                tpl.ln_pdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn below_xmin_is_impossible() {
+        assert_eq!(PowerLaw { alpha: 2.0, xmin: 5.0 }.ln_pdf(4.9), f64::NEG_INFINITY);
+        assert_eq!(Exponential { lambda: 1.0, xmin: 5.0 }.ln_pdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(
+            Lognormal { mu: 0.0, sigma: 1.0, xmin: 5.0 }.ln_pdf(1.0),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            TruncatedPowerLaw { alpha: 2.0, lambda: 0.1, xmin: 5.0 }.ln_pdf(1.0),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn log_likelihood_sums() {
+        let m = PowerLaw { alpha: 2.0, xmin: 1.0 };
+        let data = [1.0, 2.0, 4.0];
+        let ll = m.log_likelihood(&data);
+        let manual: f64 = data.iter().map(|&x| m.ln_pdf(x)).sum();
+        assert_eq!(ll, manual);
+    }
+}

@@ -1,0 +1,211 @@
+//! Log-likelihood-ratio tests between candidate tail models.
+//!
+//! Follows Clauset, Shalizi & Newman (2009) §5 / Vuong (1989), as implemented
+//! by the `powerlaw` package the paper used: for non-nested pairs, the
+//! normalized ratio `R / (σ√n)` is asymptotically standard normal under the
+//! null that both models are equally far from the truth, giving a two-sided
+//! p-value. For nested pairs (power law inside truncated power law), `2R` is
+//! asymptotically χ²₁.
+
+use super::dist::TailModel;
+use crate::special::{erf, two_sided_p};
+
+/// Outcome of one pairwise comparison, as reported in the paper's Table 4.
+#[derive(Clone, Copy, Debug)]
+pub struct Comparison {
+    /// Total log-likelihood ratio Σᵢ (ln p₁(xᵢ) − ln p₂(xᵢ)).
+    /// Positive favors the first model.
+    pub r: f64,
+    /// Two-sided significance of the ratio.
+    pub p: f64,
+}
+
+impl Comparison {
+    /// Whether the test is significant at the paper's 0.05 threshold.
+    pub fn significant(&self) -> bool {
+        self.p < 0.05
+    }
+
+    /// Significant evidence for the first model.
+    pub fn favors_first(&self) -> bool {
+        self.significant() && self.r > 0.0
+    }
+
+    /// Significant evidence for the second model.
+    pub fn favors_second(&self) -> bool {
+        self.significant() && self.r < 0.0
+    }
+}
+
+/// Vuong test for non-nested models over the same tail sample.
+pub fn compare_non_nested<A: TailModel, B: TailModel>(
+    tail: &[f64],
+    first: &A,
+    second: &B,
+) -> Comparison {
+    let n = tail.len();
+    if n == 0 {
+        return Comparison { r: 0.0, p: 1.0 };
+    }
+    let a = first.ln_pdf_batch(tail);
+    let b = second.ln_pdf_batch(tail);
+    let diffs: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+    let r: f64 = diffs.iter().sum();
+    let mean = r / n as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 || !r.is_finite() {
+        return Comparison { r, p: 1.0 };
+    }
+    // Normalized statistic R / (σ √n) ~ N(0,1) under the null.
+    let z = r / (var.sqrt() * (n as f64).sqrt());
+    Comparison { r, p: two_sided_p(z) }
+}
+
+/// Likelihood-ratio test for nested models (`first` must nest `second`, e.g.
+/// truncated power law vs power law). Under the null that the simpler model
+/// suffices, `2R ~ χ²₁`; p = 1 − F_{χ²₁}(2R).
+pub fn compare_nested<A: TailModel, B: TailModel>(
+    tail: &[f64],
+    first: &A,
+    second: &B,
+) -> Comparison {
+    if tail.is_empty() {
+        return Comparison { r: 0.0, p: 1.0 };
+    }
+    let r = first.log_likelihood(tail) - second.log_likelihood(tail);
+    if !r.is_finite() {
+        return Comparison { r, p: 1.0 };
+    }
+    // χ²₁ CDF(x) = erf(√(x/2)); with x = 2R, p = 1 − erf(√R).
+    let p = if r <= 0.0 { 1.0 } else { 1.0 - erf(r.sqrt()) };
+    Comparison { r, p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tailfit::dist::{Exponential, Lognormal, PowerLaw, TruncatedPowerLaw};
+    use crate::tailfit::fit::{
+        fit_exponential, fit_lognormal, fit_power_law, fit_truncated_power_law,
+    };
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn power_law_sample(rng: &mut StdRng, alpha: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| (1.0 - rng.gen::<f64>()).powf(-1.0 / (alpha - 1.0)))
+            .collect()
+    }
+
+    fn lognormal_sample(rng: &mut StdRng, mu: f64, sigma: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * z).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn power_law_data_beats_exponential() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = power_law_sample(&mut rng, 2.3, 5000);
+        let pl = fit_power_law(&data, 1.0);
+        let ex = fit_exponential(&data, 1.0);
+        let cmp = compare_non_nested(&data, &pl, &ex);
+        assert!(cmp.favors_first(), "R={} p={}", cmp.r, cmp.p);
+    }
+
+    #[test]
+    fn exponential_data_beats_power_law() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data: Vec<f64> = (0..5000)
+            .map(|_| 1.0 - (1.0 - rng.gen::<f64>()).ln() / 0.5)
+            .collect();
+        let pl = fit_power_law(&data, 1.0);
+        let ex = fit_exponential(&data, 1.0);
+        let cmp = compare_non_nested(&data, &pl, &ex);
+        assert!(cmp.favors_second(), "R={} p={}", cmp.r, cmp.p);
+    }
+
+    #[test]
+    fn lognormal_data_beats_power_law() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let raw = lognormal_sample(&mut rng, 2.0, 0.6, 30_000);
+        let xmin = 1.0;
+        let mut tail: Vec<f64> = raw.into_iter().filter(|&x| x >= xmin).collect();
+        tail.sort_by(f64::total_cmp);
+        let pl = fit_power_law(&tail, xmin);
+        let ln = fit_lognormal(&tail, xmin);
+        let cmp = compare_non_nested(&tail, &pl, &ln);
+        assert!(cmp.favors_second(), "R={} p={}", cmp.r, cmp.p);
+    }
+
+    #[test]
+    fn identical_models_are_indistinguishable() {
+        let data = vec![1.0, 2.0, 3.0, 5.0, 8.0];
+        let m1 = PowerLaw { alpha: 2.0, xmin: 1.0 };
+        let m2 = PowerLaw { alpha: 2.0, xmin: 1.0 };
+        let cmp = compare_non_nested(&data, &m1, &m2);
+        assert_eq!(cmp.r, 0.0);
+        assert_eq!(cmp.p, 1.0);
+        assert!(!cmp.significant());
+    }
+
+    #[test]
+    fn nested_test_prefers_tpl_when_cutoff_is_real() {
+        let mut rng = StdRng::seed_from_u64(14);
+        // TPL sample via rejection.
+        let alpha = 1.6;
+        let lambda = 0.05;
+        let mut data = Vec::new();
+        while data.len() < 8000 {
+            let x = (1.0 - rng.gen::<f64>()).powf(-1.0 / (alpha - 1.0));
+            if rng.gen::<f64>() < (-lambda * (x - 1.0)).exp() {
+                data.push(x);
+            }
+        }
+        let pl = fit_power_law(&data, 1.0);
+        let tpl = fit_truncated_power_law(&data, 1.0);
+        let cmp = compare_nested(&data, &tpl, &pl);
+        assert!(cmp.favors_first(), "R={} p={}", cmp.r, cmp.p);
+    }
+
+    #[test]
+    fn nested_test_insignificant_on_pure_power_law() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let data = power_law_sample(&mut rng, 2.5, 4000);
+        let pl = fit_power_law(&data, 1.0);
+        let tpl = fit_truncated_power_law(&data, 1.0);
+        let cmp = compare_nested(&data, &tpl, &pl);
+        // TPL can only match or slightly exceed PL likelihood here; the
+        // nested test must not call that significant.
+        assert!(cmp.r >= -1e-6, "TPL should nest PL, R={}", cmp.r);
+        assert!(!cmp.favors_first() || cmp.r < 3.0, "spurious cutoff: R={} p={}", cmp.r, cmp.p);
+    }
+
+    #[test]
+    fn tpl_vs_lognormal_prefers_truth() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let raw = lognormal_sample(&mut rng, 2.0, 0.5, 40_000);
+        let xmin = 2.0;
+        let tail: Vec<f64> = raw.into_iter().filter(|&x| x >= xmin).collect();
+        let tpl = fit_truncated_power_law(&tail, xmin);
+        let ln = fit_lognormal(&tail, xmin);
+        let cmp = compare_non_nested(&tail, &tpl, &ln);
+        // Lognormal data: the comparison should not significantly favor TPL.
+        assert!(!cmp.favors_first(), "R={} p={}", cmp.r, cmp.p);
+    }
+
+    #[test]
+    fn empty_tail_is_neutral() {
+        let pl = PowerLaw { alpha: 2.0, xmin: 1.0 };
+        let ln = Lognormal { mu: 0.0, sigma: 1.0, xmin: 1.0 };
+        let tpl = TruncatedPowerLaw { alpha: 2.0, lambda: 0.1, xmin: 1.0 };
+        let ex = Exponential { lambda: 1.0, xmin: 1.0 };
+        assert_eq!(compare_non_nested(&[], &pl, &ln).p, 1.0);
+        assert_eq!(compare_nested(&[], &tpl, &ex).p, 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! A small Nelder–Mead simplex minimizer for the 2-parameter MLE fits
+//! (lognormal and truncated power law have no closed-form estimators on a
+//! truncated support).
+
+/// Minimizes `f` starting from `x0`, returning `(argmin, min)`.
+///
+/// Standard Nelder–Mead with reflection/expansion/contraction/shrink
+/// (coefficients 1, 2, 0.5, 0.5), simplex initialized by perturbing each
+/// coordinate by `step`. Deterministic; converges when the simplex's value
+/// spread falls below `tol` or `max_iter` evaluations elapse.
+pub fn minimize<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    step: f64,
+    tol: f64,
+    max_iter: usize,
+) -> (Vec<f64>, f64) {
+    let dim = x0.len();
+    assert!(dim >= 1, "need at least one parameter");
+
+    // Build initial simplex.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dim + 1);
+    let v0 = f(x0);
+    simplex.push((x0.to_vec(), v0));
+    for d in 0..dim {
+        let mut p = x0.to_vec();
+        p[d] += if p[d].abs() > 1e-12 { step * p[d].abs() } else { step };
+        let v = f(&p);
+        simplex.push((p, v));
+    }
+
+    for _ in 0..max_iter {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let best = simplex[0].1;
+        let worst = simplex[dim].1;
+        if (worst - best).abs() < tol * (1.0 + best.abs()) {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; dim];
+        for (p, _) in &simplex[..dim] {
+            for (c, x) in centroid.iter_mut().zip(p) {
+                *c += x / dim as f64;
+            }
+        }
+
+        let worst_point = simplex[dim].0.clone();
+        let lerp = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst_point)
+                .map(|(c, w)| c + t * (c - w))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = lerp(1.0);
+        let fr = f(&xr);
+        if fr < simplex[0].1 {
+            // Expansion.
+            let xe = lerp(2.0);
+            let fe = f(&xe);
+            simplex[dim] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < simplex[dim - 1].1 {
+            simplex[dim] = (xr, fr);
+        } else {
+            // Contraction (outside if fr better than worst, else inside).
+            let (xc, fc) = if fr < simplex[dim].1 {
+                let xc = lerp(0.5);
+                let fc = f(&xc);
+                (xc, fc)
+            } else {
+                let xc = lerp(-0.5);
+                let fc = f(&xc);
+                (xc, fc)
+            };
+            if fc < simplex[dim].1.min(fr) {
+                simplex[dim] = (xc, fc);
+            } else {
+                // Shrink toward the best vertex.
+                let best_point = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let p: Vec<f64> = entry
+                        .0
+                        .iter()
+                        .zip(&best_point)
+                        .map(|(x, b)| b + 0.5 * (x - b))
+                        .collect();
+                    let v = f(&p);
+                    *entry = (p, v);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    simplex.swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let (x, v) = minimize(|p| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2), &[0.0, 0.0], 0.5, 1e-12, 500);
+        assert!((x[0] - 3.0).abs() < 1e-4, "{x:?}");
+        assert!((x[1] + 1.0).abs() < 1e-4, "{x:?}");
+        assert!(v < 1e-7);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let rosen =
+            |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let (x, v) = minimize(rosen, &[-1.2, 1.0], 0.1, 1e-14, 5000);
+        assert!((x[0] - 1.0).abs() < 1e-3, "{x:?} v={v}");
+        assert!((x[1] - 1.0).abs() < 1e-3, "{x:?} v={v}");
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let (x, _) = minimize(|p| (p[0] - 7.0).abs(), &[0.0], 1.0, 1e-10, 500);
+        assert!((x[0] - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn handles_infinite_regions() {
+        // Function infinite for negative inputs — optimizer must stay finite.
+        let f = |p: &[f64]| {
+            if p[0] <= 0.0 {
+                f64::INFINITY
+            } else {
+                (p[0].ln() - 1.0).powi(2)
+            }
+        };
+        let (x, _) = minimize(f, &[0.5, 0.0], 0.2, 1e-12, 1000);
+        assert!((x[0] - std::f64::consts::E).abs() < 1e-2, "{x:?}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Sampling from the fitted tail models — needed by the parametric
+//! bootstrap in [`gof`](super::gof) and handy for building synthetic
+//! workloads.
+
+use rand::Rng;
+
+use super::dist::{Exponential, Lognormal, PowerLaw, TruncatedPowerLaw};
+use crate::special::std_normal_cdf;
+
+/// A tail model that can draw samples.
+pub trait SampleTail {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+impl SampleTail for PowerLaw {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: x = xmin (1-u)^{-1/(α-1)}.
+        self.xmin * (1.0 - rng.gen::<f64>()).powf(-1.0 / (self.alpha - 1.0))
+    }
+}
+
+impl SampleTail for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.xmin - (1.0 - rng.gen::<f64>()).ln() / self.lambda
+    }
+}
+
+impl SampleTail for Lognormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Rejection from the untruncated lognormal; efficiency equals the
+        // tail mass above xmin, so guard against pathological fits where
+        // almost no mass survives.
+        let zmin = (self.xmin.ln() - self.mu) / self.sigma;
+        let mass = 1.0 - std_normal_cdf(zmin);
+        if mass < 1e-4 {
+            // Approximately exponential beyond xmin with the lognormal's
+            // local hazard; fall back to inverse-hazard sampling.
+            let hazard = (zmin / self.sigma / self.xmin).max(1e-12);
+            return self.xmin - (1.0 - rng.gen::<f64>()).ln() / hazard;
+        }
+        loop {
+            let u1: f64 = rng.gen::<f64>().max(1e-300);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let x = (self.mu + self.sigma * z).exp();
+            if x >= self.xmin {
+                return x;
+            }
+        }
+    }
+}
+
+impl SampleTail for TruncatedPowerLaw {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Rejection from the pure power law with acceptance e^{-λ(x-xmin)}.
+        // Acceptance is bounded below by the cutoff mass near xmin.
+        let envelope = PowerLaw { alpha: self.alpha, xmin: self.xmin };
+        loop {
+            let x = envelope.sample(rng);
+            if rng.gen::<f64>() < (-(x - self.xmin) * self.lambda).exp() {
+                return x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tailfit::dist::TailModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// KS distance between a sampler and its own CDF must be small.
+    fn self_consistent<M: SampleTail + TailModel>(m: &M, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let d = crate::tailfit::fit::ks_distance(&xs, m);
+        assert!(d < 0.02, "{}: KS = {d}", m.name());
+    }
+
+    #[test]
+    fn power_law_sampler_matches_cdf() {
+        self_consistent(&PowerLaw { alpha: 2.3, xmin: 2.0 }, 1);
+    }
+
+    #[test]
+    fn exponential_sampler_matches_cdf() {
+        self_consistent(&Exponential { lambda: 0.6, xmin: 3.0 }, 2);
+    }
+
+    #[test]
+    fn lognormal_sampler_matches_cdf() {
+        self_consistent(&Lognormal { mu: 1.0, sigma: 0.8, xmin: 1.5 }, 3);
+    }
+
+    #[test]
+    fn truncated_power_law_sampler_matches_cdf() {
+        self_consistent(&TruncatedPowerLaw { alpha: 1.8, lambda: 0.02, xmin: 1.0 }, 4);
+    }
+
+    #[test]
+    fn samples_respect_xmin() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = PowerLaw { alpha: 2.0, xmin: 7.0 };
+        assert!((0..1000).all(|_| m.sample(&mut rng) >= 7.0));
+        let m = Lognormal { mu: 0.0, sigma: 1.0, xmin: 2.0 };
+        assert!((0..1000).all(|_| m.sample(&mut rng) >= 2.0));
+    }
+
+    #[test]
+    fn deep_truncated_lognormal_fallback() {
+        // xmin far in the tail: rejection would be hopeless; the hazard
+        // fallback must produce finite values ≥ xmin.
+        let m = Lognormal { mu: 0.0, sigma: 0.5, xmin: 100.0 };
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let x = m.sample(&mut rng);
+            assert!(x >= 100.0 && x.is_finite());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use steam_stats::ecdf::Ecdf;
+use steam_stats::pareto::{gini, lorenz_curve, top_share};
+use steam_stats::spearman::{midranks, pearson, spearman};
+use steam_stats::tailfit::dist::{Lognormal, PowerLaw, TailModel, TruncatedPowerLaw};
+use steam_stats::tailfit::fit::{fit_power_law, ks_distance};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ecdf_cdf_is_monotone_and_bounded(data in vec(-1e6f64..1e6, 1..200), probe in vec(-1e6f64..1e6, 2..20)) {
+        let e = Ecdf::new(data);
+        let mut probes = probe;
+        probes.sort_by(f64::total_cmp);
+        let mut prev = 0.0;
+        for x in probes {
+            let c = e.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-15);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn ecdf_quantile_within_range(data in vec(-1e3f64..1e3, 1..100), q in 0.0f64..=1.0) {
+        let e = Ecdf::new(data);
+        let v = e.quantile(q);
+        prop_assert!(v >= e.min().unwrap() - 1e-12);
+        prop_assert!(v <= e.max().unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(data in vec(0.0f64..1e4, 2..100), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let e = Ecdf::new(data);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(e.quantile(lo) <= e.quantile(hi) + 1e-12);
+    }
+
+    #[test]
+    fn midranks_sum_is_invariant(data in vec(-1e3f64..1e3, 1..100)) {
+        // Ranks always sum to n(n+1)/2 regardless of ties.
+        let r = midranks(&data);
+        let n = data.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spearman_bounded_and_symmetric(
+        pairs in vec((-1e3f64..1e3, -1e3f64..1e3), 3..80)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(rho) = spearman(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+            let rev = spearman(&y, &x).unwrap();
+            prop_assert!((rho - rev).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spearman_negates_under_reflection(
+        pairs in vec((-1e3f64..1e3, -1e3f64..1e3), 3..60)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let neg_y: Vec<f64> = y.iter().map(|v| -v).collect();
+        if let (Some(a), Some(b)) = (spearman(&x, &y), spearman(&x, &neg_y)) {
+            prop_assert!((a + b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_self_correlation_is_one(data in vec(-1e3f64..1e3, 3..60)) {
+        // Guard against constant vectors.
+        let distinct = data.iter().any(|&v| v != data[0]);
+        if distinct {
+            let r = pearson(&data, &data).unwrap();
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_share_bounds(data in vec(0.0f64..1e4, 1..200), frac in 0.01f64..=1.0) {
+        if let Some(s) = top_share(&data, frac) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            // Top share is at least proportional for nonnegative data.
+            prop_assert!(s >= frac - 0.5 / data.len() as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn gini_bounds(data in vec(0.0f64..1e4, 2..200)) {
+        if let Some(g) = gini(&data) {
+            prop_assert!((-1e-9..=1.0).contains(&g), "gini = {g}");
+        }
+    }
+
+    #[test]
+    fn lorenz_is_monotone_and_below_diagonal(data in vec(0.0f64..1e4, 2..100)) {
+        let curve = lorenz_curve(&data, 20);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        for (p, m) in &curve {
+            prop_assert!(*m <= *p + 1e-9, "Lorenz above diagonal: {p} {m}");
+        }
+    }
+
+    #[test]
+    fn power_law_mle_alpha_recovered(alpha in 1.3f64..4.0, seed in any::<u64>()) {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..5000)
+            .map(|_| (1.0 - rng.gen::<f64>()).powf(-1.0 / (alpha - 1.0)))
+            .collect();
+        let fit = fit_power_law(&data, 1.0);
+        prop_assert!((fit.alpha - alpha).abs() < 0.25, "true {alpha} fit {}", fit.alpha);
+    }
+
+    #[test]
+    fn model_cdfs_monotone(alpha in 1.2f64..4.0, lambda in 1e-4f64..0.5, sigma in 0.2f64..2.5) {
+        let models: Vec<Box<dyn TailModel>> = vec![
+            Box::new(PowerLaw { alpha, xmin: 1.0 }),
+            Box::new(Lognormal { mu: 0.5, sigma, xmin: 1.0 }),
+            Box::new(TruncatedPowerLaw { alpha, lambda, xmin: 1.0 }),
+        ];
+        for m in &models {
+            let mut prev = -1e-12;
+            for i in 0..60 {
+                let x = 1.0 * 1.3f64.powi(i);
+                let c = m.cdf(x);
+                prop_assert!((0.0..=1.0).contains(&c), "{} cdf({x}) = {c}", m.name());
+                prop_assert!(c >= prev - 1e-9, "{} not monotone at {x}", m.name());
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn ks_distance_bounded(data in vec(1.0f64..1e4, 10..200), alpha in 1.2f64..4.0) {
+        let mut sorted = data;
+        sorted.sort_by(f64::total_cmp);
+        let m = PowerLaw { alpha, xmin: 1.0 };
+        let d = ks_distance(&sorted, &m);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+}

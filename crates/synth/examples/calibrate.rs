@@ -1,0 +1,92 @@
+//! Calibration harness: prints the headline shape statistics against the
+//! paper's targets so parameter changes can be judged at a glance.
+use steam_synth::{Generator, SynthConfig};
+
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * q) as usize]
+}
+
+fn main() {
+    let world = Generator::new(SynthConfig::small(2016)).generate_world();
+    let snap = &world.snapshot;
+    let n = snap.n_users();
+
+    let mut deg = vec![0u32; n];
+    for e in &snap.friendships {
+        deg[e.a as usize] += 1;
+        deg[e.b as usize] += 1;
+    }
+    let mut dnz: Vec<f64> = deg.iter().filter(|&&d| d > 0).map(|&d| f64::from(d)).collect();
+    dnz.sort_by(f64::total_cmp);
+    println!("friends nz: p50={:.0} p80={:.0} p90={:.0} p95={:.0} p99={:.0} | mean_all={:.2} (paper 4/15/29/50/122, mean 3.6)",
+        pct(&dnz,0.5), pct(&dnz,0.8), pct(&dnz,0.9), pct(&dnz,0.95), pct(&dnz,0.99),
+        deg.iter().map(|&d| f64::from(d)).sum::<f64>() / n as f64);
+
+    let idx = snap.catalog_index();
+    let mut owned: Vec<f64> = Vec::new();
+    let mut value: Vec<f64> = Vec::new();
+    let mut total_h: Vec<f64> = Vec::new();
+    let mut tw_owners: Vec<f64> = Vec::new();
+    let mut games_per_user = 0f64;
+    for (u, lib) in snap.ownerships.iter().enumerate() {
+        games_per_user += lib.len() as f64;
+        if lib.is_empty() { continue; }
+        owned.push(lib.len() as f64);
+        value.push(snap.account_value_cents(u as u32, &idx) as f64 / 100.0);
+        let t: u64 = lib.iter().map(|o| u64::from(o.playtime_forever_min)).sum();
+        if t > 0 { total_h.push(t as f64 / 60.0); }
+        let tw: u64 = lib.iter().map(|o| u64::from(o.playtime_2weeks_min)).sum();
+        tw_owners.push(tw as f64 / 60.0);
+    }
+    owned.sort_by(f64::total_cmp);
+    value.sort_by(f64::total_cmp);
+    total_h.sort_by(f64::total_cmp);
+    tw_owners.sort_by(f64::total_cmp);
+    println!("owned nz: p50={:.0} p80={:.0} p90={:.0} p95={:.0} p99={:.0} max={:.0} | games/user={:.2} (paper 4/10/21/39/115, 3.54)",
+        pct(&owned,0.5), pct(&owned,0.8), pct(&owned,0.9), pct(&owned,0.95), pct(&owned,0.99), owned.last().unwrap(), games_per_user / n as f64);
+    println!("value nz: p50=${:.0} p80=${:.0} p90=${:.0} p99=${:.0} max=${:.0} (paper 50/151/318/1594/24315)",
+        pct(&value,0.5), pct(&value,0.8), pct(&value,0.9), pct(&value,0.99), value.last().unwrap());
+    println!("total h nz: p50={:.0} p80={:.0} p90={:.0} p95={:.0} p99={:.0} (paper 34/336/740/1234/2660)",
+        pct(&total_h,0.5), pct(&total_h,0.8), pct(&total_h,0.9), pct(&total_h,0.95), pct(&total_h,0.99));
+    let zero_share = tw_owners.iter().filter(|&&h| h == 0.0).count() as f64 / tw_owners.len() as f64;
+    let mut tw_nz: Vec<f64> = tw_owners.iter().copied().filter(|&h| h > 0.0).collect();
+    tw_nz.sort_by(f64::total_cmp);
+    println!("two-week: zero={:.2} | nz p50={:.1} p80={:.1} max={:.0} | owners p90={:.1} p95={:.1} p99={:.1} (paper >0.80, p80nz=32.05, 8.7/25.5/70.8)",
+        zero_share, pct(&tw_nz,0.5), pct(&tw_nz,0.8), tw_nz.last().unwrap(), pct(&tw_owners,0.9), pct(&tw_owners,0.95), pct(&tw_owners,0.99));
+
+    // homophily
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in &snap.friendships { adj[e.a as usize].push(e.b); adj[e.b as usize].push(e.a); }
+    let spearman = |xs: &Vec<f64>, ys: &Vec<f64>| -> f64 {
+        steam_stats::spearman(xs, ys).unwrap_or(f64::NAN)
+    };
+    let vals: Vec<f64> = (0..n).map(|u| snap.account_value_cents(u as u32, &idx) as f64).collect();
+    let degs: Vec<f64> = deg.iter().map(|&d| f64::from(d)).collect();
+    let totals: Vec<f64> = snap.ownerships.iter().map(|l| l.iter().map(|o| o.playtime_forever_min as f64).sum()).collect();
+    let owneds: Vec<f64> = snap.ownerships.iter().map(|l| l.len() as f64).collect();
+    for (name, attr, paper) in [("value", &vals, 0.77), ("degree", &degs, 0.62), ("playtime", &totals, 0.61), ("owned", &owneds, 0.45)] {
+        let mut own = Vec::new(); let mut fr = Vec::new();
+        for u in 0..n {
+            if !adj[u].is_empty() {
+                own.push(attr[u]);
+                fr.push(adj[u].iter().map(|&v| attr[v as usize]).sum::<f64>() / adj[u].len() as f64);
+            }
+        }
+        println!("homophily {name}: rho={:.2} (paper {paper})", spearman(&own, &fr));
+    }
+    // behavior correlations among engaged
+    let engaged: Vec<usize> = (0..n).filter(|&u| owneds[u] > 0.0 && degs[u] > 0.0).collect();
+    let pick = |attr: &Vec<f64>| -> Vec<f64> { engaged.iter().map(|&u| attr[u]).collect() };
+    println!("corr(owned,friends)={:.2} (0.34) corr(owned,total)={:.2} (0.21) corr(friends,total)={:.2} (0.17)",
+        spearman(&pick(&owneds), &pick(&degs)), spearman(&pick(&owneds), &pick(&totals)), spearman(&pick(&degs), &pick(&totals)));
+
+    // two-week tail classification
+    let tw_all: Vec<f64> = snap.ownerships.iter().map(|l| l.iter().map(|o| o.playtime_2weeks_min as f64).sum::<f64>()).filter(|&x| x > 0.0).collect();
+    if let Some(rep) = steam_stats::classify_tail(&tw_all, &steam_stats::ClassifyOptions::default()) {
+        println!("two-week class: {:?} (xmin={:.0}, n_tail={})", rep.class, rep.xmin, rep.n_tail);
+    }
+    let own_all: Vec<f64> = owned.clone();
+    if let Some(rep) = steam_stats::classify_tail(&own_all, &steam_stats::ClassifyOptions::default()) {
+        println!("ownership class: {:?}", rep.class);
+    }
+}

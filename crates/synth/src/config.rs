@@ -1,0 +1,296 @@
+//! Generator configuration and calibration constants.
+//!
+//! Every knob defaults to a value calibrated so that the generated
+//! population's *shape statistics* (percentile ladders, Pareto shares, genre
+//! shares, correlation magnitudes, distribution classes) land near the
+//! paper's published numbers. Absolute totals scale linearly with
+//! `n_users`; EXPERIMENTS.md records paper-vs-measured for each experiment.
+
+/// Full configuration of the synthetic Steam population.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+    /// Number of valid accounts to generate.
+    pub n_users: usize,
+    /// Catalog size in products (the paper collected 6,156).
+    pub n_products: usize,
+    /// Number of community groups (the paper found 3.0 M for 108.7 M users;
+    /// we keep the same ratio by default).
+    pub n_groups: usize,
+
+    // --- ID space (§3.1 density pattern) ---
+    /// Valid-account density in the first `density_break` of the ID range.
+    pub early_density: f64,
+    /// Valid-account density after the break.
+    pub late_density: f64,
+    /// Fraction of the ID range with low density (the paper: ~21.5%).
+    pub density_break: f64,
+
+    // --- Profiles ---
+    /// Fraction of users who self-report a country (paper: 10.7%).
+    pub country_report_rate: f64,
+    /// Fraction of users who self-report a city (paper: 4.0%).
+    pub city_report_rate: f64,
+    /// Cities per country for the locality analysis.
+    pub cities_per_country: u16,
+    /// Fraction of accounts with a linked Facebook account (friend cap 300).
+    pub facebook_rate: f64,
+    /// Fraction of profiles set private (no behavioral data harvested).
+    pub private_rate: f64,
+
+    // --- Friendships ---
+    /// Fraction of users with at least one friend.
+    pub social_rate: f64,
+    /// Lognormal (mu, sigma) of target friend counts among social users.
+    pub degree_mu: f64,
+    pub degree_sigma: f64,
+    /// Fraction of social users whose target degree is drawn from the
+    /// Pareto tail instead (drives the 99th percentile and the cap pile-up).
+    pub degree_tail_rate: f64,
+    /// Pareto (xmin, alpha) of the degree tail.
+    pub degree_tail_xmin: f64,
+    pub degree_tail_alpha: f64,
+    /// Probability a friendship partner is drawn from the same country
+    /// (among country-reporting users; calibrates §4.1's 30.34%
+    /// international share).
+    pub same_country_bias: f64,
+    /// Probability a same-country friendship partner is same-city.
+    pub same_city_bias: f64,
+    /// Width (in rank space, as a fraction of the population) of the
+    /// engagement-sorted attachment window; smaller = stronger homophily.
+    pub homophily_window: f64,
+    /// Per-stub key noise in the friendship matcher; smaller = friends more
+    /// similar along every behavioral dimension (§7's homophily ladder).
+    pub matching_noise: f64,
+
+    // --- Ownership ---
+    /// Fraction of users who own at least one game.
+    pub owner_rate: f64,
+    /// Lognormal (mu, sigma) of library sizes among owners.
+    pub library_mu: f64,
+    pub library_sigma: f64,
+    /// Fraction of owners whose library size is Pareto-tailed.
+    pub library_tail_rate: f64,
+    pub library_tail_xmin: f64,
+    pub library_tail_alpha: f64,
+    /// Collector archetype rate (huge libraries, mostly unplayed).
+    pub collector_rate: f64,
+    /// How much engagement shifts library size (correlation knob).
+    pub library_engagement_coupling: f64,
+
+    // --- Playtime ---
+    /// Mixture weight of the "invested" playtime component among players.
+    pub playtime_heavy_rate: f64,
+    /// Lognormal (mu, sigma) for casual total playtime (minutes).
+    pub playtime_casual_mu: f64,
+    pub playtime_casual_sigma: f64,
+    /// Lognormal (mu, sigma) for invested total playtime (minutes).
+    pub playtime_heavy_mu: f64,
+    pub playtime_heavy_sigma: f64,
+    /// Fraction of owners active in the two-week window (paper: <20%).
+    pub active_two_week_rate: f64,
+    /// Truncated-power-law (alpha, scale minutes) of two-week playtime.
+    pub two_week_alpha: f64,
+    pub two_week_scale: f64,
+    /// Idle-farmer archetype rate (two-week playtime near the 336 h cap).
+    pub idle_farmer_rate: f64,
+    /// Extra playtime multiplier for multiplayer games (drives Figure 10).
+    pub multiplayer_boost: f64,
+    /// How much engagement shifts playtime (correlation knob).
+    pub playtime_engagement_coupling: f64,
+
+    // --- Groups ---
+    /// Fraction of users belonging to at least one group.
+    pub group_member_rate: f64,
+    /// Lognormal (mu, sigma) of membership counts among members.
+    pub membership_mu: f64,
+    pub membership_sigma: f64,
+    /// Probability a membership is chosen via an owned game's focal groups
+    /// (vs. global popularity) — drives Figure 3's game-focused groups.
+    pub game_directed_membership: f64,
+
+    // --- Catalog ---
+    /// Fraction of products that are games (vs demos/DLC/trailers/tools).
+    pub game_fraction: f64,
+    /// Fraction of games with a multiplayer component (paper: 48.7%).
+    pub multiplayer_fraction: f64,
+    /// Zipf exponent of game popularity.
+    pub popularity_zipf: f64,
+    /// Fraction of games offering zero achievements.
+    pub no_achievements_rate: f64,
+    /// Coupling between achievement count (≤90) and game popularity
+    /// (drives §9's R≈0.53 on the 1–90 band).
+    pub achievement_popularity_coupling: f64,
+}
+
+impl SynthConfig {
+    /// A small population for unit/integration tests (~30k users).
+    pub fn small(seed: u64) -> Self {
+        SynthConfig { n_users: 30_000, n_groups: 900, ..SynthConfig::base(seed) }
+    }
+
+    /// The default experiment scale (~300k users) — large enough for stable
+    /// tail classifications, small enough to generate in seconds.
+    pub fn medium(seed: u64) -> Self {
+        SynthConfig { n_users: 300_000, n_groups: 9_000, ..SynthConfig::base(seed) }
+    }
+
+    /// A large run for the headline experiments (~2M users).
+    pub fn large(seed: u64) -> Self {
+        SynthConfig { n_users: 2_000_000, n_groups: 55_000, ..SynthConfig::base(seed) }
+    }
+
+    /// Calibrated defaults (see module docs); population sizes are set by
+    /// the named presets.
+    pub fn base(seed: u64) -> Self {
+        SynthConfig {
+            seed,
+            n_users: 100_000,
+            n_products: 6_156,
+            n_groups: 3_000,
+
+            early_density: 0.45,
+            late_density: 0.93,
+            density_break: 0.215,
+
+            country_report_rate: 0.107,
+            city_report_rate: 0.040,
+            cities_per_country: 40,
+            facebook_rate: 0.08,
+            private_rate: 0.06,
+
+            // Table 3's friends row (median 4) is only consistent with the
+            // network's mean degree (2·196.4M/108.7M ≈ 3.6) if only about a
+            // third of accounts have any friends at all; the percentile
+            // ladder is then matched among those social users.
+            social_rate: 0.35,
+            degree_mu: 1.13,
+            degree_sigma: 0.85,
+            degree_tail_rate: 0.02,
+            degree_tail_xmin: 40.0,
+            degree_tail_alpha: 1.60,
+            same_country_bias: 0.70,
+            same_city_bias: 0.30,
+            homophily_window: 0.004,
+            matching_noise: 0.12,
+
+            owner_rate: 0.55,
+            library_mu: 0.95,
+            library_sigma: 0.62,
+            library_tail_rate: 0.03,
+            library_tail_xmin: 20.0,
+            library_tail_alpha: 1.22,
+            collector_rate: 1.5e-4,
+            library_engagement_coupling: 1.00,
+
+            playtime_heavy_rate: 0.40,
+            playtime_casual_mu: 6.55,  // exp(6.55) ≈ 700 min ≈ 11.7 h
+            playtime_casual_sigma: 1.8,
+            playtime_heavy_mu: 9.25,   // exp(9.4) ≈ 12,100 min ≈ 202 h
+            playtime_heavy_sigma: 1.15,
+            active_two_week_rate: 0.15,
+            two_week_alpha: 1.30,
+            two_week_scale: 50_000.0, // minutes; the hard 336 h ceiling is the
+                                      // dominant truncation, the soft cutoff
+                                      // only shapes the last decade
+            idle_farmer_rate: 1e-4,
+            multiplayer_boost: 1.1,
+            playtime_engagement_coupling: 0.85,
+
+            group_member_rate: 0.25,
+            membership_mu: 0.69,
+            membership_sigma: 1.15,
+            game_directed_membership: 0.70,
+
+            game_fraction: 0.39,
+            multiplayer_fraction: 0.487,
+            popularity_zipf: 1.02,
+            no_achievements_rate: 0.25,
+            achievement_popularity_coupling: 1.4,
+        }
+    }
+
+    /// Sanity checks on rates and shape parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("early_density", self.early_density),
+            ("late_density", self.late_density),
+            ("density_break", self.density_break),
+            ("country_report_rate", self.country_report_rate),
+            ("city_report_rate", self.city_report_rate),
+            ("facebook_rate", self.facebook_rate),
+            ("private_rate", self.private_rate),
+            ("social_rate", self.social_rate),
+            ("degree_tail_rate", self.degree_tail_rate),
+            ("same_country_bias", self.same_country_bias),
+            ("same_city_bias", self.same_city_bias),
+            ("owner_rate", self.owner_rate),
+            ("library_tail_rate", self.library_tail_rate),
+            ("collector_rate", self.collector_rate),
+            ("playtime_heavy_rate", self.playtime_heavy_rate),
+            ("active_two_week_rate", self.active_two_week_rate),
+            ("idle_farmer_rate", self.idle_farmer_rate),
+            ("group_member_rate", self.group_member_rate),
+            ("game_directed_membership", self.game_directed_membership),
+            ("game_fraction", self.game_fraction),
+            ("multiplayer_fraction", self.multiplayer_fraction),
+            ("no_achievements_rate", self.no_achievements_rate),
+        ];
+        for (name, v) in rates {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} is not a probability"));
+            }
+        }
+        if self.n_users == 0 || self.n_products == 0 {
+            return Err("population and catalog must be non-empty".into());
+        }
+        if self.n_groups == 0 {
+            return Err("need at least one group".into());
+        }
+        if self.degree_tail_alpha <= 1.0 || self.library_tail_alpha <= 1.0 {
+            return Err("Pareto tails need alpha > 1".into());
+        }
+        if self.two_week_alpha <= 0.0 {
+            return Err("two-week playtime needs alpha > 0".into());
+        }
+        if self.homophily_window <= 0.0 || self.homophily_window > 1.0 {
+            return Err("homophily_window must be in (0, 1]".into());
+        }
+        if self.matching_noise <= 0.0 {
+            return Err("matching_noise must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SynthConfig::small(1).validate().unwrap();
+        SynthConfig::medium(1).validate().unwrap();
+        SynthConfig::large(1).validate().unwrap();
+    }
+
+    #[test]
+    fn bad_rates_rejected() {
+        let mut c = SynthConfig::small(1);
+        c.owner_rate = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = SynthConfig::small(1);
+        c.degree_tail_alpha = 0.9;
+        assert!(c.validate().is_err());
+        let mut c = SynthConfig::small(1);
+        c.n_users = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn presets_scale_population() {
+        assert!(SynthConfig::small(1).n_users < SynthConfig::medium(1).n_users);
+        assert!(SynthConfig::medium(1).n_users < SynthConfig::large(1).n_users);
+    }
+}

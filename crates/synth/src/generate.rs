@@ -1,0 +1,142 @@
+//! The generator facade: orchestrates catalog → accounts → friendships →
+//! ownership → groups → second snapshot → week panel, all from one seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use steam_model::{Snapshot, WeekPanel};
+
+use crate::accounts::{generate_population, Population};
+use crate::catalog::{generate_catalog, CatalogModel};
+use crate::config::SynthConfig;
+use crate::evolve::evolve_snapshot;
+use crate::friends::generate_friendships;
+use crate::groups::generate_groups;
+use crate::ownership::generate_ownership;
+use crate::panel::generate_panel;
+
+/// Everything the experiments need: both snapshots, the week panel, and the
+/// latent state (useful for validation and the examples).
+#[derive(Clone, Debug)]
+pub struct World {
+    pub snapshot: Snapshot,
+    pub second_snapshot: Snapshot,
+    pub panel: WeekPanel,
+    pub population: Population,
+    pub catalog_model: CatalogModel,
+    pub config: SynthConfig,
+}
+
+/// Deterministic population generator.
+pub struct Generator {
+    config: SynthConfig,
+}
+
+impl Generator {
+    /// Panics if the configuration fails validation — a config bug, not a
+    /// runtime condition.
+    pub fn new(config: SynthConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SynthConfig: {e}");
+        }
+        Generator { config }
+    }
+
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Generates only the first snapshot (cheapest path; most experiments
+    /// need nothing else).
+    pub fn generate(&self) -> Snapshot {
+        self.generate_world().snapshot
+    }
+
+    /// Generates the full world: both snapshots plus the week panel.
+    pub fn generate_world(&self) -> World {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let catalog_model = generate_catalog(&mut rng, cfg);
+        let population = generate_population(&mut rng, cfg);
+        let friendships = generate_friendships(&mut rng, cfg, &population);
+        let ownerships = generate_ownership(&mut rng, cfg, &population, &catalog_model);
+        let groups = generate_groups(&mut rng, cfg, &ownerships, &catalog_model);
+
+        let snapshot = Snapshot {
+            collected_at: steam_model::SimTime::from_ymd(2013, 11, 5),
+            scanned_id_space: population.scanned_id_space,
+            accounts: population.accounts.clone(),
+            friendships,
+            ownerships,
+            groups: groups.groups,
+            memberships: groups.memberships,
+            catalog: catalog_model.products.clone(),
+        };
+
+        let second_snapshot =
+            evolve_snapshot(&mut rng, cfg, &snapshot, &population, &catalog_model);
+        let panel = generate_panel(&mut rng, &second_snapshot);
+
+        World { snapshot, second_snapshot, panel, population, catalog_model, config: cfg.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_is_structurally_valid() {
+        let world = Generator::new(SynthConfig::small(1)).generate_world();
+        world.snapshot.validate().unwrap();
+        world.second_snapshot.validate().unwrap();
+        assert_eq!(world.snapshot.n_users(), world.config.n_users);
+        assert!(world.snapshot.n_friendships() > 0);
+        assert!(world.snapshot.n_owned_games() > 0);
+        assert!(world.snapshot.n_memberships() > 0);
+        assert!(!world.panel.is_empty());
+    }
+
+    #[test]
+    fn fully_deterministic() {
+        let a = Generator::new(SynthConfig::small(77)).generate_world();
+        let b = Generator::new(SynthConfig::small(77)).generate_world();
+        assert_eq!(a.snapshot.friendships, b.snapshot.friendships);
+        assert_eq!(a.snapshot.ownerships, b.snapshot.ownerships);
+        assert_eq!(a.second_snapshot.ownerships, b.second_snapshot.ownerships);
+        assert_eq!(a.panel.users, b.panel.users);
+        assert_eq!(a.panel.daily_minutes, b.panel.daily_minutes);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Generator::new(SynthConfig::small(1)).generate_world();
+        let b = Generator::new(SynthConfig::small(2)).generate_world();
+        assert_ne!(a.snapshot.friendships, b.snapshot.friendships);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SynthConfig")]
+    fn invalid_config_panics() {
+        let mut cfg = SynthConfig::small(1);
+        cfg.owner_rate = 2.0;
+        Generator::new(cfg);
+    }
+
+    #[test]
+    fn aggregate_scale_matches_paper_ratios() {
+        // The paper: 108.7M users, 384.3M owned games (3.54/user), 196.4M
+        // friendships (1.81/user), 81.3M memberships (0.75/user).
+        let world = Generator::new(SynthConfig::small(3)).generate_world();
+        let n = world.snapshot.n_users() as f64;
+        let games_per_user = world.snapshot.n_owned_games() as f64 / n;
+        let edges_per_user = world.snapshot.n_friendships() as f64 / n;
+        let memberships_per_user = world.snapshot.n_memberships() as f64 / n;
+        assert!((2.0..6.5).contains(&games_per_user), "games/user = {games_per_user}");
+        assert!((1.1..2.6).contains(&edges_per_user), "edges/user = {edges_per_user}");
+        assert!(
+            (0.4..2.2).contains(&memberships_per_user),
+            "memberships/user = {memberships_per_user}"
+        );
+    }
+}

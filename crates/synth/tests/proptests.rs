@@ -1,0 +1,91 @@
+//! Property tests: the generator keeps every structural invariant under
+//! randomized configurations, and its calibrated shape properties are
+//! seed-robust.
+
+use proptest::prelude::*;
+
+use steam_synth::{Generator, SynthConfig};
+
+/// A small randomized configuration that should always generate cleanly.
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        any::<u64>(),
+        500usize..2_000,
+        50usize..300,
+        5usize..40,
+        0.2f64..0.8,   // owner_rate
+        0.2f64..0.6,   // social_rate
+        0.05f64..0.35, // active_two_week_rate
+        0.3f64..0.9,   // same_country_bias
+    )
+        .prop_map(|(seed, users, products, groups, owner, social, active, country)| {
+            let mut cfg = SynthConfig::base(seed);
+            cfg.n_users = users;
+            cfg.n_products = products;
+            cfg.n_groups = groups;
+            cfg.owner_rate = owner;
+            cfg.social_rate = social;
+            cfg.active_two_week_rate = active;
+            cfg.same_country_bias = country;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_snapshots_always_validate(cfg in arb_config()) {
+        let world = Generator::new(cfg).generate_world();
+        world.snapshot.validate().unwrap();
+        world.second_snapshot.validate().unwrap();
+        prop_assert_eq!(world.snapshot.n_users(), world.config.n_users);
+        // Panel users reference the population.
+        for &u in &world.panel.users {
+            prop_assert!((u as usize) < world.snapshot.n_users());
+        }
+    }
+
+    #[test]
+    fn degrees_respect_caps_any_config(cfg in arb_config()) {
+        let snapshot = Generator::new(cfg).generate();
+        let degrees = snapshot.degrees();
+        for (d, a) in degrees.iter().zip(&snapshot.accounts) {
+            prop_assert!(*d <= a.friend_cap());
+        }
+    }
+
+    #[test]
+    fn two_week_never_exceeds_lifetime(cfg in arb_config()) {
+        let snapshot = Generator::new(cfg).generate();
+        for lib in &snapshot.ownerships {
+            for o in lib {
+                prop_assert!(o.playtime_2weeks_min <= o.playtime_forever_min);
+                prop_assert!(o.playtime_2weeks_min <= steam_model::MAX_TWO_WEEK_MINUTES);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_determinism_any_config(cfg in arb_config()) {
+        let a = Generator::new(cfg.clone()).generate();
+        let b = Generator::new(cfg).generate();
+        prop_assert_eq!(a.friendships, b.friendships);
+        prop_assert_eq!(a.ownerships, b.ownerships);
+        prop_assert_eq!(a.memberships, b.memberships);
+    }
+
+    #[test]
+    fn libraries_only_grow_across_snapshots(cfg in arb_config()) {
+        let world = Generator::new(cfg).generate_world();
+        for (l1, l2) in world.snapshot.ownerships.iter().zip(&world.second_snapshot.ownerships) {
+            prop_assert!(l2.len() >= l1.len());
+            // Every first-snapshot game survives into the second.
+            let ids2: std::collections::HashSet<_> =
+                l2.iter().map(|o| o.app_id).collect();
+            for o in l1 {
+                prop_assert!(ids2.contains(&o.app_id));
+            }
+        }
+    }
+}

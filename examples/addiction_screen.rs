@@ -1,0 +1,69 @@
+//! §10.2 — game-addiction screening thresholds.
+//!
+//! The paper argues its census-scale data can ground the addiction debate:
+//! "the top 1% play more than 5 hours a day, have hundreds of games, or have
+//! spent thousands of dollars." This example computes those cutoffs from the
+//! generated population and counts how many users each flags.
+//!
+//! ```text
+//! cargo run --release --example addiction_screen
+//! ```
+
+use condensing_steam::analysis::Ctx;
+use condensing_steam::stats::Ecdf;
+use condensing_steam::synth::{Generator, SynthConfig};
+
+fn main() {
+    let snapshot = Generator::new(SynthConfig::medium(2016)).generate();
+    let ctx = Ctx::new(&snapshot);
+
+    // Daily play rate over the two-week window, hours/day, among owners.
+    let daily_hours: Vec<f64> = (0..ctx.n_users())
+        .filter(|&u| ctx.owned[u] > 0)
+        .map(|u| ctx.two_week_minutes[u] as f64 / 60.0 / 14.0)
+        .collect();
+    let games: Vec<f64> = Ctx::nonzero_f64(&ctx.owned);
+    let dollars: Vec<f64> = (0..ctx.n_users())
+        .map(|u| ctx.value_dollars(u))
+        .filter(|&v| v > 0.0)
+        .collect();
+
+    let p99 = |data: &[f64]| Ecdf::new(data.to_vec()).percentile(99.0);
+    let daily_cut = p99(&daily_hours);
+    let games_cut = p99(&games);
+    let dollars_cut = p99(&dollars);
+
+    println!("top-1% thresholds in a {}-user population:", ctx.n_users());
+    println!("  daily playtime ≥ {daily_cut:.1} h/day (paper: >5 h/day)");
+    println!("  library size   ≥ {games_cut:.0} games (paper: hundreds)");
+    println!("  market value   ≥ ${dollars_cut:.0} (paper: thousands of dollars)");
+
+    // How many users trip each wire — and how much they overlap.
+    let mut by_play = 0u64;
+    let mut by_games = 0u64;
+    let mut by_money = 0u64;
+    let mut any = 0u64;
+    let mut all = 0u64;
+    for u in 0..ctx.n_users() {
+        let play = ctx.owned[u] > 0
+            && ctx.two_week_minutes[u] as f64 / 60.0 / 14.0 >= daily_cut;
+        let lib = f64::from(ctx.owned[u]) >= games_cut;
+        let money = ctx.value_dollars(u) >= dollars_cut;
+        by_play += u64::from(play);
+        by_games += u64::from(lib);
+        by_money += u64::from(money);
+        any += u64::from(play || lib || money);
+        all += u64::from(play && lib && money);
+    }
+    println!("\nflagged users:");
+    println!("  by playtime: {by_play}");
+    println!("  by library:  {by_games}");
+    println!("  by money:    {by_money}");
+    println!("  any signal:  {any} ({:.2}% of users)", any as f64 / ctx.n_users() as f64 * 100.0);
+    println!("  all three:   {all}");
+    println!(
+        "\nThe union is much larger than the intersection: heavy time, heavy \
+         collecting and heavy spending are mostly *different* people — the \
+         paper's point that the long tail is made of distinct motivations."
+    );
+}

@@ -1,0 +1,65 @@
+//! End-to-end crawl demo: serve a generated snapshot as the emulated Steam
+//! Web API over real TCP, crawl it back with the paper's three-phase
+//! pipeline (self-throttled to 85% of the server's limit), and verify the
+//! reconstruction is lossless.
+//!
+//! ```text
+//! cargo run --release --example crawl_api
+//! ```
+
+use std::sync::Arc;
+
+use condensing_steam::api::{serve, Crawler, CrawlerConfig, RateLimit};
+use condensing_steam::synth::{Generator, SynthConfig};
+
+fn main() {
+    let mut cfg = SynthConfig::small(7);
+    cfg.n_users = 1_000;
+    cfg.n_products = 500;
+    cfg.n_groups = 80;
+    let original = Arc::new(Generator::new(cfg).generate());
+    println!("population: {} users, {} products", original.n_users(), original.catalog.len());
+
+    // Serve with a server-side quota; throttle ourselves to 85% of it, as
+    // the paper did against the real API (§3.1).
+    let server_rps = 4_000.0;
+    let (server, _service) = serve(
+        Arc::clone(&original),
+        "127.0.0.1:0",
+        4,
+        RateLimit { per_key_rps: server_rps, burst: 200.0 },
+    )
+    .expect("bind API server");
+    println!("emulated Steam Web API listening on {}", server.addr());
+
+    let mut config = CrawlerConfig::default();
+    config.self_throttle_rps = Some(server_rps * 0.85);
+    let mut crawler = Crawler::new(server.addr(), config);
+
+    let started = std::time::Instant::now();
+    let crawled = crawler.crawl(original.collected_at).expect("crawl");
+    let stats = crawler.stats();
+    println!(
+        "crawl finished in {:.1?}: {} requests, {} profiles, {} ids scanned, {} retries",
+        started.elapsed(),
+        stats.requests,
+        stats.profiles_found,
+        stats.ids_scanned,
+        stats.retries_observed
+    );
+
+    // Lossless reconstruction.
+    crawled.validate().expect("crawled snapshot valid");
+    assert_eq!(crawled.n_users(), original.n_users());
+    assert_eq!(crawled.friendships, original.friendships);
+    assert_eq!(crawled.ownerships, original.ownerships);
+    assert_eq!(crawled.catalog, original.catalog);
+    println!("crawled snapshot matches the served snapshot record-for-record ✓");
+
+    let density = stats.profiles_found as f64 / crawled.scanned_id_space as f64;
+    println!(
+        "ID-space density: {:.1}% valid over {} scanned IDs (the paper saw <50% early, >90% late)",
+        density * 100.0,
+        crawled.scanned_id_space
+    );
+}

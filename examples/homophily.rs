@@ -1,0 +1,66 @@
+//! §7 — correlations and homophily, with Figure 11's binned scatter.
+//!
+//! ```text
+//! cargo run --release --example homophily
+//! ```
+
+use condensing_steam::analysis::{homophily, Ctx};
+use condensing_steam::graph::degree_assortativity;
+use condensing_steam::synth::{Generator, SynthConfig};
+
+fn main() {
+    let snapshot = Generator::new(SynthConfig::medium(2016)).generate();
+    let ctx = Ctx::new(&snapshot);
+
+    println!("behavior correlations (Spearman ρ, ours vs paper):");
+    for c in homophily::behavior_correlations(&ctx) {
+        println!(
+            "  {:<44} ρ = {:>5.2}  (paper {:>5.2}, {})",
+            c.label,
+            c.rho,
+            c.paper_rho,
+            c.strength.as_str()
+        );
+    }
+
+    println!("\nhomophily (user attribute vs mean of friends'):");
+    for c in homophily::homophily_correlations(&ctx) {
+        println!(
+            "  {:<44} ρ = {:>5.2}  (paper {:>5.2}, {})",
+            c.label,
+            c.rho,
+            c.paper_rho,
+            c.strength.as_str()
+        );
+    }
+
+    if let Some(r) = degree_assortativity(&ctx.graph) {
+        println!("\ndegree assortativity (Newman r): {r:.3}");
+    }
+
+    // Figure 11 as a binned scatter: mean friends' value by own-value decade.
+    let (own, friends) = homophily::figure11_scatter(&ctx);
+    println!("\nFigure 11 (binned): own market value → friends' mean market value");
+    let mut bins: Vec<(f64, f64, u64)> = vec![(0.0, 0.0, 0); 8];
+    for (o, f) in own.iter().zip(&friends) {
+        let bin = if *o < 1.0 { 0 } else { ((o.log10() + 1.0) as usize).min(bins.len() - 1) };
+        bins[bin].0 += o;
+        bins[bin].1 += f;
+        bins[bin].2 += 1;
+    }
+    for (i, (so, sf, n)) in bins.iter().enumerate() {
+        if *n > 10 {
+            println!(
+                "  decade {:>2}: own ${:>9.2} → friends ${:>9.2}   ({} users)",
+                i as i32 - 1,
+                so / *n as f64,
+                sf / *n as f64,
+                n
+            );
+        }
+    }
+    println!(
+        "\nFriends' mean value rises monotonically with own value — the \
+         pattern behind the paper's ρ = 0.77."
+    );
+}

@@ -1,0 +1,36 @@
+//! Quickstart: generate a synthetic Steam population and print the paper's
+//! headline summary (Table 3) plus a few §6 concentration numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use condensing_steam::analysis::summary::percentile_table;
+use condensing_steam::analysis::{playtime, Ctx};
+use condensing_steam::synth::{Generator, SynthConfig};
+
+fn main() {
+    // 30k users, fully deterministic for a given seed.
+    let snapshot = Generator::new(SynthConfig::small(42)).generate();
+    println!(
+        "generated {} users / {} friendships / {} owned games\n",
+        snapshot.n_users(),
+        snapshot.n_friendships(),
+        snapshot.n_owned_games()
+    );
+
+    // Table 3 — the percentile ladder the paper's Discussion opens with.
+    println!("{}", percentile_table(&snapshot));
+
+    // §6.1 — the 80-20 structure of playtime.
+    let ctx = Ctx::new(&snapshot);
+    let cdf = playtime::playtime_cdf(&ctx);
+    println!(
+        "top 20% of gamers hold {:.1}% of all playtime (paper: 82.4%)",
+        cdf.top20_total_share * 100.0
+    );
+    println!(
+        "{:.1}% of gamers played nothing in the two-week window (paper: >80%)",
+        cdf.two_week_zero_share * 100.0
+    );
+}

@@ -1,0 +1,35 @@
+//! # condensing-steam
+//!
+//! Facade crate for the reproduction of *"Condensing Steam: Distilling the
+//! Diversity of Gamer Behavior"* (O'Neill, Vaziripour, Wu & Zappala,
+//! ACM IMC 2016).
+//!
+//! The workspace implements the paper's entire measurement pipeline against a
+//! calibrated synthetic Steam population (the real 108.7 M-account crawl is
+//! proprietary — see `DESIGN.md` for the substitution argument):
+//!
+//! * [`model`] — domain types and snapshot persistence;
+//! * [`synth`] — the generative population model (the data substitute);
+//! * [`net`] — minimal HTTP + JSON + rate limiting on `std::net`;
+//! * [`api`] — the emulated Steam Web API service and the crawler;
+//! * [`graph`] — friendship-graph analytics;
+//! * [`stats`] — heavy-tail fitting (the `powerlaw`-package reimplementation),
+//!   correlations, percentiles;
+//! * [`analysis`] — one function per table/figure of the paper.
+//!
+//! ```no_run
+//! use condensing_steam::synth::{Generator, SynthConfig};
+//! use condensing_steam::analysis::summary::percentile_table;
+//!
+//! let snapshot = Generator::new(SynthConfig::small(42)).generate();
+//! let table3 = percentile_table(&snapshot);
+//! println!("{table3}");
+//! ```
+
+pub use steam_analysis as analysis;
+pub use steam_api as api;
+pub use steam_graph as graph;
+pub use steam_model as model;
+pub use steam_net as net;
+pub use steam_stats as stats;
+pub use steam_synth as synth;

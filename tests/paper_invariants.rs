@@ -1,0 +1,149 @@
+//! The acceptance suite: every headline finding of the paper, asserted on
+//! one fresh world through the public facade. If this file is green, the
+//! reproduction reproduces.
+
+use std::sync::OnceLock;
+
+use condensing_steam::analysis::{
+    achievements, evolution, genre, homophily, money, ownership, playtime, social, summary, Ctx,
+};
+use condensing_steam::model::Genre;
+use condensing_steam::synth::{Generator, SynthConfig, World};
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+fn world() -> &'static World {
+    WORLD.get_or_init(|| {
+        let mut cfg = SynthConfig::small(777);
+        cfg.n_users = 50_000;
+        cfg.n_groups = 1_500;
+        Generator::new(cfg).generate_world()
+    })
+}
+
+fn ctx() -> Ctx<'static> {
+    Ctx::new(&world().snapshot)
+}
+
+#[test]
+fn finding_1_diverse_heavy_tailed_behavior() {
+    // "Gamer behavior is highly diverse and characterized by heavy-tailed
+    // distributions" — every Table 3 ladder must span at least an order of
+    // magnitude between median and 99th percentile.
+    let table = summary::percentile_table(&world().snapshot);
+    for row in &table.rows {
+        if row.attribute == "Two-week playtime" {
+            continue; // median is zero by construction (Figure 6)
+        }
+        let (p50, p99) = (row.values[0], row.values[4]);
+        assert!(
+            p99 >= p50 * 8.0,
+            "{}: p50 {p50} → p99 {p99} is not heavy-tailed",
+            row.attribute
+        );
+    }
+}
+
+#[test]
+fn finding_2_modest_majority() {
+    // "Most players exhibit modest behaviors ... the majority of users
+    // exhibit behaviors far below these values."
+    let ctx = ctx();
+    let f = playtime::playtime_cdf(&ctx);
+    assert!(f.two_week_zero_share > 0.7, "{}", f.two_week_zero_share);
+    let d = ownership::ownership_distribution(&ctx);
+    assert!(d.under_20_share > 0.8, "{}", d.under_20_share);
+}
+
+#[test]
+fn finding_3_pareto_concentration() {
+    // §6.1's 80-20 structure in playtime and money.
+    let ctx = ctx();
+    let f = playtime::playtime_cdf(&ctx);
+    assert!(f.top20_total_share > 0.7, "{}", f.top20_total_share);
+    let m = money::market_value_distribution(&ctx);
+    assert!(m.top20_share > 0.55, "{}", m.top20_share);
+}
+
+#[test]
+fn finding_4_friendships_low_but_multiplayer_dominates() {
+    // "The number of friendships is low relative to other social networks,
+    // but most of the playtime is spent on multiplayer games."
+    let ctx = ctx();
+    let mean_degree = ctx.graph.mean_degree();
+    assert!(mean_degree < 10.0, "mean degree = {mean_degree}");
+    let mp = playtime::multiplayer_shares(&ctx);
+    assert!(mp.total_playtime_share > 0.5, "{}", mp.total_playtime_share);
+    assert!(mp.total_playtime_share > mp.catalog_share);
+}
+
+#[test]
+fn finding_5_homophily_everywhere() {
+    // "Players tend to befriend those who are similar in terms of
+    // popularity, playtime, money spent, and games owned."
+    let ctx = ctx();
+    for c in homophily::homophily_correlations(&ctx) {
+        assert!(c.rho > 0.1, "{} = {}", c.label, c.rho);
+    }
+}
+
+#[test]
+fn finding_6_collectors_exist() {
+    // §5's long-tail motivations: someone owns a huge, mostly unplayed
+    // library.
+    let ctx = ctx();
+    let c = ownership::collector_report(&ctx);
+    assert!(c.max_library > 300, "max library = {}", c.max_library);
+    assert!(c.max_library_played_share < 0.5, "{}", c.max_library_played_share);
+}
+
+#[test]
+fn finding_7_playtime_varies_day_to_day() {
+    // §8 / Figure 12: "their playtime is not consistent from day to day",
+    // yet heavy players stay heavier.
+    let view = evolution::panel_view(&world().panel);
+    assert!(view.late_bloomer_share() > 0.05, "{}", view.late_bloomer_share());
+    let (light, heavy) = view.half_means();
+    assert!(heavy > light);
+}
+
+#[test]
+fn finding_8_achievement_coupling_in_band() {
+    // §9: moderate playtime correlation only on the 1–90 achievement band.
+    let ctx = ctx();
+    let c = achievements::playtime_achievement_correlation(&ctx);
+    assert!(c.band_1_to_90 > 0.2, "{}", c.band_1_to_90);
+    assert!(c.band_1_to_90 > c.beyond_90);
+    let by_genre = achievements::completion_by_genre(&ctx);
+    let rate = |g: Genre| by_genre.iter().find(|(x, _, _)| *x == g).unwrap().1;
+    assert!(rate(Genre::Adventure) > rate(Genre::Strategy));
+}
+
+#[test]
+fn finding_9_robust_across_snapshots() {
+    // §8: the tail grows far faster than the 80th percentile.
+    let first = Ctx::new(&world().snapshot);
+    let second = Ctx::new(&world().second_snapshot);
+    let rows = evolution::snapshot_growth(&first, &second);
+    let games = &rows[0];
+    assert!(games.tail_factor() > games.body_factor());
+}
+
+#[test]
+fn finding_10_action_overrepresented() {
+    // §6.2: the Action genre out-earns its catalog share.
+    let ctx = ctx();
+    let b = genre::genre_breakdown(&ctx);
+    assert!(b.playtime_share(Genre::Action) > b.catalog_share(Genre::Action));
+    assert!(b.value_share(Genre::Action) > b.catalog_share(Genre::Action));
+}
+
+#[test]
+fn finding_11_friends_across_borders() {
+    // §4.1: gamers befriend more people outside their city than inside.
+    let ctx = ctx();
+    let l = social::locality(&ctx);
+    assert!(l.intercity_share() > 0.5, "{}", l.intercity_share());
+    // But country homophily exists: international < 50%.
+    assert!(l.international_share() < 0.5, "{}", l.international_share());
+}
