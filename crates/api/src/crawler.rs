@@ -414,12 +414,14 @@ mod tests {
             RateLimit { per_key_rps: 300.0, burst: 10.0 },
         )
         .unwrap();
-        let mut config = CrawlerConfig::default();
-        config.empty_batches_to_stop = 2;
-        config.backoff = Backoff {
-            base: std::time::Duration::from_millis(5),
-            max: std::time::Duration::from_millis(100),
-            attempts: 10,
+        let config = CrawlerConfig {
+            empty_batches_to_stop: 2,
+            backoff: Backoff {
+                base: std::time::Duration::from_millis(5),
+                max: std::time::Duration::from_millis(100),
+                attempts: 10,
+            },
+            ..CrawlerConfig::default()
         };
         let mut crawler = Crawler::new(server.addr(), config);
         let crawled = crawler.crawl(original.collected_at).unwrap();
@@ -466,9 +468,11 @@ mod tests {
         let (server, _service) =
             serve(Arc::clone(&original), "127.0.0.1:0", 4, RateLimit::default()).unwrap();
         let crawl_with = |workers: usize| {
-            let mut config = CrawlerConfig::default();
-            config.empty_batches_to_stop = 2;
-            config.workers = workers;
+            let config = CrawlerConfig {
+                empty_batches_to_stop: 2,
+                workers,
+                ..CrawlerConfig::default()
+            };
             let mut crawler = Crawler::new(server.addr(), config);
             crawler.crawl(original.collected_at).unwrap()
         };
@@ -493,9 +497,11 @@ mod tests {
         };
         let (server, _service) =
             serve(Arc::clone(&original), "127.0.0.1:0", 2, RateLimit::default()).unwrap();
-        let mut config = CrawlerConfig::default();
-        config.empty_batches_to_stop = 2;
-        config.self_throttle_rps = Some(400.0);
+        let config = CrawlerConfig {
+            empty_batches_to_stop: 2,
+            self_throttle_rps: Some(400.0),
+            ..CrawlerConfig::default()
+        };
         let mut crawler = Crawler::new(server.addr(), config);
         let start = std::time::Instant::now();
         let crawled = crawler.crawl(original.collected_at).unwrap();

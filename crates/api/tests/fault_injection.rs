@@ -54,12 +54,14 @@ fn tiny_snapshot(seed: u64) -> Arc<Snapshot> {
 
 fn crawl_against(handler: Arc<dyn Handler>, original: &Snapshot) -> (Snapshot, steam_api::CrawlStats) {
     let server = HttpServer::bind("127.0.0.1:0", 2, handler).unwrap();
-    let mut config = CrawlerConfig::default();
-    config.empty_batches_to_stop = 2;
-    config.backoff = Backoff {
-        base: std::time::Duration::from_millis(2),
-        max: std::time::Duration::from_millis(50),
-        attempts: 12,
+    let config = CrawlerConfig {
+        empty_batches_to_stop: 2,
+        backoff: Backoff {
+            base: std::time::Duration::from_millis(2),
+            max: std::time::Duration::from_millis(50),
+            attempts: 12,
+        },
+        ..CrawlerConfig::default()
     };
     let mut crawler = Crawler::new(server.addr(), config);
     let crawled = crawler.crawl(original.collected_at).expect("crawl survives faults");
@@ -111,8 +113,7 @@ fn permanent_failures_are_reported_not_hidden() {
         }
     }
     let server = HttpServer::bind("127.0.0.1:0", 1, Arc::new(AlwaysMissing)).unwrap();
-    let mut config = CrawlerConfig::default();
-    config.empty_batches_to_stop = 2;
+    let config = CrawlerConfig { empty_batches_to_stop: 2, ..CrawlerConfig::default() };
     let mut crawler = Crawler::new(server.addr(), config);
     let result = crawler.crawl(steam_model::SimTime::from_unix(0));
     assert!(result.is_err(), "a 404-only server cannot produce a snapshot");

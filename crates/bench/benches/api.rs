@@ -80,17 +80,19 @@ fn bench_crawl(c: &mut Criterion) {
 
     group.bench_function("unthrottled", |b| {
         b.iter(|| {
-            let mut config = CrawlerConfig::default();
-            config.empty_batches_to_stop = 2;
+            let config =
+                CrawlerConfig { empty_batches_to_stop: 2, ..CrawlerConfig::default() };
             let mut crawler = Crawler::new(addr, config);
             black_box(crawler.crawl(snap.collected_at).unwrap())
         })
     });
     group.bench_function("throttled_85pct_of_2k_rps", |b| {
         b.iter(|| {
-            let mut config = CrawlerConfig::default();
-            config.empty_batches_to_stop = 2;
-            config.self_throttle_rps = Some(2_000.0 * 0.85);
+            let config = CrawlerConfig {
+                empty_batches_to_stop: 2,
+                self_throttle_rps: Some(2_000.0 * 0.85),
+                ..CrawlerConfig::default()
+            };
             let mut crawler = Crawler::new(addr, config);
             black_box(crawler.crawl(snap.collected_at).unwrap())
         })
@@ -98,9 +100,11 @@ fn bench_crawl(c: &mut Criterion) {
     for workers in [2usize, 4, 8] {
         group.bench_function(format!("parallel_{workers}_workers"), |b| {
             b.iter(|| {
-                let mut config = CrawlerConfig::default();
-                config.empty_batches_to_stop = 2;
-                config.workers = workers;
+                let config = CrawlerConfig {
+                    empty_batches_to_stop: 2,
+                    workers,
+                    ..CrawlerConfig::default()
+                };
                 let mut crawler = Crawler::new(addr, config);
                 black_box(crawler.crawl(snap.collected_at).unwrap())
             })

@@ -1,0 +1,51 @@
+//! Serial vs parallel full-report rendering on the 30k-user test world —
+//! the headline number for the work-stealing report engine. The parallel
+//! path must render byte-identical text (asserted once up front) and is
+//! expected to be ≥2× faster than serial at 4 workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use steam_analysis::{render_full_report, Ctx, ReportInput};
+use steam_synth::{Generator, SynthConfig, World};
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+fn world() -> &'static World {
+    WORLD.get_or_init(|| Generator::new(SynthConfig::small(2016)).generate_world())
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let w = world();
+    let ctx = Ctx::new(&w.snapshot);
+    let second = Ctx::new(&w.second_snapshot);
+    let input = ReportInput { ctx: &ctx, second: Some(&second), panel: Some(&w.panel) };
+
+    // Guard the determinism contract before timing anything.
+    let serial = render_full_report(&input, 1);
+    assert_eq!(serial, render_full_report(&input, 4), "parallel report diverged");
+
+    let mut group = c.benchmark_group("report");
+    group.sample_size(3);
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("full", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(render_full_report(&input, jobs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_context_build(c: &mut Criterion) {
+    let w = world();
+    let mut group = c.benchmark_group("report");
+    group.sample_size(10);
+    for jobs in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("context", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(Ctx::new_with_jobs(&w.snapshot, jobs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_report, bench_context_build);
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! steam-cli crawl    --addr 127.0.0.1:8571 --out crawled.bin [--rps 1000]
 //! steam-cli report   --snapshot snap.bin [--second snap2.bin]
 //!                    [--panel panel.bin] [--experiment table3|figure6|...|all]
+//!                    [--jobs N]
 //! steam-cli validate --snapshot snap.bin
 //! ```
 
@@ -18,7 +19,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use args::Args;
-use steam_analysis::{render, Ctx, Experiment, ReportInput};
+use steam_analysis::{render_full_report, render_with_jobs, Ctx, Experiment, ReportInput};
 use steam_api::{serve, Crawler, CrawlerConfig, RateLimit};
 use steam_model::codec;
 use steam_synth::{Generator, SynthConfig};
@@ -81,6 +82,8 @@ COMMANDS
              --experiment X    one of table1..4, figure1..12, correlations,
                                evolution, achievements, locality, aggregates,
                                or `all` (default all)
+             --jobs N          worker threads for the report engine (default:
+                               all cores; output is identical for any N)
   export     Write the figures' underlying series as TSV files
              --snapshot PATH   snapshot (default snapshot.bin)
              --panel PATH      week panel (adds figure12.tsv)
@@ -199,20 +202,23 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         None => None,
     };
 
-    let ctx = Ctx::new(&snapshot);
-    let second_ctx = second.as_ref().map(Ctx::new);
+    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = args.get_parse("jobs", default_jobs)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+
+    let ctx = Ctx::new_with_jobs(&snapshot, jobs);
+    let second_ctx = second.as_ref().map(|s| Ctx::new_with_jobs(s, jobs));
     let input = ReportInput { ctx: &ctx, second: second_ctx.as_ref(), panel: panel.as_ref() };
 
     let which = args.get_or("experiment", "all");
     if which == "all" {
-        for e in Experiment::ALL {
-            println!("==== {} ====", e.name());
-            println!("{}", render(&input, e));
-        }
+        print!("{}", render_full_report(&input, jobs));
     } else {
         let e = Experiment::from_name(which)
             .ok_or_else(|| format!("unknown experiment {which:?}"))?;
-        println!("{}", render(&input, e));
+        println!("{}", render_with_jobs(&input, e, jobs));
     }
     Ok(())
 }

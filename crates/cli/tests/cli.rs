@@ -191,6 +191,7 @@ fn serve_then_crawl_round_trips() {
         .output()
         .unwrap();
     server.kill().ok();
+    server.wait().ok(); // reap so the server never lingers as a zombie
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 
     let out = bin()

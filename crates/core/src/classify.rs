@@ -1,9 +1,12 @@
 //! §3.3 / Appendix / Table 4 — heavy-tail classification of every major
 //! distribution.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use steam_graph::evolution::degrees_in_years;
 use steam_stats::tailfit::{
-    classify_tail, fit_discrete_power_law, ClassifyOptions, TailReport,
+    classify_tail_jobs, fit_discrete_power_law, ClassifyOptions, TailReport,
 };
 
 use crate::context::Ctx;
@@ -57,40 +60,97 @@ pub fn classify_all(
     second: Option<&Ctx>,
     opts: &ClassifyOptions,
 ) -> Vec<ClassifiedRow> {
+    classify_all_jobs(ctx, second, opts, 1)
+}
+
+/// [`classify_all`] with the Table 4 rows fanned out over `jobs` workers.
+///
+/// Rows differ in cost by an order of magnitude (the yearly friendship
+/// sub-samples are tiny; account market values are not), so workers pull the
+/// next row index from a shared cursor instead of being dealt fixed chunks.
+/// Each row also passes `jobs` down to the tail-fit kernels, which keeps the
+/// cores busy when one expensive row is left. Results land in per-row slots
+/// and are read back in row order, and every kernel is thread-count
+/// deterministic, so the output is identical for any `jobs` value.
+pub fn classify_all_jobs(
+    ctx: &Ctx,
+    second: Option<&Ctx>,
+    opts: &ClassifyOptions,
+    jobs: usize,
+) -> Vec<ClassifiedRow> {
     let attrs = table4_attributes(ctx);
     let second_attrs = second.map(table4_attributes);
 
-    attrs
-        .into_iter()
-        .map(|(attribute, data)| {
-            let n_sample = data.len();
-            let first = classify_tail(&data, opts);
-            let discrete_alpha = first.as_ref().and_then(|report| {
-                let integral = data.iter().take(64).all(|x| x.fract() == 0.0);
-                if !integral || report.xmin < 1.0 {
-                    return None;
+    if jobs <= 1 {
+        return attrs
+            .into_iter()
+            .map(|(attribute, data)| {
+                classify_row(attribute, &data, second_attrs.as_ref(), opts, 1)
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ClassifiedRow>>> =
+        attrs.iter().map(|_| Mutex::new(None)).collect();
+    let attrs = &attrs;
+    let second_attrs = second_attrs.as_ref();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs.min(attrs.len()) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= attrs.len() {
+                    break;
                 }
-                let kmin = report.xmin.round().max(1.0) as u64;
-                let tail: Vec<u64> = data
-                    .iter()
-                    .filter(|&&x| x >= kmin as f64)
-                    .map(|&x| x as u64)
-                    .collect();
-                (tail.len() >= opts.min_tail)
-                    .then(|| fit_discrete_power_law(&tail, kmin).alpha)
+                let (attribute, data) = &attrs[i];
+                let row = classify_row(attribute.clone(), data, second_attrs, opts, jobs);
+                *slots[i].lock().expect("row slot poisoned") = Some(row);
             });
-            // Only the re-crawled game-data attributes get second-snapshot
-            // rows, exactly as in the paper's Table 4 (friendships and
-            // groups were not collected again).
-            let eligible = !attribute.starts_with("Friendship") && !attribute.starts_with("Group");
-            let second = second_attrs.as_ref().map(|sa| {
-                sa.iter()
-                    .find(|(name, _)| *name == attribute && eligible)
-                    .and_then(|(_, data)| classify_tail(data, opts))
-            });
-            ClassifiedRow { attribute, n_sample, first, second, discrete_alpha }
+        }
+    })
+    .expect("classification worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("row slot poisoned").expect("every row index was claimed")
         })
         .collect()
+}
+
+/// Builds one Table 4 row: first-snapshot fit, discrete cross-check, and
+/// (when eligible) the second-snapshot fit.
+fn classify_row(
+    attribute: String,
+    data: &[f64],
+    second_attrs: Option<&Vec<(String, Vec<f64>)>>,
+    opts: &ClassifyOptions,
+    jobs: usize,
+) -> ClassifiedRow {
+    let n_sample = data.len();
+    let first = classify_tail_jobs(data, opts, jobs);
+    let discrete_alpha = first.as_ref().and_then(|report| {
+        let integral = data.iter().take(64).all(|x| x.fract() == 0.0);
+        if !integral || report.xmin < 1.0 {
+            return None;
+        }
+        let kmin = report.xmin.round().max(1.0) as u64;
+        let tail: Vec<u64> = data
+            .iter()
+            .filter(|&&x| x >= kmin as f64)
+            .map(|&x| x as u64)
+            .collect();
+        (tail.len() >= opts.min_tail).then(|| fit_discrete_power_law(&tail, kmin).alpha)
+    });
+    // Only the re-crawled game-data attributes get second-snapshot rows,
+    // exactly as in the paper's Table 4 (friendships and groups were not
+    // collected again).
+    let eligible = !attribute.starts_with("Friendship") && !attribute.starts_with("Group");
+    let second = second_attrs.map(|sa| {
+        sa.iter()
+            .find(|(name, _)| *name == attribute && eligible)
+            .and_then(|(_, data)| classify_tail_jobs(data, opts, jobs))
+    });
+    ClassifiedRow { attribute, n_sample, first, second, discrete_alpha }
 }
 
 #[cfg(test)]

@@ -34,13 +34,23 @@ pub struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     pub fn new(snapshot: &'a Snapshot) -> Self {
+        Self::new_with_jobs(snapshot, 1)
+    }
+
+    /// [`Ctx::new`] with the CSR build (the dominant cost at scale)
+    /// parallelized over `jobs` threads. The resulting context is identical
+    /// for any `jobs` value.
+    pub fn new_with_jobs(snapshot: &'a Snapshot, jobs: usize) -> Self {
         let n = snapshot.n_users();
         let app_index = snapshot.catalog_index();
         let degrees = snapshot.degrees();
-        let graph = Csr::from_edges(
-            n,
-            snapshot.friendships.iter().map(|e| (e.a, e.b)),
-        );
+        let graph = if jobs > 1 {
+            let edges: Vec<(u32, u32)> =
+                snapshot.friendships.iter().map(|e| (e.a, e.b)).collect();
+            Csr::from_edge_list(n, &edges, jobs)
+        } else {
+            Csr::from_edges(n, snapshot.friendships.iter().map(|e| (e.a, e.b)))
+        };
 
         let mut owned = vec![0u32; n];
         let mut played = vec![0u32; n];
@@ -119,6 +129,18 @@ mod tests {
         assert_eq!(total, world.snapshot.total_playtime_minutes());
         let value0 = world.snapshot.account_value_cents(0, &ctx.app_index);
         assert_eq!(value0, ctx.value_cents[0]);
+    }
+
+    #[test]
+    fn parallel_context_build_matches_serial() {
+        let world = testworld::world();
+        let serial = Ctx::new(&world.snapshot);
+        let parallel = Ctx::new_with_jobs(&world.snapshot, 8);
+        assert_eq!(serial.degrees, parallel.degrees);
+        assert_eq!(serial.graph.degrees(), parallel.graph.degrees());
+        for u in (0..serial.n_users() as u32).step_by(97) {
+            assert_eq!(serial.graph.neighbors(u), parallel.graph.neighbors(u), "node {u}");
+        }
     }
 
     #[test]

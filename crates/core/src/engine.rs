@@ -1,0 +1,128 @@
+//! Work-stealing parallel report engine.
+//!
+//! Experiments are independent reads over the immutable [`Ctx`] snapshot
+//! view, so the full report is an embarrassingly parallel job list — except
+//! that experiment costs span four orders of magnitude (Table 4 runs the
+//! whole heavy-tail fitting pipeline; Figure 10 is three divisions). Static
+//! chunking would leave most workers idle behind Table 4, so workers pull
+//! the next experiment index from a shared atomic cursor, and the expensive
+//! kernels additionally fan out internally (see
+//! [`render_with_jobs`](crate::report::render_with_jobs)).
+//!
+//! ## Determinism contract
+//!
+//! The parallel report renders **byte-identical** text for any `jobs` value:
+//!
+//! * results land in per-experiment slots that are concatenated in
+//!   `Experiment::ALL` order after the scope joins — scheduling order never
+//!   reaches the output;
+//! * every parallel kernel underneath reduces per-chunk results in index
+//!   order with the serial rule (x_min scan), merges exact integer-valued
+//!   f64 sums (assortativity), sorts away fill races (CSR rows), or derives
+//!   per-task RNG streams from the master seed (bootstrap) — so each
+//!   experiment's text is itself thread-count invariant.
+//!
+//! [`Ctx`]: crate::context::Ctx
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::report::{render_with_jobs, Experiment, ReportInput};
+
+/// Renders `experiments` concurrently on `jobs` workers, returning each
+/// experiment's text in input order. `jobs <= 1` renders inline.
+pub fn render_experiments(
+    input: &ReportInput,
+    experiments: &[Experiment],
+    jobs: usize,
+) -> Vec<(Experiment, String)> {
+    let jobs = jobs.max(1);
+    if jobs == 1 || experiments.len() <= 1 {
+        return experiments
+            .iter()
+            .map(|&e| (e, render_with_jobs(input, e, jobs)))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<String>>> =
+        experiments.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs.min(experiments.len()) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= experiments.len() {
+                    break;
+                }
+                let text = render_with_jobs(input, experiments[i], jobs);
+                *slots[i].lock().expect("slot poisoned") = Some(text);
+            });
+        }
+    })
+    .expect("report worker panicked");
+    experiments
+        .iter()
+        .zip(slots)
+        .map(|(&e, slot)| {
+            let text =
+                slot.into_inner().expect("slot poisoned").expect("every index was claimed");
+            (e, text)
+        })
+        .collect()
+}
+
+/// The complete report — every experiment in [`Experiment::ALL`] under a
+/// `==== name ====` banner — rendered on `jobs` workers. This is what
+/// `steam-cli report --experiment all` prints.
+pub fn render_full_report(input: &ReportInput, jobs: usize) -> String {
+    let mut out = String::new();
+    for (experiment, text) in render_experiments(input, &Experiment::ALL, jobs) {
+        out.push_str("==== ");
+        out.push_str(experiment.name());
+        out.push_str(" ====\n");
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Ctx;
+    use crate::testworld;
+
+    /// The fast experiments (everything but Table 4, which the integration
+    /// test covers) must render identically serial and parallel.
+    #[test]
+    fn parallel_engine_matches_serial_rendering() {
+        let world = testworld::world();
+        let ctx = Ctx::new(&world.snapshot);
+        let input = ReportInput { ctx: &ctx, second: None, panel: Some(&world.panel) };
+        let experiments: Vec<Experiment> = Experiment::ALL
+            .into_iter()
+            .filter(|&e| e != Experiment::Table4)
+            .collect();
+        let serial = render_experiments(&input, &experiments, 1);
+        for jobs in [2, 8] {
+            let parallel = render_experiments(&input, &experiments, jobs);
+            assert_eq!(parallel.len(), serial.len());
+            for ((se, st), (pe, pt)) in serial.iter().zip(&parallel) {
+                assert_eq!(se, pe, "jobs={jobs}");
+                assert_eq!(st, pt, "jobs={jobs}: {} diverged", se.name());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_preserves_experiment_order() {
+        let world = testworld::world();
+        let ctx = Ctx::new(&world.snapshot);
+        let input = ReportInput { ctx: &ctx, second: None, panel: None };
+        let experiments = [Experiment::Table1, Experiment::Figure10, Experiment::Aggregates];
+        let rendered = render_experiments(&input, &experiments, 4);
+        assert_eq!(rendered.len(), 3);
+        assert_eq!(rendered[0].0, Experiment::Table1);
+        assert_eq!(rendered[2].0, Experiment::Aggregates);
+    }
+}

@@ -42,7 +42,7 @@ pub fn group_type_breakdown(ctx: &Ctx, top_n: usize) -> GroupTypeBreakdown {
             (k, c, c as f64 / top_n.max(1) as f64)
         })
         .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     GroupTypeBreakdown { top_n, rows }
 }
 

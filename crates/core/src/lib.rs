@@ -20,6 +20,7 @@
 //! | [`classify`] | §3.3 + Appendix: Table 4 |
 //! | [`sampling_bias`] | §2.2: census-vs-crawl bias, small-world metrics |
 //! | [`report`] | renderers + the [`report::Experiment`] registry |
+//! | [`engine`] | work-stealing parallel report scheduler (byte-identical output for any thread count) |
 //!
 //! Everything consumes a [`context::Ctx`] built once from a
 //! [`steam_model::Snapshot`].
@@ -27,6 +28,7 @@
 pub mod achievements;
 pub mod classify;
 pub mod context;
+pub mod engine;
 pub mod evolution;
 pub mod export;
 pub mod genre;
@@ -44,4 +46,5 @@ pub mod summary;
 mod testworld;
 
 pub use context::Ctx;
-pub use report::{render, Experiment, ReportInput};
+pub use engine::{render_experiments, render_full_report};
+pub use report::{render, render_with_jobs, Experiment, ReportInput};

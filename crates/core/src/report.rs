@@ -121,11 +121,21 @@ pub struct ReportInput<'a> {
 
 /// Renders one experiment as text.
 pub fn render(input: &ReportInput, experiment: Experiment) -> String {
+    render_with_jobs(input, experiment, 1)
+}
+
+/// [`render`] with `jobs` worker threads available to the experiment.
+///
+/// Only the experiments with parallel kernels (currently Table 4's
+/// classification pipeline) fan out; the rest ignore `jobs`. Every kernel is
+/// thread-count deterministic, so the rendered text is identical for any
+/// `jobs` value.
+pub fn render_with_jobs(input: &ReportInput, experiment: Experiment, jobs: usize) -> String {
     match experiment {
         Experiment::Table1 => table1(input.ctx),
         Experiment::Table2 => table2(input.ctx),
         Experiment::Table3 => summary::percentile_table_ctx(input.ctx).to_string(),
-        Experiment::Table4 => table4(input.ctx, input.second),
+        Experiment::Table4 => table4(input.ctx, input.second, jobs),
         Experiment::Figure1 => figure1(input.ctx),
         Experiment::Figure2 => figure2(input.ctx),
         Experiment::Figure3 => figure3(input.ctx),
@@ -204,9 +214,9 @@ fn table2(ctx: &Ctx) -> String {
     out
 }
 
-fn table4(ctx: &Ctx, second: Option<&Ctx>) -> String {
+fn table4(ctx: &Ctx, second: Option<&Ctx>, jobs: usize) -> String {
     let opts = ClassifyOptions::default();
-    let rows = classify::classify_all(ctx, second, &opts);
+    let rows = classify::classify_all_jobs(ctx, second, &opts, jobs);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -361,7 +371,7 @@ fn figure5(ctx: &Ctx) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 5: game ownership by genre (copies owned / unplayed share)");
     let mut rows = b.rows.clone();
-    rows.sort_by(|a, b| b.1.copies_owned.cmp(&a.1.copies_owned));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.copies_owned));
     for (genre, row) in rows {
         let _ = writeln!(
             out,
@@ -469,7 +479,7 @@ fn figure9(ctx: &Ctx) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 9: cumulative playtime and market value by genre");
     let mut rows = b.rows.clone();
-    rows.sort_by(|a, b| b.1.playtime_minutes.cmp(&a.1.playtime_minutes));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.playtime_minutes));
     for (genre, row) in &rows {
         let _ = writeln!(
             out,

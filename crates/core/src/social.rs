@@ -43,7 +43,7 @@ pub fn country_breakdown(ctx: &Ctx) -> CountryBreakdown {
             named.push((c.name(), n));
         }
     }
-    named.sort_by(|a, b| b.1.cmp(&a.1));
+    named.sort_by_key(|r| std::cmp::Reverse(r.1));
     let mut rows: Vec<(String, u64, f64)> = named
         .into_iter()
         .map(|(name, n)| (name, n, n as f64 / reporting as f64))

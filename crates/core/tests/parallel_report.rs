@@ -1,0 +1,42 @@
+//! End-to-end determinism contract of the parallel report engine: the full
+//! experiment set must render byte-identical text for any worker count
+//! (`report --jobs 1` vs `--jobs 8` in CLI terms).
+
+use steam_analysis::{render_full_report, Ctx, ReportInput};
+use steam_synth::{Generator, SynthConfig};
+
+#[test]
+fn full_report_is_byte_identical_for_any_job_count() {
+    // Smaller than the unit-test world: the full report (Table 4 included)
+    // renders three times here.
+    let mut cfg = SynthConfig::small(2016);
+    cfg.n_users = 8_000;
+    cfg.n_groups = 250;
+    let world = Generator::new(cfg).generate_world();
+    let ctx = Ctx::new(&world.snapshot);
+    let second = Ctx::new(&world.second_snapshot);
+    let input = ReportInput { ctx: &ctx, second: Some(&second), panel: Some(&world.panel) };
+
+    let serial = render_full_report(&input, 1);
+    assert!(serial.contains("==== table4 ===="), "full report must include Table 4");
+    assert!(serial.contains("==== network-structure ===="));
+    for jobs in [2usize, 8] {
+        let parallel = render_full_report(&input, jobs);
+        assert_eq!(serial, parallel, "report text diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn parallel_context_feeds_identical_report() {
+    // `steam-cli report --jobs N` also builds the Ctx with N threads; the
+    // parallel CSR build must not change any downstream text.
+    let mut cfg = SynthConfig::small(99);
+    cfg.n_users = 4_000;
+    cfg.n_groups = 120;
+    let world = Generator::new(cfg).generate_world();
+    let serial_ctx = Ctx::new(&world.snapshot);
+    let parallel_ctx = Ctx::new_with_jobs(&world.snapshot, 8);
+    let serial_input = ReportInput { ctx: &serial_ctx, second: None, panel: None };
+    let parallel_input = ReportInput { ctx: &parallel_ctx, second: None, panel: None };
+    assert_eq!(render_full_report(&serial_input, 1), render_full_report(&parallel_input, 4));
+}

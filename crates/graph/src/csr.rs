@@ -3,6 +3,10 @@
 //! The paper's graph has 108.7 M nodes and 196.4 M undirected edges; CSR
 //! keeps neighbor iteration cache-friendly with two flat arrays.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::par;
+
 /// An undirected graph in CSR form. Each undirected edge appears in both
 /// endpoints' neighbor lists.
 #[derive(Clone, Debug)]
@@ -45,6 +49,84 @@ impl Csr {
             neighbors[s..e].sort_unstable();
         }
         Csr { offsets, neighbors, n_edges }
+    }
+
+    /// [`Csr::from_edges`] over an edge slice, with both construction passes
+    /// (degree counting and adjacency fill) plus the per-row sort chunked
+    /// over `jobs` scoped threads.
+    ///
+    /// The result is identical to the serial build for any `jobs`: per-chunk
+    /// degree counts merge by integer summation, fill order within a row is
+    /// arbitrary but the canonical ascending sort erases it, and offsets are
+    /// a prefix sum of the merged counts either way.
+    pub fn from_edge_list(n_nodes: usize, edges: &[(u32, u32)], jobs: usize) -> Self {
+        // Below a few thousand edges the scoped-thread setup dwarfs the work.
+        if jobs <= 1 || edges.len() < 4096 {
+            return Self::from_edges(n_nodes, edges.iter().copied());
+        }
+
+        // Pass 1: per-chunk degree counts.
+        let chunk_counts = par::map_chunks(edges.len(), jobs, |range| {
+            let mut deg = vec![0u64; n_nodes];
+            for &(a, b) in &edges[range] {
+                assert!((a as usize) < n_nodes && (b as usize) < n_nodes, "edge out of range");
+                deg[a as usize] += 1;
+                deg[b as usize] += 1;
+            }
+            deg
+        });
+        let mut offsets = Vec::with_capacity(n_nodes + 1);
+        offsets.push(0u64);
+        let mut acc = 0u64;
+        for u in 0..n_nodes {
+            acc += chunk_counts.iter().map(|c| c[u]).sum::<u64>();
+            offsets.push(acc);
+        }
+
+        // Pass 2: fill through per-node atomic cursors. Slot assignment
+        // within a row races, but the sort below restores canonical order.
+        let cursors: Vec<AtomicU64> =
+            offsets[..n_nodes].iter().map(|&o| AtomicU64::new(o)).collect();
+        let slots: Vec<AtomicU32> = (0..acc as usize).map(|_| AtomicU32::new(0)).collect();
+        par::map_chunks(edges.len(), jobs, |range| {
+            for &(a, b) in &edges[range] {
+                let ia = cursors[a as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                slots[ia].store(b, Ordering::Relaxed);
+                let ib = cursors[b as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                slots[ib].store(a, Ordering::Relaxed);
+            }
+        });
+        let mut neighbors: Vec<u32> = slots.into_iter().map(AtomicU32::into_inner).collect();
+
+        // Pass 3: sort each adjacency list, threads owning disjoint
+        // contiguous node ranges (rows are contiguous in node order).
+        let per = n_nodes.div_ceil(jobs);
+        let mut tail: &mut [u32] = &mut neighbors;
+        let mut consumed = 0u64;
+        std::thread::scope(|scope| {
+            for j in 0..jobs {
+                let lo = (j * per).min(n_nodes);
+                let hi = ((j + 1) * per).min(n_nodes);
+                if lo >= hi {
+                    continue;
+                }
+                let len = (offsets[hi] - consumed) as usize;
+                let (head, rest) = std::mem::take(&mut tail).split_at_mut(len);
+                tail = rest;
+                consumed = offsets[hi];
+                let offsets = &offsets;
+                let base = offsets[lo];
+                scope.spawn(move || {
+                    for u in lo..hi {
+                        let s = (offsets[u] - base) as usize;
+                        let e = (offsets[u + 1] - base) as usize;
+                        head[s..e].sort_unstable();
+                    }
+                });
+            }
+        });
+
+        Csr { offsets, neighbors, n_edges: edges.len() }
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -146,5 +228,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         Csr::from_edges(2, [(0, 5)].into_iter());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        use rand::prelude::*;
+        let n_nodes = 2_000u32;
+        let mut rng = StdRng::seed_from_u64(42);
+        // Well above the small-input cutoff so the threaded path runs.
+        let edges: Vec<(u32, u32)> = (0..10_000)
+            .map(|_| (rng.gen_range(0..n_nodes), rng.gen_range(0..n_nodes)))
+            .collect();
+        let serial = Csr::from_edges(n_nodes as usize, edges.iter().copied());
+        for jobs in [1, 2, 3, 8] {
+            let par = Csr::from_edge_list(n_nodes as usize, &edges, jobs);
+            assert_eq!(par.offsets, serial.offsets, "jobs={jobs}");
+            assert_eq!(par.neighbors, serial.neighbors, "jobs={jobs}");
+            assert_eq!(par.n_edges(), serial.n_edges(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn small_edge_lists_take_the_serial_path() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 3)];
+        let a = Csr::from_edge_list(4, &edges, 8);
+        let b = Csr::from_edges(4, edges.iter().copied());
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.neighbors, b.neighbors);
     }
 }

@@ -20,12 +20,16 @@ pub mod components;
 pub mod csr;
 pub mod evolution;
 pub mod neighbors;
+pub mod par;
 pub mod sampling;
 pub mod smallworld;
 
 pub use components::{connected_components, Components};
 pub use csr::Csr;
 pub use evolution::{degrees_in_years, yearly_evolution, YearPoint};
-pub use neighbors::{degree_assortativity, homophily_pairs, neighbor_mean};
+pub use neighbors::{
+    degree_assortativity, degree_assortativity_jobs, homophily_pairs, neighbor_mean,
+    neighbor_mean_jobs,
+};
 pub use sampling::{bfs_crawl, census_sample, sample_degree_stats};
 pub use smallworld::{local_clustering, mean_clustering, small_world, SmallWorld};

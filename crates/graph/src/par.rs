@@ -1,0 +1,50 @@
+//! Scoped-thread fan-out used by the parallel graph kernels.
+//!
+//! Chunk results always come back in chunk (index) order, and every caller
+//! merges them with an order-preserving or exact-arithmetic reduction, so
+//! output is identical for any `jobs` value.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `jobs` contiguous chunks and runs `work` on
+/// each in its own scoped thread; per-chunk results come back in chunk
+/// order. `jobs <= 1` runs inline with no threads.
+pub fn map_chunks<T, F>(n: usize, jobs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        return vec![work(0..n)];
+    }
+    let per = n.div_ceil(jobs);
+    let ranges: Vec<Range<usize>> = (0..jobs)
+        .map(|j| (j * per).min(n)..((j + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || work(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_in_order() {
+        for jobs in [1, 2, 5, 32] {
+            let flat: Vec<usize> = map_chunks(17, jobs, |r| r.collect::<Vec<_>>()).concat();
+            assert_eq!(flat, (0..17).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+}

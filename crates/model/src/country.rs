@@ -144,7 +144,7 @@ impl CountryCode {
                     return None;
                 }
                 let idx = hundreds + rest;
-                (idx < u16::from(Self::OTHER_COUNT)).then(|| CountryCode::Other(idx as u8))
+                (idx < u16::from(Self::OTHER_COUNT)).then_some(CountryCode::Other(idx as u8))
             }
         }
     }

@@ -93,9 +93,11 @@ proptest! {
     ) {
         // Build a deterministic snapshot whose shape is driven by the inputs.
         let n = accounts.len() as u32;
-        let mut snap = Snapshot::default();
-        snap.collected_at = SimTime::from_unix(seed as i64 % 1_000_000_000);
-        snap.scanned_id_space = u64::from(n) * 2;
+        let mut snap = Snapshot {
+            collected_at: SimTime::from_unix(seed as i64 % 1_000_000_000),
+            scanned_id_space: u64::from(n) * 2,
+            ..Snapshot::default()
+        };
         for (i, a) in accounts.iter().enumerate() {
             snap.accounts.push(Account {
                 id: SteamId::from_index(i as u64 * 2),
@@ -159,8 +161,7 @@ proptest! {
 
     #[test]
     fn arb_games_roundtrip(games in vec(arb_game(7), 1..4)) {
-        let mut snap = Snapshot::default();
-        snap.scanned_id_space = 0;
+        let mut snap = Snapshot { scanned_id_space: 0, ..Snapshot::default() };
         // Unique ascending ids.
         for (i, mut g) in games.into_iter().enumerate() {
             g.app_id = AppId(i as u32);

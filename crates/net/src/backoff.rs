@@ -23,8 +23,29 @@ impl Default for Backoff {
 impl Backoff {
     /// Delay before retry number `attempt` (0-based).
     pub fn delay(&self, attempt: u32) -> Duration {
-        let factor = 1u64 << attempt.min(20);
-        (self.base * factor as u32).min(self.max)
+        let factor = 1u32 << attempt.min(20);
+        // A large base (e.g. minutes) times 2^20 overflows Duration's
+        // arithmetic, which panics; saturate and let `max` cap it.
+        self.base.saturating_mul(factor).min(self.max)
+    }
+
+    /// Like [`delay`](Self::delay), but scaled by a deterministic pseudo-random
+    /// fraction in `[0.5, 1.5)` derived from `(attempt, salt)` — full-throttle
+    /// retry storms desynchronize across workers while tests stay
+    /// reproducible. The jittered delay never exceeds `max`, even when the
+    /// fraction pushes a near-cap delay past it.
+    pub fn delay_jittered(&self, attempt: u32, salt: u64) -> Duration {
+        // SplitMix64 finalizer over (attempt, salt): cheap, stateless, and
+        // well-mixed enough for a jitter fraction.
+        let mut z = salt
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let frac = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64; // [0.5, 1.5)
+        let secs = self.delay(attempt).as_secs_f64() * frac;
+        Duration::try_from_secs_f64(secs).unwrap_or(self.max).min(self.max)
     }
 
     /// Runs `op` until it succeeds or the policy is exhausted, sleeping
@@ -126,6 +147,38 @@ mod tests {
         );
         assert!(matches!(result, Err(NetError::Status { code: 404, .. })));
         assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn huge_base_saturates_instead_of_panicking() {
+        let b = Backoff { base: Duration::MAX, max: Duration::from_secs(60), attempts: 3 };
+        // Duration::MAX * 2^20 would panic with plain multiplication.
+        assert_eq!(b.delay(20), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn jitter_never_exceeds_cap() {
+        let b = fast();
+        for attempt in 0..32 {
+            for salt in 0..64 {
+                assert!(b.delay_jittered(attempt, salt) <= b.max);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_spread() {
+        let b = fast();
+        assert_eq!(b.delay_jittered(1, 42), b.delay_jittered(1, 42));
+        // Different salts should not all collapse to one delay.
+        let distinct: std::collections::HashSet<Duration> =
+            (0..16).map(|salt| b.delay_jittered(0, salt)).collect();
+        assert!(distinct.len() > 1, "jitter produced a constant delay");
+        // And every jittered delay stays within [0.5, 1.5)·delay (pre-cap).
+        for salt in 0..64 {
+            let d = b.delay_jittered(0, salt);
+            assert!(d >= b.delay(0) / 2 && d < b.delay(0) * 3 / 2 + Duration::from_nanos(1));
+        }
     }
 
     #[test]

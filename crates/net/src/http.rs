@@ -2,13 +2,16 @@
 //! writers. Enough protocol for a JSON REST API — `Content-Length` bodies,
 //! keep-alive, and nothing else (no chunked encoding, no TLS).
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 use crate::error::NetError;
 use crate::url::split_target;
 
 /// Maximum accepted header block (DoS guard).
 const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted single line — request line, status line, or one header
+/// (DoS guard: without it a line that never terminates buffers unboundedly).
+const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Maximum accepted body (DoS guard; batch endpoints stay far below this).
 const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 
@@ -108,14 +111,35 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Reads one CRLF/LF-terminated line, raw. Refuses lines longer than
+/// `MAX_LINE_BYTES` and non-UTF-8 bytes with a protocol error (the server maps
+/// those to a 400 response; `std::io::BufRead::read_line` would instead
+/// surface `Io(InvalidData)`, which clients misclassify as a transient I/O
+/// failure). Returns `Ok(None)` on EOF before any bytes.
+fn read_line_bounded<R: BufRead>(reader: &mut R) -> Result<Option<String>, NetError> {
+    let mut buf = Vec::new();
+    // +1 so a line of exactly MAX_LINE_BYTES (newline included) still passes;
+    // the limit also stops a never-terminated line from buffering unboundedly.
+    <&mut R as Read>::take(&mut *reader, MAX_LINE_BYTES as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf.len() > MAX_LINE_BYTES {
+        return Err(NetError::Http("line too long".into()));
+    }
+    let line =
+        String::from_utf8(buf).map_err(|_| NetError::Http("non-UTF-8 bytes in line".into()))?;
+    Ok(Some(line))
+}
+
 /// Reads one request from a buffered stream. Returns `Ok(None)` on a cleanly
 /// closed connection (EOF before any bytes).
 pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, NetError> {
-    let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Ok(None);
-    }
+    let line = match read_line_bounded(reader)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
     let line = line.trim_end();
     let mut parts = line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
@@ -134,11 +158,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, NetEr
 
 /// Reads one response from a buffered stream.
 pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
-    let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Err(NetError::Http("connection closed before status line".into()));
-    }
+    let line = read_line_bounded(reader)?
+        .ok_or_else(|| NetError::Http("connection closed before status line".into()))?;
     let line = line.trim_end();
     let mut parts = line.splitn(3, ' ');
     let version = parts.next().unwrap_or("");
@@ -158,12 +179,9 @@ fn read_headers<R: BufRead>(reader: &mut R) -> Result<Vec<(String, String)>, Net
     let mut headers = Vec::new();
     let mut total = 0usize;
     loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(NetError::Http("eof inside headers".into()));
-        }
-        total += n;
+        let line = read_line_bounded(reader)?
+            .ok_or_else(|| NetError::Http("eof inside headers".into()))?;
+        total += line.len();
         if total > MAX_HEADER_BYTES {
             return Err(NetError::Http("header block too large".into()));
         }
@@ -334,6 +352,55 @@ mod tests {
         let wire = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX / 2);
         let mut reader = BufReader::new(wire.as_bytes());
         assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let wire = b"GET /census HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut reader = BufReader::new(&wire[..]);
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_header_line_rejected() {
+        let wire = format!("GET / HTTP/1.1\r\nX-Junk: {}\r\n\r\n", "a".repeat(MAX_LINE_BYTES));
+        let mut reader = BufReader::new(wire.as_bytes());
+        let err = read_request(&mut reader).unwrap_err();
+        assert!(matches!(err, NetError::Http(ref m) if m.contains("too long")), "{err}");
+    }
+
+    #[test]
+    fn oversized_request_line_rejected_without_buffering_it() {
+        // No terminating newline at all: the reader must give up after
+        // MAX_LINE_BYTES rather than buffering the stream unboundedly.
+        let wire = "G".repeat(MAX_LINE_BYTES * 4);
+        let mut reader = BufReader::new(wire.as_bytes());
+        let err = read_request(&mut reader).unwrap_err();
+        assert!(matches!(err, NetError::Http(ref m) if m.contains("too long")), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_a_protocol_error_not_io() {
+        // Raw 0xFF in the request line and in a header value: both must map
+        // to NetError::Http (→ a 400 at the server), never Io(InvalidData),
+        // which retry policies misread as a transient network failure.
+        let wires: [&[u8]; 2] = [
+            b"GET /\xff\xfe HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nX-Bad: \xff\xfe\xfd\r\n\r\n",
+        ];
+        for wire in wires {
+            let mut reader = BufReader::new(wire);
+            let err = read_request(&mut reader).unwrap_err();
+            assert!(matches!(err, NetError::Http(ref m) if m.contains("non-UTF-8")), "{err}");
+        }
+    }
+
+    #[test]
+    fn non_utf8_status_line_is_a_protocol_error() {
+        let wire: &[u8] = b"HTTP/1.1 \xc3\x28 OK\r\n\r\n";
+        let mut reader = BufReader::new(wire);
+        assert!(matches!(read_response(&mut reader), Err(NetError::Http(_))));
     }
 
     #[test]

@@ -28,8 +28,13 @@ struct State {
 
 impl TokenBucket {
     /// `rate` tokens per second, burst up to `capacity`.
+    ///
+    /// Capacities below one token are rounded up to 1.0: `acquire` takes whole
+    /// tokens, so a sub-token bucket could never satisfy it and the caller
+    /// would spin forever.
     pub fn new(rate: f64, capacity: f64) -> Self {
         assert!(rate > 0.0 && capacity > 0.0, "rate and capacity must be positive");
+        let capacity = capacity.max(1.0);
         TokenBucket {
             state: Mutex::new(State { tokens: capacity, last_refill: Instant::now() }),
             capacity,
@@ -71,8 +76,10 @@ impl TokenBucket {
                     state.tokens -= 1.0;
                     return;
                 }
-                // Time until a full token accumulates.
-                Duration::from_secs_f64((1.0 - state.tokens) / self.rate)
+                // Time until a full token accumulates. The division can
+                // overflow Duration for tiny rates; saturate instead of
+                // panicking — the 50ms sleep cap below bounds the wait anyway.
+                wait_for_token(state.tokens, self.rate)
             };
             std::thread::sleep(wait.min(Duration::from_millis(50)));
         }
@@ -84,6 +91,13 @@ impl TokenBucket {
         self.refill(&mut state, Instant::now());
         state.tokens
     }
+}
+
+/// Time until a full token accumulates, saturating at `Duration::MAX` when
+/// the deficit-over-rate quotient exceeds what `Duration` can represent
+/// (e.g. `rate = 1e-300`).
+fn wait_for_token(tokens: f64, rate: f64) -> Duration {
+    Duration::try_from_secs_f64((1.0 - tokens) / rate).unwrap_or(Duration::MAX)
 }
 
 #[cfg(test)]
@@ -159,5 +173,30 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn fractional_capacity_rounds_up_so_acquire_completes() {
+        // Before the clamp, a 0.5-token bucket could never hold a full token
+        // and acquire() spun forever.
+        let b = TokenBucket::new(1000.0, 0.5);
+        b.acquire();
+        assert!(b.available() <= 1.0);
+    }
+
+    #[test]
+    fn tiny_rate_wait_saturates_instead_of_panicking() {
+        // (1 - 0) / 1e-300 overflows Duration::from_secs_f64; the helper must
+        // saturate to Duration::MAX.
+        assert_eq!(wait_for_token(0.0, 1e-300), Duration::MAX);
+        // Sanity: a normal deficit still yields a finite wait.
+        assert_eq!(wait_for_token(0.5, 10.0), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn oversized_request_fails_cleanly() {
+        let b = TokenBucket::new(1000.0, 5.0);
+        assert!(!b.try_acquire_n(6.0), "request larger than capacity can never succeed");
+        assert!(b.try_acquire(), "failed oversized request must not consume tokens");
     }
 }

@@ -10,13 +10,16 @@
 //!   Python `powerlaw` package's fits and likelihood-ratio tests (§3.3,
 //!   Appendix, Table 4);
 //! * [`summary`] — means/medians/modes (§9's achievement statistics);
-//! * [`special`] — the special functions the fitters need.
+//! * [`special`] — the special functions the fitters need;
+//! * [`par`] — the scoped-thread fan-out behind the `_jobs` kernel variants
+//!   (deterministic: chunk results always reduce in index order).
 //!
 //! All of it is deterministic, dependency-free (std only) and tested against
 //! closed-form cases and synthetic samples with known parameters.
 
 pub mod ecdf;
 pub mod hist;
+pub mod par;
 pub mod pareto;
 pub mod special;
 pub mod spearman;
@@ -27,4 +30,4 @@ pub use ecdf::{table3_percentiles, Ecdf};
 pub use hist::{frequency_u32, LinearHistogram, LogHistogram};
 pub use pareto::{gini, lorenz_curve, top_share};
 pub use spearman::{pearson, spearman, CorrelationStrength};
-pub use tailfit::{classify_tail, ClassifyOptions, TailClass, TailReport};
+pub use tailfit::{classify_tail, classify_tail_jobs, ClassifyOptions, TailClass, TailReport};

@@ -1,0 +1,69 @@
+//! Scoped-thread fan-out used by the parallel statistics kernels.
+//!
+//! Every parallel entry point in this crate reduces per-chunk results in
+//! chunk order with the same rule the serial loop uses, so output is
+//! identical for any `jobs` value.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `jobs` contiguous chunks and runs `work` on
+/// each in its own scoped thread; per-chunk results come back in chunk
+/// (i.e. index) order. `jobs <= 1` runs inline with no threads.
+pub fn map_chunks<T, F>(n: usize, jobs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        return vec![work(0..n)];
+    }
+    let per = n.div_ceil(jobs);
+    let ranges: Vec<Range<usize>> = (0..jobs)
+        .map(|j| (j * per).min(n)..((j + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || work(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once_in_order() {
+        for jobs in [1, 2, 3, 7, 100] {
+            let chunks = map_chunks(23, jobs, |r| r.collect::<Vec<_>>());
+            let flat: Vec<usize> = chunks.concat();
+            assert_eq!(flat, (0..23).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_runs_once_over_empty_range() {
+        let chunks = map_chunks(0, 4, |r| r.len());
+        assert_eq!(chunks, vec![0]);
+    }
+
+    #[test]
+    fn chunk_sums_match_serial_for_integer_values() {
+        let data: Vec<u64> = (0..1000).map(|i| i * i).collect();
+        let serial: u64 = data.iter().sum();
+        for jobs in [2, 5, 16] {
+            let total: u64 = map_chunks(data.len(), jobs, |r| data[r].iter().sum::<u64>())
+                .into_iter()
+                .sum();
+            assert_eq!(total, serial);
+        }
+    }
+}

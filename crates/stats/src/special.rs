@@ -11,6 +11,9 @@
 /// are handled via the reflection formula.
 pub fn ln_gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
+    // Published Lanczos coefficients, kept verbatim even where they exceed
+    // f64 precision so they can be checked against the reference table.
+    #[allow(clippy::excessive_precision)]
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -290,7 +293,7 @@ mod tests {
         // Γ(-1, x) = (Γ(0,x) - e^{-x}/x)·(-1) => check against recurrence
         // numerically via integration-free known value Γ(-0.5, 1):
         // Wolfram: Γ(-1/2, 1) ≈ 0.17814771178156069
-        close(upper_gamma(-0.5, 1.0), 0.178_147_711_781_560_69, 1e-8);
+        close(upper_gamma(-0.5, 1.0), 0.178_147_711_781_560_7, 1e-8);
         // Γ(-1, 1) ≈ 0.14849550677592205
         close(upper_gamma(-1.0, 1.0), 0.148_495_506_775_922_05, 1e-8);
     }

@@ -17,7 +17,7 @@
 
 use super::dist::{Exponential, Lognormal, PowerLaw, TruncatedPowerLaw};
 use super::fit::{
-    fit_exponential, fit_lognormal, fit_power_law, fit_truncated_power_law, scan_xmin,
+    fit_exponential, fit_lognormal, fit_power_law, fit_truncated_power_law, scan_xmin_jobs,
 };
 use super::llr::{compare_nested, compare_non_nested, Comparison};
 
@@ -122,10 +122,17 @@ pub fn decide(
 ///
 /// Returns `None` when there is not enough positive data to fit a tail.
 pub fn classify_tail(data: &[f64], opts: &ClassifyOptions) -> Option<TailReport> {
+    classify_tail_jobs(data, opts, 1)
+}
+
+/// [`classify_tail`] with the x_min scan and the two numerical MLE fits
+/// spread over `jobs` scoped threads. Every fit is independent and the scan
+/// reduces in candidate order, so the report is identical for any `jobs`.
+pub fn classify_tail_jobs(data: &[f64], opts: &ClassifyOptions, jobs: usize) -> Option<TailReport> {
     let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
     sorted.sort_by(f64::total_cmp);
 
-    let scan = scan_xmin(&sorted, opts.min_tail, opts.max_xmin_candidates)?;
+    let scan = scan_xmin_jobs(&sorted, opts.min_tail, opts.max_xmin_candidates, jobs)?;
     let start = sorted.partition_point(|&x| x < scan.xmin);
     let full_tail = &sorted[start..];
 
@@ -141,8 +148,17 @@ pub fn classify_tail(data: &[f64], opts: &ClassifyOptions) -> Option<TailReport>
 
     let pl = fit_power_law(tail, scan.xmin);
     let ex = fit_exponential(tail, scan.xmin);
-    let ln = fit_lognormal(tail, scan.xmin);
-    let tpl = fit_truncated_power_law(tail, scan.xmin);
+    // The two Nelder–Mead MLEs dominate the fit cost and are independent;
+    // run them side by side when parallelism is available.
+    let (ln, tpl) = if jobs > 1 {
+        std::thread::scope(|scope| {
+            let ln = scope.spawn(|| fit_lognormal(tail, scan.xmin));
+            let tpl = fit_truncated_power_law(tail, scan.xmin);
+            (ln.join().expect("lognormal fit panicked"), tpl)
+        })
+    } else {
+        (fit_lognormal(tail, scan.xmin), fit_truncated_power_law(tail, scan.xmin))
+    };
 
     let pl_vs_exp = compare_non_nested(tail, &pl, &ex);
     let pl_vs_ln = compare_non_nested(tail, &pl, &ln);
@@ -270,6 +286,32 @@ mod tests {
             report.tpl_vs_ln.r,
             report.tpl_vs_ln.p
         );
+    }
+
+    #[test]
+    fn classify_is_job_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let data: Vec<f64> = (0..25_000)
+            .map(|_| (1.0 - rng.gen::<f64>()).powf(-1.0 / 1.5))
+            .collect();
+        let serial = classify_tail(&data, &ClassifyOptions::default()).unwrap();
+        for jobs in [2, 8] {
+            let par = classify_tail_jobs(&data, &ClassifyOptions::default(), jobs).unwrap();
+            assert_eq!(par.xmin.to_bits(), serial.xmin.to_bits(), "jobs={jobs}");
+            assert_eq!(par.n_tail, serial.n_tail, "jobs={jobs}");
+            assert_eq!(par.class, serial.class, "jobs={jobs}");
+            assert_eq!(
+                par.lognormal.mu.to_bits(),
+                serial.lognormal.mu.to_bits(),
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                par.truncated_power_law.lambda.to_bits(),
+                serial.truncated_power_law.lambda.to_bits(),
+                "jobs={jobs}"
+            );
+            assert_eq!(par.tpl_vs_ln.r.to_bits(), serial.tpl_vs_ln.r.to_bits(), "jobs={jobs}");
+        }
     }
 
     #[test]

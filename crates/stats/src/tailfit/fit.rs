@@ -102,6 +102,52 @@ pub struct XminScan {
     pub n_tail: usize,
 }
 
+/// Distinct candidate cut points, quantile-thinned to `max_candidates` and
+/// prefiltered so every candidate keeps at least `min_tail` survivors.
+fn xmin_candidates(data: &[f64], min_tail: usize, max_candidates: usize) -> Vec<f64> {
+    let mut uniq: Vec<f64> = Vec::new();
+    let mut prev = f64::NAN;
+    for &x in data {
+        if x != prev {
+            uniq.push(x);
+            prev = x;
+        }
+    }
+    // Never cut so deep that fewer than `min_tail` points survive.
+    let last_ok = uniq.partition_point(|&u| {
+        let start = data.partition_point(|&x| x < u);
+        data.len() - start >= min_tail
+    });
+    let uniq = &uniq[..last_ok];
+    if uniq.len() <= max_candidates {
+        return uniq.to_vec();
+    }
+    let mut candidates = Vec::with_capacity(max_candidates);
+    for i in 0..max_candidates {
+        let idx = i * (uniq.len() - 1) / (max_candidates - 1);
+        if candidates.last() != Some(&uniq[idx]) {
+            candidates.push(uniq[idx]);
+        }
+    }
+    candidates
+}
+
+/// Fits and scores one candidate cut point; `None` when the tail is too
+/// small or the power-law MLE is degenerate.
+fn eval_candidate(data: &[f64], xmin: f64, min_tail: usize) -> Option<XminScan> {
+    let start = data.partition_point(|&x| x < xmin);
+    let tail = &data[start..];
+    if tail.len() < min_tail {
+        return None;
+    }
+    let pl = fit_power_law(tail, xmin);
+    if !pl.alpha.is_finite() || pl.alpha <= 1.0 {
+        return None;
+    }
+    let ks = ks_distance(tail, &pl);
+    Some(XminScan { xmin, power_law: pl, ks, n_tail: tail.len() })
+}
+
 /// Selects `x_min` by minimizing the power-law KS distance over candidate
 /// cut points (Clauset et al. §3.3), as the `powerlaw` package does.
 ///
@@ -110,59 +156,42 @@ pub struct XminScan {
 /// most `max_candidates` distinct values (quantile-spaced) are tried to keep
 /// the scan cheap on multi-million-point samples.
 pub fn scan_xmin(sorted_data: &[f64], min_tail: usize, max_candidates: usize) -> Option<XminScan> {
+    scan_xmin_jobs(sorted_data, min_tail, max_candidates, 1)
+}
+
+/// [`scan_xmin`] with the candidate fits spread over `jobs` scoped threads.
+///
+/// Each candidate fit is independent, and the chunked results are reduced in
+/// candidate order with the serial strictly-better rule (`ks < best.ks`, so
+/// the earliest candidate wins ties); the selected cut point is therefore
+/// identical for every `jobs` value.
+pub fn scan_xmin_jobs(
+    sorted_data: &[f64],
+    min_tail: usize,
+    max_candidates: usize,
+    jobs: usize,
+) -> Option<XminScan> {
     let positive_start = sorted_data.partition_point(|&x| x <= 0.0);
     let data = &sorted_data[positive_start..];
     if data.len() < min_tail.max(2) {
         return None;
     }
-
-    // Distinct candidate values, quantile-thinned.
-    let mut candidates: Vec<f64> = Vec::new();
-    {
-        let mut uniq: Vec<f64> = Vec::new();
-        let mut prev = f64::NAN;
-        for &x in data {
-            if x != prev {
-                uniq.push(x);
-                prev = x;
-            }
-        }
-        // Never cut so deep that fewer than `min_tail` points survive.
-        let last_ok = uniq.partition_point(|&u| {
-            let start = data.partition_point(|&x| x < u);
-            data.len() - start >= min_tail
-        });
-        let uniq = &uniq[..last_ok];
-        if uniq.is_empty() {
-            return None;
-        }
-        if uniq.len() <= max_candidates {
-            candidates.extend_from_slice(uniq);
-        } else {
-            for i in 0..max_candidates {
-                let idx = i * (uniq.len() - 1) / (max_candidates - 1);
-                if candidates.last() != Some(&uniq[idx]) {
-                    candidates.push(uniq[idx]);
-                }
-            }
-        }
+    let candidates = xmin_candidates(data, min_tail, max_candidates);
+    if candidates.is_empty() {
+        return None;
     }
 
+    let per_chunk = crate::par::map_chunks(candidates.len(), jobs, |range| {
+        candidates[range]
+            .iter()
+            .map(|&xmin| eval_candidate(data, xmin, min_tail))
+            .collect::<Vec<_>>()
+    });
+
     let mut best: Option<XminScan> = None;
-    for &xmin in &candidates {
-        let start = data.partition_point(|&x| x < xmin);
-        let tail = &data[start..];
-        if tail.len() < min_tail {
-            break;
-        }
-        let pl = fit_power_law(tail, xmin);
-        if !pl.alpha.is_finite() || pl.alpha <= 1.0 {
-            continue;
-        }
-        let ks = ks_distance(tail, &pl);
-        let better = best.as_ref().map_or(true, |b| ks < b.ks);
-        if better {
-            best = Some(XminScan { xmin, power_law: pl, ks, n_tail: tail.len() });
+    for scan in per_chunk.into_iter().flatten().flatten() {
+        if best.as_ref().is_none_or(|b| scan.ks < b.ks) {
+            best = Some(scan);
         }
     }
     best
@@ -292,9 +321,29 @@ mod tests {
     }
 
     #[test]
+    fn xmin_scan_is_job_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut data: Vec<f64> = (0..3000).map(|_| rng.gen::<f64>() * 5.0).collect();
+        data.extend(sample_power_law(&mut rng, 2.0, 5.0, 6000));
+        data.sort_by(f64::total_cmp);
+        let serial = scan_xmin(&data, 100, 80).unwrap();
+        for jobs in [2, 3, 8, 64] {
+            let par = scan_xmin_jobs(&data, 100, 80, jobs).unwrap();
+            assert_eq!(par.xmin.to_bits(), serial.xmin.to_bits(), "jobs={jobs}");
+            assert_eq!(par.ks.to_bits(), serial.ks.to_bits(), "jobs={jobs}");
+            assert_eq!(par.n_tail, serial.n_tail, "jobs={jobs}");
+            assert_eq!(
+                par.power_law.alpha.to_bits(),
+                serial.power_law.alpha.to_bits(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
     fn xmin_scan_ignores_zeros_and_negatives() {
         let mut data = vec![0.0; 500];
-        data.extend((1..=1000).map(|i| f64::from(i)));
+        data.extend((1..=1000).map(f64::from));
         data.sort_by(f64::total_cmp);
         let scan = scan_xmin(&data, 50, 40).unwrap();
         assert!(scan.xmin > 0.0);

@@ -28,13 +28,15 @@ pub mod llr;
 mod neldermead;
 pub mod sample;
 
-pub use classify::{classify_tail, decide, ClassifyOptions, TailClass, TailReport};
+pub use classify::{
+    classify_tail, classify_tail_jobs, decide, ClassifyOptions, TailClass, TailReport,
+};
 pub use dist::{Exponential, Lognormal, PowerLaw, TailModel, TruncatedPowerLaw};
 pub use fit::{
     fit_exponential, fit_lognormal, fit_power_law, fit_truncated_power_law, ks_distance,
-    scan_xmin, XminScan,
+    scan_xmin, scan_xmin_jobs, XminScan,
 };
 pub use discrete::{fit_discrete_power_law, hurwitz_zeta, DiscretePowerLaw};
-pub use gof::{bootstrap_power_law, GofResult};
+pub use gof::{bootstrap_power_law, bootstrap_power_law_jobs, GofResult};
 pub use llr::{compare_nested, compare_non_nested, Comparison};
 pub use sample::SampleTail;

@@ -32,8 +32,10 @@ fn main() {
     .expect("bind API server");
     println!("emulated Steam Web API listening on {}", server.addr());
 
-    let mut config = CrawlerConfig::default();
-    config.self_throttle_rps = Some(server_rps * 0.85);
+    let config = CrawlerConfig {
+        self_throttle_rps: Some(server_rps * 0.85),
+        ..CrawlerConfig::default()
+    };
     let mut crawler = Crawler::new(server.addr(), config);
 
     let started = std::time::Instant::now();

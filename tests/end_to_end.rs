@@ -114,12 +114,14 @@ fn rate_limited_crawl_still_lossless() {
         RateLimit { per_key_rps: 500.0, burst: 20.0 },
     )
     .unwrap();
-    let mut config = CrawlerConfig::default();
-    config.empty_batches_to_stop = 3;
-    config.backoff = condensing_steam::net::Backoff {
-        base: std::time::Duration::from_millis(5),
-        max: std::time::Duration::from_millis(200),
-        attempts: 12,
+    let config = CrawlerConfig {
+        empty_batches_to_stop: 3,
+        backoff: condensing_steam::net::Backoff {
+            base: std::time::Duration::from_millis(5),
+            max: std::time::Duration::from_millis(200),
+            attempts: 12,
+        },
+        ..CrawlerConfig::default()
     };
     let mut crawler = Crawler::new(server.addr(), config);
     let crawled = crawler.crawl(original.collected_at).unwrap();

@@ -1,0 +1,234 @@
+//! Offline drop-in replacement for the subset of the `crossbeam` API this
+//! workspace uses: a bounded MPMC channel (`channel::bounded` with cloneable
+//! `Receiver`, which std's mpsc cannot provide) and `thread::scope` for
+//! borrowing scoped spawns.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        capacity: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded MPMC channel with room for `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(cap)),
+            capacity: cap.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is queue room or no receiver remains.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let shared = &*self.shared;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                if queue.len() < shared.capacity {
+                    queue.push_back(value);
+                    drop(queue);
+                    shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = shared
+                    .not_full
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &*self.shared;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Returns a queued message without blocking, if one is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            let shared = &*self.shared;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let value = queue.pop_front();
+            if value.is_some() {
+                drop(queue);
+                shared.not_full.notify_one();
+            }
+            value
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they observe EOF.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver gone: wake blocked senders so send() can fail.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+pub mod thread {
+    /// Scope handle passed to the `scope` closure; mirrors crossbeam's
+    /// `Scope::spawn(|_| ...)` call shape on top of `std::thread::scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope that joins all spawned threads before returning.
+    ///
+    /// Unlike crossbeam, a panicking child propagates on join via std's
+    /// scope; the `Result` wrapper is kept for call-site compatibility.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn mpmc_fan_out_delivers_every_message() {
+        let (tx, rx) = bounded::<usize>(4);
+        let seen = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let seen = &seen;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        seen.fetch_add(v, Ordering::SeqCst);
+                    }
+                });
+            }
+            drop(rx);
+            for v in 1..=100 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+        })
+        .unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn recv_fails_after_last_sender_drops() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_last_receiver_drops() {
+        let (tx, rx) = bounded::<u8>(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let data = [1, 2, 3];
+        let total = super::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 6);
+    }
+}

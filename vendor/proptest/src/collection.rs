@@ -1,0 +1,132 @@
+//! Collection strategies: `vec` and `btree_map` with a size range.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+
+use crate::strategy::Strategy;
+
+/// Size specifications accepted by the collection strategies.
+pub trait IntoSizeRange {
+    /// Returns the inclusive `(min, max)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end.saturating_sub(1))
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+fn sample_len(rng: &mut StdRng, min: usize, max: usize) -> usize {
+    if min >= max {
+        min
+    } else {
+        rng.gen_range(min..=max)
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = sample_len(rng, self.min, self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    min: usize,
+    max: usize,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = sample_len(rng, self.min, self.max);
+        // Duplicate keys collapse, so the map may come up short of `len`;
+        // upstream proptest has the same possibility and callers accept it.
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+/// `BTreeMap` strategy with entry count drawn from `size`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl IntoSizeRange) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    let (min, max) = size.bounds();
+    BTreeMapStrategy {
+        key,
+        value,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_within_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = vec(0u32..100, 2..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_empty_vec() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = vec(0u32..100, 0..1);
+        assert!(strat.generate(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn btree_map_respects_max() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strat = btree_map(0u32..1000, 0u8..10, 0..6);
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng).len() < 6);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline drop-in replacement for the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! Differences from upstream, deliberate for an offline build:
+//! - **No shrinking.** A failing case fails the test with the generated
+//!   inputs printed via the panic message; upstream would first minimize.
+//! - **Deterministic seeding.** Each test derives its RNG stream from the
+//!   test name and case index, so failures reproduce exactly on re-run.
+//! - **Regex string strategies** implement the subset of regex syntax the
+//!   workspace's patterns need: one or more units, each a char class
+//!   (`[a-z0-9_\-…]`, with ranges and backslash escapes), the printable
+//!   class `\PC`, or a literal char, each optionally followed by `{m,n}`.
+
+use rand::prelude::*;
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+mod string;
+
+pub use strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+
+/// Namespace mirror so `prop::option::of` / `prop::collection::vec` resolve.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    // Macros are exported at the crate root; re-export for `use ...::*`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one `proptest!`-generated test: a fresh deterministic RNG per case.
+#[doc(hidden)]
+pub fn run_cases(config: &ProptestConfig, test_name: &str, mut case: impl FnMut(&mut StdRng)) {
+    let base = fnv1a(test_name);
+    for index in 0..config.cases {
+        let seed = base ^ u64::from(index).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        case(&mut rng);
+    }
+}
+
+/// Declares property tests: `fn name(pat in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategies = ( $( $strat, )* );
+                $crate::run_cases(&config, stringify!($name), |__proptest_rng| {
+                    let ( $( $pat, )* ) =
+                        $crate::Strategy::generate(&strategies, __proptest_rng);
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Skips the current case when its precondition fails. Upstream rejects and
+/// regenerates; without shrinking, silently returning from the case closure
+/// is equivalent for the workspace's usage.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform (or `weight => strategy` weighted) choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::Union::weighted(vec![
+            $( ($weight as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $( $crate::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -1,0 +1,209 @@
+//! Regex-subset sampler backing string strategies.
+//!
+//! Supported syntax (everything the workspace's patterns use):
+//! - char classes `[...]` with literals, `a-z` ranges, and `\x` escapes
+//!   (the escaped char taken literally); a trailing `-` is a literal
+//! - `\PC` — any printable (non-control) char, mostly ASCII with an
+//!   occasional non-ASCII char to exercise multi-byte handling
+//! - literal chars, with `\x` escaping
+//! - an optional `{m}` / `{m,n}` quantifier after any unit (default: one)
+
+use rand::prelude::*;
+
+enum Unit {
+    /// Candidate chars, ranges expanded.
+    Class(Vec<char>),
+    /// `\PC`: printable chars.
+    Printable,
+}
+
+struct Quantified {
+    unit: Unit,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let unit = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut candidates = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let ch = if chars[i] == '\\' {
+                        i += 1;
+                        match chars.get(i) {
+                            Some('n') => '\n',
+                            Some('t') => '\t',
+                            Some('r') => '\r',
+                            Some(&c) => c,
+                            None => panic!("dangling escape in pattern {pattern:?}"),
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    // `a-z` range: a `-` that is neither escaped nor last.
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                        let hi = chars[i + 1];
+                        assert!(ch <= hi, "inverted range in pattern {pattern:?}");
+                        candidates.extend(ch..=hi);
+                        i += 2;
+                    } else {
+                        candidates.push(ch);
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                assert!(!candidates.is_empty(), "empty class in pattern {pattern:?}");
+                Unit::Class(candidates)
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                Unit::Printable
+            }
+            '\\' => {
+                i += 1;
+                let ch = match chars.get(i) {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(&c) => c,
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                };
+                i += 1;
+                Unit::Class(vec![ch])
+            }
+            literal => {
+                i += 1;
+                Unit::Class(vec![literal])
+            }
+        };
+
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad quantifier min"),
+                    hi.parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n = body.parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        units.push(Quantified { unit, min, max });
+    }
+    units
+}
+
+/// Non-ASCII printable chars mixed in by `\PC` to exercise multi-byte paths.
+const EXOTIC_PRINTABLE: &[char] = &['é', 'ß', 'Ω', 'π', '→', '中', '😀', '¡'];
+
+fn sample_char(unit: &Unit, rng: &mut StdRng) -> char {
+    match unit {
+        Unit::Class(candidates) => candidates[rng.gen_range(0..candidates.len())],
+        Unit::Printable => {
+            if rng.gen_range(0u32..10) == 0 {
+                EXOTIC_PRINTABLE[rng.gen_range(0..EXOTIC_PRINTABLE.len())]
+            } else {
+                // ASCII printable: space through tilde.
+                char::from(rng.gen_range(0x20u8..=0x7e))
+            }
+        }
+    }
+}
+
+pub fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for q in parse(pattern) {
+        let count = if q.min >= q.max {
+            q.min
+        } else {
+            rng.gen_range(q.min..=q.max)
+        };
+        for _ in 0..count {
+            out.push(sample_char(&q.unit, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn class_with_ranges_and_quantifier() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-zA-Z0-9 ,&=%]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,&=%".contains(c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = rng();
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = sample_regex("[a-zA-Z0-9 _-]{1,30}", &mut rng);
+            assert!(!s.is_empty());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn escapes_and_unicode_literals_in_class() {
+        // The workspace pattern after Rust unescaping:
+        // [a-zA-Z0-9 _\-"\\<nl><tab>😀é]{0,20}
+        let pattern = "[a-zA-Z0-9 _\\-\"\\\\\n\t😀é]{0,20}";
+        let allowed = |c: char| {
+            c.is_ascii_alphanumeric()
+                || matches!(c, ' ' | '_' | '-' | '"' | '\\' | '\n' | '\t' | '😀' | 'é')
+        };
+        let mut rng = rng();
+        for _ in 0..500 {
+            assert!(sample_regex(pattern, &mut rng).chars().all(allowed));
+        }
+    }
+
+    #[test]
+    fn printable_class_never_emits_controls() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = sample_regex("\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut rng = rng();
+        let s = sample_regex("[ab]{5}", &mut rng);
+        assert_eq!(s.len(), 5);
+    }
+}
