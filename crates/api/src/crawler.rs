@@ -18,14 +18,15 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use steam_model::{Friendship, Group, GroupId, Snapshot, SteamId};
 use steam_net::backoff::{transient, Backoff};
 use steam_net::client::HttpClient;
 use steam_net::ratelimit::TokenBucket;
 use steam_net::NetError;
+use steam_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::service::MAX_BATCH_IDS;
 use crate::wire;
@@ -60,12 +61,142 @@ impl Default for CrawlerConfig {
 }
 
 /// Progress counters (useful for the CLI and the throughput benches).
+///
+/// A snapshot of [`CrawlProgress`]; see [`Crawler::stats`]. `retries_observed`
+/// is the sum of the per-cause counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CrawlStats {
     pub requests: u64,
     pub profiles_found: u64,
     pub ids_scanned: u64,
     pub retries_observed: u64,
+    pub retries_429: u64,
+    pub retries_5xx: u64,
+    pub retries_io: u64,
+    pub census_batches: u64,
+    pub users_harvested: u64,
+    pub groups_fetched: u64,
+    pub apps_fetched: u64,
+    pub reconnects: u64,
+    /// Total time spent waiting on the self-imposed throttle.
+    pub throttle_wait: Duration,
+    /// Total time slept in retry backoff (including server `Retry-After`
+    /// hints).
+    pub backoff_wait: Duration,
+}
+
+/// Live, cloneable view of a crawl in flight: every instrument is an
+/// `Arc`'d atomic registered in the crawler's [`Registry`], so a clone
+/// handed to a display thread observes the crawl at zero cost to it.
+#[derive(Clone)]
+pub struct CrawlProgress {
+    requests: Arc<Counter>,
+    retries_429: Arc<Counter>,
+    retries_5xx: Arc<Counter>,
+    retries_io: Arc<Counter>,
+    census_batches: Arc<Counter>,
+    users_harvested: Arc<Counter>,
+    groups_fetched: Arc<Counter>,
+    apps_fetched: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    throttle_wait: Arc<Counter>,
+    backoff_wait: Arc<Counter>,
+    ids_scanned: Arc<Gauge>,
+    profiles_found: Arc<Gauge>,
+    phase_census: Arc<Histogram>,
+    phase_harvest: Arc<Histogram>,
+    phase_catalog: Arc<Histogram>,
+}
+
+impl CrawlProgress {
+    fn new(registry: &Registry) -> Self {
+        registry.describe("crawl_requests_total", "API requests issued by the crawler");
+        registry.describe("crawl_retries_total", "Retries after transient failures, by cause");
+        registry.describe("crawl_census_batches_total", "Phase-1 ID batches fetched");
+        registry.describe("crawl_users_harvested_total", "Phase-2 accounts fully harvested");
+        registry.describe("crawl_groups_fetched_total", "Group community pages fetched");
+        registry.describe("crawl_apps_fetched_total", "Phase-3 catalog products fetched");
+        registry.describe("crawl_reconnects_total", "Stale-connection reconnects");
+        registry.describe(
+            "crawl_throttle_wait_seconds_total",
+            "Time spent waiting on the self-imposed throttle",
+        );
+        registry.describe(
+            "crawl_backoff_wait_seconds_total",
+            "Time slept in retry backoff (incl. Retry-After hints)",
+        );
+        registry.describe("crawl_ids_scanned", "IDs covered by the census so far");
+        registry.describe("crawl_profiles_found", "Valid accounts discovered so far");
+        registry.describe("crawl_phase_duration_seconds", "Wall time per crawl phase");
+        CrawlProgress {
+            requests: registry.counter("crawl_requests_total", &[]),
+            retries_429: registry.counter("crawl_retries_total", &[("cause", "429")]),
+            retries_5xx: registry.counter("crawl_retries_total", &[("cause", "5xx")]),
+            retries_io: registry.counter("crawl_retries_total", &[("cause", "io")]),
+            census_batches: registry.counter("crawl_census_batches_total", &[]),
+            users_harvested: registry.counter("crawl_users_harvested_total", &[]),
+            groups_fetched: registry.counter("crawl_groups_fetched_total", &[]),
+            apps_fetched: registry.counter("crawl_apps_fetched_total", &[]),
+            reconnects: registry.counter("crawl_reconnects_total", &[]),
+            throttle_wait: registry.counter("crawl_throttle_wait_seconds_total", &[]),
+            backoff_wait: registry.counter("crawl_backoff_wait_seconds_total", &[]),
+            ids_scanned: registry.gauge("crawl_ids_scanned", &[]),
+            profiles_found: registry.gauge("crawl_profiles_found", &[]),
+            phase_census: registry
+                .histogram("crawl_phase_duration_seconds", &[("phase", "census")]),
+            phase_harvest: registry
+                .histogram("crawl_phase_duration_seconds", &[("phase", "harvest")]),
+            phase_catalog: registry
+                .histogram("crawl_phase_duration_seconds", &[("phase", "catalog")]),
+        }
+    }
+
+    fn record_retry(&self, err: &NetError, delay: Duration) {
+        match err {
+            NetError::Status { code: 429, .. } => self.retries_429.inc(),
+            NetError::Status { .. } => self.retries_5xx.inc(),
+            _ => self.retries_io.inc(),
+        }
+        self.backoff_wait.add_duration(delay);
+    }
+
+    /// Point-in-time snapshot of every counter.
+    pub fn stats(&self) -> CrawlStats {
+        let retries_429 = self.retries_429.get();
+        let retries_5xx = self.retries_5xx.get();
+        let retries_io = self.retries_io.get();
+        CrawlStats {
+            requests: self.requests.get(),
+            profiles_found: self.profiles_found.get().max(0) as u64,
+            ids_scanned: self.ids_scanned.get().max(0) as u64,
+            retries_observed: retries_429 + retries_5xx + retries_io,
+            retries_429,
+            retries_5xx,
+            retries_io,
+            census_batches: self.census_batches.get(),
+            users_harvested: self.users_harvested.get(),
+            groups_fetched: self.groups_fetched.get(),
+            apps_fetched: self.apps_fetched.get(),
+            reconnects: self.reconnects.get(),
+            throttle_wait: self.throttle_wait.as_duration(),
+            backoff_wait: self.backoff_wait.as_duration(),
+        }
+    }
+
+    /// One-line human summary of the crawl so far — what `steam-cli crawl`
+    /// repaints as its live progress display.
+    pub fn progress_line(&self) -> String {
+        let s = self.stats();
+        format!(
+            "reqs {} | ids {} | profiles {} | harvested {} | retries {} | reconnects {}",
+            s.requests,
+            s.ids_scanned,
+            s.profiles_found,
+            s.users_harvested,
+            s.retries_observed,
+            s.reconnects,
+        )
+    }
 }
 
 /// One throttled, retrying connection to the API server. Worker threads in
@@ -74,28 +205,33 @@ struct Fetcher {
     client: HttpClient,
     backoff: Backoff,
     throttle: Arc<Option<TokenBucket>>,
-    requests: Arc<AtomicU64>,
-    retries: Arc<AtomicU64>,
+    progress: CrawlProgress,
+    /// `client.reconnects()` at the last sync into the shared counter.
+    synced_reconnects: u64,
 }
 
 impl Fetcher {
     fn get(&mut self, target: &str) -> Result<String, NetError> {
         if let Some(t) = self.throttle.as_ref() {
-            t.acquire();
+            let waited = t.acquire();
+            if !waited.is_zero() {
+                self.progress.throttle_wait.add_duration(waited);
+            }
         }
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.progress.requests.inc();
         let client = &mut self.client;
-        let mut attempts_seen = 0u64;
-        let resp = self.backoff.run(
-            || {
-                attempts_seen += 1;
-                client.get(target)
-            },
+        let progress = &self.progress;
+        let result = self.backoff.run_observed(
+            || client.get(target),
             transient,
-        )?;
-        self.retries
-            .fetch_add(attempts_seen.saturating_sub(1), Ordering::Relaxed);
-        Ok(resp.body_text())
+            |err, delay| progress.record_retry(err, delay),
+        );
+        let reconnects = self.client.reconnects();
+        if reconnects > self.synced_reconnects {
+            self.progress.reconnects.add(reconnects - self.synced_reconnects);
+            self.synced_reconnects = reconnects;
+        }
+        Ok(result?.body_text())
     }
 }
 
@@ -105,35 +241,48 @@ pub struct Crawler {
     fetcher: Fetcher,
     config: CrawlerConfig,
     throttle: Arc<Option<TokenBucket>>,
-    requests: Arc<AtomicU64>,
-    retries: Arc<AtomicU64>,
-    stats: CrawlStats,
+    registry: Arc<Registry>,
+    progress: CrawlProgress,
 }
 
 impl Crawler {
+    /// A crawler with a private metrics registry (see
+    /// [`with_registry`](Self::with_registry) to share one, e.g. so a CLI
+    /// can expose crawl metrics alongside others).
     pub fn new(addr: SocketAddr, config: CrawlerConfig) -> Self {
+        Self::with_registry(addr, config, Arc::new(Registry::new()))
+    }
+
+    /// A crawler recording its metrics into `registry`.
+    pub fn with_registry(addr: SocketAddr, config: CrawlerConfig, registry: Arc<Registry>) -> Self {
         let throttle = Arc::new(
             config
                 .self_throttle_rps
                 .map(|rps| TokenBucket::new(rps, (rps / 4.0).max(1.0))),
         );
-        let requests = Arc::new(AtomicU64::new(0));
-        let retries = Arc::new(AtomicU64::new(0));
+        let progress = CrawlProgress::new(&registry);
         let fetcher = Fetcher {
             client: HttpClient::new(addr),
             backoff: config.backoff,
             throttle: Arc::clone(&throttle),
-            requests: Arc::clone(&requests),
-            retries: Arc::clone(&retries),
+            progress: progress.clone(),
+            synced_reconnects: 0,
         };
-        Crawler { addr, fetcher, config, throttle, requests, retries, stats: CrawlStats::default() }
+        Crawler { addr, fetcher, config, throttle, registry, progress }
     }
 
     pub fn stats(&self) -> CrawlStats {
-        let mut stats = self.stats;
-        stats.requests = self.requests.load(Ordering::Relaxed);
-        stats.retries_observed = self.retries.load(Ordering::Relaxed);
-        stats
+        self.progress.stats()
+    }
+
+    /// A cloneable live view of the crawl (share with a display thread).
+    pub fn progress(&self) -> CrawlProgress {
+        self.progress.clone()
+    }
+
+    /// The registry the crawler records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     fn new_fetcher(&self) -> Fetcher {
@@ -141,8 +290,8 @@ impl Crawler {
             client: HttpClient::new(self.addr),
             backoff: self.config.backoff,
             throttle: Arc::clone(&self.throttle),
-            requests: Arc::clone(&self.requests),
-            retries: Arc::clone(&self.retries),
+            progress: self.progress.clone(),
+            synced_reconnects: 0,
         }
     }
 
@@ -153,6 +302,8 @@ impl Crawler {
     /// Phase 1: census of the ID space. Returns accounts sorted by ID and
     /// the scanned ID-space size.
     pub fn census(&mut self) -> Result<(Vec<steam_model::Account>, u64), NetError> {
+        let _timer = steam_obs::span("crawl", "census")
+            .with_histogram(Arc::clone(&self.progress.phase_census));
         let mut accounts = Vec::new();
         let mut next_index: u64 = 0;
         let mut empty_run = 0usize;
@@ -168,6 +319,7 @@ impl Crawler {
                 ids.join(",")
             ))?;
             let players = wire::parse_player_summaries(&body)?;
+            self.progress.census_batches.inc();
             if players.is_empty() {
                 empty_run += 1;
             } else {
@@ -176,12 +328,13 @@ impl Crawler {
                     last_valid = Some(p.id.index().max(last_valid.unwrap_or(0)));
                     accounts.push(p);
                 }
+                self.progress.profiles_found.set(accounts.len() as i64);
             }
             next_index += MAX_BATCH_IDS as u64;
-            self.stats.ids_scanned = next_index;
+            self.progress.ids_scanned.set(next_index as i64);
         }
         accounts.sort_by_key(|a| a.id);
-        self.stats.profiles_found = accounts.len() as u64;
+        self.progress.profiles_found.set(accounts.len() as i64);
         let scanned = last_valid.map_or(0, |v| v + 1);
         Ok((accounts, scanned))
     }
@@ -227,6 +380,8 @@ impl Crawler {
         // Per-user harvest, optionally on several worker threads. Work is
         // split into contiguous account chunks and merged back in order, so
         // the reconstructed snapshot is identical for any worker count.
+        let harvest_timer = steam_obs::span("crawl", "harvest")
+            .with_histogram(Arc::clone(&self.progress.phase_harvest));
         let key = self.config.api_key.clone();
         let workers = self.config.workers.max(1).min(accounts.len().max(1));
         type ChunkOut = (Vec<Friendship>, Vec<Vec<steam_model::OwnedGame>>, Vec<Vec<GroupId>>);
@@ -259,6 +414,7 @@ impl Crawler {
                 raw_memberships.push(wire::parse_group_list(&fetcher.get(&format!(
                     "/ISteamUser/GetUserGroupList/v1?key={key}&steamid={id}"
                 ))?)?);
+                fetcher.progress.users_harvested.inc();
             }
             Ok((friendships, ownerships, raw_memberships))
         };
@@ -305,6 +461,7 @@ impl Crawler {
                 wire::parse_group_page(&self.get(&format!("/community/group/{}", gid.0))?)?;
             group_index.insert(gid, groups.len() as u32);
             groups.push(page);
+            self.progress.groups_fetched.inc();
         }
         let memberships: Vec<Vec<u32>> = raw_memberships
             .into_iter()
@@ -315,7 +472,11 @@ impl Crawler {
             })
             .collect();
 
+        drop(harvest_timer);
+
         // --- phase 3 ---------------------------------------------------------
+        let catalog_timer = steam_obs::span("crawl", "catalog")
+            .with_histogram(Arc::clone(&self.progress.phase_catalog));
         let app_ids =
             wire::parse_app_list(&self.get("/ISteamApps/GetAppList/v2")?)?;
         let mut catalog = Vec::with_capacity(app_ids.len());
@@ -330,8 +491,10 @@ impl Crawler {
             ))?;
             game.achievements = wire::parse_achievement_percentages(&body)?;
             catalog.push(game);
+            self.progress.apps_fetched.inc();
         }
         catalog.sort_by_key(|g| g.app_id);
+        drop(catalog_timer);
 
         friendships.sort_by_key(|e| (e.a, e.b));
         Ok(Snapshot {
@@ -487,6 +650,82 @@ mod tests {
     }
 
     #[test]
+    fn crawl_metrics_mirror_the_crawl() {
+        let original = tiny_world();
+        let (server, _service) =
+            serve(Arc::clone(&original), "127.0.0.1:0", 2, RateLimit::default()).unwrap();
+        let registry = Arc::new(steam_obs::Registry::new());
+        let config = CrawlerConfig { empty_batches_to_stop: 2, ..CrawlerConfig::default() };
+        let mut crawler = Crawler::with_registry(server.addr(), config, Arc::clone(&registry));
+        let progress = crawler.progress();
+        let crawled = crawler.crawl(original.collected_at).unwrap();
+
+        let stats = crawler.stats();
+        assert_eq!(stats.users_harvested, crawled.n_users() as u64);
+        assert_eq!(stats.groups_fetched, crawled.groups.len() as u64);
+        assert_eq!(stats.apps_fetched, crawled.catalog.len() as u64);
+        assert_eq!(stats.profiles_found, crawled.n_users() as u64);
+        assert!(stats.census_batches > 0);
+        assert!(stats.ids_scanned >= crawled.scanned_id_space);
+        // census batches + 3 per user + 1 per group + app list + 2 per app +
+        // nothing else.
+        let expected_requests = stats.census_batches
+            + 3 * stats.users_harvested
+            + stats.groups_fetched
+            + 1
+            + 2 * stats.apps_fetched;
+        assert_eq!(stats.requests, expected_requests);
+        // The cloned progress handle observes the same counters.
+        assert_eq!(progress.stats().requests, stats.requests);
+        assert!(!progress.progress_line().is_empty());
+        // And everything lands in the shared registry's exposition.
+        let text = registry.render_prometheus();
+        assert!(text.contains(&format!("crawl_requests_total {}", stats.requests)));
+        assert!(text.contains("crawl_phase_duration_seconds_count{phase=\"census\"} 1"));
+        assert!(text.contains("crawl_phase_duration_seconds_count{phase=\"harvest\"} 1"));
+        assert!(text.contains("crawl_phase_duration_seconds_count{phase=\"catalog\"} 1"));
+    }
+
+    #[test]
+    fn rate_limited_crawl_counts_429_retries_and_backoff_wait() {
+        let original = {
+            let mut cfg = SynthConfig::small(96);
+            cfg.n_users = 40;
+            cfg.n_products = 20;
+            cfg.n_groups = 5;
+            Arc::new(Generator::new(cfg).generate())
+        };
+        let (server, _service) = serve(
+            Arc::clone(&original),
+            "127.0.0.1:0",
+            2,
+            RateLimit { per_key_rps: 300.0, burst: 10.0 },
+        )
+        .unwrap();
+        let config = CrawlerConfig {
+            empty_batches_to_stop: 2,
+            backoff: Backoff {
+                base: std::time::Duration::from_millis(5),
+                max: std::time::Duration::from_millis(100),
+                attempts: 10,
+            },
+            ..CrawlerConfig::default()
+        };
+        let mut crawler = Crawler::new(server.addr(), config);
+        crawler.crawl(original.collected_at).unwrap();
+        let stats = crawler.stats();
+        assert!(stats.retries_429 > 0, "expected 429-classified retries");
+        assert_eq!(
+            stats.retries_observed,
+            stats.retries_429 + stats.retries_5xx + stats.retries_io
+        );
+        assert!(
+            stats.backoff_wait > Duration::ZERO,
+            "retries must account their sleep time"
+        );
+    }
+
+    #[test]
     fn self_throttle_limits_request_rate() {
         let original = {
             let mut cfg = SynthConfig::small(93);
@@ -514,6 +753,10 @@ mod tests {
         assert!(
             elapsed >= min_expected,
             "crawl of {requests} requests finished in {elapsed:?} (< {min_expected:?})"
+        );
+        assert!(
+            crawler.stats().throttle_wait > Duration::ZERO,
+            "a rate-capped crawl must record throttle wait time"
         );
     }
 }

@@ -17,5 +17,5 @@ pub mod crawler;
 pub mod service;
 pub mod wire;
 
-pub use crawler::{CrawlStats, Crawler, CrawlerConfig};
-pub use service::{serve, serve_service, ApiService, RateLimit};
+pub use crawler::{CrawlProgress, CrawlStats, Crawler, CrawlerConfig};
+pub use service::{serve, serve_observed, serve_service, serve_service_observed, ApiService, RateLimit};

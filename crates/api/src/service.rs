@@ -131,7 +131,12 @@ impl ApiService {
         if bucket.try_acquire() {
             Ok(())
         } else {
-            Err(Response::error(429, "rate limit exceeded"))
+            // Tell the client when to come back, like real rate-limited APIs
+            // do. Whole seconds, rounded up, at least 1 — the crawler's
+            // backoff honors this over its own exponential schedule.
+            let secs = bucket.time_until_available().as_secs_f64().ceil().max(1.0) as u64;
+            Err(Response::error(429, "rate limit exceeded")
+                .with_header("Retry-After", &secs.to_string()))
         }
     }
 
@@ -309,6 +314,18 @@ pub fn serve(
     serve_service(ApiService::new(snapshot, limits), addr, workers)
 }
 
+/// Like [`serve`], with a metrics registry: the server records per-endpoint
+/// request/latency metrics and exposes `GET /metrics` + `GET /healthz`.
+pub fn serve_observed(
+    snapshot: Arc<Snapshot>,
+    addr: &str,
+    workers: usize,
+    limits: RateLimit,
+    registry: Arc<steam_obs::Registry>,
+) -> Result<(HttpServer, Arc<ApiService>), NetError> {
+    serve_service_observed(ApiService::new(snapshot, limits), addr, workers, Some(registry))
+}
+
 /// Binds an HTTP server around a pre-built service (e.g. one with a week
 /// panel attached via [`ApiService::with_panel`]).
 pub fn serve_service(
@@ -316,9 +333,19 @@ pub fn serve_service(
     addr: &str,
     workers: usize,
 ) -> Result<(HttpServer, Arc<ApiService>), NetError> {
+    serve_service_observed(service, addr, workers, None)
+}
+
+/// [`serve_service`] with an optional metrics registry.
+pub fn serve_service_observed(
+    service: ApiService,
+    addr: &str,
+    workers: usize,
+    registry: Option<Arc<steam_obs::Registry>>,
+) -> Result<(HttpServer, Arc<ApiService>), NetError> {
     let service = Arc::new(service);
     let handler: Arc<dyn Handler> = Arc::clone(&service) as Arc<dyn Handler>;
-    let server = HttpServer::bind(addr, workers, handler)?;
+    let server = HttpServer::bind_observed(addr, workers, handler, registry)?;
     Ok((server, service))
 }
 
@@ -423,6 +450,12 @@ mod tests {
         assert_eq!(ok1.status, 200);
         assert_eq!(ok2.status, 200);
         assert_eq!(limited.status, 429);
+        let retry_after: u64 = limited
+            .header("retry-after")
+            .expect("429 must carry Retry-After")
+            .parse()
+            .expect("Retry-After must be whole seconds");
+        assert!(retry_after >= 1, "hint must be at least one second");
         // A different key has its own bucket.
         let other = request(&service, "/ISteamApps/GetAppList/v2?key=other");
         assert_eq!(other.status, 200);

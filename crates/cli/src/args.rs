@@ -54,9 +54,7 @@ impl Args {
         }
     }
 
-    /// Used by subcommands that take boolean switches; currently only
-    /// exercised in tests, so the binary build sees it as dead code.
-    #[allow(dead_code)]
+    /// Whether a boolean switch (e.g. `--timings`) was given.
     pub fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name) || self.flags.contains_key(name)
     }

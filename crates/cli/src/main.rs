@@ -8,9 +8,13 @@
 //! steam-cli crawl    --addr 127.0.0.1:8571 --out crawled.bin [--rps 1000]
 //! steam-cli report   --snapshot snap.bin [--second snap2.bin]
 //!                    [--panel panel.bin] [--experiment table3|figure6|...|all]
-//!                    [--jobs N]
+//!                    [--jobs N] [--timings]
 //! steam-cli validate --snapshot snap.bin
 //! ```
+//!
+//! Every command accepts `--log-level error|warn|info|debug|trace`
+//! (structured trace events to stderr; default warn). `serve` additionally
+//! exposes `GET /metrics` (Prometheus text) and `GET /healthz`.
 
 mod args;
 
@@ -19,9 +23,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use args::Args;
-use steam_analysis::{render_full_report, render_with_jobs, Ctx, Experiment, ReportInput};
-use steam_api::{serve, Crawler, CrawlerConfig, RateLimit};
+use steam_analysis::{
+    render_experiments_timed, render_full_report, render_full_report_timed, render_with_jobs,
+    Ctx, Experiment, ReportInput,
+};
+use steam_api::{serve_observed, Crawler, CrawlerConfig, RateLimit};
 use steam_model::codec;
+use steam_obs::Registry;
 use steam_synth::{Generator, SynthConfig};
 
 fn main() -> ExitCode {
@@ -33,6 +41,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = init_tracing(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "serve" => cmd_serve(&args),
@@ -70,6 +82,9 @@ COMMANDS
              --snapshot PATH   snapshot to serve (default snapshot.bin)
              --addr HOST:PORT  bind address (default 127.0.0.1:8571)
              --rps N           per-key rate limit (default 100000)
+             Also serves GET /metrics (Prometheus text exposition with
+             per-endpoint request counts and latency histograms) and
+             GET /healthz (liveness; both bypass the rate limit)
   crawl      Crawl a served API back into a snapshot file
              --addr HOST:PORT  server address (default 127.0.0.1:8571)
              --out PATH        output snapshot (default crawled.bin)
@@ -84,13 +99,31 @@ COMMANDS
                                or `all` (default all)
              --jobs N          worker threads for the report engine (default:
                                all cores; output is identical for any N)
+             --timings         print a per-experiment timing table to stderr
+                               (stdout stays byte-identical)
   export     Write the figures' underlying series as TSV files
              --snapshot PATH   snapshot (default snapshot.bin)
              --panel PATH      week panel (adds figure12.tsv)
              --dir PATH        output directory (default figures/)
   validate   Check a snapshot's structural invariants
              --snapshot PATH   snapshot (default snapshot.bin)
+
+GLOBAL FLAGS
+  --log-level LEVEL  error|warn|info|debug|trace — structured trace events
+                     to stderr (default warn)
 ";
+
+/// Wires `--log-level` to the tracing layer: events at or above the level
+/// go to stderr, stdout (report text) is never touched.
+fn init_tracing(args: &Args) -> Result<(), String> {
+    if let Some(raw) = args.get("log-level") {
+        let level: steam_obs::Level =
+            raw.parse().map_err(|_| format!("bad --log-level {raw:?} (error|warn|info|debug|trace)"))?;
+        steam_obs::set_level(level);
+        steam_obs::set_sink(std::sync::Arc::new(steam_obs::StderrSink));
+    }
+    Ok(())
+}
 
 fn scale_config(args: &Args) -> Result<SynthConfig, String> {
     let seed = args.get_parse("seed", 2016u64)?;
@@ -142,14 +175,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let snapshot =
         Arc::new(codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?);
     eprintln!("serving {} users from {path}", snapshot.n_users());
-    let (server, _service) = serve(
+    let registry = Arc::new(Registry::new());
+    let (server, _service) = serve_observed(
         snapshot,
         addr,
         8,
         RateLimit { per_key_rps: rps, burst: (rps / 10.0).max(10.0) },
+        registry,
     )
     .map_err(|e| e.to_string())?;
     eprintln!("listening on http://{} (ctrl-c to stop)", server.addr());
+    eprintln!("metrics at http://{0}/metrics, liveness at http://{0}/healthz", server.addr());
     // Serve until interrupted.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -171,16 +207,57 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
     let mut crawler = Crawler::new(addr, config);
     eprintln!("crawling {addr}...");
     let started = std::time::Instant::now();
-    let snapshot = crawler
-        .crawl(steam_model::SimTime::from_ymd(2013, 11, 5))
-        .map_err(|e| e.to_string())?;
+
+    // Live progress line, repainted in place while the crawl runs. Only on
+    // an interactive stderr: redirected logs get the final summary only.
+    let progress = crawler.progress();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let display = {
+        use std::io::IsTerminal;
+        let stop = Arc::clone(&stop);
+        std::io::stderr().is_terminal().then(|| {
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    eprint!("\r{}\x1b[K", progress.progress_line());
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                eprint!("\r\x1b[K");
+            })
+        })
+    };
+    let crawl_result = crawler.crawl(steam_model::SimTime::from_ymd(2013, 11, 5));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = display {
+        handle.join().ok();
+    }
+    let snapshot = crawl_result.map_err(|e| e.to_string())?;
+
     let stats = crawler.stats();
     eprintln!(
-        "crawled {} users with {} requests ({} retries) in {:.1?}",
+        "crawled {} users with {} requests in {:.1?}",
         stats.profiles_found,
         stats.requests,
-        stats.retries_observed,
         started.elapsed()
+    );
+    eprintln!(
+        "  census: {} batches, {} ids scanned, {} profiles found",
+        stats.census_batches, stats.ids_scanned, stats.profiles_found
+    );
+    eprintln!(
+        "  harvest: {} users, {} groups, {} apps",
+        stats.users_harvested, stats.groups_fetched, stats.apps_fetched
+    );
+    eprintln!(
+        "  retries: {} (429: {}, 5xx: {}, io: {}), reconnects: {}",
+        stats.retries_observed,
+        stats.retries_429,
+        stats.retries_5xx,
+        stats.retries_io,
+        stats.reconnects
+    );
+    eprintln!(
+        "  waited: {:.1?} throttled, {:.1?} backing off",
+        stats.throttle_wait, stats.backoff_wait
     );
     codec::write_snapshot(Path::new(out), &snapshot).map_err(|e| e.to_string())?;
     eprintln!("wrote {out}");
@@ -213,12 +290,25 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     let input = ReportInput { ctx: &ctx, second: second_ctx.as_ref(), panel: panel.as_ref() };
 
     let which = args.get_or("experiment", "all");
+    let timings = args.has("timings");
     if which == "all" {
-        print!("{}", render_full_report(&input, jobs));
+        if timings {
+            let (text, t) = render_full_report_timed(&input, jobs);
+            print!("{text}");
+            eprint!("{}", t.render_table());
+        } else {
+            print!("{}", render_full_report(&input, jobs));
+        }
     } else {
         let e = Experiment::from_name(which)
             .ok_or_else(|| format!("unknown experiment {which:?}"))?;
-        println!("{}", render_with_jobs(&input, e, jobs));
+        if timings {
+            let (rendered, t) = render_experiments_timed(&input, &[e], jobs);
+            println!("{}", rendered[0].1);
+            eprint!("{}", t.render_table());
+        } else {
+            println!("{}", render_with_jobs(&input, e, jobs));
+        }
     }
     Ok(())
 }

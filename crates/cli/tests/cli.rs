@@ -186,13 +186,37 @@ fn serve_then_crawl_round_trips() {
         addr.expect("server printed its address")
     };
 
+    // /healthz and /metrics answer while the server is up (raw HTTP/1.1 so
+    // the test needs no client library).
+    let healthz = raw_http_get(&addr, "/healthz");
+    assert!(healthz.starts_with("HTTP/1.1 200"), "{healthz}");
+    assert!(healthz.ends_with("ok\n"), "{healthz}");
+
     let out = bin()
         .args(["crawl", "--addr", &addr, "--out", crawled.to_str().unwrap()])
         .output()
         .unwrap();
+    let crawl_stderr = String::from_utf8_lossy(&out.stderr).to_string();
+
+    // After the crawl, the server's metrics reflect the traffic it saw.
+    let metrics = raw_http_get(&addr, "/metrics");
     server.kill().ok();
     server.wait().ok(); // reap so the server never lingers as a zombie
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(out.status.success(), "{crawl_stderr}");
+
+    // The crawl summary surfaces the progress counters.
+    for needle in ["ids scanned", "profiles found", "retries", "reconnects", "throttled"] {
+        assert!(crawl_stderr.contains(needle), "summary missing {needle:?}:\n{crawl_stderr}");
+    }
+
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+    let metrics_body = metrics.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert!(metrics_body.contains("# TYPE http_requests_total counter"));
+    assert!(metrics_body.contains(
+        "http_requests_total{endpoint=\"/ISteamApps/GetAppList/v2\",method=\"GET\",status=\"200\"}"
+    ));
+    assert!(metrics_body.contains("http_request_duration_seconds_bucket"));
+    assert!(metrics_body.contains("http_requests_in_flight"));
 
     let out = bin()
         .args(["validate", "--snapshot", crawled.to_str().unwrap()])
@@ -200,5 +224,73 @@ fn serve_then_crawl_round_trips() {
         .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("300 users"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One `Connection: close` GET over a raw TCP socket; returns the full
+/// response (status line, headers, body) as text.
+fn raw_http_get(addr: &str, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn report_timings_go_to_stderr_and_stdout_is_unchanged() {
+    let dir = temp_dir("timings");
+    let snap = dir.join("snap.bin");
+    let out = bin()
+        .args(["generate", "--users", "1000", "--seed", "3", "--out", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let plain = bin()
+        .args(["report", "--snapshot", snap.to_str().unwrap(), "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+
+    let timed = bin()
+        .args(["report", "--snapshot", snap.to_str().unwrap(), "--jobs", "2", "--timings"])
+        .output()
+        .unwrap();
+    assert!(timed.status.success());
+
+    assert_eq!(plain.stdout, timed.stdout, "--timings must not change the report bytes");
+    let table = String::from_utf8_lossy(&timed.stderr);
+    assert!(table.contains("experiment"), "{table}");
+    assert!(table.contains("utilization"), "{table}");
+    assert!(table.contains("table4"), "{table}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn log_level_flag_is_validated_and_enables_tracing() {
+    let out = bin().args(["help", "--log-level", "banana"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --log-level"));
+
+    // At debug level the generate command emits no stdout noise (stdout is
+    // reserved for command output) even though stderr may carry events.
+    let dir = temp_dir("loglevel");
+    let snap = dir.join("snap.bin");
+    let out = bin()
+        .args([
+            "generate",
+            "--users",
+            "600",
+            "--out",
+            snap.to_str().unwrap(),
+            "--log-level",
+            "debug",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(out.stdout.is_empty(), "tracing leaked onto stdout");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -26,8 +26,80 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use crate::report::{render_with_jobs, Experiment, ReportInput};
+
+/// Wall time of one experiment within a timed report run.
+#[derive(Clone, Debug)]
+pub struct ExperimentTiming {
+    pub experiment: Experiment,
+    pub wall: Duration,
+}
+
+/// Timing breakdown of a timed report run (see
+/// [`render_experiments_timed`]). Purely observational: the rendered report
+/// text is byte-identical whether or not timings are collected.
+#[derive(Clone, Debug)]
+pub struct ReportTimings {
+    /// Worker count the run was scheduled on.
+    pub jobs: usize,
+    /// End-to-end wall time of the whole run.
+    pub wall: Duration,
+    /// Per-experiment wall times, in [`Experiment::ALL`]/input order.
+    pub per_experiment: Vec<ExperimentTiming>,
+}
+
+impl ReportTimings {
+    /// Total time spent inside experiment kernels (the sum of per-experiment
+    /// wall times; exceeds [`wall`](Self::wall) when workers overlap).
+    pub fn busy(&self) -> Duration {
+        self.per_experiment.iter().map(|t| t.wall).sum()
+    }
+
+    /// Fraction of the worker pool kept busy: `busy / (jobs · wall)`.
+    /// 1.0 means perfect overlap; 1/jobs means fully serialized.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.jobs as f64 * self.wall.as_secs_f64();
+        if denom > 0.0 {
+            (self.busy().as_secs_f64() / denom).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable timing table, slowest experiment first — what
+    /// `steam-cli report --timings` prints to stderr.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<&ExperimentTiming> = self.per_experiment.iter().collect();
+        rows.sort_by_key(|t| std::cmp::Reverse(t.wall));
+        let name_w = rows
+            .iter()
+            .map(|t| t.experiment.name().len())
+            .max()
+            .unwrap_or(10)
+            .max("experiment".len());
+        let mut out = String::new();
+        out.push_str(&format!("{:<name_w$}  {:>10}  {:>6}\n", "experiment", "wall", "share"));
+        let busy = self.busy().as_secs_f64();
+        for t in rows {
+            let share = if busy > 0.0 { t.wall.as_secs_f64() / busy * 100.0 } else { 0.0 };
+            out.push_str(&format!(
+                "{:<name_w$}  {:>10.3?}  {:>5.1}%\n",
+                t.experiment.name(),
+                t.wall,
+                share
+            ));
+        }
+        out.push_str(&format!(
+            "total {:.3?} on {} workers ({:.0}% utilization)\n",
+            self.wall,
+            self.jobs,
+            self.utilization() * 100.0
+        ));
+        out
+    }
+}
 
 /// Renders `experiments` concurrently on `jobs` workers, returning each
 /// experiment's text in input order. `jobs <= 1` renders inline.
@@ -36,16 +108,34 @@ pub fn render_experiments(
     experiments: &[Experiment],
     jobs: usize,
 ) -> Vec<(Experiment, String)> {
+    render_experiments_timed(input, experiments, jobs).0
+}
+
+/// [`render_experiments`] plus a timing breakdown. Timing collection writes
+/// only to per-slot state and the returned struct — the rendered text is
+/// byte-identical to the untimed path.
+pub fn render_experiments_timed(
+    input: &ReportInput,
+    experiments: &[Experiment],
+    jobs: usize,
+) -> (Vec<(Experiment, String)>, ReportTimings) {
     let jobs = jobs.max(1);
+    let run_start = Instant::now();
     if jobs == 1 || experiments.len() <= 1 {
-        return experiments
-            .iter()
-            .map(|&e| (e, render_with_jobs(input, e, jobs)))
-            .collect();
+        let mut rendered = Vec::with_capacity(experiments.len());
+        let mut per_experiment = Vec::with_capacity(experiments.len());
+        for &e in experiments {
+            let _span = steam_obs::span("report", e.name());
+            let start = Instant::now();
+            rendered.push((e, render_with_jobs(input, e, jobs)));
+            per_experiment.push(ExperimentTiming { experiment: e, wall: start.elapsed() });
+        }
+        let timings = ReportTimings { jobs, wall: run_start.elapsed(), per_experiment };
+        return (rendered, timings);
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<String>>> =
+    let slots: Vec<Mutex<Option<(String, Duration)>>> =
         experiments.iter().map(|_| Mutex::new(None)).collect();
     crossbeam::thread::scope(|scope| {
         for _ in 0..jobs.min(experiments.len()) {
@@ -54,36 +144,45 @@ pub fn render_experiments(
                 if i >= experiments.len() {
                     break;
                 }
+                let _span = steam_obs::span("report", experiments[i].name());
+                let start = Instant::now();
                 let text = render_with_jobs(input, experiments[i], jobs);
-                *slots[i].lock().expect("slot poisoned") = Some(text);
+                *slots[i].lock().expect("slot poisoned") = Some((text, start.elapsed()));
             });
         }
     })
     .expect("report worker panicked");
-    experiments
-        .iter()
-        .zip(slots)
-        .map(|(&e, slot)| {
-            let text =
-                slot.into_inner().expect("slot poisoned").expect("every index was claimed");
-            (e, text)
-        })
-        .collect()
+    let mut rendered = Vec::with_capacity(experiments.len());
+    let mut per_experiment = Vec::with_capacity(experiments.len());
+    for (&e, slot) in experiments.iter().zip(slots) {
+        let (text, wall) =
+            slot.into_inner().expect("slot poisoned").expect("every index was claimed");
+        rendered.push((e, text));
+        per_experiment.push(ExperimentTiming { experiment: e, wall });
+    }
+    let timings = ReportTimings { jobs, wall: run_start.elapsed(), per_experiment };
+    (rendered, timings)
 }
 
 /// The complete report — every experiment in [`Experiment::ALL`] under a
 /// `==== name ====` banner — rendered on `jobs` workers. This is what
 /// `steam-cli report --experiment all` prints.
 pub fn render_full_report(input: &ReportInput, jobs: usize) -> String {
+    render_full_report_timed(input, jobs).0
+}
+
+/// [`render_full_report`] plus the timing breakdown (for `--timings`).
+pub fn render_full_report_timed(input: &ReportInput, jobs: usize) -> (String, ReportTimings) {
+    let (rendered, timings) = render_experiments_timed(input, &Experiment::ALL, jobs);
     let mut out = String::new();
-    for (experiment, text) in render_experiments(input, &Experiment::ALL, jobs) {
+    for (experiment, text) in rendered {
         out.push_str("==== ");
         out.push_str(experiment.name());
         out.push_str(" ====\n");
         out.push_str(&text);
         out.push('\n');
     }
-    out
+    (out, timings)
 }
 
 #[cfg(test)]
@@ -111,6 +210,32 @@ mod tests {
                 assert_eq!(se, pe, "jobs={jobs}");
                 assert_eq!(st, pt, "jobs={jobs}: {} diverged", se.name());
             }
+        }
+    }
+
+    #[test]
+    fn timed_run_reports_every_experiment_and_identical_text() {
+        let world = testworld::world();
+        let ctx = Ctx::new(&world.snapshot);
+        let input = ReportInput { ctx: &ctx, second: None, panel: None };
+        let experiments = [Experiment::Table1, Experiment::Figure10, Experiment::Aggregates];
+        let plain = render_experiments(&input, &experiments, 2);
+        let (timed, timings) = render_experiments_timed(&input, &experiments, 2);
+        assert_eq!(plain, timed, "timing collection must not perturb the text");
+        assert_eq!(timings.jobs, 2);
+        assert_eq!(timings.per_experiment.len(), experiments.len());
+        for (t, &e) in timings.per_experiment.iter().zip(&experiments) {
+            assert_eq!(t.experiment, e, "timings keep input order");
+        }
+        assert!(timings.wall > Duration::ZERO);
+        assert!(timings.busy() > Duration::ZERO);
+        let util = timings.utilization();
+        assert!((0.0..=1.0).contains(&util), "utilization {util} out of range");
+        let table = timings.render_table();
+        assert!(table.contains("experiment"));
+        assert!(table.contains("workers"));
+        for e in experiments {
+            assert!(table.contains(e.name()), "{} missing from table", e.name());
         }
     }
 

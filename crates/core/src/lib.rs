@@ -46,5 +46,8 @@ pub mod summary;
 mod testworld;
 
 pub use context::Ctx;
-pub use engine::{render_experiments, render_full_report};
+pub use engine::{
+    render_experiments, render_experiments_timed, render_full_report, render_full_report_timed,
+    ExperimentTiming, ReportTimings,
+};
 pub use report::{render, render_with_jobs, Experiment, ReportInput};

@@ -2,7 +2,7 @@
 //! experiment set must render byte-identical text for any worker count
 //! (`report --jobs 1` vs `--jobs 8` in CLI terms).
 
-use steam_analysis::{render_full_report, Ctx, ReportInput};
+use steam_analysis::{render_full_report, render_full_report_timed, Ctx, ReportInput};
 use steam_synth::{Generator, SynthConfig};
 
 #[test]
@@ -24,6 +24,30 @@ fn full_report_is_byte_identical_for_any_job_count() {
         let parallel = render_full_report(&input, jobs);
         assert_eq!(serial, parallel, "report text diverged at jobs={jobs}");
     }
+}
+
+#[test]
+fn report_identical_with_observability_enabled() {
+    // The observability layer must be purely observational: the timed path,
+    // even with tracing cranked to its most verbose level, renders the exact
+    // bytes the plain path renders.
+    let mut cfg = SynthConfig::small(77);
+    cfg.n_users = 4_000;
+    cfg.n_groups = 120;
+    let world = Generator::new(cfg).generate_world();
+    let ctx = Ctx::new(&world.snapshot);
+    let input = ReportInput { ctx: &ctx, second: None, panel: Some(&world.panel) };
+
+    let plain = render_full_report(&input, 4);
+
+    let prior = steam_obs::level();
+    steam_obs::set_level(steam_obs::Level::Trace);
+    let (timed, timings) = render_full_report_timed(&input, 4);
+    steam_obs::set_level(prior);
+
+    assert_eq!(plain, timed, "observability changed the report bytes");
+    assert!(!timings.per_experiment.is_empty());
+    assert!(timings.busy() >= timings.per_experiment[0].wall);
 }
 
 #[test]

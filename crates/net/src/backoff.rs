@@ -53,16 +53,43 @@ impl Backoff {
     /// (e.g. 429/5xx yes, 404 no).
     pub fn run<T>(
         &self,
+        op: impl FnMut() -> Result<T, NetError>,
+        retryable: impl Fn(&NetError) -> bool,
+    ) -> Result<T, NetError> {
+        self.run_observed(op, retryable, |_, _| {})
+    }
+
+    /// Like [`run`](Self::run), with two additions for observability and
+    /// politeness:
+    ///
+    /// * `on_retry(error, delay)` fires once per retryable failure, with
+    ///   the delay about to be slept (`Duration::ZERO` on the final,
+    ///   unslept attempt) — the crawler's retry-by-cause and wait-time
+    ///   metrics hang off this;
+    /// * a server-sent `Retry-After` hint on the error overrides the
+    ///   computed exponential delay (capped at `max`, like every delay).
+    pub fn run_observed<T>(
+        &self,
         mut op: impl FnMut() -> Result<T, NetError>,
         retryable: impl Fn(&NetError) -> bool,
+        mut on_retry: impl FnMut(&NetError, Duration),
     ) -> Result<T, NetError> {
         let mut last: Option<NetError> = None;
         for attempt in 0..self.attempts {
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) if retryable(&e) => {
-                    if attempt + 1 < self.attempts {
-                        std::thread::sleep(self.delay(attempt));
+                    let delay = if attempt + 1 < self.attempts {
+                        match e.retry_after() {
+                            Some(hint) => hint.min(self.max),
+                            None => self.delay(attempt),
+                        }
+                    } else {
+                        Duration::ZERO
+                    };
+                    on_retry(&e, delay);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
                     }
                     last = Some(e);
                 }
@@ -110,7 +137,7 @@ mod tests {
         let result = fast().run(
             || {
                 if calls.fetch_add(1, Ordering::Relaxed) < 2 {
-                    Err(NetError::Status { code: 429, body: "slow".into() })
+                    Err(NetError::status(429, "slow"))
                 } else {
                     Ok(7)
                 }
@@ -127,7 +154,7 @@ mod tests {
         let result: Result<(), _> = fast().run(
             || {
                 calls.fetch_add(1, Ordering::Relaxed);
-                Err(NetError::Status { code: 500, body: "boom".into() })
+                Err(NetError::status(500, "boom"))
             },
             transient,
         );
@@ -141,7 +168,7 @@ mod tests {
         let result: Result<(), _> = fast().run(
             || {
                 calls.fetch_add(1, Ordering::Relaxed);
-                Err(NetError::Status { code: 404, body: "missing".into() })
+                Err(NetError::status(404, "missing"))
             },
             transient,
         );
@@ -182,10 +209,83 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_hint_overrides_exponential_delay() {
+        let b = Backoff {
+            base: Duration::from_millis(64),
+            max: Duration::from_millis(100),
+            attempts: 3,
+        };
+        let mut delays = Vec::new();
+        let calls = AtomicU32::new(0);
+        let result = b.run_observed(
+            || {
+                if calls.fetch_add(1, Ordering::Relaxed) < 1 {
+                    Err(NetError::Status {
+                        code: 429,
+                        body: "slow".into(),
+                        retry_after: Some(Duration::from_millis(7)),
+                    })
+                } else {
+                    Ok(())
+                }
+            },
+            transient,
+            |err, delay| delays.push((err.retry_after(), delay)),
+        );
+        result.unwrap();
+        // The hinted 7ms wins over the computed 64ms first delay.
+        assert_eq!(delays, vec![(Some(Duration::from_millis(7)), Duration::from_millis(7))]);
+    }
+
+    #[test]
+    fn retry_after_hint_is_capped_at_max() {
+        let b = fast(); // max = 4ms
+        let mut observed = Duration::ZERO;
+        let calls = AtomicU32::new(0);
+        b.run_observed(
+            || {
+                if calls.fetch_add(1, Ordering::Relaxed) < 1 {
+                    Err(NetError::Status {
+                        code: 429,
+                        body: "slow".into(),
+                        retry_after: Some(Duration::from_secs(3600)),
+                    })
+                } else {
+                    Ok(())
+                }
+            },
+            transient,
+            |_, delay| observed = delay,
+        )
+        .unwrap();
+        assert_eq!(observed, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn observer_fires_per_retry_with_zero_delay_on_final_attempt() {
+        let mut delays = Vec::new();
+        let result: Result<(), _> = fast().run_observed(
+            || Err(NetError::status(500, "boom")),
+            transient,
+            |_, delay| delays.push(delay),
+        );
+        assert!(matches!(result, Err(NetError::RetriesExhausted { .. })));
+        assert_eq!(
+            delays,
+            vec![
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                Duration::from_millis(4),
+                Duration::ZERO, // final attempt: nothing left to wait for
+            ]
+        );
+    }
+
+    #[test]
     fn transient_classification() {
-        assert!(transient(&NetError::Status { code: 429, body: String::new() }));
-        assert!(transient(&NetError::Status { code: 503, body: String::new() }));
-        assert!(!transient(&NetError::Status { code: 404, body: String::new() }));
+        assert!(transient(&NetError::status(429, "")));
+        assert!(transient(&NetError::status(503, "")));
+        assert!(!transient(&NetError::status(404, "")));
         assert!(transient(&NetError::Io(std::io::Error::new(
             std::io::ErrorKind::ConnectionReset,
             "reset"

@@ -8,14 +8,23 @@ use std::time::Duration;
 use crate::error::NetError;
 use crate::http::{read_response, write_request, Request, Response};
 
+/// Stale-pooled-connection retries allowed per request. One would suffice
+/// for today's single-slot pool; the cap guarantees a hard bound on the
+/// reconnect loop even if pooling grows more aggressive.
+const MAX_RECONNECTS_PER_REQUEST: u32 = 2;
+
 /// A keep-alive HTTP client bound to one server address.
 ///
-/// Reconnects transparently when the pooled connection has gone stale.
+/// Reconnects transparently when the pooled connection has gone stale —
+/// counting every reconnect (see [`reconnects`](Self::reconnects)) and
+/// capping attempts per request so a flapping server can never trap a
+/// request in a silent reconnect loop.
 /// Not `Sync` — each crawler thread owns its own client.
 pub struct HttpClient {
     addr: SocketAddr,
     timeout: Duration,
     conn: Option<Conn>,
+    reconnects: u64,
 }
 
 struct Conn {
@@ -25,12 +34,18 @@ struct Conn {
 
 impl HttpClient {
     pub fn new(addr: SocketAddr) -> Self {
-        HttpClient { addr, timeout: Duration::from_secs(30), conn: None }
+        HttpClient { addr, timeout: Duration::from_secs(30), conn: None, reconnects: 0 }
     }
 
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
+    }
+
+    /// Total stale-connection reconnects performed over this client's
+    /// lifetime (the crawler exposes this as `crawl_reconnects_total`).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     fn connect(&self) -> Result<Conn, NetError> {
@@ -48,30 +63,43 @@ impl HttpClient {
     }
 
     /// Sends a request, reusing the pooled connection when possible. A stale
-    /// pooled connection gets one transparent retry on a fresh connection.
+    /// pooled connection gets a transparent retry on a fresh connection, at
+    /// most [`MAX_RECONNECTS_PER_REQUEST`] times per request; failures on a
+    /// freshly opened connection are real errors and propagate immediately.
     pub fn send(&mut self, req: &Request) -> Result<Response, NetError> {
-        if let Some(mut conn) = self.conn.take() {
+        let mut reconnects_left = MAX_RECONNECTS_PER_REQUEST;
+        loop {
+            let (mut conn, pooled) = match self.conn.take() {
+                Some(conn) => (conn, true),
+                None => (self.connect()?, false),
+            };
             match Self::send_on(&mut conn, req) {
                 Ok(resp) => {
                     self.conn = Some(conn);
                     return Ok(resp);
                 }
-                Err(_) => { /* stale — fall through to a fresh connection */ }
+                Err(_stale) if pooled && reconnects_left > 0 => {
+                    // Stale pooled connection — drop it and retry fresh.
+                    reconnects_left -= 1;
+                    self.reconnects += 1;
+                }
+                Err(e) => return Err(e),
             }
         }
-        let mut conn = self.connect()?;
-        let resp = Self::send_on(&mut conn, req)?;
-        self.conn = Some(conn);
-        Ok(resp)
     }
 
-    /// GET a target; non-2xx statuses become [`NetError::Status`].
+    /// GET a target; non-2xx statuses become [`NetError::Status`], carrying
+    /// any `Retry-After` header (whole seconds) the server sent.
     pub fn get(&mut self, target: &str) -> Result<Response, NetError> {
         let resp = self.send(&Request::get(target))?;
         if resp.is_success() {
             Ok(resp)
         } else {
-            Err(NetError::Status { code: resp.status, body: resp.body_text() })
+            let retry_after = resp
+                .header("retry-after")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_secs);
+            Err(NetError::Status { code: resp.status, body: resp.body_text(), retry_after })
         }
     }
 }
@@ -143,8 +171,30 @@ mod tests {
         let handler: Arc<dyn Handler> =
             Arc::new(|_req: Request| Response::json("{\"fresh\":true}".into()));
         let _server2 = HttpServer::bind(&addr.to_string(), 1, handler).unwrap();
+        assert_eq!(client.reconnects(), 0);
         let resp = client.get("/again").unwrap();
         assert!(resp.body_text().contains("fresh"));
+        assert_eq!(client.reconnects(), 1, "stale-connection reconnect must be counted");
+    }
+
+    #[test]
+    fn reconnect_attempts_are_capped_per_request() {
+        // Server goes away entirely: the pooled connection is stale AND the
+        // fresh connect fails. The request must error out promptly instead
+        // of looping, and the failed fresh connect must not be counted as a
+        // reconnect beyond the cap.
+        let (mut server, _) = counting_server();
+        let addr = server.addr();
+        let mut client = HttpClient::new(addr).with_timeout(Duration::from_millis(300));
+        client.get("/ok").unwrap();
+        server.shutdown();
+        let err = client.get("/gone").unwrap_err();
+        assert!(matches!(err, NetError::Io(_)), "expected connect failure, got {err:?}");
+        assert!(
+            client.reconnects() <= u64::from(super::MAX_RECONNECTS_PER_REQUEST),
+            "reconnects = {}",
+            client.reconnects()
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Error type shared by the networking substrate.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors from the JSON codec, HTTP framing, client, or server.
 #[derive(Debug)]
@@ -11,10 +12,29 @@ pub enum NetError {
     Http(String),
     /// Underlying socket/stream failure.
     Io(std::io::Error),
-    /// The server answered with a non-success status.
-    Status { code: u16, body: String },
+    /// The server answered with a non-success status. `retry_after` carries
+    /// the parsed `Retry-After` header, when the server sent one (429s from
+    /// the emulated API do) — the backoff path prefers it over the computed
+    /// exponential delay.
+    Status { code: u16, body: String, retry_after: Option<Duration> },
     /// A retryable operation exhausted its attempts.
     RetriesExhausted { attempts: u32, last: String },
+}
+
+impl NetError {
+    /// A status error without a `Retry-After` hint.
+    pub fn status(code: u16, body: impl Into<String>) -> NetError {
+        NetError::Status { code, body: body.into(), retry_after: None }
+    }
+
+    /// The server's `Retry-After` hint, if this is a status error carrying
+    /// one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            NetError::Status { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for NetError {
@@ -25,7 +45,7 @@ impl fmt::Display for NetError {
             }
             NetError::Http(msg) => write!(f, "http error: {msg}"),
             NetError::Io(e) => write!(f, "io error: {e}"),
-            NetError::Status { code, body } => {
+            NetError::Status { code, body, .. } => {
                 write!(f, "http status {code}: {}", truncate(body, 200))
             }
             NetError::RetriesExhausted { attempts, last } => {
@@ -66,11 +86,22 @@ mod tests {
         assert!(NetError::Json { offset: 3, message: "bad".into() }
             .to_string()
             .contains("byte 3"));
-        assert!(NetError::Status { code: 429, body: "slow down".into() }
-            .to_string()
-            .contains("429"));
+        assert!(NetError::status(429, "slow down").to_string().contains("429"));
         let long = "x".repeat(500);
-        let msg = NetError::Status { code: 500, body: long }.to_string();
+        let msg = NetError::status(500, long).to_string();
         assert!(msg.len() < 300);
+    }
+
+    #[test]
+    fn retry_after_accessor() {
+        use std::time::Duration;
+        assert_eq!(NetError::status(429, "slow").retry_after(), None);
+        let hinted = NetError::Status {
+            code: 429,
+            body: "slow".into(),
+            retry_after: Some(Duration::from_secs(3)),
+        };
+        assert_eq!(hinted.retry_after(), Some(Duration::from_secs(3)));
+        assert_eq!(NetError::Http("x".into()).retry_after(), None);
     }
 }

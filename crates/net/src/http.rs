@@ -81,6 +81,21 @@ impl Response {
         }
     }
 
+    /// 200 with a plain-text body (health checks, metric expositions).
+    pub fn text(body: String) -> Response {
+        Response {
+            status: 200,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Builder-style header addition.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers
             .iter()

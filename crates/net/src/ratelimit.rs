@@ -66,7 +66,12 @@ impl TokenBucket {
     }
 
     /// Blocks (sleeping) until one token is available, then takes it.
-    pub fn acquire(&self) {
+    /// Returns how long the caller waited (`Duration::ZERO` when a token
+    /// was immediately available) — the crawler feeds this into its
+    /// throttle-wait metric.
+    pub fn acquire(&self) -> Duration {
+        let start = Instant::now();
+        let mut slept = false;
         loop {
             let wait = {
                 let mut state = self.state.lock();
@@ -74,14 +79,29 @@ impl TokenBucket {
                 self.refill(&mut state, now);
                 if state.tokens >= 1.0 {
                     state.tokens -= 1.0;
-                    return;
+                    // Report exactly zero when no sleep happened, so callers
+                    // can count throttled acquisitions without epsilon checks.
+                    return if slept { start.elapsed() } else { Duration::ZERO };
                 }
                 // Time until a full token accumulates. The division can
                 // overflow Duration for tiny rates; saturate instead of
                 // panicking — the 50ms sleep cap below bounds the wait anyway.
                 wait_for_token(state.tokens, self.rate)
             };
+            slept = true;
             std::thread::sleep(wait.min(Duration::from_millis(50)));
+        }
+    }
+
+    /// Time until the next token accumulates, without taking one — the
+    /// server's `Retry-After` hint on 429 responses.
+    pub fn time_until_available(&self) -> Duration {
+        let mut state = self.state.lock();
+        self.refill(&mut state, Instant::now());
+        if state.tokens >= 1.0 {
+            Duration::ZERO
+        } else {
+            wait_for_token(state.tokens, self.rate)
         }
     }
 
@@ -125,10 +145,24 @@ mod tests {
     #[test]
     fn acquire_blocks_until_available() {
         let b = TokenBucket::new(100.0, 1.0);
-        b.acquire(); // drains the bucket
+        let first = b.acquire(); // drains the bucket
+        assert_eq!(first, Duration::ZERO);
         let start = Instant::now();
-        b.acquire(); // must wait ~10ms for a refill
+        let waited = b.acquire(); // must wait ~10ms for a refill
         assert!(start.elapsed() >= Duration::from_millis(5));
+        assert!(waited >= Duration::from_millis(5), "reported wait {waited:?}");
+    }
+
+    #[test]
+    fn time_until_available_hints_without_consuming() {
+        let b = TokenBucket::new(10.0, 1.0);
+        assert_eq!(b.time_until_available(), Duration::ZERO);
+        b.acquire();
+        let hint = b.time_until_available();
+        assert!(hint > Duration::ZERO && hint <= Duration::from_millis(100), "{hint:?}");
+        // The hint did not consume the refilling token.
+        std::thread::sleep(Duration::from_millis(110));
+        assert!(b.try_acquire());
     }
 
     #[test]

@@ -4,16 +4,29 @@
 //! Design follows the guides' advice for this workload: the API emulation is
 //! simple request/response over few connections, so a thread-per-connection
 //! pool is simpler and no slower than an async runtime here.
+//!
+//! ## Observability
+//!
+//! [`HttpServer::bind_observed`] attaches a [`steam_obs::Registry`]: the
+//! server then records per-endpoint request counts
+//! (`http_requests_total{endpoint,method,status}`), latency histograms
+//! (`http_request_duration_seconds{endpoint}`), an in-flight gauge, and a
+//! connection counter — and serves two operational endpoints of its own,
+//! `GET /metrics` (Prometheus text exposition) and `GET /healthz`, ahead of
+//! the application handler (so neither is subject to application-level rate
+//! limiting). Path segments that are purely numeric are normalized to `:id`
+//! in the `endpoint` label, keeping its cardinality bounded.
 
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
+use steam_obs::{obs_trace, Counter, Gauge, Histogram, Registry};
 
 use crate::error::NetError;
 use crate::http::{read_request, write_response, Request, Response};
@@ -29,6 +42,90 @@ where
 {
     fn handle(&self, req: Request) -> Response {
         self(req)
+    }
+}
+
+/// Replaces purely numeric path segments with `:id`, so per-endpoint labels
+/// stay bounded (`/community/group/12345` → `/community/group/:id`).
+pub fn normalize_endpoint(path: &str) -> String {
+    let normalized: Vec<&str> = path
+        .split('/')
+        .map(|seg| {
+            if !seg.is_empty() && seg.bytes().all(|b| b.is_ascii_digit()) {
+                ":id"
+            } else {
+                seg
+            }
+        })
+        .collect();
+    let joined = normalized.join("/");
+    if joined.is_empty() {
+        "/".to_string()
+    } else {
+        joined
+    }
+}
+
+/// The server side of the observability layer: pre-registered instruments
+/// plus the registry itself (for `/metrics`).
+struct ServerObs {
+    registry: Arc<Registry>,
+    in_flight: Arc<Gauge>,
+    connections: Arc<Counter>,
+}
+
+impl ServerObs {
+    fn new(registry: Arc<Registry>) -> Self {
+        registry.describe(
+            "http_requests_total",
+            "HTTP requests served, by endpoint, method and status",
+        );
+        registry
+            .describe("http_request_duration_seconds", "Request handling latency, by endpoint");
+        registry.describe("http_requests_in_flight", "Requests currently being handled");
+        registry.describe("http_connections_total", "TCP connections accepted");
+        ServerObs {
+            in_flight: registry.gauge("http_requests_in_flight", &[]),
+            connections: registry.counter("http_connections_total", &[]),
+            registry,
+        }
+    }
+}
+
+/// Per-connection cache of metric handles, so keep-alive request streams
+/// touch only atomics after the first request to each endpoint.
+#[derive(Default)]
+struct ObsCache {
+    latency: HashMap<String, Arc<Histogram>>,
+    requests: HashMap<(String, String, u16), Arc<Counter>>,
+}
+
+impl ObsCache {
+    fn record(&mut self, obs: &ServerObs, req_method: &str, endpoint: &str, status: u16, elapsed: Duration) {
+        self.latency
+            .entry(endpoint.to_string())
+            .or_insert_with(|| {
+                obs.registry.histogram("http_request_duration_seconds", &[("endpoint", endpoint)])
+            })
+            .record_duration(elapsed);
+        self.requests
+            .entry((endpoint.to_string(), req_method.to_string(), status))
+            .or_insert_with(|| {
+                obs.registry.counter(
+                    "http_requests_total",
+                    &[
+                        ("endpoint", endpoint),
+                        ("method", req_method),
+                        ("status", &status.to_string()),
+                    ],
+                )
+            })
+            .inc();
+        obs_trace!(
+            "http",
+            "{req_method} {endpoint} -> {status} in {:.3?}",
+            elapsed
+        );
     }
 }
 
@@ -49,7 +146,20 @@ impl HttpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts serving
     /// on `n_workers` threads.
     pub fn bind(addr: &str, n_workers: usize, handler: Arc<dyn Handler>) -> Result<Self, NetError> {
+        Self::bind_observed(addr, n_workers, handler, None)
+    }
+
+    /// Like [`bind`](Self::bind), with an optional metrics registry. When
+    /// present, the server records per-endpoint request/latency metrics and
+    /// answers `GET /metrics` and `GET /healthz` itself (see module docs).
+    pub fn bind_observed(
+        addr: &str,
+        n_workers: usize,
+        handler: Arc<dyn Handler>,
+        registry: Option<Arc<Registry>>,
+    ) -> Result<Self, NetError> {
         assert!(n_workers > 0);
+        let obs = registry.map(|r| Arc::new(ServerObs::new(r)));
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -64,6 +174,7 @@ impl HttpServer {
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let next_conn_id = Arc::clone(&next_conn_id);
+            let obs = obs.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("http-worker-{i}"))
@@ -76,9 +187,12 @@ impl HttpServer {
                             if let Ok(clone) = stream.try_clone() {
                                 conns.lock().insert(id, clone);
                             }
+                            if let Some(obs) = &obs {
+                                obs.connections.inc();
+                            }
                             // Individual connection failures must not kill
                             // the worker.
-                            let _ = serve_connection(stream, &*handler, &stop);
+                            let _ = serve_connection(stream, &*handler, &stop, obs.as_deref());
                             conns.lock().remove(&id);
                         }
                     })
@@ -161,9 +275,11 @@ fn serve_connection(
     stream: TcpStream,
     handler: &dyn Handler,
     stop: &AtomicBool,
+    obs: Option<&ServerObs>,
 ) -> Result<(), NetError> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    let mut cache = ObsCache::default();
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
@@ -182,7 +298,36 @@ fn serve_connection(
             }
         };
         let keep_alive = req.keep_alive();
-        let resp = handler.handle(req);
+        let resp = match obs {
+            None => handler.handle(req),
+            Some(obs) => {
+                // Operational endpoints answer before the application handler,
+                // so they are never subject to app-level rate limiting.
+                if req.method == "GET" && req.path == "/metrics" {
+                    write_response(&mut writer, &Response::text(obs.registry.render_prometheus()))?;
+                    if !keep_alive {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                if req.method == "GET" && req.path == "/healthz" {
+                    write_response(&mut writer, &Response::text("ok\n".into()))?;
+                    if !keep_alive {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                let endpoint = normalize_endpoint(&req.path);
+                let method = req.method.clone();
+                obs.in_flight.inc();
+                let start = Instant::now();
+                let resp = handler.handle(req);
+                let elapsed = start.elapsed();
+                obs.in_flight.dec();
+                cache.record(obs, &method, &endpoint, resp.status, elapsed);
+                resp
+            }
+        };
         write_response(&mut writer, &resp)?;
         if !keep_alive {
             return Ok(());
@@ -261,6 +406,53 @@ mod tests {
         let mut reader = BufReader::new(stream);
         let resp = crate::http::read_response(&mut reader).unwrap();
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn normalize_endpoint_replaces_numeric_segments() {
+        assert_eq!(normalize_endpoint("/community/group/12345"), "/community/group/:id");
+        assert_eq!(normalize_endpoint("/profiles/765/games"), "/profiles/:id/games");
+        assert_eq!(normalize_endpoint("/ISteamApps/GetAppList/v2"), "/ISteamApps/GetAppList/v2");
+        assert_eq!(normalize_endpoint("/"), "/");
+        assert_eq!(normalize_endpoint(""), "/");
+    }
+
+    #[test]
+    fn metrics_and_healthz_endpoints() {
+        let registry = Arc::new(Registry::new());
+        let handler: Arc<dyn Handler> = Arc::new(|req: Request| {
+            if req.path == "/fail" {
+                Response::error(500, "boom")
+            } else {
+                Response::json("{}".into())
+            }
+        });
+        let server =
+            HttpServer::bind_observed("127.0.0.1:0", 2, handler, Some(Arc::clone(&registry)))
+                .unwrap();
+        assert_eq!(raw_get(server.addr(), "/healthz", true).body_text(), "ok\n");
+        raw_get(server.addr(), "/user/42/profile", true);
+        raw_get(server.addr(), "/user/77/profile", true);
+        raw_get(server.addr(), "/fail", true);
+
+        let resp = raw_get(server.addr(), "/metrics", true);
+        assert_eq!(resp.status, 200);
+        assert!(resp.header("content-type").unwrap().starts_with("text/plain"));
+        let body = resp.body_text();
+        assert!(
+            body.contains(
+                "http_requests_total{endpoint=\"/user/:id/profile\",method=\"GET\",status=\"200\"} 2"
+            ),
+            "numeric segments should collapse into one series:\n{body}"
+        );
+        assert!(body.contains(
+            "http_requests_total{endpoint=\"/fail\",method=\"GET\",status=\"500\"} 1"
+        ));
+        assert!(body.contains("http_request_duration_seconds_bucket{endpoint=\"/fail\",le="));
+        assert!(body.contains("http_requests_in_flight 0"));
+        // /metrics and /healthz must not instrument themselves.
+        assert!(!body.contains("endpoint=\"/metrics\""));
+        assert!(!body.contains("endpoint=\"/healthz\""));
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! The metric instruments: atomic counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! Every hot-path operation (`inc`, `add`, `record`) is a single relaxed
+//! atomic RMW — no locks, no allocation — so instrumenting the crawler's
+//! request loop or the server's per-request path costs nanoseconds.
+//! Durations are recorded in **microseconds**; metrics whose name carries a
+//! `_seconds` suffix are scaled to seconds at exposition time (see
+//! [`crate::registry`]).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds a duration, counted in microseconds (pair with a
+    /// `*_seconds_total` metric name so exposition scales it back).
+    pub fn add_duration(&self, d: Duration) {
+        self.add(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The counter interpreted as a microsecond total.
+    pub fn as_duration(&self) -> Duration {
+        Duration::from_micros(self.get())
+    }
+}
+
+/// A gauge: a value that can go up and down (in-flight requests, queue
+/// depths, point-in-time progress).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to `v` if `v` is larger (monotone progress values
+    /// written from several worker threads).
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of logarithmic buckets. Bucket 0 holds values in `[0, 2)`, bucket
+/// `i` holds `[2^i, 2^(i+1))`; with microsecond recordings the top bucket
+/// starts at `2^39 µs` ≈ 6.4 days, far beyond any latency this workspace
+/// can observe.
+pub const N_BUCKETS: usize = 40;
+
+/// A log-bucketed histogram: 40 power-of-two buckets, an exact sum, and a
+/// total count, all atomics. Quantiles are extracted by linear
+/// interpolation inside the covering bucket, so p50/p95/p99 carry at most
+/// one octave of quantization error — plenty for latency monitoring.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket covering `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        0
+    } else {
+        ((63 - v.leading_zeros()) as usize).min(N_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower edge of bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Exclusive upper edge of bucket `i`.
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    1u64 << (i + 1)
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation (three relaxed atomic adds).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts (not a single atomic
+    /// snapshot; concurrent recordings may straddle it, which is fine for
+    /// monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of recorded values, interpolated
+    /// linearly inside the covering bucket. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// `(p50, p95, p99)` in recorded units.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        let snap = self.snapshot();
+        (snap.quantile(0.50), snap.quantile(0.95), snap.quantile(0.99))
+    }
+}
+
+/// A frozen copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; N_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= rank {
+                let lower = bucket_lower(i) as f64;
+                let upper = bucket_upper(i) as f64;
+                let frac = (rank - cum as f64) / n as f64;
+                return lower + frac * (upper - lower);
+            }
+            cum = next;
+        }
+        bucket_upper(N_BUCKETS - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add_duration(Duration::from_millis(2));
+        assert_eq!(c.get(), 5 + 2_000);
+        assert_eq!(c.as_duration(), Duration::from_micros(2_005));
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        g.set_max(10);
+        g.set_max(4);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_lower(0), 0);
+        assert_eq!(bucket_lower(5), 32);
+        assert_eq!(bucket_upper(5), 64);
+    }
+
+    #[test]
+    fn histogram_counts_and_sum() {
+        let h = Histogram::new();
+        for v in [1u64, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1004);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1); // 1
+        assert_eq!(snap.buckets[1], 1); // 3
+        assert_eq!(snap.buckets[9], 1); // 1000 ∈ [512, 1024)
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_interpolates() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100); // bucket [64, 128)
+        }
+        let p50 = h.quantile(0.5);
+        assert!((64.0..128.0).contains(&p50), "p50 = {p50}");
+        // Median of a one-bucket histogram sits at the bucket midpoint ± step.
+        assert!((p50 - 96.0).abs() <= 1.0, "p50 = {p50}");
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.99), 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The metric registry: named, labeled instruments plus Prometheus text
+//! exposition (version 0.0.4 — what `GET /metrics` serves).
+//!
+//! Registration is the cold path: a short mutex-protected `BTreeMap` lookup
+//! hands back an `Arc` handle, and every subsequent operation on that handle
+//! is a lone relaxed atomic. Callers that care (the HTTP server's
+//! per-connection cache, the crawler's fetchers) hold the handles and never
+//! touch the map again.
+//!
+//! ## Conventions
+//!
+//! * names are `snake_case`, counters end in `_total`;
+//! * duration metrics end in `_seconds` (`_seconds_total` for counters) and
+//!   are **recorded in microseconds** — exposition divides by 10⁶ so the
+//!   scraped values are seconds, per Prometheus convention;
+//! * label sets are small and bounded (endpoint, method, status, phase,
+//!   cause) — never unbounded user data.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{bucket_upper, Counter, Gauge, Histogram, N_BUCKETS};
+
+/// `(name, sorted labels)` — the identity of one time series.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Key {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        Key { name: name.to_string(), labels }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A collection of named metrics. Cheap to share (`Arc<Registry>`); all
+/// methods take `&self`.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<Key, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Sets the `# HELP` text for a metric name.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help.lock().expect("help map poisoned").insert(name.to_string(), help.to_string());
+    }
+
+    /// Returns the counter for `(name, labels)`, creating it on first use.
+    ///
+    /// # Panics
+    /// If the series already exists with a different instrument type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("metric map poisoned");
+        match metrics
+            .entry(Key::new(name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Returns the gauge for `(name, labels)`, creating it on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("metric map poisoned");
+        match metrics
+            .entry(Key::new(name, labels))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Returns the histogram for `(name, labels)`, creating it on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metric map poisoned");
+        match metrics
+            .entry(Key::new(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition format.
+    ///
+    /// Series appear in lexicographic `(name, labels)` order, so the output
+    /// is deterministic for a given set of recorded values.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().expect("metric map poisoned");
+        let help = self.help.lock().expect("help map poisoned");
+        let mut out = String::new();
+        let mut last_name = "";
+        for (key, metric) in metrics.iter() {
+            if key.name != last_name {
+                if let Some(h) = help.get(&key.name) {
+                    out.push_str(&format!("# HELP {} {}\n", key.name, escape_help(h)));
+                }
+                out.push_str(&format!("# TYPE {} {}\n", key.name, metric.type_name()));
+            }
+            let seconds = key.name.contains("_seconds");
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        key.name,
+                        render_labels(&key.labels, None),
+                        scale(c.get() as f64, seconds)
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        key.name,
+                        render_labels(&key.labels, None),
+                        g.get()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let top = (0..N_BUCKETS).rfind(|&i| snap.buckets[i] > 0).unwrap_or(0);
+                    let mut cum = 0u64;
+                    for (i, &n) in snap.buckets.iter().enumerate().take(top + 1) {
+                        cum += n;
+                        let le = scale(bucket_upper(i) as f64, seconds);
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            key.name,
+                            render_labels(&key.labels, Some(&le)),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        key.name,
+                        render_labels(&key.labels, Some("+Inf")),
+                        snap.count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        key.name,
+                        render_labels(&key.labels, None),
+                        scale(snap.sum as f64, seconds)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        key.name,
+                        render_labels(&key.labels, None),
+                        snap.count
+                    ));
+                }
+            }
+            last_name = &key.name;
+        }
+        out
+    }
+}
+
+/// Values for `*_seconds*` metrics are recorded in microseconds; scale them
+/// to seconds at the exposition boundary.
+fn scale(v: f64, seconds: bool) -> String {
+    if seconds {
+        format!("{}", v / 1e6)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("reqs_total", &[("ep", "/x")]);
+        let b = r.counter("reqs_total", &[("ep", "/x")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        // Label order does not create a new series.
+        let c = r.counter("multi_total", &[("a", "1"), ("b", "2")]);
+        let d = r.counter("multi_total", &[("b", "2"), ("a", "1")]);
+        c.add(5);
+        assert_eq!(d.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        r.counter("x_total", &[]);
+        r.gauge("x_total", &[]);
+    }
+
+    #[test]
+    fn label_values_escaped() {
+        let r = Registry::new();
+        r.counter("odd_total", &[("q", "a\"b\\c")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("odd_total{q=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+}

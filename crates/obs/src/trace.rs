@@ -1,0 +1,322 @@
+//! Leveled, structured tracing: events, `span`-style RAII timers,
+//! per-thread ring buffers, and a pluggable sink.
+//!
+//! The hot path is two relaxed atomic loads (level check, sink-installed
+//! check); a disabled event costs nothing beyond that — message formatting
+//! is gated behind [`enabled`] by the logging macros. Enabled events are
+//! pushed into the calling thread's ring buffer (a per-thread mutex that is
+//! only ever contended by a diagnostic snapshot) and forwarded to the
+//! installed [`Sink`], if any.
+//!
+//! Nothing here writes to stdout; the bundled [`StderrSink`] formats to
+//! stderr, keeping report output byte-identical with tracing enabled.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::metrics::Histogram;
+
+/// Severity levels, most severe first. The wire/CLI names are lowercase
+/// (`--log-level debug`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Default verbosity: warnings and errors only, so instrumented binaries
+/// stay quiet unless `--log-level` opts in.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+pub fn level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Whether events at `level` are currently recorded.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// The process-wide monotonic epoch every event timestamp is relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic time since the first use of the tracing facility.
+    pub elapsed: Duration,
+    pub level: Level,
+    /// Static subsystem tag (`"http"`, `"crawler"`, `"report"`, ...).
+    pub target: &'static str,
+    pub message: String,
+}
+
+/// Where enabled events go, beyond the per-thread ring buffers.
+pub trait Sink: Send + Sync {
+    fn emit(&self, event: &Event);
+}
+
+/// The bundled text formatter: one line per event on stderr,
+/// `[  12.3456s LEVEL target] message`.
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event) {
+        eprintln!(
+            "[{:>9.4}s {:<5} {}] {}",
+            event.elapsed.as_secs_f64(),
+            event.level.as_str(),
+            event.target,
+            event.message
+        );
+    }
+}
+
+static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+
+/// Installs (or replaces) the global sink.
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    *SINK.lock().expect("sink poisoned") = Some(sink);
+    SINK_INSTALLED.store(true, Ordering::Release);
+}
+
+/// Events retained per thread.
+pub const RING_CAPACITY: usize = 256;
+
+type SharedRing = Arc<Mutex<VecDeque<Event>>>;
+
+/// All threads' ring buffers, for diagnostic snapshots.
+static RINGS: Mutex<Vec<SharedRing>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL_RING: SharedRing = {
+        let ring = Arc::new(Mutex::new(VecDeque::with_capacity(RING_CAPACITY)));
+        RINGS.lock().expect("ring registry poisoned").push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Records one event (if `level` is enabled): pushed into the calling
+/// thread's ring buffer and forwarded to the sink. Prefer the macros
+/// (`obs_info!` etc.), which skip message formatting when disabled.
+pub fn event(level: Level, target: &'static str, message: String) {
+    if !enabled(level) {
+        return;
+    }
+    let event = Event { elapsed: epoch().elapsed(), level, target, message };
+    // `try_with` so late events during thread teardown are dropped, not
+    // panicking.
+    let _ = LOCAL_RING.try_with(|ring| {
+        let mut ring = ring.lock().expect("ring poisoned");
+        if ring.len() == RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(event.clone());
+    });
+    if SINK_INSTALLED.load(Ordering::Acquire) {
+        let sink = SINK.lock().expect("sink poisoned").clone();
+        if let Some(sink) = sink {
+            sink.emit(&event);
+        }
+    }
+}
+
+/// Snapshot of every thread's recent events, oldest first.
+pub fn recent_events() -> Vec<Event> {
+    let rings = RINGS.lock().expect("ring registry poisoned");
+    let mut events: Vec<Event> = rings
+        .iter()
+        .flat_map(|ring| ring.lock().expect("ring poisoned").iter().cloned().collect::<Vec<_>>())
+        .collect();
+    events.sort_by_key(|e| e.elapsed);
+    events
+}
+
+/// An RAII span timer: emits a `name took 12.3ms` event on drop and,
+/// optionally, records the duration into a [`Histogram`].
+pub struct SpanTimer {
+    target: &'static str,
+    name: String,
+    level: Level,
+    start: Instant,
+    histogram: Option<Arc<Histogram>>,
+}
+
+/// Starts a span. Default event level is `Debug`.
+pub fn span(target: &'static str, name: impl Into<String>) -> SpanTimer {
+    SpanTimer { target, name: name.into(), level: Level::Debug, start: Instant::now(), histogram: None }
+}
+
+impl SpanTimer {
+    /// Also record the span duration into `histogram` on drop. The
+    /// recording is unconditional — metrics are never gated by log level.
+    pub fn with_histogram(mut self, histogram: Arc<Histogram>) -> Self {
+        self.histogram = Some(histogram);
+        self
+    }
+
+    /// Overrides the completion event's level.
+    pub fn at_level(mut self, level: Level) -> Self {
+        self.level = level;
+        self
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        if let Some(h) = &self.histogram {
+            h.record_duration(elapsed);
+        }
+        if enabled(self.level) {
+            event(self.level, self.target, format!("{} took {:.3?}", self.name, elapsed));
+        }
+    }
+}
+
+/// Records an event at an explicit level, formatting lazily.
+#[macro_export]
+macro_rules! obs_event {
+    ($level:expr, $target:expr, $($arg:tt)*) => {
+        if $crate::trace::enabled($level) {
+            $crate::trace::event($level, $target, format!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! obs_error {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_event!($crate::trace::Level::Error, $target, $($arg)*) };
+}
+
+#[macro_export]
+macro_rules! obs_warn {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_event!($crate::trace::Level::Warn, $target, $($arg)*) };
+}
+
+#[macro_export]
+macro_rules! obs_info {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_event!($crate::trace::Level::Info, $target, $($arg)*) };
+}
+
+#[macro_export]
+macro_rules! obs_debug {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_event!($crate::trace::Level::Debug, $target, $($arg)*) };
+}
+
+#[macro_export]
+macro_rules! obs_trace {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_event!($crate::trace::Level::Trace, $target, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests below mutate the global level; serialize them so the parallel
+    /// test harness cannot interleave their level changes.
+    static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn level_parsing_and_order() {
+        assert_eq!("debug".parse::<Level>().unwrap(), Level::Debug);
+        assert_eq!("WARN".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_recent_events() {
+        let _guard = LEVEL_LOCK.lock().unwrap();
+        set_level(Level::Trace);
+        for i in 0..(RING_CAPACITY + 10) {
+            event(Level::Trace, "test-ring", format!("event {i}"));
+        }
+        let mine: Vec<Event> =
+            recent_events().into_iter().filter(|e| e.target == "test-ring").collect();
+        assert!(mine.len() <= RING_CAPACITY);
+        assert!(mine.iter().any(|e| e.message == format!("event {}", RING_CAPACITY + 9)));
+        set_level(Level::Warn);
+    }
+
+    #[test]
+    fn span_records_into_histogram_even_when_disabled() {
+        let _guard = LEVEL_LOCK.lock().unwrap();
+        set_level(Level::Error);
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = span("test-span", "work").with_histogram(Arc::clone(&h));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000, "recorded {}µs", h.sum());
+        set_level(Level::Warn);
+    }
+
+    #[test]
+    fn disabled_events_are_dropped() {
+        let _guard = LEVEL_LOCK.lock().unwrap();
+        set_level(Level::Warn);
+        event(Level::Debug, "test-disabled", "invisible".into());
+        assert!(recent_events().iter().all(|e| e.target != "test-disabled"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Integration tests for `steam-obs`: concurrent instrument correctness,
+//! quantile extraction on known distributions, and a golden test for the
+//! Prometheus exposition format.
+
+use std::sync::Arc;
+
+use steam_obs::{Counter, Gauge, Histogram, Registry};
+
+#[test]
+fn counters_are_exact_under_contention() {
+    let c = Arc::new(Counter::new());
+    let g = Arc::new(Gauge::new());
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    if i % 2 == 0 {
+                        g.inc();
+                    } else {
+                        g.dec();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(g.get(), 0);
+}
+
+#[test]
+fn histogram_is_exact_under_contention() {
+    let h = Arc::new(Histogram::new());
+    const THREADS: u64 = 8;
+    // A multiple of the 4096-value cycle below, so each thread records every
+    // residue equally often and the expected sum is exact.
+    const PER_THREAD: u64 = 16_384;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic value stream, different per thread.
+                    h.record((t * PER_THREAD + i) % 4096);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    // Each thread records full 4096-value cycles, so the sum is exactly
+    // threads·(per/4096)·Σ(0..4095).
+    let per_cycle: u64 = (0..4096u64).sum();
+    assert_eq!(h.sum(), THREADS * (PER_THREAD / 4096) * per_cycle);
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn registry_handles_are_shared_across_threads() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                // Half the threads hit the same series, half their own.
+                let shared = registry.counter("shared_total", &[]);
+                let own =
+                    registry.counter("per_thread_total", &[("t", &(t % 2).to_string())]);
+                for _ in 0..10_000 {
+                    shared.inc();
+                    own.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(registry.counter("shared_total", &[]).get(), 80_000);
+    assert_eq!(registry.counter("per_thread_total", &[("t", "0")]).get(), 40_000);
+    assert_eq!(registry.counter("per_thread_total", &[("t", "1")]).get(), 40_000);
+}
+
+#[test]
+fn quantiles_on_uniform_distribution() {
+    let h = Histogram::new();
+    for v in 1..=10_000u64 {
+        h.record(v);
+    }
+    // Log buckets quantize to within one octave: the estimate must sit in
+    // the same power-of-two bucket as the true quantile.
+    for (q, truth) in [(0.50, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+        let est = h.quantile(q);
+        assert!(
+            est >= truth / 2.0 && est <= truth * 2.0,
+            "q={q}: estimated {est}, true {truth}"
+        );
+    }
+    // Extremes behave.
+    assert!(h.quantile(0.0) <= 2.0);
+    assert!(h.quantile(1.0) >= 8192.0);
+}
+
+#[test]
+fn quantiles_on_point_mass_and_bimodal_distributions() {
+    // Point mass: every quantile lands in the single occupied bucket.
+    let point = Histogram::new();
+    for _ in 0..1000 {
+        point.record(300); // bucket [256, 512)
+    }
+    for q in [0.01, 0.5, 0.99] {
+        let est = point.quantile(q);
+        assert!((256.0..512.0).contains(&est), "q={q}: {est}");
+    }
+
+    // Bimodal 90/10 mix: p50 tracks the low mode, p99 the high mode.
+    let bimodal = Histogram::new();
+    for _ in 0..900 {
+        bimodal.record(100); // bucket [64, 128)
+    }
+    for _ in 0..100 {
+        bimodal.record(60_000); // bucket [32768, 65536)
+    }
+    let (p50, p95, p99) = bimodal.percentiles();
+    assert!((64.0..128.0).contains(&p50), "p50 = {p50}");
+    assert!((32_768.0..65_536.0).contains(&p95), "p95 = {p95}");
+    assert!((32_768.0..65_536.0).contains(&p99), "p99 = {p99}");
+}
+
+#[test]
+fn prometheus_exposition_golden() {
+    let registry = Registry::new();
+    registry.describe("jobs_done_total", "Jobs completed");
+    registry.describe("task_duration_seconds", "Task latency");
+    registry.counter("jobs_done_total", &[("kind", "a")]).add(3);
+    registry.counter("jobs_done_total", &[("kind", "b")]).inc();
+    registry.gauge("queue_depth", &[]).set(7);
+    let h = registry.histogram("task_duration_seconds", &[("phase", "x")]);
+    h.record(1); // bucket 0, le 2µs
+    h.record(3); // bucket 1, le 4µs
+    h.record(1000); // bucket 9, le 1024µs
+
+    let expected = "\
+# HELP jobs_done_total Jobs completed
+# TYPE jobs_done_total counter
+jobs_done_total{kind=\"a\"} 3
+jobs_done_total{kind=\"b\"} 1
+# TYPE queue_depth gauge
+queue_depth 7
+# HELP task_duration_seconds Task latency
+# TYPE task_duration_seconds histogram
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000002\"} 1
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000004\"} 2
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000008\"} 2
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000016\"} 2
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000032\"} 2
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000064\"} 2
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000128\"} 2
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000256\"} 2
+task_duration_seconds_bucket{phase=\"x\",le=\"0.000512\"} 2
+task_duration_seconds_bucket{phase=\"x\",le=\"0.001024\"} 3
+task_duration_seconds_bucket{phase=\"x\",le=\"+Inf\"} 3
+task_duration_seconds_sum{phase=\"x\"} 0.001004
+task_duration_seconds_count{phase=\"x\"} 3
+";
+    assert_eq!(registry.render_prometheus(), expected);
+}
+
+#[test]
+fn exposition_lines_are_well_formed() {
+    let registry = Registry::new();
+    registry.counter("a_total", &[]).inc();
+    registry.gauge("b", &[("x", "1")]).set(-2);
+    registry.histogram("c_seconds", &[]).record(500);
+    for line in registry.render_prometheus().lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# TYPE ") || line.starts_with("# HELP "),
+                "bad comment: {line}"
+            );
+            continue;
+        }
+        // `name{labels} value` or `name value`, value parseable as f64.
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "bad value in {line}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line}"
+        );
+    }
+}
