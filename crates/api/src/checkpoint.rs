@@ -1,0 +1,624 @@
+//! Crash-safe checkpoint journal for the crawler.
+//!
+//! The paper's phase-2 harvest ran for six months; a crawl that long WILL be
+//! interrupted, and restarting from scratch is not an option. This module
+//! journals every unit of completed crawl work — phase-1 census batches,
+//! per-user phase-2 harvests, group pages, the phase-3 app list and per-app
+//! details — as tagged records in append-only segment files (the segment
+//! codec lives in `steam_model::codec`: length-prefixed records, FNV-1a
+//! per-record checksums, each segment written atomically via temp + fsync +
+//! rename).
+//!
+//! A resumed crawl replays the journal first ([`CheckpointStore::resume`]),
+//! turns it into a [`Replay`] index, and re-fetches only what is missing.
+//! Damage tolerance is strictly tail-shaped: a torn or corrupt record drops
+//! itself and everything after it (progress lost, correctness kept), never
+//! anything before it.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/seg-00000000.log     "CSEG" u8(version) record*
+//! <dir>/seg-00000001.log     record = varu64(len) u32le(fnv1a) payload
+//! ...
+//! ```
+//!
+//! Each record payload is a tag byte followed by tag-specific fields encoded
+//! with the snapshot codec's varint primitives.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use steam_model::codec::{
+    append_record, decode_segment, get_account, get_game, get_group, get_vari64, get_varu64,
+    new_segment, put_account, put_game, put_group, put_vari64, put_varu64, write_atomic,
+};
+use steam_model::{Account, AppId, Game, Group, GroupId, ModelError, OwnedGame, SimTime, SteamId};
+use steam_net::NetError;
+use steam_obs::{obs_warn, Counter};
+
+/// Records appended to the journal after a fsync would survive the number of
+/// in-memory records below; a crash loses at most this tail.
+const DEFAULT_FLUSH_EVERY: usize = 32;
+
+const TAG_CENSUS_BATCH: u8 = 1;
+const TAG_CENSUS_COMPLETE: u8 = 2;
+const TAG_USER: u8 = 3;
+const TAG_GROUP_PAGE: u8 = 4;
+const TAG_APP_LIST: u8 = 5;
+const TAG_APP: u8 = 6;
+
+/// The phase-2 outputs for one account, exactly as fetched (friends are kept
+/// raw — filtering against the census index happens at assembly time, so a
+/// replayed user and a freshly fetched one take the same code path).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UserRecord {
+    /// Dense index of the account in the census ordering.
+    pub index: u32,
+    /// Raw friend list: `(friend steam id, friends-since)`.
+    pub friends: Vec<(SteamId, SimTime)>,
+    pub games: Vec<OwnedGame>,
+    pub groups: Vec<GroupId>,
+}
+
+/// One unit of completed crawl work, as journaled.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A phase-1 census batch (possibly empty — empty batches drive the
+    /// stop condition, so they are progress too).
+    CensusBatch { start_index: u64, accounts: Vec<Account> },
+    /// The census finished; `scanned_id_space` is its result.
+    CensusComplete { scanned_id_space: u64 },
+    /// One account fully harvested (friends + games + groups all fetched).
+    User(UserRecord),
+    /// One group's community page.
+    GroupPage(Group),
+    /// The phase-3 app list.
+    AppList(Vec<AppId>),
+    /// One app's details + achievement percentages.
+    App(Game),
+}
+
+fn err(msg: impl Into<String>) -> ModelError {
+    ModelError::Codec(msg.into())
+}
+
+impl Record {
+    /// Encodes the record as a segment payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Record::CensusBatch { start_index, accounts } => {
+                buf.put_u8(TAG_CENSUS_BATCH);
+                put_varu64(&mut buf, *start_index);
+                put_varu64(&mut buf, accounts.len() as u64);
+                for a in accounts {
+                    put_account(&mut buf, a);
+                }
+            }
+            Record::CensusComplete { scanned_id_space } => {
+                buf.put_u8(TAG_CENSUS_COMPLETE);
+                put_varu64(&mut buf, *scanned_id_space);
+            }
+            Record::User(u) => {
+                buf.put_u8(TAG_USER);
+                put_varu64(&mut buf, u64::from(u.index));
+                put_varu64(&mut buf, u.friends.len() as u64);
+                for (fid, since) in &u.friends {
+                    put_varu64(&mut buf, fid.index());
+                    put_vari64(&mut buf, since.unix());
+                }
+                put_varu64(&mut buf, u.games.len() as u64);
+                for g in &u.games {
+                    put_varu64(&mut buf, u64::from(g.app_id.0));
+                    put_varu64(&mut buf, u64::from(g.playtime_forever_min));
+                    put_varu64(&mut buf, u64::from(g.playtime_2weeks_min));
+                }
+                put_varu64(&mut buf, u.groups.len() as u64);
+                for g in &u.groups {
+                    put_varu64(&mut buf, u64::from(g.0));
+                }
+            }
+            Record::GroupPage(g) => {
+                buf.put_u8(TAG_GROUP_PAGE);
+                put_group(&mut buf, g);
+            }
+            Record::AppList(apps) => {
+                buf.put_u8(TAG_APP_LIST);
+                put_varu64(&mut buf, apps.len() as u64);
+                for a in apps {
+                    put_varu64(&mut buf, u64::from(a.0));
+                }
+            }
+            Record::App(game) => {
+                buf.put_u8(TAG_APP);
+                put_game(&mut buf, game);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a segment payload written by [`encode`](Self::encode).
+    pub fn decode(mut payload: Bytes) -> Result<Record, ModelError> {
+        if !payload.has_remaining() {
+            return Err(err("empty checkpoint record"));
+        }
+        let tag = payload.get_u8();
+        let rec = match tag {
+            TAG_CENSUS_BATCH => {
+                let start_index = get_varu64(&mut payload)?;
+                let n = get_varu64(&mut payload)? as usize;
+                let mut accounts = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    accounts.push(get_account(&mut payload)?);
+                }
+                Record::CensusBatch { start_index, accounts }
+            }
+            TAG_CENSUS_COMPLETE => {
+                Record::CensusComplete { scanned_id_space: get_varu64(&mut payload)? }
+            }
+            TAG_USER => {
+                let index = u32::try_from(get_varu64(&mut payload)?)
+                    .map_err(|_| err("user index overflow"))?;
+                let n = get_varu64(&mut payload)? as usize;
+                let mut friends = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let fid = SteamId::from_index(get_varu64(&mut payload)?);
+                    let since = SimTime::from_unix(get_vari64(&mut payload)?);
+                    friends.push((fid, since));
+                }
+                let n = get_varu64(&mut payload)? as usize;
+                let mut games = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let app_id = AppId(
+                        u32::try_from(get_varu64(&mut payload)?).map_err(|_| err("app id"))?,
+                    );
+                    let forever =
+                        u32::try_from(get_varu64(&mut payload)?).map_err(|_| err("playtime"))?;
+                    let two_weeks =
+                        u32::try_from(get_varu64(&mut payload)?).map_err(|_| err("playtime"))?;
+                    games.push(OwnedGame {
+                        app_id,
+                        playtime_forever_min: forever,
+                        playtime_2weeks_min: two_weeks,
+                    });
+                }
+                let n = get_varu64(&mut payload)? as usize;
+                let mut groups = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    groups.push(GroupId(
+                        u32::try_from(get_varu64(&mut payload)?).map_err(|_| err("group id"))?,
+                    ));
+                }
+                Record::User(UserRecord { index, friends, games, groups })
+            }
+            TAG_GROUP_PAGE => Record::GroupPage(get_group(&mut payload)?),
+            TAG_APP_LIST => {
+                let n = get_varu64(&mut payload)? as usize;
+                let mut apps = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    apps.push(AppId(
+                        u32::try_from(get_varu64(&mut payload)?).map_err(|_| err("app id"))?,
+                    ));
+                }
+                Record::AppList(apps)
+            }
+            TAG_APP => Record::App(get_game(&mut payload)?),
+            other => return Err(err(format!("unknown checkpoint record tag {other}"))),
+        };
+        if payload.has_remaining() {
+            return Err(err("trailing bytes in checkpoint record"));
+        }
+        Ok(rec)
+    }
+}
+
+/// Everything a resumed crawl already knows, indexed for O(1) "is this unit
+/// of work done?" lookups.
+#[derive(Default)]
+pub struct Replay {
+    /// Census batches by starting ID index.
+    pub census_batches: BTreeMap<u64, Vec<Account>>,
+    /// `Some(scanned_id_space)` when the census ran to completion.
+    pub census_complete: Option<u64>,
+    /// Fully harvested users by census index.
+    pub users: HashMap<u32, UserRecord>,
+    pub groups: HashMap<GroupId, Group>,
+    pub app_list: Option<Vec<AppId>>,
+    pub apps: HashMap<AppId, Game>,
+}
+
+impl Replay {
+    fn absorb(&mut self, rec: Record) {
+        match rec {
+            Record::CensusBatch { start_index, accounts } => {
+                self.census_batches.insert(start_index, accounts);
+            }
+            Record::CensusComplete { scanned_id_space } => {
+                self.census_complete = Some(scanned_id_space);
+            }
+            Record::User(u) => {
+                self.users.insert(u.index, u);
+            }
+            Record::GroupPage(g) => {
+                self.groups.insert(g.id, g);
+            }
+            Record::AppList(apps) => self.app_list = Some(apps),
+            Record::App(game) => {
+                self.apps.insert(game.app_id, game);
+            }
+        }
+    }
+
+    /// Total replayed records (drives `crawl_resume_skipped_total`).
+    pub fn len(&self) -> usize {
+        self.census_batches.len()
+            + usize::from(self.census_complete.is_some())
+            + self.users.len()
+            + self.groups.len()
+            + usize::from(self.app_list.is_some())
+            + self.apps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn storage_err(context: &str, e: impl std::fmt::Display) -> NetError {
+    NetError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("checkpoint {context}: {e}"),
+    ))
+}
+
+/// The journal writer: buffers records in an in-memory segment and flushes
+/// it as an atomically-written segment file every [`DEFAULT_FLUSH_EVERY`]
+/// records (and on [`flush`](Self::flush), which the crawler calls on every
+/// exit path, success or error).
+pub struct CheckpointStore {
+    dir: PathBuf,
+    seg: BytesMut,
+    seg_records: usize,
+    next_seq: u64,
+    flush_every: usize,
+    records_total: Option<Arc<Counter>>,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:08}.log"))
+}
+
+/// Sorted sequence numbers of the segment files present in `dir`.
+fn segment_seqs(dir: &Path) -> Result<Vec<u64>, NetError> {
+    let mut seqs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name.strip_prefix("seg-").and_then(|r| r.strip_suffix(".log")) {
+            if let Ok(seq) = seq.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+impl CheckpointStore {
+    /// Starts a fresh journal in `dir`, deleting any previous segments.
+    pub fn create(dir: &Path) -> Result<CheckpointStore, NetError> {
+        std::fs::create_dir_all(dir)?;
+        for seq in segment_seqs(dir)? {
+            std::fs::remove_file(segment_path(dir, seq))?;
+        }
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            seg: new_segment(),
+            seg_records: 0,
+            next_seq: 0,
+            flush_every: DEFAULT_FLUSH_EVERY,
+            records_total: None,
+        })
+    }
+
+    /// Opens an existing journal in `dir` and replays it. Replay stops at
+    /// the first damaged record or segment (tail-tolerance); segments after
+    /// a damaged one are discarded, and new segments continue the sequence.
+    pub fn resume(dir: &Path) -> Result<(CheckpointStore, Replay), NetError> {
+        std::fs::create_dir_all(dir)?;
+        let mut replay = Replay::default();
+        let seqs = segment_seqs(dir)?;
+        let mut next_seq = 0;
+        let mut damaged = false;
+        for &seq in &seqs {
+            if damaged || seq != next_seq {
+                // Tail past damage (or a gap in the sequence, which can only
+                // mean damage): discard, it may reference lost state.
+                obs_warn!("checkpoint", "discarding orphaned segment {seq:08}");
+                std::fs::remove_file(segment_path(dir, seq))?;
+                continue;
+            }
+            let raw = std::fs::read(segment_path(dir, seq))?;
+            match decode_segment(Bytes::from(raw)) {
+                Ok((payloads, clean)) => {
+                    let mut record_damage = false;
+                    for payload in payloads {
+                        match Record::decode(payload) {
+                            Ok(rec) => replay.absorb(rec),
+                            Err(e) => {
+                                obs_warn!(
+                                    "checkpoint",
+                                    "segment {seq:08}: undecodable record ({e}); dropping tail"
+                                );
+                                record_damage = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !clean || record_damage {
+                        obs_warn!("checkpoint", "segment {seq:08} has a damaged tail");
+                        damaged = true;
+                        std::fs::remove_file(segment_path(dir, seq))?;
+                        continue;
+                    }
+                }
+                Err(e) => {
+                    obs_warn!("checkpoint", "segment {seq:08} unreadable ({e}); dropping");
+                    damaged = true;
+                    std::fs::remove_file(segment_path(dir, seq))?;
+                    continue;
+                }
+            }
+            next_seq = seq + 1;
+        }
+        let store = CheckpointStore {
+            dir: dir.to_path_buf(),
+            seg: new_segment(),
+            seg_records: 0,
+            next_seq,
+            flush_every: DEFAULT_FLUSH_EVERY,
+            records_total: None,
+        };
+        Ok((store, replay))
+    }
+
+    /// Attaches the `crawl_checkpoint_records_total` counter.
+    pub fn with_counter(mut self, counter: Arc<Counter>) -> CheckpointStore {
+        self.records_total = Some(counter);
+        self
+    }
+
+    /// Overrides how many buffered records trigger an automatic flush.
+    pub fn with_flush_every(mut self, n: usize) -> CheckpointStore {
+        self.flush_every = n.max(1);
+        self
+    }
+
+    /// Appends a record; flushes automatically every `flush_every` records.
+    pub fn append(&mut self, rec: &Record) -> Result<(), NetError> {
+        append_record(&mut self.seg, &rec.encode());
+        self.seg_records += 1;
+        if let Some(c) = &self.records_total {
+            c.inc();
+        }
+        if self.seg_records >= self.flush_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes buffered records out as the next segment file (atomic:
+    /// temp + fsync + rename). No-op when nothing is buffered.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        if self.seg_records == 0 {
+            return Ok(());
+        }
+        let path = segment_path(&self.dir, self.next_seq);
+        write_atomic(&path, &self.seg).map_err(|e| storage_err("flush", e))?;
+        self.next_seq += 1;
+        self.seg = new_segment();
+        self.seg_records = 0;
+        Ok(())
+    }
+
+    /// Records buffered in memory, not yet flushed to a segment.
+    pub fn pending(&self) -> usize {
+        self.seg_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steam_model::account::Visibility;
+    use steam_model::game::{Achievement, AppType, GenreSet};
+    use steam_model::group::GroupKind;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("steam-ckpt-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn sample_account(i: u64) -> Account {
+        Account {
+            id: SteamId::from_index(i),
+            created_at: SimTime::from_ymd(2010, 1, 1),
+            visibility: Visibility::Public,
+            country: None,
+            city: None,
+            level: 7,
+            facebook_linked: false,
+        }
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::CensusBatch {
+                start_index: 0,
+                accounts: vec![sample_account(0), sample_account(3)],
+            },
+            Record::CensusBatch { start_index: 100, accounts: vec![] },
+            Record::CensusComplete { scanned_id_space: 4 },
+            Record::User(UserRecord {
+                index: 1,
+                friends: vec![(SteamId::from_index(0), SimTime::from_ymd(2012, 3, 4))],
+                games: vec![OwnedGame {
+                    app_id: AppId(10),
+                    playtime_forever_min: 500,
+                    playtime_2weeks_min: 20,
+                }],
+                groups: vec![GroupId(9)],
+            }),
+            Record::GroupPage(Group {
+                id: GroupId(9),
+                kind: GroupKind::GameServer,
+                name: "g".into(),
+            }),
+            Record::AppList(vec![AppId(10), AppId(20)]),
+            Record::App(Game {
+                app_id: AppId(10),
+                name: "A Game".into(),
+                app_type: AppType::Game,
+                genres: GenreSet::new(),
+                price_cents: 999,
+                multiplayer: true,
+                release_date: SimTime::from_ymd(2009, 9, 9),
+                metacritic: None,
+                achievements: vec![Achievement {
+                    name: "ach".into(),
+                    global_completion_pct: 12.5,
+                }],
+            }),
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for rec in sample_records() {
+            let back = Record::decode(rec.encode()).unwrap();
+            assert_eq!(back, rec, "round trip failed");
+        }
+    }
+
+    #[test]
+    fn record_decode_rejects_garbage() {
+        assert!(Record::decode(Bytes::new()).is_err());
+        assert!(Record::decode(Bytes::from_static(&[99, 1, 2, 3])).is_err());
+        // Truncations of a real record error out rather than panic.
+        let full = sample_records().pop().unwrap().encode();
+        for cut in 0..full.len() {
+            assert!(Record::decode(full.slice(..cut)).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn store_round_trips_through_segments() {
+        let d = dir("roundtrip");
+        let mut store = CheckpointStore::create(&d).unwrap().with_flush_every(3);
+        for rec in sample_records() {
+            store.append(&rec).unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.pending(), 0);
+        // 7 records at flush-every-3 → 3 segment files.
+        assert_eq!(segment_seqs(&d).unwrap(), vec![0, 1, 2]);
+
+        let (_store2, replay) = CheckpointStore::resume(&d).unwrap();
+        assert_eq!(replay.len(), 7);
+        assert_eq!(replay.census_complete, Some(4));
+        assert_eq!(replay.census_batches.len(), 2);
+        assert_eq!(replay.users[&1].games.len(), 1);
+        assert_eq!(replay.groups[&GroupId(9)].name, "g");
+        assert_eq!(replay.app_list.as_deref(), Some(&[AppId(10), AppId(20)][..]));
+        assert!(replay.apps.contains_key(&AppId(10)));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn resume_continues_the_sequence() {
+        let d = dir("continue");
+        let mut store = CheckpointStore::create(&d).unwrap();
+        store.append(&Record::CensusComplete { scanned_id_space: 1 }).unwrap();
+        store.flush().unwrap();
+        let (mut store2, replay) = CheckpointStore::resume(&d).unwrap();
+        assert_eq!(replay.len(), 1);
+        store2.append(&Record::AppList(vec![AppId(1)])).unwrap();
+        store2.flush().unwrap();
+        assert_eq!(segment_seqs(&d).unwrap(), vec![0, 1]);
+        let (_store3, replay) = CheckpointStore::resume(&d).unwrap();
+        assert_eq!(replay.len(), 2);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_tail() {
+        let d = dir("torn");
+        let mut store = CheckpointStore::create(&d).unwrap();
+        for rec in sample_records() {
+            store.append(&rec).unwrap();
+        }
+        store.flush().unwrap();
+        // Tear the single segment: chop off its last 3 bytes.
+        let path = segment_path(&d, 0);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.truncate(raw.len() - 3);
+        std::fs::write(&path, &raw).unwrap();
+
+        let (mut store2, replay) = CheckpointStore::resume(&d).unwrap();
+        // The last record (the App) is gone; everything before it survives.
+        assert_eq!(replay.len(), 6);
+        assert!(replay.apps.is_empty());
+        assert_eq!(replay.census_complete, Some(4));
+        // The damaged segment was dropped; new writes land at seq 0 again.
+        store2.append(&Record::CensusComplete { scanned_id_space: 9 }).unwrap();
+        store2.flush().unwrap();
+        assert_eq!(segment_seqs(&d).unwrap(), vec![0]);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn damaged_middle_segment_discards_later_ones() {
+        let d = dir("middle");
+        let mut store = CheckpointStore::create(&d).unwrap().with_flush_every(1);
+        store.append(&Record::CensusComplete { scanned_id_space: 1 }).unwrap();
+        store.append(&Record::AppList(vec![AppId(1)])).unwrap();
+        store.append(&Record::GroupPage(Group {
+            id: GroupId(2),
+            kind: GroupKind::GameServer,
+            name: "x".into(),
+        })).unwrap();
+        // Corrupt the middle segment's body.
+        let path = segment_path(&d, 1);
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+
+        let (_store2, replay) = CheckpointStore::resume(&d).unwrap();
+        // Only the first segment survives; seg 1 (corrupt) and seg 2
+        // (after the damage) are discarded.
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay.census_complete, Some(1));
+        assert!(replay.app_list.is_none());
+        assert!(replay.groups.is_empty());
+        assert_eq!(segment_seqs(&d).unwrap(), vec![0]);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn create_wipes_previous_journal() {
+        let d = dir("wipe");
+        let mut store = CheckpointStore::create(&d).unwrap();
+        store.append(&Record::CensusComplete { scanned_id_space: 1 }).unwrap();
+        store.flush().unwrap();
+        let _store = CheckpointStore::create(&d).unwrap();
+        assert!(segment_seqs(&d).unwrap().is_empty());
+        let (_s, replay) = CheckpointStore::resume(&d).unwrap();
+        assert!(replay.is_empty());
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -14,13 +14,23 @@
 //!
 //! Throughout, the crawler throttles itself to a configurable rate —
 //! the paper used ~85% of the allowed maximum — and retries transient
-//! failures (429/5xx) with exponential backoff.
+//! failures (429/5xx, dropped connections, corrupt response bodies) with
+//! exponential backoff.
+//!
+//! With a [`CrawlerConfig::checkpoint_dir`] set, every unit of completed
+//! work is journaled through [`crate::checkpoint::CheckpointStore`]; with
+//! [`CrawlerConfig::resume`] a crawl replays the journal first and
+//! re-fetches only what is missing, so a killed crawl loses at most the
+//! unflushed journal tail.
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use steam_model::{Friendship, Group, GroupId, Snapshot, SteamId};
 use steam_net::backoff::{transient, Backoff};
 use steam_net::client::HttpClient;
@@ -28,6 +38,7 @@ use steam_net::ratelimit::TokenBucket;
 use steam_net::NetError;
 use steam_obs::{Counter, Gauge, Histogram, Registry};
 
+use crate::checkpoint::{CheckpointStore, Record, Replay, UserRecord};
 use crate::service::MAX_BATCH_IDS;
 use crate::wire;
 
@@ -46,6 +57,12 @@ pub struct CrawlerConfig {
     /// Worker threads for the per-user harvest (phase 2). The result is
     /// byte-identical regardless of worker count; the throttle is shared.
     pub workers: usize,
+    /// Directory for the crash-safe checkpoint journal. `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Replay an existing journal in `checkpoint_dir` and skip the work it
+    /// records, instead of starting fresh (which wipes the journal).
+    pub resume: bool,
 }
 
 impl Default for CrawlerConfig {
@@ -56,6 +73,8 @@ impl Default for CrawlerConfig {
             empty_batches_to_stop: 25,
             backoff: Backoff::default(),
             workers: 1,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
@@ -73,11 +92,18 @@ pub struct CrawlStats {
     pub retries_429: u64,
     pub retries_5xx: u64,
     pub retries_io: u64,
+    /// Retries after a response body that failed to parse (server-side
+    /// corruption looks like a transient fault, not a fatal one).
+    pub retries_corrupt: u64,
     pub census_batches: u64,
     pub users_harvested: u64,
     pub groups_fetched: u64,
     pub apps_fetched: u64,
     pub reconnects: u64,
+    /// Records appended to the checkpoint journal (0 without a journal).
+    pub checkpoint_records: u64,
+    /// Units of work skipped on resume because the journal already had them.
+    pub resume_skipped: u64,
     /// Total time spent waiting on the self-imposed throttle.
     pub throttle_wait: Duration,
     /// Total time slept in retry backoff (including server `Retry-After`
@@ -94,11 +120,14 @@ pub struct CrawlProgress {
     retries_429: Arc<Counter>,
     retries_5xx: Arc<Counter>,
     retries_io: Arc<Counter>,
+    retries_corrupt: Arc<Counter>,
     census_batches: Arc<Counter>,
     users_harvested: Arc<Counter>,
     groups_fetched: Arc<Counter>,
     apps_fetched: Arc<Counter>,
     reconnects: Arc<Counter>,
+    checkpoint_records: Arc<Counter>,
+    resume_skipped: Arc<Counter>,
     throttle_wait: Arc<Counter>,
     backoff_wait: Arc<Counter>,
     ids_scanned: Arc<Gauge>,
@@ -118,6 +147,14 @@ impl CrawlProgress {
         registry.describe("crawl_apps_fetched_total", "Phase-3 catalog products fetched");
         registry.describe("crawl_reconnects_total", "Stale-connection reconnects");
         registry.describe(
+            "crawl_checkpoint_records_total",
+            "Records appended to the checkpoint journal",
+        );
+        registry.describe(
+            "crawl_resume_skipped_total",
+            "Units of work skipped on resume (already journaled)",
+        );
+        registry.describe(
             "crawl_throttle_wait_seconds_total",
             "Time spent waiting on the self-imposed throttle",
         );
@@ -133,11 +170,14 @@ impl CrawlProgress {
             retries_429: registry.counter("crawl_retries_total", &[("cause", "429")]),
             retries_5xx: registry.counter("crawl_retries_total", &[("cause", "5xx")]),
             retries_io: registry.counter("crawl_retries_total", &[("cause", "io")]),
+            retries_corrupt: registry.counter("crawl_retries_total", &[("cause", "corrupt")]),
             census_batches: registry.counter("crawl_census_batches_total", &[]),
             users_harvested: registry.counter("crawl_users_harvested_total", &[]),
             groups_fetched: registry.counter("crawl_groups_fetched_total", &[]),
             apps_fetched: registry.counter("crawl_apps_fetched_total", &[]),
             reconnects: registry.counter("crawl_reconnects_total", &[]),
+            checkpoint_records: registry.counter("crawl_checkpoint_records_total", &[]),
+            resume_skipped: registry.counter("crawl_resume_skipped_total", &[]),
             throttle_wait: registry.counter("crawl_throttle_wait_seconds_total", &[]),
             backoff_wait: registry.counter("crawl_backoff_wait_seconds_total", &[]),
             ids_scanned: registry.gauge("crawl_ids_scanned", &[]),
@@ -155,6 +195,7 @@ impl CrawlProgress {
         match err {
             NetError::Status { code: 429, .. } => self.retries_429.inc(),
             NetError::Status { .. } => self.retries_5xx.inc(),
+            NetError::Json { .. } => self.retries_corrupt.inc(),
             _ => self.retries_io.inc(),
         }
         self.backoff_wait.add_duration(delay);
@@ -165,19 +206,23 @@ impl CrawlProgress {
         let retries_429 = self.retries_429.get();
         let retries_5xx = self.retries_5xx.get();
         let retries_io = self.retries_io.get();
+        let retries_corrupt = self.retries_corrupt.get();
         CrawlStats {
             requests: self.requests.get(),
             profiles_found: self.profiles_found.get().max(0) as u64,
             ids_scanned: self.ids_scanned.get().max(0) as u64,
-            retries_observed: retries_429 + retries_5xx + retries_io,
+            retries_observed: retries_429 + retries_5xx + retries_io + retries_corrupt,
             retries_429,
             retries_5xx,
             retries_io,
+            retries_corrupt,
             census_batches: self.census_batches.get(),
             users_harvested: self.users_harvested.get(),
             groups_fetched: self.groups_fetched.get(),
             apps_fetched: self.apps_fetched.get(),
             reconnects: self.reconnects.get(),
+            checkpoint_records: self.checkpoint_records.get(),
+            resume_skipped: self.resume_skipped.get(),
             throttle_wait: self.throttle_wait.as_duration(),
             backoff_wait: self.backoff_wait.as_duration(),
         }
@@ -211,7 +256,15 @@ struct Fetcher {
 }
 
 impl Fetcher {
-    fn get(&mut self, target: &str) -> Result<String, NetError> {
+    /// Fetches `target` and parses the body *inside* the retry loop: a
+    /// response that parses as garbage (an injected corruption, a truncated
+    /// proxy body) is retried like any other transient fault instead of
+    /// killing a crawl that may be months in.
+    fn get_parsed<T>(
+        &mut self,
+        target: &str,
+        parse: impl Fn(&str) -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
         if let Some(t) = self.throttle.as_ref() {
             let waited = t.acquire();
             if !waited.is_zero() {
@@ -222,8 +275,8 @@ impl Fetcher {
         let client = &mut self.client;
         let progress = &self.progress;
         let result = self.backoff.run_observed(
-            || client.get(target),
-            transient,
+            || parse(&client.get(target)?.body_text()),
+            |e| transient(e) || matches!(e, NetError::Json { .. }),
             |err, delay| progress.record_retry(err, delay),
         );
         let reconnects = self.client.reconnects();
@@ -231,7 +284,7 @@ impl Fetcher {
             self.progress.reconnects.add(reconnects - self.synced_reconnects);
             self.synced_reconnects = reconnects;
         }
-        Ok(result?.body_text())
+        result
     }
 }
 
@@ -295,13 +348,17 @@ impl Crawler {
         }
     }
 
-    fn get(&mut self, target: &str) -> Result<String, NetError> {
-        self.fetcher.get(target)
-    }
-
     /// Phase 1: census of the ID space. Returns accounts sorted by ID and
     /// the scanned ID-space size.
     pub fn census(&mut self) -> Result<(Vec<steam_model::Account>, u64), NetError> {
+        self.census_inner(None, &Replay::default())
+    }
+
+    fn census_inner(
+        &mut self,
+        journal: Option<&Mutex<CheckpointStore>>,
+        replay: &Replay,
+    ) -> Result<(Vec<steam_model::Account>, u64), NetError> {
         let _timer = steam_obs::span("crawl", "census")
             .with_histogram(Arc::clone(&self.progress.phase_census));
         let mut accounts = Vec::new();
@@ -309,17 +366,51 @@ impl Crawler {
         let mut empty_run = 0usize;
         let mut last_valid: Option<u64> = None;
 
+        // Replay the contiguous prefix of journaled batches; the fetch loop
+        // below continues where they end. (When the journal also has the
+        // census-complete marker, every batch before it survived — damage
+        // tolerance is strictly tail-shaped — so nothing is re-fetched.)
+        while let Some(batch) = replay.census_batches.get(&next_index) {
+            self.progress.resume_skipped.inc();
+            if batch.is_empty() {
+                empty_run += 1;
+            } else {
+                empty_run = 0;
+                for p in batch {
+                    last_valid = Some(p.id.index().max(last_valid.unwrap_or(0)));
+                    accounts.push(p.clone());
+                }
+                self.progress.profiles_found.set(accounts.len() as i64);
+            }
+            next_index += MAX_BATCH_IDS as u64;
+            self.progress.ids_scanned.set(next_index as i64);
+        }
+
+        if let Some(scanned) = replay.census_complete {
+            accounts.sort_by_key(|a| a.id);
+            self.progress.profiles_found.set(accounts.len() as i64);
+            return Ok((accounts, scanned));
+        }
+
         while empty_run < self.config.empty_batches_to_stop {
             let ids: Vec<String> = (next_index..next_index + MAX_BATCH_IDS as u64)
                 .map(|i| SteamId::from_index(i).to_string())
                 .collect();
-            let body = self.get(&format!(
-                "/ISteamUser/GetPlayerSummaries/v2?key={}&steamids={}",
-                self.config.api_key,
-                ids.join(",")
-            ))?;
-            let players = wire::parse_player_summaries(&body)?;
+            let players = self.fetcher.get_parsed(
+                &format!(
+                    "/ISteamUser/GetPlayerSummaries/v2?key={}&steamids={}",
+                    self.config.api_key,
+                    ids.join(",")
+                ),
+                wire::parse_player_summaries,
+            )?;
             self.progress.census_batches.inc();
+            if let Some(j) = journal {
+                j.lock().append(&Record::CensusBatch {
+                    start_index: next_index,
+                    accounts: players.clone(),
+                })?;
+            }
             if players.is_empty() {
                 empty_run += 1;
             } else {
@@ -336,6 +427,9 @@ impl Crawler {
         accounts.sort_by_key(|a| a.id);
         self.progress.profiles_found.set(accounts.len() as i64);
         let scanned = last_valid.map_or(0, |v| v + 1);
+        if let Some(j) = journal {
+            j.lock().append(&Record::CensusComplete { scanned_id_space: scanned })?;
+        }
         Ok((accounts, scanned))
     }
 
@@ -351,10 +445,10 @@ impl Crawler {
         for (u, acct) in accounts.iter().enumerate() {
             let target =
                 format!("/reproduction/panel?key={key}&steamid={}", acct.id);
-            match self.fetcher.get(&target) {
-                Ok(body) => {
+            match self.fetcher.get_parsed(&target, wire::parse_panel) {
+                Ok(days) => {
                     panel.users.push(u as u32);
-                    panel.daily_minutes.push(wire::parse_panel(&body)?);
+                    panel.daily_minutes.push(days);
                 }
                 Err(NetError::Status { code: 404, .. }) => continue,
                 Err(e) => return Err(e),
@@ -367,9 +461,45 @@ impl Crawler {
     ///
     /// `collected_at` stamps the result (the crawler has no other way to
     /// know the nominal collection instant).
+    ///
+    /// With [`CrawlerConfig::checkpoint_dir`] set, completed work is
+    /// journaled as it happens and the journal is flushed on *every* exit
+    /// path — a crawl that dies mid-phase leaves a resumable journal behind.
     pub fn crawl(&mut self, collected_at: steam_model::SimTime) -> Result<Snapshot, NetError> {
+        let (journal, replay) = match self.config.checkpoint_dir.clone() {
+            Some(dir) => {
+                let (store, replay) = if self.config.resume {
+                    CheckpointStore::resume(&dir)?
+                } else {
+                    (CheckpointStore::create(&dir)?, Replay::default())
+                };
+                let store =
+                    store.with_counter(Arc::clone(&self.progress.checkpoint_records));
+                (Some(Mutex::new(store)), replay)
+            }
+            None => (None, Replay::default()),
+        };
+        let result = self.crawl_phases(collected_at, journal.as_ref(), &replay);
+        if let Some(j) = &journal {
+            let flushed = j.lock().flush();
+            if result.is_ok() {
+                // A failed final flush matters only on success; on the error
+                // path the original failure is the story (the journal keeps
+                // whatever did make it to disk).
+                flushed?;
+            }
+        }
+        result
+    }
+
+    fn crawl_phases(
+        &mut self,
+        collected_at: steam_model::SimTime,
+        journal: Option<&Mutex<CheckpointStore>>,
+        replay: &Replay,
+    ) -> Result<Snapshot, NetError> {
         // --- phase 1 ---------------------------------------------------------
-        let (accounts, scanned_id_space) = self.census()?;
+        let (accounts, scanned_id_space) = self.census_inner(journal, replay)?;
         let index_of: HashMap<SteamId, u32> = accounts
             .iter()
             .enumerate()
@@ -377,73 +507,99 @@ impl Crawler {
             .collect();
 
         // --- phase 2 ---------------------------------------------------------
-        // Per-user harvest, optionally on several worker threads. Work is
-        // split into contiguous account chunks and merged back in order, so
-        // the reconstructed snapshot is identical for any worker count.
+        // Per-user harvest, optionally on several worker threads. Workers
+        // claim the next unharvested account from a shared atomic cursor (no
+        // static chunking: a straggler can't strand the rest of its chunk),
+        // and results land in per-user slots merged in index order, so the
+        // reconstructed snapshot is identical for any worker count.
         let harvest_timer = steam_obs::span("crawl", "harvest")
             .with_histogram(Arc::clone(&self.progress.phase_harvest));
         let key = self.config.api_key.clone();
-        let workers = self.config.workers.max(1).min(accounts.len().max(1));
-        type ChunkOut = (Vec<Friendship>, Vec<Vec<steam_model::OwnedGame>>, Vec<Vec<GroupId>>);
-        let harvest_chunk = |fetcher: &mut Fetcher,
-                             start: usize,
-                             chunk: &[steam_model::Account]|
-         -> Result<ChunkOut, NetError> {
-            let mut friendships = Vec::new();
-            let mut ownerships = Vec::with_capacity(chunk.len());
-            let mut raw_memberships = Vec::with_capacity(chunk.len());
-            for (offset, acct) in chunk.iter().enumerate() {
-                let u = (start + offset) as u32;
-                let id = acct.id;
-                let friends = wire::parse_friend_list(&fetcher.get(&format!(
-                    "/ISteamUser/GetFriendList/v1?key={key}&steamid={id}"
-                ))?)?;
-                for (fid, since) in friends {
-                    if let Some(&v) = index_of.get(&fid) {
-                        // Each reciprocal edge is reported from both
-                        // endpoints; keep it when reported by the
-                        // lower-index side.
-                        if u < v {
-                            friendships.push(Friendship::new(u, v, since));
-                        }
-                    }
+
+        let mut user_records: Vec<Option<UserRecord>> = (0..accounts.len() as u32)
+            .map(|u| replay.users.get(&u).cloned())
+            .collect();
+        let replayed = user_records.iter().filter(|r| r.is_some()).count();
+        self.progress.resume_skipped.add(replayed as u64);
+        let todo: Vec<u32> = (0..accounts.len() as u32)
+            .filter(|&u| user_records[u as usize].is_none())
+            .collect();
+
+        let harvest_user = |fetcher: &mut Fetcher, u: u32| -> Result<UserRecord, NetError> {
+            let id = accounts[u as usize].id;
+            let friends = fetcher.get_parsed(
+                &format!("/ISteamUser/GetFriendList/v1?key={key}&steamid={id}"),
+                wire::parse_friend_list,
+            )?;
+            let games = fetcher.get_parsed(
+                &format!("/IPlayerService/GetOwnedGames/v1?key={key}&steamid={id}"),
+                wire::parse_owned_games,
+            )?;
+            let groups = fetcher.get_parsed(
+                &format!("/ISteamUser/GetUserGroupList/v1?key={key}&steamid={id}"),
+                wire::parse_group_list,
+            )?;
+            Ok(UserRecord { index: u, friends, games, groups })
+        };
+        let cursor = AtomicUsize::new(0);
+        let run_worker = |fetcher: &mut Fetcher| -> Result<Vec<UserRecord>, NetError> {
+            let mut out = Vec::new();
+            loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&u) = todo.get(k) else { break };
+                let rec = harvest_user(fetcher, u)?;
+                // Journal only fully harvested users: all three fetches
+                // landed, so resume can skip this account entirely.
+                if let Some(j) = journal {
+                    j.lock().append(&Record::User(rec.clone()))?;
                 }
-                ownerships.push(wire::parse_owned_games(&fetcher.get(&format!(
-                    "/IPlayerService/GetOwnedGames/v1?key={key}&steamid={id}"
-                ))?)?);
-                raw_memberships.push(wire::parse_group_list(&fetcher.get(&format!(
-                    "/ISteamUser/GetUserGroupList/v1?key={key}&steamid={id}"
-                ))?)?);
                 fetcher.progress.users_harvested.inc();
+                out.push(rec);
             }
-            Ok((friendships, ownerships, raw_memberships))
+            Ok(out)
         };
 
+        let workers = self.config.workers.max(1).min(todo.len().max(1));
+        let results: Vec<Result<Vec<UserRecord>, NetError>> = if workers <= 1 {
+            vec![run_worker(&mut self.fetcher)]
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..workers {
+                    let mut fetcher = self.new_fetcher();
+                    let run = &run_worker;
+                    handles.push(scope.spawn(move || run(&mut fetcher)));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+        };
+        for result in results {
+            for rec in result? {
+                let slot = rec.index as usize;
+                user_records[slot] = Some(rec);
+            }
+        }
+
+        // Merge in index order; replayed and freshly fetched users take the
+        // same path, including the friendship filter (each reciprocal edge
+        // is reported from both endpoints; keep it when reported by the
+        // lower-index side).
         let mut friendships: Vec<Friendship> = Vec::new();
         let mut ownerships = Vec::with_capacity(accounts.len());
         let mut raw_memberships: Vec<Vec<GroupId>> = Vec::with_capacity(accounts.len());
-        if workers <= 1 {
-            let (f, o, m) = harvest_chunk(&mut self.fetcher, 0, &accounts)?;
-            friendships = f;
-            ownerships = o;
-            raw_memberships = m;
-        } else {
-            let chunk_size = accounts.len().div_ceil(workers);
-            let results: Vec<Result<ChunkOut, NetError>> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (i, chunk) in accounts.chunks(chunk_size).enumerate() {
-                    let mut fetcher = self.new_fetcher();
-                    let harvest = &harvest_chunk;
-                    handles.push(scope.spawn(move || harvest(&mut fetcher, i * chunk_size, chunk)));
+        for rec in &user_records {
+            let rec = rec.as_ref().expect("every user harvested or replayed");
+            for &(fid, since) in &rec.friends {
+                if let Some(&v) = index_of.get(&fid) {
+                    if rec.index < v {
+                        friendships.push(Friendship::new(rec.index, v, since));
+                    }
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            });
-            for result in results {
-                let (f, o, m) = result?;
-                friendships.extend(f);
-                ownerships.extend(o);
-                raw_memberships.extend(m);
             }
+        }
+        for rec in user_records.into_iter().flatten() {
+            ownerships.push(rec.games);
+            raw_memberships.push(rec.groups);
         }
         let mut seen_groups: BTreeMap<GroupId, ()> = BTreeMap::new();
         for gids in &raw_memberships {
@@ -457,11 +613,22 @@ impl Crawler {
         let mut groups: Vec<Group> = Vec::with_capacity(seen_groups.len());
         let mut group_index: HashMap<GroupId, u32> = HashMap::with_capacity(seen_groups.len());
         for (gid, ()) in seen_groups {
-            let page =
-                wire::parse_group_page(&self.get(&format!("/community/group/{}", gid.0))?)?;
+            let page = if let Some(g) = replay.groups.get(&gid) {
+                self.progress.resume_skipped.inc();
+                g.clone()
+            } else {
+                let page = self.fetcher.get_parsed(
+                    &format!("/community/group/{}", gid.0),
+                    wire::parse_group_page,
+                )?;
+                if let Some(j) = journal {
+                    j.lock().append(&Record::GroupPage(page.clone()))?;
+                }
+                self.progress.groups_fetched.inc();
+                page
+            };
             group_index.insert(gid, groups.len() as u32);
             groups.push(page);
-            self.progress.groups_fetched.inc();
         }
         let memberships: Vec<Vec<u32>> = raw_memberships
             .into_iter()
@@ -477,19 +644,39 @@ impl Crawler {
         // --- phase 3 ---------------------------------------------------------
         let catalog_timer = steam_obs::span("crawl", "catalog")
             .with_histogram(Arc::clone(&self.progress.phase_catalog));
-        let app_ids =
-            wire::parse_app_list(&self.get("/ISteamApps/GetAppList/v2")?)?;
+        let app_ids = if let Some(list) = &replay.app_list {
+            self.progress.resume_skipped.inc();
+            list.clone()
+        } else {
+            let list = self
+                .fetcher
+                .get_parsed("/ISteamApps/GetAppList/v2", wire::parse_app_list)?;
+            if let Some(j) = journal {
+                j.lock().append(&Record::AppList(list.clone()))?;
+            }
+            list
+        };
         let mut catalog = Vec::with_capacity(app_ids.len());
         for app in app_ids {
-            let mut game = wire::parse_app_details(
-                app,
-                &self.get(&format!("/api/appdetails?appids={}", app.0))?,
+            if let Some(game) = replay.apps.get(&app) {
+                self.progress.resume_skipped.inc();
+                catalog.push(game.clone());
+                continue;
+            }
+            let mut game = self.fetcher.get_parsed(
+                &format!("/api/appdetails?appids={}", app.0),
+                |body| wire::parse_app_details(app, body),
             )?;
-            let body = self.get(&format!(
-                "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2?gameid={}",
-                app.0
-            ))?;
-            game.achievements = wire::parse_achievement_percentages(&body)?;
+            game.achievements = self.fetcher.get_parsed(
+                &format!(
+                    "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2?gameid={}",
+                    app.0
+                ),
+                wire::parse_achievement_percentages,
+            )?;
+            if let Some(j) = journal {
+                j.lock().append(&Record::App(game.clone()))?;
+            }
             catalog.push(game);
             self.progress.apps_fetched.inc();
         }
@@ -717,7 +904,7 @@ mod tests {
         assert!(stats.retries_429 > 0, "expected 429-classified retries");
         assert_eq!(
             stats.retries_observed,
-            stats.retries_429 + stats.retries_5xx + stats.retries_io
+            stats.retries_429 + stats.retries_5xx + stats.retries_io + stats.retries_corrupt
         );
         assert!(
             stats.backoff_wait > Duration::ZERO,

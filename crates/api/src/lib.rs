@@ -13,9 +13,14 @@
 //! The integration tests (and the `crawl_api` example) demonstrate the key
 //! property: crawling the served snapshot reproduces it record-for-record.
 
+pub mod checkpoint;
 pub mod crawler;
 pub mod service;
 pub mod wire;
 
+pub use checkpoint::{CheckpointStore, Record, Replay, UserRecord};
 pub use crawler::{CrawlProgress, CrawlStats, Crawler, CrawlerConfig};
-pub use service::{serve, serve_observed, serve_service, serve_service_observed, ApiService, RateLimit};
+pub use service::{
+    serve, serve_observed, serve_service, serve_service_faulty, serve_service_observed,
+    ApiService, RateLimit,
+};

@@ -343,9 +343,22 @@ pub fn serve_service_observed(
     workers: usize,
     registry: Option<Arc<steam_obs::Registry>>,
 ) -> Result<(HttpServer, Arc<ApiService>), NetError> {
+    serve_service_faulty(service, addr, workers, registry, None)
+}
+
+/// [`serve_service_observed`] with an optional fault injector: the server
+/// then misbehaves per the injector's seeded plan (drop connections, inject
+/// 5xx, truncate/corrupt bodies, stall) — see `steam_net::fault`.
+pub fn serve_service_faulty(
+    service: ApiService,
+    addr: &str,
+    workers: usize,
+    registry: Option<Arc<steam_obs::Registry>>,
+    faults: Option<Arc<steam_net::FaultInjector>>,
+) -> Result<(HttpServer, Arc<ApiService>), NetError> {
     let service = Arc::new(service);
     let handler: Arc<dyn Handler> = Arc::clone(&service) as Arc<dyn Handler>;
-    let server = HttpServer::bind_observed(addr, workers, handler, registry)?;
+    let server = HttpServer::bind_faulty(addr, workers, handler, registry, faults)?;
     Ok((server, service))
 }
 

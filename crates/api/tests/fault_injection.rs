@@ -103,6 +103,64 @@ fn crawl_survives_heavy_fault_rate() {
 }
 
 #[test]
+fn crawl_survives_seeded_fault_plan() {
+    // The real fault injector (steam-cli serve --faults ...): every fault
+    // kind armed at once — dropped connections, 5xx, truncated and
+    // corrupted bodies, stalls. With a sane retry budget the crawl is
+    // still lossless, and the retry causes show up where expected.
+    use steam_net::{FaultInjector, FaultPlan};
+
+    let original = tiny_snapshot(303);
+    let plan = FaultPlan::parse(
+        "drop=0.03,500=0.02,503=0.02,truncate=0.03,corrupt=0.04,stall=0.02;stall-ms=2",
+        777,
+    )
+    .unwrap();
+    let registry = Arc::new(steam_obs::Registry::new());
+    let injector = Arc::new(FaultInjector::new(plan, Some(&registry)));
+    let (server, _service) = steam_api::serve_service_faulty(
+        ApiService::new(Arc::clone(&original), RateLimit::default()),
+        "127.0.0.1:0",
+        2,
+        Some(Arc::clone(&registry)),
+        Some(Arc::clone(&injector)),
+    )
+    .unwrap();
+    let config = CrawlerConfig {
+        empty_batches_to_stop: 2,
+        backoff: Backoff {
+            base: std::time::Duration::from_millis(2),
+            max: std::time::Duration::from_millis(50),
+            attempts: 12,
+        },
+        workers: 2,
+        ..CrawlerConfig::default()
+    };
+    let mut crawler = Crawler::with_registry(server.addr(), config, Arc::clone(&registry));
+    let crawled = crawler.crawl(original.collected_at).expect("crawl survives the fault plan");
+    assert_eq!(crawled.n_users(), original.n_users());
+    assert_eq!(crawled.friendships, original.friendships);
+    assert_eq!(crawled.ownerships, original.ownerships);
+    assert_eq!(crawled.catalog, original.catalog);
+    crawled.validate().unwrap();
+
+    let stats = crawler.stats();
+    assert!(injector.injected_total() > 0, "the plan injected nothing");
+    assert!(stats.retries_observed > 0);
+    assert!(
+        stats.retries_corrupt > 0,
+        "corrupt bodies must be retried as parse failures (stats: {stats:?})"
+    );
+    assert!(
+        stats.retries_io > 0,
+        "drops/truncations must be retried as io failures (stats: {stats:?})"
+    );
+    // The injector's metrics land in the shared registry.
+    let text = registry.render_prometheus();
+    assert!(text.contains("crawl_faults_injected_total"));
+}
+
+#[test]
 fn permanent_failures_are_reported_not_hidden() {
     // A handler that 404s everything: the crawler must fail fast with a
     // status error, not retry forever or fabricate data.

@@ -5,7 +5,9 @@
 //! steam-cli generate --scale small|medium|large --seed 42 --out snap.bin
 //!                    [--second-out snap2.bin] [--panel-out panel.bin]
 //! steam-cli serve    --snapshot snap.bin --addr 127.0.0.1:8571 [--rps 5000]
+//!                    [--faults SPEC --fault-seed N]
 //! steam-cli crawl    --addr 127.0.0.1:8571 --out crawled.bin [--rps 1000]
+//!                    [--checkpoint-dir DIR [--resume]]
 //! steam-cli report   --snapshot snap.bin [--second snap2.bin]
 //!                    [--panel panel.bin] [--experiment table3|figure6|...|all]
 //!                    [--jobs N] [--timings]
@@ -27,7 +29,8 @@ use steam_analysis::{
     render_experiments_timed, render_full_report, render_full_report_timed, render_with_jobs,
     Ctx, Experiment, ReportInput,
 };
-use steam_api::{serve_observed, Crawler, CrawlerConfig, RateLimit};
+use steam_api::{serve_service_faulty, ApiService, Crawler, CrawlerConfig, RateLimit};
+use steam_net::{FaultInjector, FaultPlan};
 use steam_model::codec;
 use steam_obs::Registry;
 use steam_synth::{Generator, SynthConfig};
@@ -82,6 +85,12 @@ COMMANDS
              --snapshot PATH   snapshot to serve (default snapshot.bin)
              --addr HOST:PORT  bind address (default 127.0.0.1:8571)
              --rps N           per-key rate limit (default 100000)
+             --faults SPEC     deterministic fault injection, e.g.
+                               'drop=0.02,500=0.01' or with a path scope
+                               '/community:corrupt=0.05;stall-ms=40'
+                               (kinds: drop, 500, 503, truncate, corrupt,
+                               stall; /metrics and /healthz never fault)
+             --fault-seed N    fault plan RNG seed (default 2016)
              Also serves GET /metrics (Prometheus text exposition with
              per-endpoint request counts and latency histograms) and
              GET /healthz (liveness; both bypass the rate limit)
@@ -90,6 +99,8 @@ COMMANDS
              --out PATH        output snapshot (default crawled.bin)
              --rps N           self-throttle requests/sec (default none)
              --workers N       phase-2 worker threads (default 4)
+             --checkpoint-dir DIR  journal completed work for crash recovery
+             --resume          replay DIR's journal and fetch only the rest
   report     Render the paper's tables and figures from a snapshot
              --snapshot PATH   snapshot (default snapshot.bin)
              --second PATH     second snapshot (enables Table 4 2nd rows, §8)
@@ -176,12 +187,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         Arc::new(codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?);
     eprintln!("serving {} users from {path}", snapshot.n_users());
     let registry = Arc::new(Registry::new());
-    let (server, _service) = serve_observed(
-        snapshot,
+    let faults = match args.get("faults") {
+        Some(spec) => {
+            let seed = args.get_parse("fault-seed", 2016u64)?;
+            let plan = FaultPlan::parse(spec, seed).map_err(|e| e.to_string())?;
+            eprintln!("fault injection armed: {spec} (seed {seed})");
+            Some(Arc::new(FaultInjector::new(plan, Some(&registry))))
+        }
+        None => None,
+    };
+    let (server, _service) = serve_service_faulty(
+        ApiService::new(
+            snapshot,
+            RateLimit { per_key_rps: rps, burst: (rps / 10.0).max(10.0) },
+        ),
         addr,
         8,
-        RateLimit { per_key_rps: rps, burst: (rps / 10.0).max(10.0) },
-        registry,
+        Some(registry),
+        faults,
     )
     .map_err(|e| e.to_string())?;
     eprintln!("listening on http://{} (ctrl-c to stop)", server.addr());
@@ -204,6 +227,12 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
             Some(rps.parse().map_err(|_| format!("bad --rps {rps:?}"))?);
     }
     config.workers = args.get_parse("workers", 4usize)?;
+    config.checkpoint_dir = args.get("checkpoint-dir").map(std::path::PathBuf::from);
+    config.resume = args.has("resume");
+    if config.resume && config.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    let resuming = config.resume;
     let mut crawler = Crawler::new(addr, config);
     eprintln!("crawling {addr}...");
     let started = std::time::Instant::now();
@@ -248,13 +277,20 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         stats.users_harvested, stats.groups_fetched, stats.apps_fetched
     );
     eprintln!(
-        "  retries: {} (429: {}, 5xx: {}, io: {}), reconnects: {}",
+        "  retries: {} (429: {}, 5xx: {}, io: {}, corrupt: {}), reconnects: {}",
         stats.retries_observed,
         stats.retries_429,
         stats.retries_5xx,
         stats.retries_io,
+        stats.retries_corrupt,
         stats.reconnects
     );
+    if stats.checkpoint_records > 0 || resuming {
+        eprintln!(
+            "  checkpoint: {} records journaled, {} units skipped on resume",
+            stats.checkpoint_records, stats.resume_skipped
+        );
+    }
     eprintln!(
         "  waited: {:.1?} throttled, {:.1?} backing off",
         stats.throttle_wait, stats.backoff_wait

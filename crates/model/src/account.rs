@@ -31,7 +31,7 @@ impl Visibility {
 }
 
 /// A Steam user account as visible through `GetPlayerSummaries`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Account {
     pub id: SteamId,
     /// Account creation time (drives the ID-space ordering and Figure 1).

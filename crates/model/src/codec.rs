@@ -1,9 +1,17 @@
-//! Compact binary codec for snapshots.
+//! Compact binary codec for snapshots, plus the checkpoint segment codec.
 //!
 //! The paper's dataset is hundreds of millions of records; persisting and
 //! reloading snapshots must not dominate experiment time. This module defines
 //! a simple length-prefixed, varint-based format (no self-description, no
 //! compression) with a magic header and version byte.
+//!
+//! Beyond the snapshot format, the module provides the building blocks the
+//! crawler's checkpoint journal is made of (see `steam-api`'s `checkpoint`
+//! module): [`write_atomic`] (sibling temp file + fsync + rename, so a crash
+//! can never leave a half-written file under the target name) and a segment
+//! codec — append-only files of length-prefixed records, each guarded by a
+//! [FNV-1a checksum](checksum32), decoded tolerantly so a torn tail loses
+//! only the damaged records, never the segment.
 //!
 //! Layout (all integers varint-encoded unless noted):
 //!
@@ -40,8 +48,12 @@ fn err(msg: impl Into<String>) -> ModelError {
 }
 
 // --- varint primitives ----------------------------------------------------
+//
+// Public: the crawler's checkpoint journal encodes its records with the same
+// primitives the snapshot format uses, so both stay in one place.
 
-fn put_varu64(buf: &mut BytesMut, mut v: u64) {
+/// Appends a LEB128-style varint.
+pub fn put_varu64(buf: &mut BytesMut, mut v: u64) {
     while v >= 0x80 {
         buf.put_u8((v as u8 & 0x7f) | 0x80);
         v >>= 7;
@@ -49,7 +61,8 @@ fn put_varu64(buf: &mut BytesMut, mut v: u64) {
     buf.put_u8(v as u8);
 }
 
-fn get_varu64(buf: &mut Bytes) -> Result<u64, ModelError> {
+/// Reads a varint written by [`put_varu64`].
+pub fn get_varu64(buf: &mut Bytes) -> Result<u64, ModelError> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
@@ -76,20 +89,24 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_vari64(buf: &mut BytesMut, v: i64) {
+/// Appends a zigzag-encoded signed varint.
+pub fn put_vari64(buf: &mut BytesMut, v: i64) {
     put_varu64(buf, zigzag(v));
 }
 
-fn get_vari64(buf: &mut Bytes) -> Result<i64, ModelError> {
+/// Reads a signed varint written by [`put_vari64`].
+pub fn get_vari64(buf: &mut Bytes) -> Result<i64, ModelError> {
     Ok(unzigzag(get_varu64(buf)?))
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
     put_varu64(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, ModelError> {
+/// Reads a string written by [`put_str`].
+pub fn get_str(buf: &mut Bytes) -> Result<String, ModelError> {
     let len = get_varu64(buf)? as usize;
     if buf.remaining() < len {
         return Err(err("truncated string"));
@@ -110,7 +127,8 @@ fn get_len(buf: &mut Bytes, per_item_min: usize, what: &str) -> Result<usize, Mo
 
 // --- entity encoders --------------------------------------------------------
 
-fn put_account(buf: &mut BytesMut, a: &Account) {
+/// Appends one account record (the same encoding the snapshot body uses).
+pub fn put_account(buf: &mut BytesMut, a: &Account) {
     put_varu64(buf, a.id.index());
     put_vari64(buf, a.created_at.unix());
     buf.put_u8(a.visibility.tag());
@@ -126,7 +144,8 @@ fn put_account(buf: &mut BytesMut, a: &Account) {
     buf.put_u8(u8::from(a.facebook_linked));
 }
 
-fn get_account(buf: &mut Bytes) -> Result<Account, ModelError> {
+/// Reads an account written by [`put_account`].
+pub fn get_account(buf: &mut Bytes) -> Result<Account, ModelError> {
     let id = SteamId::from_index(get_varu64(buf)?);
     let created_at = SimTime::from_unix(get_vari64(buf)?);
     if !buf.has_remaining() {
@@ -155,7 +174,8 @@ fn get_account(buf: &mut Bytes) -> Result<Account, ModelError> {
     Ok(Account { id, created_at, visibility, country, city, level, facebook_linked })
 }
 
-fn put_game(buf: &mut BytesMut, g: &Game) {
+/// Appends one catalog entry (the same encoding the snapshot body uses).
+pub fn put_game(buf: &mut BytesMut, g: &Game) {
     put_varu64(buf, u64::from(g.app_id.0));
     put_str(buf, &g.name);
     buf.put_u8(g.app_type.tag());
@@ -177,7 +197,8 @@ fn put_game(buf: &mut BytesMut, g: &Game) {
     }
 }
 
-fn get_game(buf: &mut Bytes) -> Result<Game, ModelError> {
+/// Reads a catalog entry written by [`put_game`].
+pub fn get_game(buf: &mut Bytes) -> Result<Game, ModelError> {
     let app_id = AppId(u32::try_from(get_varu64(buf)?).map_err(|_| err("app id overflow"))?);
     let name = get_str(buf)?;
     if !buf.has_remaining() {
@@ -226,6 +247,126 @@ fn get_game(buf: &mut Bytes) -> Result<Game, ModelError> {
     })
 }
 
+/// Appends one group record (the same encoding the snapshot body uses).
+pub fn put_group(buf: &mut BytesMut, g: &Group) {
+    put_varu64(buf, u64::from(g.id.0));
+    buf.put_u8(g.kind.tag());
+    put_str(buf, &g.name);
+}
+
+/// Reads a group written by [`put_group`].
+pub fn get_group(buf: &mut Bytes) -> Result<Group, ModelError> {
+    let id = GroupId(u32::try_from(get_varu64(buf)?).map_err(|_| err("group id"))?);
+    if !buf.has_remaining() {
+        return Err(err("truncated group"));
+    }
+    let kind = GroupKind::from_tag(buf.get_u8()).ok_or_else(|| err("bad group kind"))?;
+    let name = get_str(buf)?;
+    Ok(Group { id, kind, name })
+}
+
+// --- checkpoint segments ----------------------------------------------------
+//
+// A segment is an append-only file of length-prefixed records, each guarded by
+// a checksum. The crawler's checkpoint journal is a directory of these;
+// every flush rewrites one bounded segment atomically, so the failure mode of
+// a crash is losing at most the unflushed tail, never corrupting history.
+
+/// Magic prefix of a checkpoint segment file.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"CSEG";
+/// Version byte following [`SEGMENT_MAGIC`].
+pub const SEGMENT_VERSION: u8 = 1;
+
+/// 32-bit FNV-1a, used as the per-record checksum in checkpoint segments.
+/// Not cryptographic: it guards against torn writes and bit rot, not malice.
+pub fn checksum32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Starts a new, empty segment buffer (magic + version header).
+pub fn new_segment() -> BytesMut {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_slice(SEGMENT_MAGIC);
+    buf.put_u8(SEGMENT_VERSION);
+    buf
+}
+
+/// Appends one record to a segment: varint payload length, `u32` LE FNV-1a
+/// checksum of the payload, then the payload bytes.
+pub fn append_record(seg: &mut BytesMut, payload: &[u8]) {
+    put_varu64(seg, payload.len() as u64);
+    seg.put_u32_le(checksum32(payload));
+    seg.put_slice(payload);
+}
+
+/// Decodes a segment into its record payloads.
+///
+/// Returns the records that decode cleanly plus a flag that is `true` when
+/// the whole segment was consumed without damage. A truncated or corrupt tail
+/// stops the scan at the last good record instead of failing the segment —
+/// crash recovery must salvage everything before the tear. A bad header is a
+/// hard error: nothing in the file can be trusted.
+pub fn decode_segment(mut seg: Bytes) -> Result<(Vec<Bytes>, bool), ModelError> {
+    if seg.remaining() < 5 || &seg.split_to(4)[..] != SEGMENT_MAGIC {
+        return Err(err("bad segment magic"));
+    }
+    let version = seg.get_u8();
+    if version != SEGMENT_VERSION {
+        return Err(err(format!("unsupported segment version {version}")));
+    }
+    let mut records = Vec::new();
+    while seg.has_remaining() {
+        // Probe on a clone: a torn record must not consume bytes from `seg`
+        // before we know it is whole.
+        let mut probe = seg.clone();
+        let Ok(len) = get_varu64(&mut probe) else { return Ok((records, false)) };
+        let Ok(len) = usize::try_from(len) else { return Ok((records, false)) };
+        if probe.remaining() < 4 + len {
+            return Ok((records, false));
+        }
+        let sum = probe.get_u32_le();
+        let payload = probe.split_to(len);
+        if checksum32(&payload) != sum {
+            return Ok((records, false));
+        }
+        records.push(payload);
+        seg = probe;
+    }
+    Ok((records, true))
+}
+
+/// Writes `bytes` to `path` atomically: sibling temp file, fsync, rename.
+///
+/// A crash at any point leaves either the old file (or no file) or the
+/// complete new one under `path` — never a truncated hybrid. The parent
+/// directory is fsynced best-effort so the rename itself is durable.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), ModelError> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all().ok();
+        }
+    }
+    Ok(())
+}
+
 // --- snapshot ---------------------------------------------------------------
 
 /// Serializes a snapshot into a byte buffer.
@@ -266,9 +407,7 @@ pub fn encode_snapshot(s: &Snapshot) -> Bytes {
 
     put_varu64(&mut buf, s.groups.len() as u64);
     for g in &s.groups {
-        put_varu64(&mut buf, u64::from(g.id.0));
-        buf.put_u8(g.kind.tag());
-        put_str(&mut buf, &g.name);
+        put_group(&mut buf, g);
     }
 
     for ms in &s.memberships {
@@ -337,13 +476,7 @@ pub fn decode_snapshot(mut buf: Bytes) -> Result<Snapshot, ModelError> {
     let n_groups = get_len(&mut buf, 3, "group")?;
     let mut groups = Vec::with_capacity(n_groups);
     for _ in 0..n_groups {
-        let id = GroupId(u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("group id"))?);
-        if !buf.has_remaining() {
-            return Err(err("truncated group"));
-        }
-        let kind = GroupKind::from_tag(buf.get_u8()).ok_or_else(|| err("bad group kind"))?;
-        let name = get_str(&mut buf)?;
-        groups.push(Group { id, kind, name });
+        groups.push(get_group(&mut buf)?);
     }
 
     let mut memberships = Vec::with_capacity(n_accounts);
@@ -413,10 +546,10 @@ pub fn decode_panel(mut buf: Bytes) -> Result<WeekPanel, ModelError> {
     Ok(panel)
 }
 
-/// Writes a snapshot to a file.
+/// Writes a snapshot to a file atomically (temp + fsync + rename), so a
+/// crash mid-write can never leave a truncated snapshot under `path`.
 pub fn write_snapshot(path: &std::path::Path, s: &Snapshot) -> Result<(), ModelError> {
-    std::fs::write(path, encode_snapshot(s))?;
-    Ok(())
+    write_atomic(path, &encode_snapshot(s))
 }
 
 /// Reads a snapshot from a file.
@@ -557,6 +690,90 @@ mod tests {
         for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
             assert_eq!(get_vari64(&mut b).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn segment_round_trips() {
+        let mut seg = new_segment();
+        let payloads: Vec<&[u8]> = vec![b"", b"a", b"hello world", &[0xff; 300]];
+        for p in &payloads {
+            append_record(&mut seg, p);
+        }
+        let (records, clean) = decode_segment(seg.freeze()).unwrap();
+        assert!(clean);
+        assert_eq!(records.len(), payloads.len());
+        for (r, p) in records.iter().zip(&payloads) {
+            assert_eq!(&r[..], *p);
+        }
+    }
+
+    #[test]
+    fn empty_segment_is_clean() {
+        let (records, clean) = decode_segment(new_segment().freeze()).unwrap();
+        assert!(clean);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn segment_rejects_bad_header() {
+        assert!(decode_segment(Bytes::from_static(b"NOPE\x01")).is_err());
+        assert!(decode_segment(Bytes::from_static(b"CSE")).is_err());
+        let mut seg = BytesMut::new();
+        seg.put_slice(SEGMENT_MAGIC);
+        seg.put_u8(99);
+        assert!(decode_segment(seg.freeze()).is_err());
+    }
+
+    #[test]
+    fn truncated_tail_salvages_whole_records() {
+        let mut seg = new_segment();
+        append_record(&mut seg, b"first");
+        append_record(&mut seg, b"second");
+        let full = seg.freeze();
+        // Chopping anywhere inside the second record must still yield the
+        // first, flagged unclean; never a panic or a hard error.
+        let second_start = 5 + 1 + 4 + 5; // header + len + sum + "first"
+        for cut in second_start + 1..full.len() {
+            let (records, clean) = decode_segment(full.slice(..cut)).unwrap();
+            assert_eq!(records.len(), 1, "cut at {cut}");
+            assert_eq!(&records[0][..], b"first");
+            assert!(!clean, "cut at {cut}");
+        }
+        let (records, clean) = decode_segment(full.clone()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(clean);
+    }
+
+    #[test]
+    fn checksum_mismatch_stops_decode() {
+        let mut seg = new_segment();
+        append_record(&mut seg, b"good");
+        let flip_at = seg.len() - 1; // last payload byte of "good"
+        append_record(&mut seg, b"tail");
+        let mut raw = seg.freeze().to_vec();
+        raw[flip_at] ^= 0x40;
+        let (records, clean) = decode_segment(Bytes::from(raw)).unwrap();
+        // The corrupted record and everything after it are dropped.
+        assert!(records.is_empty());
+        assert!(!clean);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("steam-codec-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        write_atomic(&path, b"one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

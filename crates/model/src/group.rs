@@ -87,7 +87,7 @@ impl fmt::Display for GroupKind {
 }
 
 /// A Steam community group.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Group {
     pub id: GroupId,
     pub kind: GroupKind,

@@ -122,6 +122,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -173,8 +174,15 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, NetEr
 
 /// Reads one response from a buffered stream.
 pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
-    let line = read_line_bounded(reader)?
-        .ok_or_else(|| NetError::Http("connection closed before status line".into()))?;
+    // EOF before the status line is an I/O-level event (peer hung up), not a
+    // protocol violation: it must classify as transient so retry policies
+    // treat a dropped connection like any other connection failure.
+    let line = read_line_bounded(reader)?.ok_or_else(|| {
+        NetError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ))
+    })?;
     let line = line.trim_end();
     let mut parts = line.splitn(3, ' ');
     let version = parts.next().unwrap_or("");
@@ -257,6 +265,21 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), NetErr
     }
     write!(w, "Content-Length: {}\r\n\r\n", resp.body.len())?;
     w.write_all(&resp.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a response whose `Content-Length` promises the full body but whose
+/// wire carries only the first half — the fault injector's `truncate` mode.
+/// The caller must close the connection afterwards; the peer sees an
+/// unexpected EOF mid-body, exactly like a connection torn down mid-transfer.
+pub fn write_response_truncated<W: Write>(w: &mut W, resp: &Response) -> Result<(), NetError> {
+    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status))?;
+    for (k, v) in &resp.headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", resp.body.len())?;
+    w.write_all(&resp.body[..resp.body.len() / 2])?;
     w.flush()?;
     Ok(())
 }
@@ -416,6 +439,18 @@ mod tests {
         let wire: &[u8] = b"HTTP/1.1 \xc3\x28 OK\r\n\r\n";
         let mut reader = BufReader::new(wire);
         assert!(matches!(read_response(&mut reader), Err(NetError::Http(_))));
+    }
+
+    #[test]
+    fn truncated_write_promises_more_than_it_sends() {
+        let resp = Response::json("{\"ok\":true}".into());
+        let mut wire = Vec::new();
+        write_response_truncated(&mut wire, &resp).unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.contains(&format!("Content-Length: {}", resp.body.len())), "{text}");
+        // Reading it back hits EOF mid-body: an Io error, never a short body.
+        let mut reader = BufReader::new(&wire[..]);
+        assert!(matches!(read_response(&mut reader), Err(NetError::Io(_))));
     }
 
     #[test]

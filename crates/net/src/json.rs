@@ -353,10 +353,15 @@ impl<'a> Parser<'a> {
                 }
                 Some(b) if b < 0x20 => return Err(self.err("control character in string")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar.
+                    // Copy one UTF-8 scalar. `peek()` saw a byte, so `rest`
+                    // cannot be empty — but fault-injected input is exactly
+                    // where "cannot" goes to die, so fail instead of unwrap.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unexpected end of input"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -488,6 +493,46 @@ mod tests {
         assert!(Json::parse(&deep).is_err());
         let ok = "[".repeat(50) + &"]".repeat(50);
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn truncated_input_never_panics() {
+        // Every prefix of a document exercising the whole grammar — objects,
+        // arrays, escapes, surrogate pairs, numbers, literals — must return
+        // an error (or, for a degenerate prefix like a bare number, parse),
+        // never panic. This is what the fault injector's truncate mode feeds
+        // the client.
+        let doc = r#"{"a":[1,-2.5e3,true,false,null],"s":"q\"\\\n\u0041\ud83d\ude00é","n":{"deep":[{}]}}"#;
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = Json::parse(&doc[..cut]);
+        }
+    }
+
+    #[test]
+    fn corrupted_input_never_panics() {
+        // Single-byte garbles at every position (the corrupt fault garbles
+        // bytes): any outcome is fine as long as the parser returns.
+        let doc = r#"{"friends":[{"steamid":"765","since":1234}],"ok":true}"#;
+        for i in 0..doc.len() {
+            let mut garbled = doc.as_bytes().to_vec();
+            for replacement in [b'#', b'"', b'\\', b'{', 0x00, 0xff] {
+                garbled[i] = replacement;
+                let _ = Json::parse(&String::from_utf8_lossy(&garbled));
+            }
+        }
+    }
+
+    #[test]
+    fn unterminated_escapes_error_not_panic() {
+        for bad in [
+            "\"\\", "\"\\u", "\"\\u00", "\"\\ud83d", "\"\\ud83d\\", "\"\\ud83d\\u",
+            "\"\\ud83d\\u00", "\"abc\\", "\"\\x\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

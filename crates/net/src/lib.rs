@@ -11,11 +11,14 @@
 //! * [`client`] — a blocking keep-alive client;
 //! * [`ratelimit`] — token buckets (the API's quota and the crawler's
 //!   85%-of-quota self-throttle from §3.1);
-//! * [`backoff`] — retry with exponential backoff.
+//! * [`backoff`] — retry with exponential backoff;
+//! * [`fault`] — deterministic, seeded fault injection for the server
+//!   (dropped connections, 5xx, truncated/corrupted bodies, stalls).
 
 pub mod backoff;
 pub mod client;
 pub mod error;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod ratelimit;
@@ -25,6 +28,7 @@ pub mod url;
 pub use backoff::{transient, Backoff};
 pub use client::HttpClient;
 pub use error::NetError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
 pub use http::{Request, Response};
 pub use json::Json;
 pub use ratelimit::TokenBucket;

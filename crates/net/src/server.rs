@@ -29,7 +29,8 @@ use parking_lot::Mutex;
 use steam_obs::{obs_trace, Counter, Gauge, Histogram, Registry};
 
 use crate::error::NetError;
-use crate::http::{read_request, write_response, Request, Response};
+use crate::fault::{FaultInjector, FaultKind};
+use crate::http::{read_request, write_response, write_response_truncated, Request, Response};
 
 /// A request handler. Must be cheap to share across worker threads.
 pub trait Handler: Send + Sync + 'static {
@@ -158,6 +159,21 @@ impl HttpServer {
         handler: Arc<dyn Handler>,
         registry: Option<Arc<Registry>>,
     ) -> Result<Self, NetError> {
+        Self::bind_faulty(addr, n_workers, handler, registry, None)
+    }
+
+    /// Like [`bind_observed`](Self::bind_observed), with an optional
+    /// [`FaultInjector`] that decides, per request, whether to misbehave
+    /// (drop the connection, inject 5xx, truncate or corrupt the body,
+    /// stall). Operational endpoints (`/metrics`, `/healthz`) are never
+    /// faulted — observability must stay trustworthy during fault drills.
+    pub fn bind_faulty(
+        addr: &str,
+        n_workers: usize,
+        handler: Arc<dyn Handler>,
+        registry: Option<Arc<Registry>>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, NetError> {
         assert!(n_workers > 0);
         let obs = registry.map(|r| Arc::new(ServerObs::new(r)));
         let listener = TcpListener::bind(addr)?;
@@ -175,6 +191,7 @@ impl HttpServer {
             let conns = Arc::clone(&conns);
             let next_conn_id = Arc::clone(&next_conn_id);
             let obs = obs.clone();
+            let faults = faults.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("http-worker-{i}"))
@@ -192,7 +209,13 @@ impl HttpServer {
                             }
                             // Individual connection failures must not kill
                             // the worker.
-                            let _ = serve_connection(stream, &*handler, &stop, obs.as_deref());
+                            let _ = serve_connection(
+                                stream,
+                                &*handler,
+                                &stop,
+                                obs.as_deref(),
+                                faults.as_deref(),
+                            );
                             conns.lock().remove(&id);
                         }
                     })
@@ -276,6 +299,7 @@ fn serve_connection(
     handler: &dyn Handler,
     stop: &AtomicBool,
     obs: Option<&ServerObs>,
+    faults: Option<&FaultInjector>,
 ) -> Result<(), NetError> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -298,6 +322,55 @@ fn serve_connection(
             }
         };
         let keep_alive = req.keep_alive();
+        // Fault injection, ahead of the handler but never for operational
+        // endpoints: a fault drill must not blind the metrics watching it.
+        let operational =
+            req.method == "GET" && (req.path == "/metrics" || req.path == "/healthz");
+        if let Some(inj) = faults.filter(|_| !operational) {
+            match inj.decide(&req.path) {
+                None => {}
+                // Stall injects latency, then the request proceeds normally.
+                Some(FaultKind::Stall) => std::thread::sleep(inj.stall_duration()),
+                Some(FaultKind::Drop) => return Ok(()),
+                Some(k @ (FaultKind::Status500 | FaultKind::Status503)) => {
+                    let status = if k == FaultKind::Status500 { 500 } else { 503 };
+                    if let Some(obs) = obs {
+                        let endpoint = normalize_endpoint(&req.path);
+                        cache.record(obs, &req.method, &endpoint, status, Duration::ZERO);
+                    }
+                    write_response(&mut writer, &Response::error(status, "injected fault"))?;
+                    if !keep_alive {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Some(k @ (FaultKind::Truncate | FaultKind::Corrupt)) => {
+                    // Compute the real response, then damage it on the wire.
+                    let endpoint = normalize_endpoint(&req.path);
+                    let method = req.method.clone();
+                    let start = Instant::now();
+                    let mut resp = handler.handle(req);
+                    if let Some(obs) = obs {
+                        cache.record(obs, &method, &endpoint, resp.status, start.elapsed());
+                    }
+                    if k == FaultKind::Corrupt {
+                        match resp.body.first_mut() {
+                            Some(b) => *b = b'#',
+                            None => resp.body.push(b'#'),
+                        }
+                        write_response(&mut writer, &resp)?;
+                        if !keep_alive {
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    write_response_truncated(&mut writer, &resp)?;
+                    // The declared Content-Length was not honored; the only
+                    // coherent next step is closing the connection.
+                    return Ok(());
+                }
+            }
+        }
         let resp = match obs {
             None => handler.handle(req),
             Some(obs) => {
@@ -453,6 +526,78 @@ mod tests {
         // /metrics and /healthz must not instrument themselves.
         assert!(!body.contains("endpoint=\"/metrics\""));
         assert!(!body.contains("endpoint=\"/healthz\""));
+    }
+
+    fn faulty_server(spec: &str) -> HttpServer {
+        let handler: Arc<dyn Handler> = Arc::new(|req: Request| {
+            Response::json(format!("{{\"path\":\"{}\"}}", req.path))
+        });
+        let inj = Arc::new(FaultInjector::new(crate::FaultPlan::parse(spec, 11).unwrap(), None));
+        HttpServer::bind_faulty("127.0.0.1:0", 2, handler, None, Some(inj)).unwrap()
+    }
+
+    #[test]
+    fn injected_500_and_503_are_served() {
+        let server = faulty_server("500=1.0");
+        let resp = raw_get(server.addr(), "/x", true);
+        assert_eq!(resp.status, 500);
+        let server = faulty_server("503=1.0");
+        let resp = raw_get(server.addr(), "/x", true);
+        assert_eq!(resp.status, 503);
+    }
+
+    #[test]
+    fn injected_drop_closes_without_response() {
+        let server = faulty_server("drop=1.0");
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        crate::http::write_request(&mut writer, &Request::get("/x")).unwrap();
+        let mut reader = BufReader::new(stream);
+        assert!(crate::http::read_response(&mut reader).is_err());
+    }
+
+    #[test]
+    fn injected_corrupt_garbles_body() {
+        let server = faulty_server("corrupt=1.0");
+        let resp = raw_get(server.addr(), "/x", true);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.starts_with(b"#"), "{:?}", resp.body_text());
+        assert!(crate::Json::parse(&resp.body_text()).is_err());
+    }
+
+    #[test]
+    fn injected_truncate_breaks_the_read() {
+        let server = faulty_server("truncate=1.0");
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        crate::http::write_request(&mut writer, &Request::get("/x")).unwrap();
+        let mut reader = BufReader::new(stream);
+        assert!(matches!(
+            crate::http::read_response(&mut reader),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn operational_endpoints_are_never_faulted() {
+        let registry = Arc::new(Registry::new());
+        let handler: Arc<dyn Handler> = Arc::new(|_req: Request| Response::json("{}".into()));
+        let inj = Arc::new(FaultInjector::new(
+            crate::FaultPlan::parse("drop=1.0", 1).unwrap(),
+            Some(&registry),
+        ));
+        let server = HttpServer::bind_faulty(
+            "127.0.0.1:0",
+            2,
+            handler,
+            Some(Arc::clone(&registry)),
+            Some(inj),
+        )
+        .unwrap();
+        // App traffic is dropped, but /healthz and /metrics always answer.
+        assert_eq!(raw_get(server.addr(), "/healthz", true).body_text(), "ok\n");
+        let body = raw_get(server.addr(), "/metrics", true).body_text();
+        assert!(body.contains("crawl_faults_injected_total"), "{body}");
     }
 
     #[test]
