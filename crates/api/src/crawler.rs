@@ -34,6 +34,7 @@ use parking_lot::Mutex;
 use steam_model::{Friendship, Group, GroupId, Snapshot, SteamId};
 use steam_net::backoff::{transient, Backoff};
 use steam_net::client::HttpClient;
+use steam_net::pool::ConnectionPool;
 use steam_net::ratelimit::TokenBucket;
 use steam_net::NetError;
 use steam_obs::{Counter, Gauge, Histogram, Registry};
@@ -63,6 +64,12 @@ pub struct CrawlerConfig {
     /// Replay an existing journal in `checkpoint_dir` and skip the work it
     /// records, instead of starting fresh (which wipes the journal).
     pub resume: bool,
+    /// Size of the keep-alive connection pool shared by every fetcher
+    /// (phases 1–3 and all phase-2 workers): the whole crawl then runs over
+    /// at most this many sockets. `None` keeps one private connection per
+    /// fetcher. Size it to the phase-2 worker count — smaller starves
+    /// concurrent workers into opening throwaway connections.
+    pub pool_size: Option<usize>,
 }
 
 impl Default for CrawlerConfig {
@@ -75,6 +82,7 @@ impl Default for CrawlerConfig {
             workers: 1,
             checkpoint_dir: None,
             resume: false,
+            pool_size: None,
         }
     }
 }
@@ -135,6 +143,9 @@ pub struct CrawlProgress {
     phase_census: Arc<Histogram>,
     phase_harvest: Arc<Histogram>,
     phase_catalog: Arc<Histogram>,
+    /// Wall time per logical fetch (including retries and backoff) — the
+    /// latency distribution the crawl benchmark reports p50/p99 from.
+    request_latency: Arc<Histogram>,
 }
 
 impl CrawlProgress {
@@ -165,6 +176,10 @@ impl CrawlProgress {
         registry.describe("crawl_ids_scanned", "IDs covered by the census so far");
         registry.describe("crawl_profiles_found", "Valid accounts discovered so far");
         registry.describe("crawl_phase_duration_seconds", "Wall time per crawl phase");
+        registry.describe(
+            "crawl_request_duration_seconds",
+            "Wall time per logical fetch, including retries",
+        );
         CrawlProgress {
             requests: registry.counter("crawl_requests_total", &[]),
             retries_429: registry.counter("crawl_retries_total", &[("cause", "429")]),
@@ -188,7 +203,13 @@ impl CrawlProgress {
                 .histogram("crawl_phase_duration_seconds", &[("phase", "harvest")]),
             phase_catalog: registry
                 .histogram("crawl_phase_duration_seconds", &[("phase", "catalog")]),
+            request_latency: registry.histogram("crawl_request_duration_seconds", &[]),
         }
+    }
+
+    /// The per-fetch latency histogram (see the crawl benchmark).
+    pub fn request_latency(&self) -> &Histogram {
+        &self.request_latency
     }
 
     fn record_retry(&self, err: &NetError, delay: Duration) {
@@ -274,11 +295,13 @@ impl Fetcher {
         self.progress.requests.inc();
         let client = &mut self.client;
         let progress = &self.progress;
+        let start = std::time::Instant::now();
         let result = self.backoff.run_observed(
             || parse(&client.get(target)?.body_text()),
             |e| transient(e) || matches!(e, NetError::Json { .. }),
             |err, delay| progress.record_retry(err, delay),
         );
+        self.progress.request_latency.record_duration(start.elapsed());
         let reconnects = self.client.reconnects();
         if reconnects > self.synced_reconnects {
             self.progress.reconnects.add(reconnects - self.synced_reconnects);
@@ -296,6 +319,9 @@ pub struct Crawler {
     throttle: Arc<Option<TokenBucket>>,
     registry: Arc<Registry>,
     progress: CrawlProgress,
+    /// Shared keep-alive pool behind every fetcher (see
+    /// [`CrawlerConfig::pool_size`]); `None` means private connections.
+    pool: Option<Arc<ConnectionPool>>,
 }
 
 impl Crawler {
@@ -314,14 +340,27 @@ impl Crawler {
                 .map(|rps| TokenBucket::new(rps, (rps / 4.0).max(1.0))),
         );
         let progress = CrawlProgress::new(&registry);
+        let pool = config.pool_size.map(|n| ConnectionPool::shared(addr, n));
         let fetcher = Fetcher {
-            client: HttpClient::new(addr),
+            client: Self::make_client(addr, pool.as_ref()),
             backoff: config.backoff,
             throttle: Arc::clone(&throttle),
             progress: progress.clone(),
             synced_reconnects: 0,
         };
-        Crawler { addr, fetcher, config, throttle, registry, progress }
+        Crawler { addr, fetcher, config, throttle, registry, progress, pool }
+    }
+
+    fn make_client(addr: SocketAddr, pool: Option<&Arc<ConnectionPool>>) -> HttpClient {
+        match pool {
+            Some(pool) => HttpClient::with_pool(Arc::clone(pool)),
+            None => HttpClient::new(addr),
+        }
+    }
+
+    /// The shared connection pool, when one is configured.
+    pub fn pool(&self) -> Option<&Arc<ConnectionPool>> {
+        self.pool.as_ref()
     }
 
     pub fn stats(&self) -> CrawlStats {
@@ -340,7 +379,7 @@ impl Crawler {
 
     fn new_fetcher(&self) -> Fetcher {
         Fetcher {
-            client: HttpClient::new(self.addr),
+            client: Self::make_client(self.addr, self.pool.as_ref()),
             backoff: self.config.backoff,
             throttle: Arc::clone(&self.throttle),
             progress: self.progress.clone(),
@@ -834,6 +873,64 @@ mod tests {
         assert_eq!(sequential.memberships, parallel.memberships);
         assert_eq!(sequential.catalog, parallel.catalog);
         parallel.validate().unwrap();
+    }
+
+    #[test]
+    fn pooled_crawl_reuses_sockets_and_matches_unpooled_bytes() {
+        let original = {
+            let mut cfg = SynthConfig::small(97);
+            cfg.n_users = 250;
+            cfg.n_products = 100;
+            cfg.n_groups = 20;
+            Arc::new(Generator::new(cfg).generate())
+        };
+        const WORKERS: usize = 4;
+        let crawl_with = |pool_size: Option<usize>| {
+            // Fresh server per crawl so connection counts aren't conflated.
+            let registry = Arc::new(steam_obs::Registry::new());
+            let (server, _service) = crate::service::serve_observed(
+                Arc::clone(&original),
+                "127.0.0.1:0",
+                WORKERS + 1,
+                RateLimit::default(),
+                Arc::clone(&registry),
+            )
+            .unwrap();
+            let config = CrawlerConfig {
+                empty_batches_to_stop: 2,
+                workers: WORKERS,
+                pool_size,
+                ..CrawlerConfig::default()
+            };
+            let mut crawler = Crawler::new(server.addr(), config);
+            let crawled = crawler.crawl(original.collected_at).unwrap();
+            let connections =
+                registry.counter("http_connections_total", &[]).get();
+            (crawled, connections, crawler)
+        };
+
+        let (pooled, pooled_conns, crawler) = crawl_with(Some(WORKERS));
+        let (unpooled, unpooled_conns, _) = crawl_with(None);
+
+        // The reconstructed snapshot is byte-identical either way.
+        assert_eq!(
+            steam_model::codec::encode_snapshot(&pooled),
+            steam_model::codec::encode_snapshot(&unpooled),
+            "pooling must not change the crawled bytes"
+        );
+        // The whole pooled crawl fits in pool-size sockets; the unpooled one
+        // needs a socket per fetcher (main + workers).
+        assert!(
+            pooled_conns <= WORKERS as u64,
+            "pooled crawl opened {pooled_conns} server connections (pool is {WORKERS})"
+        );
+        assert!(
+            unpooled_conns > WORKERS as u64,
+            "unpooled crawl was expected to open a socket per fetcher, got {unpooled_conns}"
+        );
+        let pool = crawler.pool().expect("pooled crawl must expose its pool");
+        assert_eq!(pool.connects(), pooled_conns, "client and server disagree on sockets");
+        assert!(pool.reuses() > 0, "pooled crawl never reused a connection");
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! The integration tests (and the `crawl_api` example) demonstrate the key
 //! property: crawling the served snapshot reproduces it record-for-record.
 
+pub mod cache;
 pub mod checkpoint;
 pub mod crawler;
 pub mod service;
 pub mod wire;
 
+pub use cache::{CacheKey, WireCache};
 pub use checkpoint::{CheckpointStore, Record, Replay, UserRecord};
 pub use crawler::{CrawlProgress, CrawlStats, Crawler, CrawlerConfig};
 pub use service::{

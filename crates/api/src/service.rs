@@ -16,15 +16,16 @@
 //! | `/community/group/<gid>` | group-page scrape analog (name + kind) |
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
 use steam_model::{AppId, SimTime, Snapshot, SteamId, WeekPanel};
 use steam_net::http::{Request, Response};
-use steam_net::ratelimit::TokenBucket;
+use steam_net::ratelimit::KeyedLimiter;
 use steam_net::server::{Handler, HttpServer};
 use steam_net::NetError;
+use steam_obs::Gauge;
 
+use crate::cache::{CacheKey, WireCache};
 use crate::wire;
 
 /// Maximum Steam IDs accepted by the batch profile endpoint.
@@ -50,9 +51,15 @@ impl Default for RateLimit {
 /// The API service state. Wrap in [`Arc`] and serve with [`serve`].
 pub struct ApiService {
     snapshot: Arc<Snapshot>,
-    limits: RateLimit,
-    /// Lazily created per-key buckets.
-    buckets: Mutex<HashMap<String, Arc<TokenBucket>>>,
+    /// Sharded per-key token buckets, bounded with idle-key LRU eviction
+    /// (an adversary cycling random `key=` values can no longer grow the
+    /// map without bound).
+    limiter: KeyedLimiter,
+    /// Cached serialized response bodies — safe because the snapshot is
+    /// immutable; `None` only for baseline benchmarking (`--no-cache`).
+    cache: Option<WireCache>,
+    /// Live limiter-key gauge, bound when a metrics registry is attached.
+    limiter_keys: OnceLock<Arc<Gauge>>,
     /// index of account by steam id
     by_id: HashMap<SteamId, u32>,
     /// adjacency: per user, (friend index, since)
@@ -93,14 +100,42 @@ impl ApiService {
             .collect();
         ApiService {
             snapshot,
-            limits,
-            buckets: Mutex::new(HashMap::new()),
+            limiter: KeyedLimiter::new(limits.per_key_rps, limits.burst),
+            cache: Some(WireCache::new()),
+            limiter_keys: OnceLock::new(),
             by_id,
             adjacency,
             app_index,
             group_index,
             panel: None,
         }
+    }
+
+    /// Disables the wire-response cache (baseline measurements; the served
+    /// bytes are identical either way).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The wire-response cache, if enabled.
+    pub fn cache(&self) -> Option<&WireCache> {
+        self.cache.as_ref()
+    }
+
+    /// Live per-key rate-limit buckets (bounded — see [`KeyedLimiter`]).
+    pub fn rate_limiter_keys(&self) -> usize {
+        self.limiter.len()
+    }
+
+    /// Binds cache hit/miss counters and the `api_rate_limiter_keys` gauge
+    /// to `registry`. Called automatically by the `serve_*` helpers when a
+    /// registry is passed.
+    pub fn attach_registry(&self, registry: &steam_obs::Registry) {
+        if let Some(cache) = &self.cache {
+            cache.attach_registry(registry);
+        }
+        let _ = self.limiter_keys.set(registry.gauge("api_rate_limiter_keys", &[]));
     }
 
     /// Attaches a week panel; enables the `/reproduction/panel` endpoint.
@@ -121,13 +156,11 @@ impl ApiService {
     }
 
     fn check_rate(&self, req: &Request) -> Result<(), Response> {
-        let key = req.query_param("key").unwrap_or("anonymous").to_string();
-        let bucket = {
-            let mut buckets = self.buckets.lock();
-            Arc::clone(buckets.entry(key).or_insert_with(|| {
-                Arc::new(TokenBucket::new(self.limits.per_key_rps, self.limits.burst))
-            }))
-        };
+        let key = req.query_param("key").unwrap_or("anonymous");
+        let bucket = self.limiter.bucket(key);
+        if let Some(g) = self.limiter_keys.get() {
+            g.set(self.limiter.len() as i64);
+        }
         if bucket.try_acquire() {
             Ok(())
         } else {
@@ -137,6 +170,23 @@ impl ApiService {
             let secs = bucket.time_until_available().as_secs_f64().ceil().max(1.0) as u64;
             Err(Response::error(429, "rate limit exceeded")
                 .with_header("Retry-After", &secs.to_string()))
+        }
+    }
+
+    /// Serves `key` from the wire cache, building (and caching) the body on
+    /// a miss. With the cache disabled, just serializes. Only reached after
+    /// request validation, so error responses are never cached.
+    fn cached(&self, key: CacheKey, build: impl FnOnce() -> String) -> Response {
+        match &self.cache {
+            Some(cache) => {
+                if let Some(body) = cache.lookup(&key) {
+                    return Response::json_bytes(body.as_ref().clone());
+                }
+                let bytes = build().into_bytes();
+                cache.store(key, bytes.clone());
+                Response::json_bytes(bytes)
+            }
+            None => Response::json(build()),
         }
     }
 
@@ -160,6 +210,14 @@ impl ApiService {
             Some(raw) => raw,
             None => return Response::error(400, "missing steamids"),
         };
+        // Keyed by the raw id list: a hit skips parsing and lookup entirely,
+        // which is what makes repeated census sweeps nearly free.
+        let key = CacheKey::Summaries(raw.to_string());
+        if let Some(cache) = &self.cache {
+            if let Some(body) = cache.lookup(&key) {
+                return Response::json_bytes(body.as_ref().clone());
+            }
+        }
         let ids: Vec<&str> = raw.split(',').filter(|s| !s.is_empty()).collect();
         if ids.len() > MAX_BATCH_IDS {
             return Response::error(400, "too many steamids (max 100)");
@@ -176,7 +234,15 @@ impl ApiService {
                 found.push(&self.snapshot.accounts[idx as usize]);
             }
         }
-        Response::json(wire::player_summaries_response(&found).to_text())
+        let text = wire::player_summaries_response(&found).to_text();
+        match &self.cache {
+            Some(cache) => {
+                let bytes = text.into_bytes();
+                cache.store(key, bytes.clone());
+                Response::json_bytes(bytes)
+            }
+            None => Response::json(text),
+        }
     }
 
     fn get_friend_list(&self, req: &Request) -> Response {
@@ -184,11 +250,13 @@ impl ApiService {
             Ok(i) => i,
             Err(resp) => return resp,
         };
-        let friends: Vec<(SteamId, SimTime)> = self.adjacency[idx as usize]
-            .iter()
-            .map(|&(v, since)| (self.snapshot.accounts[v as usize].id, since))
-            .collect();
-        Response::json(wire::friend_list_response(&friends).to_text())
+        self.cached(CacheKey::Friends(idx), || {
+            let friends: Vec<(SteamId, SimTime)> = self.adjacency[idx as usize]
+                .iter()
+                .map(|&(v, since)| (self.snapshot.accounts[v as usize].id, since))
+                .collect();
+            wire::friend_list_response(&friends).to_text()
+        })
     }
 
     fn get_owned_games(&self, req: &Request) -> Response {
@@ -196,9 +264,9 @@ impl ApiService {
             Ok(i) => i,
             Err(resp) => return resp,
         };
-        Response::json(
-            wire::owned_games_response(&self.snapshot.ownerships[idx as usize]).to_text(),
-        )
+        self.cached(CacheKey::Games(idx), || {
+            wire::owned_games_response(&self.snapshot.ownerships[idx as usize]).to_text()
+        })
     }
 
     fn get_group_list(&self, req: &Request) -> Response {
@@ -206,15 +274,19 @@ impl ApiService {
             Ok(i) => i,
             Err(resp) => return resp,
         };
-        let gids: Vec<steam_model::GroupId> = self.snapshot.memberships[idx as usize]
-            .iter()
-            .map(|&g| self.snapshot.groups[g as usize].id)
-            .collect();
-        Response::json(wire::group_list_response(&gids).to_text())
+        self.cached(CacheKey::Groups(idx), || {
+            let gids: Vec<steam_model::GroupId> = self.snapshot.memberships[idx as usize]
+                .iter()
+                .map(|&g| self.snapshot.groups[g as usize].id)
+                .collect();
+            wire::group_list_response(&gids).to_text()
+        })
     }
 
     fn get_app_list(&self) -> Response {
-        Response::json(wire::app_list_response(&self.snapshot.catalog).to_text())
+        self.cached(CacheKey::AppList, || {
+            wire::app_list_response(&self.snapshot.catalog).to_text()
+        })
     }
 
     fn get_app_details(&self, req: &Request) -> Response {
@@ -223,9 +295,9 @@ impl ApiService {
             None => return Response::error(400, "missing or malformed appids"),
         };
         match self.app_index.get(&app) {
-            Some(&gi) => Response::json(
-                wire::app_details_response(&self.snapshot.catalog[gi as usize]).to_text(),
-            ),
+            Some(&gi) => self.cached(CacheKey::AppDetails(gi), || {
+                wire::app_details_response(&self.snapshot.catalog[gi as usize]).to_text()
+            }),
             None => Response::error(404, "unknown app"),
         }
     }
@@ -236,12 +308,12 @@ impl ApiService {
             None => return Response::error(400, "missing or malformed gameid"),
         };
         match self.app_index.get(&app) {
-            Some(&gi) => Response::json(
+            Some(&gi) => self.cached(CacheKey::Achievements(gi), || {
                 wire::achievement_percentages_response(
                     &self.snapshot.catalog[gi as usize].achievements,
                 )
-                .to_text(),
-            ),
+                .to_text()
+            }),
             None => Response::error(404, "unknown app"),
         }
     }
@@ -255,9 +327,9 @@ impl ApiService {
             Err(resp) => return resp,
         };
         match index.get(&idx) {
-            Some(&row) => {
-                Response::json(wire::panel_response(&panel.daily_minutes[row]).to_text())
-            }
+            Some(&row) => self.cached(CacheKey::Panel(row as u32), || {
+                wire::panel_response(&panel.daily_minutes[row]).to_text()
+            }),
             None => Response::error(404, "user not in the panel sample"),
         }
     }
@@ -268,9 +340,9 @@ impl ApiService {
             Err(_) => return Response::error(400, "malformed gid"),
         };
         match self.group_index.get(&gid) {
-            Some(&gi) => Response::json(
-                wire::group_page_response(&self.snapshot.groups[gi as usize]).to_text(),
-            ),
+            Some(&gi) => self.cached(CacheKey::GroupPage(gi), || {
+                wire::group_page_response(&self.snapshot.groups[gi as usize]).to_text()
+            }),
             None => Response::error(404, "unknown group"),
         }
     }
@@ -356,6 +428,9 @@ pub fn serve_service_faulty(
     registry: Option<Arc<steam_obs::Registry>>,
     faults: Option<Arc<steam_net::FaultInjector>>,
 ) -> Result<(HttpServer, Arc<ApiService>), NetError> {
+    if let Some(registry) = &registry {
+        service.attach_registry(registry);
+    }
     let service = Arc::new(service);
     let handler: Arc<dyn Handler> = Arc::clone(&service) as Arc<dyn Handler>;
     let server = HttpServer::bind_faulty(addr, workers, handler, registry, faults)?;
@@ -491,6 +566,70 @@ mod tests {
         let mut req = Request::get("/ISteamApps/GetAppList/v2");
         req.method = "POST".into();
         assert_eq!(service.handle(req).status, 400);
+    }
+
+    #[test]
+    fn bucket_map_growth_is_bounded() {
+        // Regression: pre-sharding, every unseen `key=` grew the bucket map
+        // forever, so a client cycling random keys exhausted memory.
+        let snap = tiny_snapshot();
+        let service = ApiService::new(snap, RateLimit::default());
+        for i in 0..20_000 {
+            let resp = request(&service, &format!("/ISteamApps/GetAppList/v2?key=k{i}"));
+            assert_eq!(resp.status, 200);
+        }
+        assert!(
+            service.rate_limiter_keys() <= steam_net::ratelimit::DEFAULT_MAX_KEYS,
+            "limiter holds {} keys, bound is {}",
+            service.rate_limiter_keys(),
+            steam_net::ratelimit::DEFAULT_MAX_KEYS
+        );
+    }
+
+    #[test]
+    fn cached_body_is_byte_identical_to_fresh_serialization() {
+        let snap = tiny_snapshot();
+        let cached = ApiService::new(Arc::clone(&snap), RateLimit::default());
+        let uncached =
+            ApiService::new(Arc::clone(&snap), RateLimit::default()).without_cache();
+        assert!(uncached.cache().is_none());
+        let deg = snap.degrees();
+        let u = deg.iter().position(|&d| d > 0).expect("someone has friends");
+        let id = snap.accounts[u].id;
+        let targets = [
+            format!("/ISteamUser/GetFriendList/v1?steamid={id}"),
+            format!("/IPlayerService/GetOwnedGames/v1?steamid={id}"),
+            format!("/ISteamUser/GetUserGroupList/v1?steamid={id}"),
+            format!("/ISteamUser/GetPlayerSummaries/v2?steamids={id}"),
+            "/ISteamApps/GetAppList/v2".to_string(),
+            format!("/community/group/{}", snap.groups[0].id.0),
+        ];
+        for target in &targets {
+            let miss = request(&cached, target);
+            let hit = request(&cached, target);
+            let fresh = request(&uncached, target);
+            assert_eq!(miss.status, 200, "{target}");
+            assert_eq!(miss.body, hit.body, "hit must replay the miss body: {target}");
+            assert_eq!(miss.body, fresh.body, "cache must not change bytes: {target}");
+        }
+        let cache = cached.cache().unwrap();
+        assert_eq!(cache.misses(), targets.len() as u64);
+        assert_eq!(cache.hits(), targets.len() as u64);
+        assert_eq!(uncached.cache().map(|c| c.hits()), None);
+    }
+
+    #[test]
+    fn error_responses_are_never_cached() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(snap, RateLimit::default());
+        let before = service.cache().unwrap().len();
+        assert_eq!(request(&service, "/ISteamUser/GetFriendList/v1?steamid=zzz").status, 400);
+        assert_eq!(request(&service, "/api/appdetails?appids=99999999").status, 404);
+        assert_eq!(
+            request(&service, "/ISteamUser/GetPlayerSummaries/v2?steamids=banana").status,
+            400
+        );
+        assert_eq!(service.cache().unwrap().len(), before, "errors must not be cached");
     }
 
     #[test]

@@ -91,6 +91,9 @@ COMMANDS
                                (kinds: drop, 500, 503, truncate, corrupt,
                                stall; /metrics and /healthz never fault)
              --fault-seed N    fault plan RNG seed (default 2016)
+             --no-cache        disable the wire-response cache (baseline
+                               measurements; served bytes are identical
+                               either way)
              Also serves GET /metrics (Prometheus text exposition with
              per-endpoint request counts and latency histograms) and
              GET /healthz (liveness; both bypass the rate limit)
@@ -99,6 +102,9 @@ COMMANDS
              --out PATH        output snapshot (default crawled.bin)
              --rps N           self-throttle requests/sec (default none)
              --workers N       phase-2 worker threads (default 4)
+             --pool N          share a keep-alive pool of N connections
+                               across all workers (default: one private
+                               connection per worker; size it to --workers)
              --checkpoint-dir DIR  journal completed work for crash recovery
              --resume          replay DIR's journal and fetch only the rest
   report     Render the paper's tables and figures from a snapshot
@@ -196,17 +202,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
-    let (server, _service) = serve_service_faulty(
-        ApiService::new(
-            snapshot,
-            RateLimit { per_key_rps: rps, burst: (rps / 10.0).max(10.0) },
-        ),
-        addr,
-        8,
-        Some(registry),
-        faults,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut service = ApiService::new(
+        snapshot,
+        RateLimit { per_key_rps: rps, burst: (rps / 10.0).max(10.0) },
+    );
+    if args.has("no-cache") {
+        eprintln!("wire-response cache disabled");
+        service = service.without_cache();
+    }
+    let (server, _service) =
+        serve_service_faulty(service, addr, 8, Some(registry), faults)
+            .map_err(|e| e.to_string())?;
     eprintln!("listening on http://{} (ctrl-c to stop)", server.addr());
     eprintln!("metrics at http://{0}/metrics, liveness at http://{0}/healthz", server.addr());
     // Serve until interrupted.
@@ -227,6 +233,9 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
             Some(rps.parse().map_err(|_| format!("bad --rps {rps:?}"))?);
     }
     config.workers = args.get_parse("workers", 4usize)?;
+    if let Some(n) = args.get("pool") {
+        config.pool_size = Some(n.parse().map_err(|_| format!("bad --pool {n:?}"))?);
+    }
     config.checkpoint_dir = args.get("checkpoint-dir").map(std::path::PathBuf::from);
     config.resume = args.has("resume");
     if config.resume && config.checkpoint_dir.is_none() {

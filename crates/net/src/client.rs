@@ -1,45 +1,61 @@
 //! A blocking HTTP client with connection reuse — what the crawler uses to
 //! talk to the emulated Steam Web API.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::NetError;
 use crate::http::{read_response, write_request, Request, Response};
+use crate::pool::{Conn, ConnectionPool};
 
-/// Stale-pooled-connection retries allowed per request. One would suffice
-/// for today's single-slot pool; the cap guarantees a hard bound on the
-/// reconnect loop even if pooling grows more aggressive.
+/// Stale-pooled-connection retries allowed per request. With a shared pool
+/// several parked connections can have gone stale at once (server restart),
+/// so a couple of silent retries are allowed before the error surfaces.
 const MAX_RECONNECTS_PER_REQUEST: u32 = 2;
 
 /// A keep-alive HTTP client bound to one server address.
 ///
-/// Reconnects transparently when the pooled connection has gone stale —
+/// Connections come from a [`ConnectionPool`]: a private single-slot pool by
+/// default ([`new`](Self::new)), or a pool shared with other clients across
+/// threads ([`with_pool`](Self::with_pool)) — the crawler's phase-2 workers
+/// share one pool so the whole crawl runs over a bounded socket set.
+/// Reconnects transparently when a pooled connection has gone stale —
 /// counting every reconnect (see [`reconnects`](Self::reconnects)) and
 /// capping attempts per request so a flapping server can never trap a
 /// request in a silent reconnect loop.
-/// Not `Sync` — each crawler thread owns its own client.
+/// Not `Sync` — each thread owns its own client; the pool behind it is the
+/// shared part.
 pub struct HttpClient {
-    addr: SocketAddr,
-    timeout: Duration,
-    conn: Option<Conn>,
+    pool: Arc<ConnectionPool>,
     reconnects: u64,
 }
 
-struct Conn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
-}
-
 impl HttpClient {
+    /// A client with its own single-slot connection pool (the pre-pooling
+    /// behavior: one keep-alive connection, reconnect when stale).
     pub fn new(addr: SocketAddr) -> Self {
-        HttpClient { addr, timeout: Duration::from_secs(30), conn: None, reconnects: 0 }
+        HttpClient { pool: Arc::new(ConnectionPool::new(addr, 1)), reconnects: 0 }
     }
 
+    /// A client drawing connections from a shared pool.
+    pub fn with_pool(pool: Arc<ConnectionPool>) -> Self {
+        HttpClient { pool, reconnects: 0 }
+    }
+
+    /// Sets the connect/read/write timeout. Only valid before the client's
+    /// pool is shared (it rebuilds the pool's timeout in place).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
+        let pool = Arc::get_mut(&mut self.pool)
+            .expect("with_timeout requires exclusive ownership of the pool");
+        let rebuilt = ConnectionPool::new(pool.addr(), 1).with_timeout(timeout);
+        self.pool = Arc::new(rebuilt);
         self
+    }
+
+    /// The pool this client draws from.
+    pub fn pool(&self) -> &Arc<ConnectionPool> {
+        &self.pool
     }
 
     /// Total stale-connection reconnects performed over this client's
@@ -48,38 +64,33 @@ impl HttpClient {
         self.reconnects
     }
 
-    fn connect(&self) -> Result<Conn, NetError> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        let writer = stream.try_clone()?;
-        Ok(Conn { writer, reader: BufReader::new(stream) })
-    }
-
     fn send_on(conn: &mut Conn, req: &Request) -> Result<Response, NetError> {
         write_request(&mut conn.writer, req)?;
         read_response(&mut conn.reader)
     }
 
-    /// Sends a request, reusing the pooled connection when possible. A stale
-    /// pooled connection gets a transparent retry on a fresh connection, at
+    /// Sends a request, reusing a pooled connection when possible. A stale
+    /// pooled connection gets a transparent retry on another connection, at
     /// most [`MAX_RECONNECTS_PER_REQUEST`] times per request; failures on a
     /// freshly opened connection are real errors and propagate immediately.
+    /// Healthy connections go back to the pool unless the response forbids
+    /// reuse (`Connection: close`).
     pub fn send(&mut self, req: &Request) -> Result<Response, NetError> {
         let mut reconnects_left = MAX_RECONNECTS_PER_REQUEST;
         loop {
-            let (mut conn, pooled) = match self.conn.take() {
+            let (mut conn, pooled) = match self.pool.checkout() {
                 Some(conn) => (conn, true),
-                None => (self.connect()?, false),
+                None => (self.pool.connect()?, false),
             };
             match Self::send_on(&mut conn, req) {
                 Ok(resp) => {
-                    self.conn = Some(conn);
+                    if resp.keep_alive() {
+                        self.pool.checkin(conn);
+                    }
                     return Ok(resp);
                 }
                 Err(_stale) if pooled && reconnects_left > 0 => {
-                    // Stale pooled connection — drop it and retry fresh.
+                    // Stale pooled connection — drop it and retry on another.
                     reconnects_left -= 1;
                     self.reconnects += 1;
                 }
@@ -122,7 +133,7 @@ mod tests {
                 _ => Response::json(format!("{{\"n\":{}}}", h2.load(Ordering::Relaxed))),
             }
         });
-        (HttpServer::bind("127.0.0.1:0", 2, handler).unwrap(), hits)
+        (HttpServer::bind("127.0.0.1:0", 4, handler).unwrap(), hits)
     }
 
     #[test]
@@ -142,7 +153,37 @@ mod tests {
             client.get("/ok").unwrap();
         }
         assert_eq!(hits.load(Ordering::Relaxed), 5);
-        assert!(client.conn.is_some(), "connection should be pooled");
+        assert_eq!(client.pool().connects(), 1, "five requests over one socket");
+        assert_eq!(client.pool().reuses(), 4);
+        assert_eq!(client.pool().idle_len(), 1, "connection should be parked again");
+    }
+
+    #[test]
+    fn shared_pool_bounds_sockets_across_clients() {
+        // Two sequential clients on one pool share the same socket.
+        let (server, hits) = counting_server();
+        let pool = ConnectionPool::shared(server.addr(), 2);
+        let mut a = HttpClient::with_pool(Arc::clone(&pool));
+        let mut b = HttpClient::with_pool(Arc::clone(&pool));
+        a.get("/ok").unwrap();
+        b.get("/ok").unwrap();
+        a.get("/ok").unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        assert_eq!(pool.connects(), 1, "sequential clients must share the socket");
+        assert_eq!(pool.reuses(), 2);
+    }
+
+    #[test]
+    fn connection_close_response_is_not_pooled() {
+        let handler: Arc<dyn Handler> = Arc::new(|_req: Request| {
+            Response::json("{}".into()).with_header("Connection", "close")
+        });
+        let server = HttpServer::bind("127.0.0.1:0", 2, handler).unwrap();
+        let mut client = HttpClient::new(server.addr());
+        client.get("/a").unwrap();
+        assert_eq!(client.pool().idle_len(), 0, "closed connection must not be parked");
+        client.get("/b").unwrap();
+        assert_eq!(client.pool().connects(), 2, "each close forces a fresh connection");
     }
 
     #[test]

@@ -15,6 +15,32 @@ const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Maximum accepted body (DoS guard; batch endpoints stay far below this).
 const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 
+/// The HTTP minor version of a parsed message. Keep-alive defaults differ:
+/// HTTP/1.1 connections persist unless `Connection: close`; HTTP/1.0
+/// connections close unless `Connection: keep-alive`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Version {
+    Http10,
+    Http11,
+}
+
+/// Whether a `Connection` header value contains `token`, treating the value
+/// as the comma-separated token list the RFC defines (`Connection: close,
+/// x-foo` names two tokens). Comparing the whole value would miss `close`
+/// there and wrongly keep the connection alive.
+fn connection_has_token(value: &str, token: &str) -> bool {
+    value.split(',').any(|t| t.trim().eq_ignore_ascii_case(token))
+}
+
+/// Keep-alive decision shared by requests and responses.
+fn keep_alive_for(version: Version, connection: Option<&str>) -> bool {
+    match connection {
+        Some(v) if connection_has_token(v, "close") => false,
+        Some(v) if connection_has_token(v, "keep-alive") => true,
+        _ => version == Version::Http11,
+    }
+}
+
 /// An HTTP request.
 #[derive(Clone, Debug)]
 pub struct Request {
@@ -25,13 +51,22 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Protocol version from the request line (synthesized requests are 1.1).
+    pub version: Version,
 }
 
 impl Request {
     /// Builds a GET request for a target like `/path?k=v`.
     pub fn get(target: &str) -> Request {
         let (path, query) = split_target(target);
-        Request { method: "GET".into(), path, query, headers: Vec::new(), body: Vec::new() }
+        Request {
+            method: "GET".into(),
+            path,
+            query,
+            headers: Vec::new(),
+            body: Vec::new(),
+            version: Version::Http11,
+        }
     }
 
     /// First query value for a key.
@@ -47,10 +82,12 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the sender asked to keep the connection open (HTTP/1.1
-    /// default unless `Connection: close`).
+    /// Whether the sender asked to keep the connection open. `Connection` is
+    /// parsed as a token list, and the default follows the protocol version:
+    /// HTTP/1.1 persists unless `close` appears, HTTP/1.0 closes unless
+    /// `keep-alive` appears.
     pub fn keep_alive(&self) -> bool {
-        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+        keep_alive_for(self.version, self.header("connection"))
     }
 }
 
@@ -60,15 +97,24 @@ pub struct Response {
     pub status: u16,
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Protocol version from the status line (synthesized responses are 1.1).
+    pub version: Version,
 }
 
 impl Response {
     /// 200 with a JSON body.
     pub fn json(body: String) -> Response {
+        Self::json_bytes(body.into_bytes())
+    }
+
+    /// 200 with an already-serialized JSON body (the wire-response cache
+    /// hands out shared bodies without re-serializing).
+    pub fn json_bytes(body: Vec<u8>) -> Response {
         Response {
             status: 200,
             headers: vec![("Content-Type".into(), "application/json".into())],
-            body: body.into_bytes(),
+            body,
+            version: Version::Http11,
         }
     }
 
@@ -78,6 +124,7 @@ impl Response {
             status,
             headers: vec![("Content-Type".into(), "text/plain".into())],
             body: message.as_bytes().to_vec(),
+            version: Version::Http11,
         }
     }
 
@@ -87,6 +134,7 @@ impl Response {
             status: 200,
             headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
             body: body.into_bytes(),
+            version: Version::Http11,
         }
     }
 
@@ -110,6 +158,22 @@ impl Response {
 
     pub fn is_success(&self) -> bool {
         (200..300).contains(&self.status)
+    }
+
+    /// Whether the sender will keep the connection open after this response
+    /// (same token-list rules as [`Request::keep_alive`]). The client's
+    /// connection pool returns a connection only when this holds.
+    pub fn keep_alive(&self) -> bool {
+        keep_alive_for(self.version, self.header("connection"))
+    }
+}
+
+impl Version {
+    fn as_str(self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
     }
 }
 
@@ -163,13 +227,21 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, NetEr
         (Some(m), Some(t), Some(v), None) => (m, t, v),
         _ => return Err(NetError::Http(format!("malformed request line: {line:?}"))),
     };
-    if !version.starts_with("HTTP/1.") {
-        return Err(NetError::Http(format!("unsupported version {version:?}")));
-    }
+    let version = parse_version(version)
+        .ok_or_else(|| NetError::Http(format!("unsupported version {version:?}")))?;
     let headers = read_headers(reader)?;
     let body = read_body(reader, &headers)?;
     let (path, query) = split_target(target);
-    Ok(Some(Request { method: method.to_string(), path, query, headers, body }))
+    Ok(Some(Request { method: method.to_string(), path, query, headers, body, version }))
+}
+
+/// Accepts exactly the HTTP/1.x versions this substrate speaks.
+fn parse_version(token: &str) -> Option<Version> {
+    match token {
+        "HTTP/1.0" => Some(Version::Http10),
+        "HTTP/1.1" => Some(Version::Http11),
+        _ => None,
+    }
 }
 
 /// Reads one response from a buffered stream.
@@ -185,17 +257,15 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
     })?;
     let line = line.trim_end();
     let mut parts = line.splitn(3, ' ');
-    let version = parts.next().unwrap_or("");
-    if !version.starts_with("HTTP/1.") {
-        return Err(NetError::Http(format!("bad status line: {line:?}")));
-    }
+    let version = parse_version(parts.next().unwrap_or(""))
+        .ok_or_else(|| NetError::Http(format!("bad status line: {line:?}")))?;
     let status: u16 = parts
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| NetError::Http(format!("bad status line: {line:?}")))?;
     let headers = read_headers(reader)?;
     let body = read_body(reader, &headers)?;
-    Ok(Response { status, headers, body })
+    Ok(Response { status, headers, body, version })
 }
 
 fn read_headers<R: BufRead>(reader: &mut R) -> Result<Vec<(String, String)>, NetError> {
@@ -223,13 +293,24 @@ fn read_body<R: BufRead>(
     reader: &mut R,
     headers: &[(String, String)],
 ) -> Result<Vec<u8>, NetError> {
-    let len = headers
-        .iter()
-        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| NetError::Http("bad content-length".into()))?
-        .unwrap_or(0);
+    // Collect every Content-Length; conflicting duplicates are the classic
+    // request-smuggling vector (two intermediaries disagreeing on where the
+    // body ends), so they are a protocol error, not a pick-the-first.
+    let mut len: Option<usize> = None;
+    for (k, v) in headers {
+        if !k.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let parsed: usize =
+            v.parse().map_err(|_| NetError::Http("bad content-length".into()))?;
+        match len {
+            Some(prev) if prev != parsed => {
+                return Err(NetError::Http("conflicting content-length headers".into()));
+            }
+            _ => len = Some(parsed),
+        }
+    }
+    let len = len.unwrap_or(0);
     if len > MAX_BODY_BYTES {
         return Err(NetError::Http(format!("body of {len} bytes exceeds limit")));
     }
@@ -247,7 +328,7 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), NetError>
         target.push('?');
         target.push_str(&crate::url::build_query(&pairs));
     }
-    write!(w, "{} {} HTTP/1.1\r\n", req.method, target)?;
+    write!(w, "{} {} {}\r\n", req.method, target, req.version.as_str())?;
     for (k, v) in &req.headers {
         write!(w, "{k}: {v}\r\n")?;
     }
@@ -259,7 +340,7 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), NetError>
 
 /// Writes a response (always with an explicit `Content-Length`).
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), NetError> {
-    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status))?;
+    write!(w, "{} {} {}\r\n", resp.version.as_str(), resp.status, reason(resp.status))?;
     for (k, v) in &resp.headers {
         write!(w, "{k}: {v}\r\n")?;
     }
@@ -274,7 +355,7 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), NetErr
 /// The caller must close the connection afterwards; the peer sees an
 /// unexpected EOF mid-body, exactly like a connection torn down mid-transfer.
 pub fn write_response_truncated<W: Write>(w: &mut W, resp: &Response) -> Result<(), NetError> {
-    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status))?;
+    write!(w, "{} {} {}\r\n", resp.version.as_str(), resp.status, reason(resp.status))?;
     for (k, v) in &resp.headers {
         write!(w, "{k}: {v}\r\n")?;
     }
@@ -355,6 +436,83 @@ mod tests {
         let mut req = Request::get("/");
         req.headers.push(("Connection".into(), "close".into()));
         assert!(!round_trip_request(&req).keep_alive());
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list() {
+        // `close` buried in a token list must still close; whole-value
+        // comparison wrongly kept these connections alive.
+        for value in ["close, x-foo", "x-foo, close", "Close , Keep-Alive-Hint"] {
+            let mut req = Request::get("/");
+            req.headers.push(("Connection".into(), value.into()));
+            assert!(!round_trip_request(&req).keep_alive(), "value {value:?}");
+        }
+        // Unrelated tokens alone do not close an HTTP/1.1 connection.
+        let mut req = Request::get("/");
+        req.headers.push(("Connection".into(), "x-foo, upgrade".into()));
+        assert!(round_trip_request(&req).keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keep_alive() {
+        // Bare HTTP/1.0 request: no Connection header means close.
+        let wire = b"GET / HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert_eq!(req.version, Version::Http10);
+        assert!(!req.keep_alive(), "HTTP/1.0 without Connection must close");
+        // Explicit keep-alive opts back in.
+        let wire = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert!(req.keep_alive());
+        // And HTTP/1.1 still persists by default.
+        let wire = b"GET / HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert_eq!(req.version, Version::Http11);
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn request_version_round_trips() {
+        let mut req = Request::get("/old");
+        req.version = Version::Http10;
+        let back = round_trip_request(&req);
+        assert_eq!(back.version, Version::Http10);
+        assert!(!back.keep_alive());
+    }
+
+    #[test]
+    fn response_connection_close_stops_reuse() {
+        let resp = Response::json("{}".into()).with_header("Connection", "close, x-bar");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let back = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert!(!back.keep_alive());
+        // Plain responses stay reusable.
+        let resp = Response::json("{}".into());
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        assert!(read_response(&mut BufReader::new(&wire[..])).unwrap().keep_alive());
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_rejected() {
+        // Request path.
+        let wire = b"GET / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 7\r\n\r\nabc";
+        let err = read_request(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert!(matches!(err, NetError::Http(ref m) if m.contains("conflicting")), "{err}");
+        // Response path.
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nab";
+        let err = read_response(&mut BufReader::new(&wire[..])).unwrap_err();
+        assert!(matches!(err, NetError::Http(ref m) if m.contains("conflicting")), "{err}");
+    }
+
+    #[test]
+    fn identical_duplicate_content_length_accepted() {
+        // Repeating the same value is redundant but unambiguous; the RFC
+        // allows collapsing it.
+        let wire = b"GET / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert_eq!(req.body, b"abc");
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! * [`http`] — HTTP/1.1 request/response framing with keep-alive;
 //! * [`server`] — a thread-pool TCP server with graceful shutdown;
 //! * [`client`] — a blocking keep-alive client;
+//! * [`pool`] — a shared keep-alive connection pool behind the client;
+//! * [`lru`] — a bounded least-recently-used map (wire-response cache);
 //! * [`ratelimit`] — token buckets (the API's quota and the crawler's
-//!   85%-of-quota self-throttle from §3.1);
+//!   85%-of-quota self-throttle from §3.1), plus the sharded per-key
+//!   [`KeyedLimiter`] the API server uses;
 //! * [`backoff`] — retry with exponential backoff;
 //! * [`fault`] — deterministic, seeded fault injection for the server
 //!   (dropped connections, 5xx, truncated/corrupted bodies, stalls).
@@ -21,6 +24,8 @@ pub mod error;
 pub mod fault;
 pub mod http;
 pub mod json;
+pub mod lru;
+pub mod pool;
 pub mod ratelimit;
 pub mod server;
 pub mod url;
@@ -31,5 +36,7 @@ pub use error::NetError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
 pub use http::{Request, Response};
 pub use json::Json;
-pub use ratelimit::TokenBucket;
+pub use lru::LruCache;
+pub use pool::ConnectionPool;
+pub use ratelimit::{KeyedLimiter, TokenBucket};
 pub use server::{Handler, HttpServer};

@@ -1,0 +1,151 @@
+//! A thread-safe keep-alive connection pool for one server address.
+//!
+//! [`HttpClient`](crate::client::HttpClient) checks a connection out, runs
+//! one request/response exchange, and checks it back in if the exchange
+//! succeeded and the response allows reuse. Sharing one `Arc<ConnectionPool>`
+//! across the crawler's phase-2 workers lets N worker threads drive the
+//! whole crawl over at most `max_idle` sockets (plus short-lived overflow
+//! connections when every pooled one is checked out at once) instead of one
+//! socket per worker per lifetime — fewer TCP handshakes, fewer server
+//! workers pinned to dead connections.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::error::NetError;
+
+/// One pooled connection: a writer handle and a buffered reader over the
+/// same socket. Crossing request/response pairs is impossible because a
+/// connection is owned by exactly one request between checkout and checkin.
+pub struct Conn {
+    pub(crate) writer: TcpStream,
+    pub(crate) reader: BufReader<TcpStream>,
+}
+
+/// A bounded pool of idle keep-alive connections to a single address.
+pub struct ConnectionPool {
+    addr: SocketAddr,
+    timeout: Duration,
+    max_idle: usize,
+    idle: Mutex<Vec<Conn>>,
+    connects: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl ConnectionPool {
+    /// A pool for `addr` holding up to `max_idle` idle connections.
+    pub fn new(addr: SocketAddr, max_idle: usize) -> Self {
+        ConnectionPool {
+            addr,
+            timeout: Duration::from_secs(30),
+            max_idle: max_idle.max(1),
+            idle: Mutex::new(Vec::new()),
+            connects: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Builder-style connect/read/write timeout (default 30 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// TCP connections opened over the pool's lifetime.
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed)
+    }
+
+    /// Checkouts served from an idle pooled connection.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Idle connections currently parked in the pool.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Takes an idle connection if one is parked; `true` in the pair means
+    /// the connection was pooled (a failure on it may just be staleness).
+    pub(crate) fn checkout(&self) -> Option<Conn> {
+        let conn = self.idle.lock().pop();
+        if conn.is_some() {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        conn
+    }
+
+    /// Opens a fresh connection (counted).
+    pub(crate) fn connect(&self) -> Result<Conn, NetError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let writer = stream.try_clone()?;
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        Ok(Conn { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Parks a healthy connection for reuse; drops it (closing the socket)
+    /// when the pool is already full.
+    pub(crate) fn checkin(&self, conn: Conn) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.max_idle {
+            idle.push(conn);
+        }
+    }
+
+    /// Convenience for the common shared-pool construction.
+    pub fn shared(addr: SocketAddr, max_idle: usize) -> Arc<Self> {
+        Arc::new(Self::new(addr, max_idle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Request, Response};
+    use crate::server::{Handler, HttpServer};
+
+    fn echo_server() -> HttpServer {
+        let handler: Arc<dyn Handler> =
+            Arc::new(|req: Request| Response::json(format!("{{\"path\":\"{}\"}}", req.path)));
+        HttpServer::bind("127.0.0.1:0", 4, handler).unwrap()
+    }
+
+    #[test]
+    fn pool_caps_idle_connections() {
+        let server = echo_server();
+        let pool = ConnectionPool::new(server.addr(), 2);
+        let a = pool.connect().unwrap();
+        let b = pool.connect().unwrap();
+        let c = pool.connect().unwrap();
+        pool.checkin(a);
+        pool.checkin(b);
+        pool.checkin(c); // over max_idle: dropped, socket closed
+        assert_eq!(pool.idle_len(), 2);
+        assert_eq!(pool.connects(), 3);
+    }
+
+    #[test]
+    fn checkout_prefers_pooled() {
+        let server = echo_server();
+        let pool = ConnectionPool::new(server.addr(), 4);
+        assert!(pool.checkout().is_none(), "empty pool has nothing to reuse");
+        let conn = pool.connect().unwrap();
+        pool.checkin(conn);
+        assert!(pool.checkout().is_some());
+        assert_eq!(pool.reuses(), 1);
+        assert!(pool.checkout().is_none(), "checkout removes the connection");
+    }
+}

@@ -3,10 +3,21 @@
 //! Two uses mirror the paper's §3.1: the emulated API enforces a per-key
 //! request quota (Valve's terms of service), and the crawler throttles itself
 //! to ~85% of that quota "to reduce strain on the Steam infrastructure".
+//!
+//! [`KeyedLimiter`] maps API keys to buckets through a sharded, read-mostly
+//! table: steady-state lookups take one shard read lock (no writer
+//! contention across shards), and the key population is capped — the
+//! least-recently-used key in a full shard is evicted — so a client cycling
+//! random keys cannot grow the map without bound.
 
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 /// A thread-safe token bucket.
 ///
@@ -118,6 +129,123 @@ impl TokenBucket {
 /// (e.g. `rate = 1e-300`).
 fn wait_for_token(tokens: f64, rate: f64) -> Duration {
     Duration::try_from_secs_f64((1.0 - tokens) / rate).unwrap_or(Duration::MAX)
+}
+
+/// One key's slot in a [`KeyedLimiter`] shard. `last_used` is a tick from
+/// the limiter's logical clock (strictly increasing, so recency never ties),
+/// updated with a relaxed store on every lookup — the read path writes
+/// nothing but that one atomic.
+struct KeyEntry {
+    bucket: Arc<TokenBucket>,
+    last_used: AtomicU64,
+}
+
+/// A sharded map of rate-limit key → [`TokenBucket`].
+///
+/// Every key deterministically hashes to one shard, so a key's tokens live
+/// in exactly one bucket and sharding cannot over-grant. The hot path (key
+/// already known) takes one shard *read* lock; only the first sighting of a
+/// key takes that shard's write lock. Each shard holds at most
+/// `max_keys / shards` keys — inserting into a full shard evicts its
+/// least-recently-used key — which bounds memory against key-cycling
+/// clients. (An evicted key that returns starts from a fresh, full bucket;
+/// with capacity ≫ active-key count that only affects abusive traffic.)
+pub struct KeyedLimiter {
+    shards: Box<[RwLock<HashMap<String, KeyEntry>>]>,
+    rate: f64,
+    burst: f64,
+    per_shard_cap: usize,
+    live: AtomicUsize,
+    clock: AtomicU64,
+    hasher: RandomState,
+}
+
+/// Shard count: enough that worker threads rarely contend on one lock,
+/// small enough that an empty limiter is a few hundred bytes.
+const DEFAULT_SHARDS: usize = 16;
+/// Default cap on distinct live keys across all shards.
+pub const DEFAULT_MAX_KEYS: usize = 4096;
+
+impl KeyedLimiter {
+    /// A limiter granting each key `rate` tokens/sec with `burst` capacity,
+    /// with [`DEFAULT_MAX_KEYS`] live keys across [`DEFAULT_SHARDS`] shards.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        Self::with_shape(rate, burst, DEFAULT_SHARDS, DEFAULT_MAX_KEYS)
+    }
+
+    /// Full control over shard count and the live-key cap (both are clamped
+    /// to at least 1; the cap is rounded up to a multiple of the shard
+    /// count).
+    pub fn with_shape(rate: f64, burst: f64, shards: usize, max_keys: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_cap = max_keys.max(1).div_ceil(shards);
+        KeyedLimiter {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            rate,
+            burst,
+            per_shard_cap,
+            live: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        let mut h = self.hasher.build_hasher();
+        h.write(key.as_bytes());
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// The bucket for `key`, created on first sight (and possibly evicting
+    /// the shard's least-recently-used key to make room).
+    pub fn bucket(&self, key: &str) -> Arc<TokenBucket> {
+        let shard = &self.shards[self.shard_of(key)];
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let map = shard.read();
+            if let Some(entry) = map.get(key) {
+                entry.last_used.store(now, Ordering::Relaxed);
+                return Arc::clone(&entry.bucket);
+            }
+        }
+        let mut map = shard.write();
+        // Double-check: another thread may have inserted while we waited.
+        if let Some(entry) = map.get(key) {
+            entry.last_used.store(now, Ordering::Relaxed);
+            return Arc::clone(&entry.bucket);
+        }
+        if map.len() >= self.per_shard_cap {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                map.remove(&victim);
+                self.live.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let bucket = Arc::new(TokenBucket::new(self.rate, self.burst));
+        map.insert(
+            key.to_string(),
+            KeyEntry { bucket: Arc::clone(&bucket), last_used: AtomicU64::new(now) },
+        );
+        self.live.fetch_add(1, Ordering::Relaxed);
+        bucket
+    }
+
+    /// Number of live keys (feeds the service's bucket-count gauge).
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hard ceiling on live keys (`per-shard cap × shards`).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * self.shards.len()
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +360,109 @@ mod tests {
         let b = TokenBucket::new(1000.0, 5.0);
         assert!(!b.try_acquire_n(6.0), "request larger than capacity can never succeed");
         assert!(b.try_acquire(), "failed oversized request must not consume tokens");
+    }
+
+    #[test]
+    fn keyed_limiter_same_key_same_bucket() {
+        let l = KeyedLimiter::new(1000.0, 5.0);
+        let a = l.bucket("alpha");
+        let b = l.bucket("alpha");
+        assert!(Arc::ptr_eq(&a, &b), "repeat lookups must share one bucket");
+        let c = l.bucket("beta");
+        assert!(!Arc::ptr_eq(&a, &c), "distinct keys get distinct buckets");
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn keyed_limiter_grants_exactly_burst_across_threads() {
+        // 8 threads hammer the same key through fresh lookups: total grants
+        // must equal the burst exactly — sharding must never route one key
+        // to two buckets and over-grant.
+        let l = Arc::new(KeyedLimiter::with_shape(1e-6, 40.0, 16, 1024));
+        let granted = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = Arc::clone(&l);
+            let granted = Arc::clone(&granted);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    if l.bucket("shared-key").try_acquire() {
+                        granted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(granted.load(std::sync::atomic::Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn keyed_limiter_keys_are_independent() {
+        // Draining one key leaves every other key's burst intact.
+        let l = KeyedLimiter::new(1e-6, 3.0);
+        let hog = l.bucket("hog");
+        while hog.try_acquire() {}
+        for key in ["a", "b", "c"] {
+            assert!(l.bucket(key).try_acquire(), "key {key:?} starved by another key");
+        }
+    }
+
+    #[test]
+    fn keyed_limiter_eviction_caps_live_keys() {
+        // A client cycling random keys must not grow the map past its cap.
+        let l = KeyedLimiter::with_shape(1000.0, 5.0, 4, 64);
+        for i in 0..10_000 {
+            l.bucket(&format!("key-{i}"));
+        }
+        assert!(
+            l.len() <= l.capacity(),
+            "live keys {} exceed capacity {}",
+            l.len(),
+            l.capacity()
+        );
+        assert!(l.capacity() <= 64 + 4, "cap should stay near the requested 64");
+    }
+
+    #[test]
+    fn keyed_limiter_evicts_the_idle_key_not_the_active_one() {
+        // One shard, capacity 2: keep key "hot" fresh while churning others;
+        // the hot bucket must survive (same Arc) the whole time.
+        let l = KeyedLimiter::with_shape(1000.0, 5.0, 1, 2);
+        let hot = l.bucket("hot");
+        for i in 0..32 {
+            // Each new key fills the shard and forces an eviction; "hot" was
+            // touched more recently than the previous churn key.
+            l.bucket(&format!("churn-{i}"));
+            let again = l.bucket("hot");
+            assert!(Arc::ptr_eq(&hot, &again), "hot key evicted at churn {i}");
+        }
+        assert!(l.len() <= 2);
+    }
+
+    #[test]
+    fn keyed_limiter_shared_across_threads_with_distinct_keys() {
+        // Concurrent first-sight inserts across many keys: the live count
+        // must match the distinct-key count (no double insert, no lost
+        // entry) as long as the cap is not hit.
+        let l = Arc::new(KeyedLimiter::with_shape(1000.0, 5.0, 8, 1024));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..64 {
+                    // Every thread touches the same 64 keys plus 16 of its own.
+                    l.bucket(&format!("common-{i}"));
+                    if i < 16 {
+                        l.bucket(&format!("thread-{t}-{i}"));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.len(), 64 + 4 * 16);
     }
 }
