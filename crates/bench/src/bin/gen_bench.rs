@@ -1,0 +1,157 @@
+//! World-synthesis + snapshot-codec throughput benchmark: generates the same
+//! world serially and in parallel, encodes/decodes it through the v1 and v2
+//! (sectioned) containers, and reports users/sec and MB/sec for each,
+//! establishing the BENCH trajectory for the generate hot path.
+//!
+//! The parallel world must be byte-identical to the serial one, and the v2
+//! parallel encoding byte-identical to the v2 serial encoding — parallelism
+//! is not allowed to change a single output byte. On a single-core host the
+//! interesting number is parity, not speedup.
+//!
+//! ```text
+//! cargo run --release -p steam-bench --bin gen_bench
+//! cargo run --release -p steam-bench --bin gen_bench -- --users 20000 --jobs 8 --out BENCH_gen.json
+//! ```
+
+use std::time::Instant;
+
+use steam_model::codec;
+use steam_net::Json;
+use steam_synth::{Generator, SynthConfig};
+
+struct Run {
+    name: &'static str,
+    jobs: usize,
+    elapsed_secs: f64,
+    /// users/sec for synth runs, MB/sec for codec runs.
+    rate: f64,
+    rate_unit: &'static str,
+}
+
+impl Run {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.to_string())),
+            ("jobs", Json::Num(self.jobs as f64)),
+            ("elapsed_secs", Json::Num(self.elapsed_secs)),
+            ("rate", Json::Num(self.rate)),
+            ("rate_unit", Json::Str(self.rate_unit.to_string())),
+        ])
+    }
+}
+
+fn report_run(name: &'static str, jobs: usize, elapsed: f64, work: f64, unit: &'static str) -> Run {
+    let run = Run { name, jobs, elapsed_secs: elapsed, rate: work / elapsed.max(1e-9), rate_unit: unit };
+    eprintln!(
+        "# {name:<16} jobs={jobs:<2} {:>7.3}s = {:>10.1} {unit}",
+        run.elapsed_secs, run.rate
+    );
+    run
+}
+
+fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let users: usize = arg("--users").and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let jobs: usize = arg("--jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(2016);
+    let out = arg("--out").unwrap_or_else(|| "BENCH_gen.json".into());
+
+    let mut cfg = SynthConfig::small(seed);
+    cfg.n_users = users;
+    cfg.n_groups = (users / 33).max(10);
+    cfg.validate().expect("config");
+    eprintln!("# synthesizing {users} users (seed {seed}, up to {jobs} jobs)...");
+
+    // --- synthesis: serial vs parallel, worlds must match byte-for-byte ---
+    let start = Instant::now();
+    let serial_world = Generator::new(cfg.clone()).generate_world_jobs(1);
+    let synth_serial =
+        report_run("synth", 1, start.elapsed().as_secs_f64(), users as f64, "users/s");
+
+    let start = Instant::now();
+    let parallel_world = Generator::new(cfg).generate_world_jobs(jobs);
+    let synth_parallel =
+        report_run("synth", jobs, start.elapsed().as_secs_f64(), users as f64, "users/s");
+
+    let v2_serial_bytes = codec::encode_snapshot_jobs(&serial_world.snapshot, 1);
+    assert_eq!(
+        v2_serial_bytes,
+        codec::encode_snapshot_jobs(&parallel_world.snapshot, 1),
+        "parallel synthesis diverged from serial"
+    );
+    assert_eq!(
+        codec::encode_panel(&serial_world.panel),
+        codec::encode_panel(&parallel_world.panel),
+        "parallel panel diverged from serial"
+    );
+    eprintln!("# worlds byte-identical at jobs=1 and jobs={jobs}");
+    drop(parallel_world);
+    let snapshot = serial_world.snapshot;
+    let mb = v2_serial_bytes.len() as f64 / (1024.0 * 1024.0);
+
+    // --- encode: v1 serial, v2 serial, v2 parallel ---
+    let start = Instant::now();
+    let v1_bytes = codec::encode_snapshot(&snapshot);
+    let enc_v1 = report_run("encode_v1", 1, start.elapsed().as_secs_f64(), mb, "MB/s");
+
+    let start = Instant::now();
+    let check = codec::encode_snapshot_jobs(&snapshot, 1);
+    let enc_v2_serial = report_run("encode_v2", 1, start.elapsed().as_secs_f64(), mb, "MB/s");
+
+    let start = Instant::now();
+    let v2_parallel_bytes = codec::encode_snapshot_jobs(&snapshot, jobs);
+    let enc_v2_parallel = report_run("encode_v2", jobs, start.elapsed().as_secs_f64(), mb, "MB/s");
+    assert_eq!(check, v2_parallel_bytes, "parallel v2 encoding diverged from serial");
+    eprintln!("# v2 encodings byte-identical at jobs=1 and jobs={jobs}");
+
+    // --- decode: v1 serial, v2 serial, v2 parallel ---
+    let start = Instant::now();
+    let d = codec::decode_snapshot(v1_bytes).expect("v1 decode");
+    let dec_v1 = report_run("decode_v1", 1, start.elapsed().as_secs_f64(), mb, "MB/s");
+    assert_eq!(d.n_users(), snapshot.n_users());
+
+    let start = Instant::now();
+    let d = codec::decode_snapshot_jobs(v2_serial_bytes.clone(), 1).expect("v2 decode");
+    let dec_v2_serial = report_run("decode_v2", 1, start.elapsed().as_secs_f64(), mb, "MB/s");
+    assert_eq!(d.n_users(), snapshot.n_users());
+
+    let start = Instant::now();
+    let d = codec::decode_snapshot_jobs(v2_serial_bytes, jobs).expect("v2 decode");
+    let dec_v2_parallel = report_run("decode_v2", jobs, start.elapsed().as_secs_f64(), mb, "MB/s");
+    assert_eq!(d.n_users(), snapshot.n_users());
+
+    let report = Json::obj([
+        ("bench", Json::Str("gen".into())),
+        ("users", Json::Num(users as f64)),
+        ("jobs", Json::Num(jobs as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("snapshot_mb", Json::Num(mb)),
+        (
+            "synth",
+            Json::Arr(vec![synth_serial.to_json(), synth_parallel.to_json()]),
+        ),
+        (
+            "encode",
+            Json::Arr(vec![enc_v1.to_json(), enc_v2_serial.to_json(), enc_v2_parallel.to_json()]),
+        ),
+        (
+            "decode",
+            Json::Arr(vec![dec_v1.to_json(), dec_v2_serial.to_json(), dec_v2_parallel.to_json()]),
+        ),
+        (
+            "synth_speedup",
+            Json::Num(synth_parallel.rate / synth_serial.rate.max(1e-9)),
+        ),
+        ("outputs_identical", Json::Bool(true)),
+    ]);
+    let text = report.to_text();
+    std::fs::write(&out, &text).expect("write BENCH_gen.json");
+    println!("{text}");
+    eprintln!("# wrote {out}");
+}

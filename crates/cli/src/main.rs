@@ -4,6 +4,7 @@
 //! ```text
 //! steam-cli generate --scale small|medium|large --seed 42 --out snap.bin
 //!                    [--second-out snap2.bin] [--panel-out panel.bin]
+//!                    [--jobs N] [--timings]
 //! steam-cli serve    --snapshot snap.bin --addr 127.0.0.1:8571 [--rps 5000]
 //!                    [--faults SPEC --fault-seed N]
 //! steam-cli crawl    --addr 127.0.0.1:8571 --out crawled.bin [--rps 1000]
@@ -81,6 +82,12 @@ COMMANDS
              --out PATH                   snapshot output (default snapshot.bin)
              --second-out PATH            also write the second snapshot
              --panel-out PATH             also write the week panel
+             --jobs N                     worker threads for synthesis and
+                                          snapshot encoding (default: all
+                                          cores; output is byte-identical
+                                          for any N)
+             --timings                    print a per-stage timing table to
+                                          stderr
   serve      Serve a snapshot as the emulated Steam Web API
              --snapshot PATH   snapshot to serve (default snapshot.bin)
              --addr HOST:PORT  bind address (default 127.0.0.1:8571)
@@ -161,20 +168,28 @@ fn scale_config(args: &Args) -> Result<SynthConfig, String> {
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let cfg = scale_config(args)?;
     let out = args.get_or("out", "snapshot.bin");
-    eprintln!("generating {} users (seed {})...", cfg.n_users, cfg.seed);
-    let started = std::time::Instant::now();
-    let world = Generator::new(cfg).generate_world();
+    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = args.get_parse("jobs", default_jobs)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    eprintln!("generating {} users (seed {}, {jobs} jobs)...", cfg.n_users, cfg.seed);
+    let (world, timings) = Generator::new(cfg).generate_world_timed(jobs);
     eprintln!(
         "generated in {:.1?}: {} friendships, {} owned games, {} memberships",
-        started.elapsed(),
+        timings.wall,
         world.snapshot.n_friendships(),
         world.snapshot.n_owned_games(),
         world.snapshot.n_memberships()
     );
-    codec::write_snapshot(Path::new(out), &world.snapshot).map_err(|e| e.to_string())?;
+    if args.has("timings") {
+        eprint!("{}", timings.render_table());
+    }
+    codec::write_snapshot_jobs(Path::new(out), &world.snapshot, jobs)
+        .map_err(|e| e.to_string())?;
     eprintln!("wrote {out}");
     if let Some(second) = args.get("second-out") {
-        codec::write_snapshot(Path::new(second), &world.second_snapshot)
+        codec::write_snapshot_jobs(Path::new(second), &world.second_snapshot, jobs)
             .map_err(|e| e.to_string())?;
         eprintln!("wrote {second}");
     }

@@ -5,7 +5,10 @@ use bytes::Bytes;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use steam_model::codec::{decode_panel, decode_snapshot, encode_panel, encode_snapshot};
+use steam_model::codec::{
+    decode_panel, decode_snapshot, decode_snapshot_jobs, encode_panel, encode_snapshot,
+    encode_snapshot_jobs,
+};
 use steam_model::{
     Account, Achievement, AppId, AppType, CountryCode, Friendship, Game, Genre, GenreSet, Group,
     GroupId, GroupKind, OwnedGame, SimTime, Snapshot, SteamId, Visibility, WeekPanel,
@@ -58,6 +61,57 @@ fn arb_game(app: u32) -> impl Strategy<Value = Game> {
         })
 }
 
+/// A deterministic snapshot whose shape is driven by the inputs; shared by
+/// the v1 and v2 (sectioned) round-trip properties.
+fn build_snapshot(accounts: &[u8], n_games: u32, seed: u64) -> Snapshot {
+    let n = accounts.len() as u32;
+    let mut snap = Snapshot {
+        collected_at: SimTime::from_unix(seed as i64 % 1_000_000_000),
+        scanned_id_space: u64::from(n) * 2,
+        ..Snapshot::default()
+    };
+    for (i, a) in accounts.iter().enumerate() {
+        snap.accounts.push(Account {
+            id: SteamId::from_index(i as u64 * 2),
+            created_at: SimTime::from_unix(i64::from(*a)),
+            visibility: Visibility::Public,
+            country: CountryCode::from_dense_index(*a as usize % 236),
+            city: Some(u16::from(*a)),
+            level: u16::from(*a % 10),
+            facebook_linked: a % 2 == 0,
+        });
+        let mut lib = Vec::new();
+        for g in 0..(*a % 4).min(n_games as u8) {
+            let forever = u32::from(*a) * 13 + u32::from(g);
+            lib.push(OwnedGame {
+                app_id: AppId(u32::from(g) * 10),
+                playtime_forever_min: forever,
+                playtime_2weeks_min: forever.min(20_160) / 2,
+            });
+        }
+        snap.ownerships.push(lib);
+        snap.memberships.push(if a % 3 == 0 { vec![0] } else { vec![] });
+    }
+    for g in 0..n_games {
+        snap.catalog.push(Game {
+            app_id: AppId(g * 10),
+            name: format!("g{g}"),
+            app_type: AppType::Game,
+            genres: GenreSet::new().with(Genre::Action),
+            price_cents: g * 100,
+            multiplayer: g % 2 == 0,
+            release_date: SimTime::from_ymd(2010, 1, 1),
+            metacritic: None,
+            achievements: vec![],
+        });
+    }
+    snap.groups.push(Group { id: GroupId(1), kind: GroupKind::SingleGame, name: "g".into() });
+    if n >= 2 {
+        snap.friendships.push(Friendship::new(0, 1, SimTime::from_unix(seed as i64 % 1000)));
+    }
+    snap
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -91,53 +145,7 @@ proptest! {
         n_games in 1u32..6,
         seed in any::<u64>(),
     ) {
-        // Build a deterministic snapshot whose shape is driven by the inputs.
-        let n = accounts.len() as u32;
-        let mut snap = Snapshot {
-            collected_at: SimTime::from_unix(seed as i64 % 1_000_000_000),
-            scanned_id_space: u64::from(n) * 2,
-            ..Snapshot::default()
-        };
-        for (i, a) in accounts.iter().enumerate() {
-            snap.accounts.push(Account {
-                id: SteamId::from_index(i as u64 * 2),
-                created_at: SimTime::from_unix(i64::from(*a)),
-                visibility: Visibility::Public,
-                country: CountryCode::from_dense_index(*a as usize % 236),
-                city: Some(u16::from(*a)),
-                level: u16::from(*a % 10),
-                facebook_linked: a % 2 == 0,
-            });
-            let mut lib = Vec::new();
-            for g in 0..(*a % 4).min(n_games as u8) {
-                let forever = u32::from(*a) * 13 + u32::from(g);
-                lib.push(OwnedGame {
-                    app_id: AppId(u32::from(g) * 10),
-                    playtime_forever_min: forever,
-                    playtime_2weeks_min: forever.min(20_160) / 2,
-                });
-            }
-            snap.ownerships.push(lib);
-            snap.memberships.push(if a % 3 == 0 { vec![0] } else { vec![] });
-        }
-        for g in 0..n_games {
-            snap.catalog.push(Game {
-                app_id: AppId(g * 10),
-                name: format!("g{g}"),
-                app_type: AppType::Game,
-                genres: GenreSet::new().with(Genre::Action),
-                price_cents: g * 100,
-                multiplayer: g % 2 == 0,
-                release_date: SimTime::from_ymd(2010, 1, 1),
-                metacritic: None,
-                achievements: vec![],
-            });
-        }
-        snap.groups.push(Group { id: GroupId(1), kind: GroupKind::SingleGame, name: "g".into() });
-        if n >= 2 {
-            snap.friendships.push(Friendship::new(0, 1, SimTime::from_unix(seed as i64 % 1000)));
-        }
-
+        let snap = build_snapshot(&accounts, n_games, seed);
         let bytes = encode_snapshot(&snap);
         let d = decode_snapshot(bytes).unwrap();
         prop_assert_eq!(d.n_users(), snap.n_users());
@@ -153,9 +161,71 @@ proptest! {
     }
 
     #[test]
+    fn sectioned_codec_roundtrip(
+        accounts in vec(any::<u8>(), 1..12),
+        n_games in 1u32..6,
+        seed in any::<u64>(),
+        jobs in 1usize..5,
+    ) {
+        let snap = build_snapshot(&accounts, n_games, seed);
+        let bytes = encode_snapshot_jobs(&snap, jobs);
+        // Parallel encode is byte-identical to serial encode.
+        prop_assert_eq!(&bytes, &encode_snapshot_jobs(&snap, 1));
+        let d = decode_snapshot_jobs(bytes, jobs).unwrap();
+        prop_assert_eq!(d.n_users(), snap.n_users());
+        prop_assert_eq!(d.accounts, snap.accounts);
+        prop_assert_eq!(d.friendships, snap.friendships);
+        prop_assert_eq!(d.ownerships, snap.ownerships);
+        prop_assert_eq!(d.memberships, snap.memberships);
+        prop_assert_eq!(d.groups, snap.groups);
+        prop_assert_eq!(d.catalog, snap.catalog);
+        prop_assert_eq!(d.collected_at, snap.collected_at);
+        prop_assert_eq!(d.scanned_id_space, snap.scanned_id_space);
+    }
+
+    #[test]
+    fn v1_and_v2_decode_identically(
+        accounts in vec(any::<u8>(), 1..12),
+        n_games in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        // Cross-read: a v1 file and a v2 file of the same snapshot decode
+        // to the same value through the same entry point.
+        let snap = build_snapshot(&accounts, n_games, seed);
+        let from_v1 = decode_snapshot(encode_snapshot(&snap)).unwrap();
+        let from_v2 = decode_snapshot(encode_snapshot_jobs(&snap, 2)).unwrap();
+        prop_assert_eq!(from_v1.accounts, from_v2.accounts);
+        prop_assert_eq!(from_v1.friendships, from_v2.friendships);
+        prop_assert_eq!(from_v1.ownerships, from_v2.ownerships);
+        prop_assert_eq!(from_v1.memberships, from_v2.memberships);
+        prop_assert_eq!(from_v1.groups, from_v2.groups);
+        prop_assert_eq!(from_v1.catalog, from_v2.catalog);
+        prop_assert_eq!(from_v1.collected_at, from_v2.collected_at);
+    }
+
+    #[test]
+    fn sectioned_rejects_any_corrupted_byte(
+        accounts in vec(any::<u8>(), 1..6),
+        seed in any::<u64>(),
+        at_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let snap = build_snapshot(&accounts, 2, seed);
+        let clean = encode_snapshot_jobs(&snap, 1);
+        let mut raw = clean.to_vec();
+        let at = ((raw.len() - 1) as f64 * at_frac) as usize;
+        raw[at] ^= flip;
+        prop_assert!(decode_snapshot(Bytes::from(raw)).is_err(), "flip at {}", at);
+    }
+
+    #[test]
     fn decode_arbitrary_bytes_never_panics(data in vec(any::<u8>(), 0..256)) {
         // Corrupt input must produce Err, never panic or huge allocation.
         let _ = decode_snapshot(Bytes::from(data.clone()));
+        // Same bytes presented as a sectioned container body.
+        let mut v2 = b"CSTM\x02".to_vec();
+        v2.extend_from_slice(&data);
+        let _ = decode_snapshot(Bytes::from(v2));
         let _ = decode_panel(Bytes::from(data));
     }
 

@@ -2,12 +2,13 @@
 //! self-reported locations, and the latent per-user state that couples the
 //! behavioral dimensions.
 
-use rand::rngs::StdRng;
 use rand::Rng;
 use steam_model::{Account, CountryCode, SimTime, SteamId, Visibility};
 
 use crate::config::SynthConfig;
+use crate::par::{run_chunks, USERS_CHUNK};
 use crate::samplers::{categorical, chance, normal};
+use crate::seed::stage_rng;
 
 /// Behavioral archetypes (§5 and §6.1's extreme behaviors).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -20,12 +21,11 @@ pub enum Archetype {
     IdleFarmer,
 }
 
-/// The population plus latent state used by downstream stages.
+/// Latent per-user state used by downstream stages. Kept separate from the
+/// accounts so the snapshot can take ownership of the account vector while
+/// the world keeps the latents — no second copy of the population.
 #[derive(Clone, Debug)]
-pub struct Population {
-    pub accounts: Vec<Account>,
-    /// Size of the scanned ID space (valid + invalid IDs).
-    pub scanned_id_space: u64,
+pub struct Latents {
     /// Latent engagement per user; log-scale factor shared by friendship,
     /// library, and playtime couplings (this is what makes friends/games/
     /// playtime mutually correlated, §7).
@@ -46,6 +46,15 @@ pub struct Population {
     pub z_degree: Vec<f64>,
     pub z_library: Vec<f64>,
     pub z_playtime: Vec<f64>,
+}
+
+/// The population plus latent state used by downstream stages.
+#[derive(Clone, Debug)]
+pub struct Population {
+    pub accounts: Vec<Account>,
+    /// Size of the scanned ID space (valid + invalid IDs).
+    pub scanned_id_space: u64,
+    pub latents: Latents,
 }
 
 /// Year the Steam service launched / the first accounts appear.
@@ -93,36 +102,16 @@ fn id_layout(cfg: &SynthConfig) -> (Vec<u64>, u64) {
     (ids, scanned)
 }
 
-/// Generates the population. Accounts come out sorted by Steam ID with
-/// creation times increasing (IDs are assigned sequentially, §3.1).
-pub fn generate_population(rng: &mut StdRng, cfg: &SynthConfig) -> Population {
-    let (id_indices, scanned_id_space) = id_layout(cfg);
+/// Creation instant of every user, in ID order. RNG-free: timestamps ascend
+/// with ID (sequential assignment, §3.1), users spread uniformly within
+/// their year, and the final (crawl) year only runs through mid-March.
+fn creation_times(cfg: &SynthConfig) -> Vec<SimTime> {
     let shares = year_shares();
-
-    // Assign creation years in ID order (sequential assignment ⇒ creation
-    // order), then jitter within the year.
-    let mut accounts = Vec::with_capacity(cfg.n_users);
-    let mut engagement = Vec::with_capacity(cfg.n_users);
-    let mut archetype = Vec::with_capacity(cfg.n_users);
-    let mut true_country = Vec::with_capacity(cfg.n_users);
-    let mut true_city = Vec::with_capacity(cfg.n_users);
-    let mut z_degree = Vec::with_capacity(cfg.n_users);
-    let mut z_library = Vec::with_capacity(cfg.n_users);
-    let mut z_playtime = Vec::with_capacity(cfg.n_users);
-
-    // Pre-compute each user's creation instant so that timestamps ascend
-    // with ID (sequential assignment, §3.1): users spread uniformly within
-    // their year, and the final (crawl) year only runs through mid-March.
+    let mut out = Vec::with_capacity(cfg.n_users);
     let mut year_cursor = 0usize;
     let mut year_budget = shares[0] * cfg.n_users as f64;
     let mut year_start_index = 0usize;
-    let country_shares: Vec<f64> = CountryCode::TABLE1_SHARES
-        .iter()
-        .map(|(_, s)| *s)
-        .chain([CountryCode::OTHER_SHARE])
-        .collect();
-
-    for (i, &idx) in id_indices.iter().enumerate() {
+    for i in 0..cfg.n_users {
         while (i as f64) > year_budget && year_cursor + 1 < shares.len() {
             year_cursor += 1;
             year_budget += shares[year_cursor] * cfg.n_users as f64;
@@ -136,86 +125,139 @@ pub fn generate_population(rng: &mut StdRng, cfg: &SynthConfig) -> Population {
         // first ~76 days.
         let days_in_year = if year >= SNAPSHOT_YEAR { 75.0 } else { 364.0 };
         let day_of_year = (frac * days_in_year) as i64;
-        let created_at = SimTime::from_ymd(year, 1, 1) + day_of_year * steam_model::time::DAY;
+        out.push(SimTime::from_ymd(year, 1, 1) + day_of_year * steam_model::time::DAY);
+    }
+    out
+}
 
-        // Everyone lives somewhere; Table 1's shares are the residence
-        // marginals. Whether a profile *reports* it is a separate flip.
-        let resident = {
-            let c = categorical(rng, &country_shares);
-            if c < CountryCode::NAMED {
-                CountryCode::TABLE1_SHARES[c].0
-            } else {
-                // Spread the "other" mass over 226 countries, Zipf-ish.
-                let o = (rng.gen::<f64>().powf(2.0) * f64::from(CountryCode::OTHER_COUNT)) as u8;
-                CountryCode::Other(o.min(CountryCode::OTHER_COUNT - 1))
-            }
+/// One chunk's worth of users; merged in chunk order.
+struct Chunk {
+    accounts: Vec<Account>,
+    engagement: Vec<f64>,
+    archetype: Vec<Archetype>,
+    true_country: Vec<CountryCode>,
+    true_city: Vec<u16>,
+    z_degree: Vec<f64>,
+    z_library: Vec<f64>,
+    z_playtime: Vec<f64>,
+}
+
+/// Generates the population. Accounts come out sorted by Steam ID with
+/// creation times increasing (IDs are assigned sequentially, §3.1). Each
+/// `USERS_CHUNK`-sized chunk of users draws from its own `accounts` seed
+/// stream, so the result is identical for every `jobs`.
+pub fn generate_population(cfg: &SynthConfig, jobs: usize) -> Population {
+    let (id_indices, scanned_id_space) = id_layout(cfg);
+    let created = creation_times(cfg);
+    let country_shares: Vec<f64> = CountryCode::TABLE1_SHARES
+        .iter()
+        .map(|(_, s)| *s)
+        .chain([CountryCode::OTHER_SHARE])
+        .collect();
+
+    let chunks = run_chunks(jobs, cfg.n_users, USERS_CHUNK, |c, range| {
+        let mut rng = stage_rng(cfg.seed, "accounts", c as u64);
+        let mut out = Chunk {
+            accounts: Vec::with_capacity(range.len()),
+            engagement: Vec::with_capacity(range.len()),
+            archetype: Vec::with_capacity(range.len()),
+            true_country: Vec::with_capacity(range.len()),
+            true_city: Vec::with_capacity(range.len()),
+            z_degree: Vec::with_capacity(range.len()),
+            z_library: Vec::with_capacity(range.len()),
+            z_playtime: Vec::with_capacity(range.len()),
         };
-        let home_city = rng.gen_range(0..cfg.cities_per_country);
-        let country = chance(rng, cfg.country_report_rate).then_some(resident);
-        // City reporting implies country reporting.
-        let city = (country.is_some()
-            && chance(rng, cfg.city_report_rate / cfg.country_report_rate))
-        .then_some(home_city);
+        for i in range {
+            // Everyone lives somewhere; Table 1's shares are the residence
+            // marginals. Whether a profile *reports* it is a separate flip.
+            let resident = {
+                let c = categorical(&mut rng, &country_shares);
+                if c < CountryCode::NAMED {
+                    CountryCode::TABLE1_SHARES[c].0
+                } else {
+                    // Spread the "other" mass over 226 countries, Zipf-ish.
+                    let o = (rng.gen::<f64>().powf(2.0)
+                        * f64::from(CountryCode::OTHER_COUNT)) as u8;
+                    CountryCode::Other(o.min(CountryCode::OTHER_COUNT - 1))
+                }
+            };
+            let home_city = rng.gen_range(0..cfg.cities_per_country);
+            let country = chance(&mut rng, cfg.country_report_rate).then_some(resident);
+            // City reporting implies country reporting.
+            let city = (country.is_some()
+                && chance(&mut rng, cfg.city_report_rate / cfg.country_report_rate))
+            .then_some(home_city);
 
-        let e = (0.9 * normal(rng)).exp();
-        let arch = if chance(rng, cfg.collector_rate) {
-            Archetype::Collector
-        } else if chance(rng, cfg.idle_farmer_rate) {
-            Archetype::IdleFarmer
-        } else {
-            Archetype::Typical
-        };
-
-        // Steam level loosely follows engagement (levels come from playing
-        // and trading); it feeds the friend cap (+5 slots per level). Most
-        // users never level up, so the default 250-friend cap stays the
-        // dominant cliff in Figure 2.
-        let level = if chance(rng, 0.18) { ((e * 2.5) as u16).min(60) } else { 0 };
-
-        accounts.push(Account {
-            id: SteamId::from_index(idx),
-            created_at,
-            visibility: if chance(rng, cfg.private_rate) {
-                Visibility::Private
+            let e = (0.9 * normal(&mut rng)).exp();
+            let arch = if chance(&mut rng, cfg.collector_rate) {
+                Archetype::Collector
+            } else if chance(&mut rng, cfg.idle_farmer_rate) {
+                Archetype::IdleFarmer
             } else {
-                Visibility::Public
-            },
-            country,
-            city,
-            level,
-            facebook_linked: chance(rng, cfg.facebook_rate),
-        });
-        engagement.push(e);
-        archetype.push(arch);
-        true_country.push(resident);
-        true_city.push(home_city);
-        z_degree.push(normal(rng));
-        z_library.push(normal(rng));
-        z_playtime.push(normal(rng));
+                Archetype::Typical
+            };
+
+            // Steam level loosely follows engagement (levels come from
+            // playing and trading); it feeds the friend cap (+5 slots per
+            // level). Most users never level up, so the default 250-friend
+            // cap stays the dominant cliff in Figure 2.
+            let level = if chance(&mut rng, 0.18) { ((e * 2.5) as u16).min(60) } else { 0 };
+
+            out.accounts.push(Account {
+                id: SteamId::from_index(id_indices[i]),
+                created_at: created[i],
+                visibility: if chance(&mut rng, cfg.private_rate) {
+                    Visibility::Private
+                } else {
+                    Visibility::Public
+                },
+                country,
+                city,
+                level,
+                facebook_linked: chance(&mut rng, cfg.facebook_rate),
+            });
+            out.engagement.push(e);
+            out.archetype.push(arch);
+            out.true_country.push(resident);
+            out.true_city.push(home_city);
+            out.z_degree.push(normal(&mut rng));
+            out.z_library.push(normal(&mut rng));
+            out.z_playtime.push(normal(&mut rng));
+        }
+        out
+    });
+
+    let mut accounts = Vec::with_capacity(cfg.n_users);
+    let mut latents = Latents {
+        engagement: Vec::with_capacity(cfg.n_users),
+        archetype: Vec::with_capacity(cfg.n_users),
+        true_country: Vec::with_capacity(cfg.n_users),
+        true_city: Vec::with_capacity(cfg.n_users),
+        z_degree: Vec::with_capacity(cfg.n_users),
+        z_library: Vec::with_capacity(cfg.n_users),
+        z_playtime: Vec::with_capacity(cfg.n_users),
+    };
+    for mut c in chunks {
+        accounts.append(&mut c.accounts);
+        latents.engagement.append(&mut c.engagement);
+        latents.archetype.append(&mut c.archetype);
+        latents.true_country.append(&mut c.true_country);
+        latents.true_city.append(&mut c.true_city);
+        latents.z_degree.append(&mut c.z_degree);
+        latents.z_library.append(&mut c.z_library);
+        latents.z_playtime.append(&mut c.z_playtime);
     }
 
-    Population {
-        accounts,
-        scanned_id_space,
-        engagement,
-        archetype,
-        true_country,
-        true_city,
-        z_degree,
-        z_library,
-        z_playtime,
-    }
+    Population { accounts, scanned_id_space, latents }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn population() -> (Population, SynthConfig) {
         let cfg = SynthConfig::small(3);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        (generate_population(&mut rng, &cfg), cfg)
+        (generate_population(&cfg, 1), cfg)
     }
 
     #[test]
@@ -226,8 +268,8 @@ mod tests {
             assert!(w[0].id < w[1].id, "ids must ascend");
             assert!(w[0].created_at <= w[1].created_at, "creation must ascend");
         }
-        assert_eq!(p.engagement.len(), cfg.n_users);
-        assert_eq!(p.archetype.len(), cfg.n_users);
+        assert_eq!(p.latents.engagement.len(), cfg.n_users);
+        assert_eq!(p.latents.archetype.len(), cfg.n_users);
     }
 
     #[test]
@@ -287,8 +329,10 @@ mod tests {
     #[test]
     fn archetypes_are_rare() {
         let (p, _) = population();
-        let collectors = p.archetype.iter().filter(|a| **a == Archetype::Collector).count();
-        let farmers = p.archetype.iter().filter(|a| **a == Archetype::IdleFarmer).count();
+        let collectors =
+            p.latents.archetype.iter().filter(|a| **a == Archetype::Collector).count();
+        let farmers =
+            p.latents.archetype.iter().filter(|a| **a == Archetype::IdleFarmer).count();
         assert!(collectors < 40, "{collectors} collectors in 30k users");
         assert!(farmers < 60, "{farmers} idle farmers in 30k users");
     }
@@ -296,16 +340,24 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = SynthConfig::small(5);
-        let mut r1 = StdRng::seed_from_u64(cfg.seed);
-        let mut r2 = StdRng::seed_from_u64(cfg.seed);
-        let a = generate_population(&mut r1, &cfg);
-        let b = generate_population(&mut r2, &cfg);
-        assert_eq!(a.engagement, b.engagement);
+        let a = generate_population(&cfg, 1);
+        let b = generate_population(&cfg, 1);
+        assert_eq!(a.latents.engagement, b.latents.engagement);
         assert_eq!(a.accounts.len(), b.accounts.len());
         assert!(a
             .accounts
             .iter()
             .zip(&b.accounts)
             .all(|(x, y)| x.id == y.id && x.country == y.country));
+    }
+
+    #[test]
+    fn jobs_invariant() {
+        let cfg = SynthConfig::small(5);
+        let serial = generate_population(&cfg, 1);
+        let parallel = generate_population(&cfg, 4);
+        assert_eq!(serial.accounts, parallel.accounts);
+        assert_eq!(serial.latents.engagement, parallel.latents.engagement);
+        assert_eq!(serial.latents.z_playtime, parallel.latents.z_playtime);
     }
 }

@@ -14,7 +14,9 @@ use rand::Rng;
 use steam_model::{Achievement, AppId, AppType, Game, Genre, GenreSet, SimTime};
 
 use crate::config::SynthConfig;
+use crate::par::{run_chunks, GAMES_CHUNK, PRODUCTS_CHUNK};
 use crate::samplers::{chance, lognormal, normal, pareto};
+use crate::seed::stage_rng;
 
 /// Catalog plus the latent per-game state the rest of the generator uses.
 #[derive(Clone, Debug)]
@@ -171,59 +173,75 @@ fn release_date(rng: &mut StdRng) -> SimTime {
     SimTime::from_ymd(year.min(2013), month, day)
 }
 
-/// Generates the product catalog.
-pub fn generate_catalog(rng: &mut StdRng, cfg: &SynthConfig) -> CatalogModel {
+/// Generates the product catalog. Product attributes fan out over
+/// `PRODUCTS_CHUNK`-sized chunks of the `catalog.products` stream; the
+/// popularity permutation is one short sequential pass on its own stream;
+/// achievements fan out over `GAMES_CHUNK` chunks of `catalog.achievements`.
+pub fn generate_catalog(cfg: &SynthConfig, jobs: usize) -> CatalogModel {
+    // --- products -------------------------------------------------------------
+    let chunks = run_chunks(jobs, cfg.n_products, PRODUCTS_CHUNK, |c, range| {
+        let mut rng = stage_rng(cfg.seed, "catalog.products", c as u64);
+        let mut products = Vec::with_capacity(range.len());
+        let mut game_indices = Vec::new();
+        for i in range {
+            // App ids are sparse and ascending, like Steam's.
+            let app_id = AppId(10 + (i as u32) * 10 + (i as u32 % 7));
+            let is_game = chance(&mut rng, cfg.game_fraction);
+            let app_type = if is_game {
+                AppType::Game
+            } else {
+                match rng.gen_range(0..4u8) {
+                    0 => AppType::Demo,
+                    1 => AppType::Trailer,
+                    2 => AppType::Dlc,
+                    _ => AppType::Tool,
+                }
+            };
+            let genres = pick_genres(&mut rng);
+            let price_cents = if is_game { pick_price(&mut rng, genres) } else { 0 };
+            let multiplayer = is_game && chance(&mut rng, cfg.multiplayer_fraction);
+            let game = Game {
+                app_id,
+                name: format!("{} {i:04}", if is_game { "Game" } else { "Extra" }),
+                app_type,
+                genres,
+                price_cents,
+                multiplayer,
+                release_date: release_date(&mut rng),
+                metacritic: if is_game && chance(&mut rng, 0.55) {
+                    Some(rng.gen_range(40..=96))
+                } else {
+                    None
+                },
+                // Achievements are assigned after popularity is known (§9's
+                // playtime coupling).
+                achievements: Vec::new(),
+            };
+            if is_game {
+                game_indices.push(i as u32);
+            }
+            products.push(game);
+        }
+        (products, game_indices)
+    });
     let mut products = Vec::with_capacity(cfg.n_products);
     let mut game_indices = Vec::new();
-
-    for i in 0..cfg.n_products {
-        // App ids are sparse and ascending, like Steam's.
-        let app_id = AppId(10 + (i as u32) * 10 + (i as u32 % 7));
-        let is_game = chance(rng, cfg.game_fraction);
-        let app_type = if is_game {
-            AppType::Game
-        } else {
-            match rng.gen_range(0..4u8) {
-                0 => AppType::Demo,
-                1 => AppType::Trailer,
-                2 => AppType::Dlc,
-                _ => AppType::Tool,
-            }
-        };
-        let genres = pick_genres(rng);
-        let price_cents = if is_game { pick_price(rng, genres) } else { 0 };
-        let multiplayer = is_game && chance(rng, cfg.multiplayer_fraction);
-        let game = Game {
-            app_id,
-            name: format!("{} {i:04}", if is_game { "Game" } else { "Extra" }),
-            app_type,
-            genres,
-            price_cents,
-            multiplayer,
-            release_date: release_date(rng),
-            metacritic: if is_game && chance(rng, 0.55) {
-                Some(rng.gen_range(40..=96))
-            } else {
-                None
-            },
-            // Achievements are assigned after popularity is known (§9's
-            // playtime coupling).
-            achievements: Vec::new(),
-        };
-        if is_game {
-            game_indices.push(i as u32);
-        }
-        products.push(game);
+    for (mut p, mut g) in chunks {
+        products.append(&mut p);
+        game_indices.append(&mut g);
     }
 
-    // Popularity: Zipf over a random permutation of games (so popularity is
-    // independent of app id), boosted by Action membership (drives the
-    // §6.2 playtime share) and by achievement count on the 1-90 band (§9).
+    // --- popularity -----------------------------------------------------------
+    // Zipf over a random permutation of games (so popularity is independent
+    // of app id), boosted by Action membership (drives the §6.2 playtime
+    // share) and by achievement count on the 1-90 band (§9). The permutation
+    // and noise are one short sequential pass (~n_games draws).
     let n_games = game_indices.len();
     let mut rank: Vec<usize> = (0..n_games).collect();
-    // Fisher-Yates with the shared rng keeps everything deterministic.
+    let mut rank_rng = stage_rng(cfg.seed, "catalog.popularity", 0);
+    // Fisher-Yates on a dedicated stream keeps everything deterministic.
     for i in (1..n_games).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rank_rng.gen_range(0..=i);
         rank.swap(i, j);
     }
     let mut popularity = vec![0.0; n_games];
@@ -232,17 +250,31 @@ pub fn generate_catalog(rng: &mut StdRng, cfg: &SynthConfig) -> CatalogModel {
         let zipf = 1.0 / ((r + 1) as f64).powf(cfg.popularity_zipf);
         let action_boost = if g.genres.contains(Genre::Action) { 1.6 } else { 1.0 };
         let mp_boost = if g.multiplayer { 1.25 } else { 1.0 };
-        let noise = (0.25 * normal(rng)).exp();
+        let noise = (0.25 * normal(&mut rank_rng)).exp();
         popularity[game_pos] = zipf * action_boost * mp_boost * noise;
     }
 
-    // Achievements, coupled to the popularity percentile (§9).
-    for (game_pos, &r) in rank.iter().enumerate() {
-        let pct = 1.0 - (r as f64 + 0.5) / n_games.max(1) as f64;
-        let pi = game_indices[game_pos] as usize;
-        let count = achievement_count(rng, cfg, pct);
-        let genres = products[pi].genres;
-        products[pi].achievements = achievements_for(rng, genres, count);
+    // --- achievements ----------------------------------------------------------
+    // Coupled to the popularity percentile (§9); per-game draws are
+    // independent given the rank, so games fan out in chunks.
+    let ach_chunks = run_chunks(jobs, n_games, GAMES_CHUNK, |c, range| {
+        let mut rng = stage_rng(cfg.seed, "catalog.achievements", c as u64);
+        range
+            .map(|game_pos| {
+                let r = rank[game_pos];
+                let pct = 1.0 - (r as f64 + 0.5) / n_games.max(1) as f64;
+                let pi = game_indices[game_pos] as usize;
+                let count = achievement_count(&mut rng, cfg, pct);
+                achievements_for(&mut rng, products[pi].genres, count)
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut game_pos = 0usize;
+    for chunk in ach_chunks {
+        for ach in chunk {
+            products[game_indices[game_pos] as usize].achievements = ach;
+            game_pos += 1;
+        }
     }
 
     // Deterministic calibration of the popularity mass. Ownership and
@@ -289,11 +321,23 @@ pub fn generate_catalog(rng: &mut StdRng, cfg: &SynthConfig) -> CatalogModel {
 /// Extends a catalog with `growth` × (current game count) newly released
 /// games, for the second snapshot (§8): between the two crawls the Steam
 /// store itself nearly doubled, which is what lets the top collector go
-/// from 2,148 to 3,919 games.
-pub fn extend_catalog(rng: &mut StdRng, cfg: &SynthConfig, base: &CatalogModel, growth: f64) -> CatalogModel {
-    let mut out = base.clone();
-    let n_new = ((base.game_indices.len() as f64) * growth) as usize;
-    let max_app = base.products.last().map_or(0, |g| g.app_id.0);
+/// from 2,148 to 3,919 games. Sequential on the caller's stream — the
+/// extension is ~2k games, a rounding error next to the per-user stages.
+pub fn extend_catalog(
+    rng: &mut StdRng,
+    cfg: &SynthConfig,
+    base_products: &[Game],
+    base_game_indices: &[u32],
+    base_popularity: &[f64],
+    growth: f64,
+) -> CatalogModel {
+    let mut out = CatalogModel {
+        products: base_products.to_vec(),
+        game_indices: base_game_indices.to_vec(),
+        popularity: base_popularity.to_vec(),
+    };
+    let n_new = ((base_game_indices.len() as f64) * growth) as usize;
+    let max_app = base_products.last().map_or(0, |g| g.app_id.0);
     for i in 0..n_new {
         let genres = pick_genres(rng);
         // New releases land mid-popularity; give them a mid-range coupling.
@@ -322,12 +366,9 @@ pub fn extend_catalog(rng: &mut StdRng, cfg: &SynthConfig, base: &CatalogModel, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn model() -> CatalogModel {
-        let cfg = SynthConfig::small(7);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        generate_catalog(&mut rng, &cfg)
+        generate_catalog(&SynthConfig::small(7), 1)
     }
 
     #[test]
@@ -440,12 +481,20 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let cfg = SynthConfig::small(42);
-        let mut r1 = StdRng::seed_from_u64(cfg.seed);
-        let mut r2 = StdRng::seed_from_u64(cfg.seed);
-        let a = generate_catalog(&mut r1, &cfg);
-        let b = generate_catalog(&mut r2, &cfg);
+        let a = generate_catalog(&cfg, 1);
+        let b = generate_catalog(&cfg, 1);
         assert_eq!(a.products, b.products);
         assert_eq!(a.popularity, b.popularity);
+    }
+
+    #[test]
+    fn jobs_invariant() {
+        let cfg = SynthConfig::small(42);
+        let serial = generate_catalog(&cfg, 1);
+        let parallel = generate_catalog(&cfg, 4);
+        assert_eq!(serial.products, parallel.products);
+        assert_eq!(serial.game_indices, parallel.game_indices);
+        assert_eq!(serial.popularity, parallel.popularity);
     }
 
     #[test]

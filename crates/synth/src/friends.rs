@@ -12,52 +12,82 @@
 //! * ≈ 30% of friendships international among country-reporting pairs,
 //!   ≈ 80% inter-city among city-reporting pairs (§4.1);
 //! * friendships forming faster than users join (Figure 1).
+//!
+//! Parallel structure: target degrees and per-node stub emission fan out
+//! over fixed user chunks (streams `friends.targets` / `friends.stubs`);
+//! the sort+pairing passes are RNG-free and stay sequential; timestamps fan
+//! out over fixed edge chunks of the sorted pair list (`friends.times`).
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
 use rand::Rng;
 use steam_model::{Friendship, SimTime};
 
 use crate::accounts::Population;
 use crate::config::SynthConfig;
+use crate::par::{run_chunks, EDGES_CHUNK, USERS_CHUNK};
 use crate::samplers::{chance, pareto};
+use crate::seed::stage_rng;
+
+#[derive(Clone, Copy)]
+struct Stub {
+    noisy_key: f64,
+    user: u32,
+}
+
+/// One chunk's stub emissions, split by locality layer. Merged in chunk
+/// order, which (chunks being contiguous user ranges) equals user order.
+struct StubChunk {
+    global: Vec<Stub>,
+    by_country: Vec<(u32, Stub)>,
+    by_city: Vec<((u32, u16), Stub)>,
+}
 
 /// Generates the undirected friendship edge list (canonical `a < b`, deduped).
 pub fn generate_friendships(
-    rng: &mut StdRng,
     cfg: &SynthConfig,
     pop: &Population,
+    jobs: usize,
 ) -> Vec<Friendship> {
     let n = pop.accounts.len();
+    let lat = &pop.latents;
 
     // --- Target degrees -----------------------------------------------------
     let caps: Vec<u32> = pop.accounts.iter().map(|a| a.friend_cap()).collect();
-    let mut target = vec![0u32; n];
     // Having friends at all correlates with engagement (like owning games);
     // this keeps homophily visible through the zero-inflated attributes.
     let social_bias = (cfg.social_rate / (1.0 - cfg.social_rate)).ln();
-    for u in 0..n {
-        // Gate on the degree latent itself (see the ownership gate note).
-        let deg_latent =
-            1.0 * pop.engagement[u].ln() + cfg.degree_sigma * pop.z_degree[u];
-        let p_social = crate::samplers::sigmoid(social_bias + 0.9 * deg_latent);
-        if !chance(rng, p_social) {
-            continue;
+    let target_chunks = run_chunks(jobs, n, USERS_CHUNK, |c, range| {
+        let mut rng = stage_rng(cfg.seed, "friends.targets", c as u64);
+        let mut out = Vec::with_capacity(range.len());
+        for u in range {
+            // Gate on the degree latent itself (see the ownership gate note).
+            let deg_latent =
+                1.0 * lat.engagement[u].ln() + cfg.degree_sigma * lat.z_degree[u];
+            let p_social = crate::samplers::sigmoid(social_bias + 0.9 * deg_latent);
+            if !chance(&mut rng, p_social) {
+                out.push(0u32);
+                continue;
+            }
+            let coupling = 1.0 * lat.engagement[u].ln();
+            let mut t = if chance(&mut rng, cfg.degree_tail_rate) {
+                pareto(&mut rng, cfg.degree_tail_xmin, cfg.degree_tail_alpha)
+            } else {
+                // Uses the stored degree propensity so the matching key below
+                // can see it.
+                (cfg.degree_mu + coupling + cfg.degree_sigma * lat.z_degree[u]).exp()
+            };
+            if t < 1.0 {
+                t = 1.0;
+            }
+            // The cap produces the cliff at 250/300 the paper observes.
+            out.push((t.round() as u32).min(caps[u]));
         }
-        let coupling = 1.0 * pop.engagement[u].ln();
-        let mut t = if chance(rng, cfg.degree_tail_rate) {
-            pareto(rng, cfg.degree_tail_xmin, cfg.degree_tail_alpha)
-        } else {
-            // Uses the stored degree propensity so the matching key below
-            // can see it.
-            (cfg.degree_mu + coupling + cfg.degree_sigma * pop.z_degree[u]).exp()
-        };
-        if t < 1.0 {
-            t = 1.0;
-        }
-        // The cap produces the cliff at 250/300 the paper observes.
-        target[u] = (t.round() as u32).min(caps[u]);
+        out
+    });
+    let mut target = Vec::with_capacity(n);
+    for mut c in target_chunks {
+        target.append(&mut c);
     }
 
     // --- Homophily by noisy stub matching ------------------------------------
@@ -68,52 +98,67 @@ pub fn generate_friendships(
     // homophily ladder, including the *positive* degree assortativity that
     // initiator/acceptor schemes invert), and realized degrees track targets
     // so the cap cliffs at 250/300 survive.
-    let social: Vec<u32> = (0..n as u32).filter(|&u| target[u as usize] > 0).collect();
-    if social.len() < 2 {
+    if target.iter().filter(|&&t| t > 0).count() < 2 {
         return Vec::new();
     }
     let keys: Vec<f64> = composite_keys(cfg, pop);
 
-    #[derive(Clone, Copy)]
-    struct Stub {
-        noisy_key: f64,
-        user: u32,
-    }
-
     // Locality is layered over the key matching: a stub is city-local,
     // country-local, or global; each layer is matched separately so a
     // country-local stub can only pair within its country.
-    let n_countries = steam_model::CountryCode::universe_size();
-    let mut global: Vec<Stub> = Vec::new();
-    let mut by_country: Vec<Vec<Stub>> = vec![Vec::new(); n_countries];
-    let mut by_city: std::collections::HashMap<(usize, u16), Vec<Stub>> =
-        std::collections::HashMap::new();
-
+    //
     // Stub noise: how tightly pairs match in key space. Smaller = stronger
     // homophily.
     let tau = cfg.matching_noise;
-    for &u in &social {
-        let ui = u as usize;
-        for _ in 0..target[ui] {
-            let stub = Stub {
-                noisy_key: keys[ui] + tau * crate::samplers::normal(rng),
-                user: u,
-            };
-            if chance(rng, cfg.same_country_bias) {
-                let c = pop.true_country[ui].dense_index();
-                if chance(rng, cfg.same_city_bias) {
-                    by_city.entry((c, pop.true_city[ui])).or_default().push(stub);
-                } else {
-                    by_country[c].push(stub);
-                }
-            } else {
-                global.push(stub);
+    let stub_chunks = run_chunks(jobs, n, USERS_CHUNK, |c, range| {
+        let mut rng = stage_rng(cfg.seed, "friends.stubs", c as u64);
+        let mut out = StubChunk {
+            global: Vec::new(),
+            by_country: Vec::new(),
+            by_city: Vec::new(),
+        };
+        for u in range {
+            let t = target[u];
+            if t == 0 {
+                continue;
             }
+            for _ in 0..t {
+                let stub = Stub {
+                    noisy_key: keys[u] + tau * crate::samplers::normal(&mut rng),
+                    user: u as u32,
+                };
+                if chance(&mut rng, cfg.same_country_bias) {
+                    let c = lat.true_country[u].dense_index() as u32;
+                    if chance(&mut rng, cfg.same_city_bias) {
+                        out.by_city.push(((c, lat.true_city[u]), stub));
+                    } else {
+                        out.by_country.push((c, stub));
+                    }
+                } else {
+                    out.global.push(stub);
+                }
+            }
+        }
+        out
+    });
+
+    let n_countries = steam_model::CountryCode::universe_size();
+    let mut global: Vec<Stub> = Vec::new();
+    let mut by_country: Vec<Vec<Stub>> = vec![Vec::new(); n_countries];
+    let mut by_city: std::collections::HashMap<(u32, u16), Vec<Stub>> =
+        std::collections::HashMap::new();
+    for mut chunk in stub_chunks {
+        global.append(&mut chunk.global);
+        for (c, stub) in chunk.by_country {
+            by_country[c as usize].push(stub);
+        }
+        for (key, stub) in chunk.by_city {
+            by_city.entry(key).or_default().push(stub);
         }
     }
 
     let mut deg = vec![0u32; n];
-    let mut edges: HashSet<(u32, u32)> = HashSet::with_capacity(social.len() * 2);
+    let mut edges: HashSet<(u32, u32)> = HashSet::with_capacity(global.len());
 
     let match_layer = |stubs: &mut Vec<Stub>,
                            edges: &mut HashSet<(u32, u32)>,
@@ -165,7 +210,7 @@ pub fn generate_friendships(
         }
     }
     // Deterministic order over city layers.
-    let mut city_keys: Vec<(usize, u16)> = by_city.keys().copied().collect();
+    let mut city_keys: Vec<(u32, u16)> = by_city.keys().copied().collect();
     city_keys.sort_unstable();
     for ck in city_keys {
         let list = by_city.get_mut(&ck).unwrap();
@@ -181,24 +226,33 @@ pub fn generate_friendships(
     // and the friendship curve rises faster than the user curve (Figure 1).
     let snapshot = SimTime::from_ymd(2013, 3, 18);
     // HashSet iteration order is seeded per-process; sort the pairs before
-    // drawing timestamps so the whole generator stays deterministic.
+    // drawing timestamps so the whole generator stays deterministic. The
+    // sorted pair list is also the fixed frame the timestamp chunks index.
     let mut pairs: Vec<(u32, u32)> = edges.into_iter().collect();
     pairs.sort_unstable();
-    let mut out: Vec<Friendship> = Vec::with_capacity(pairs.len());
-    for (a, b) in pairs {
-        let born = pop.accounts[a as usize]
-            .created_at
-            .max(pop.accounts[b as usize].created_at);
-        let wait_days = -(rng.gen::<f64>().max(1e-12)).ln() * 300.0;
-        let mut at = born.unix() + (wait_days * 86_400.0) as i64;
-        if at > snapshot.unix() {
-            // Would have formed after the crawl: it must instead have formed
-            // somewhere in the observable window (uniformly), not pile up on
-            // the crawl date.
-            let span = (snapshot.unix() - born.unix()).max(1);
-            at = born.unix() + (rng.gen::<f64>() * span as f64) as i64;
+    let time_chunks = run_chunks(jobs, pairs.len(), EDGES_CHUNK, |c, range| {
+        let mut rng = stage_rng(cfg.seed, "friends.times", c as u64);
+        let mut out: Vec<Friendship> = Vec::with_capacity(range.len());
+        for &(a, b) in &pairs[range] {
+            let born = pop.accounts[a as usize]
+                .created_at
+                .max(pop.accounts[b as usize].created_at);
+            let wait_days = -(rng.gen::<f64>().max(1e-12)).ln() * 300.0;
+            let mut at = born.unix() + (wait_days * 86_400.0) as i64;
+            if at > snapshot.unix() {
+                // Would have formed after the crawl: it must instead have
+                // formed somewhere in the observable window (uniformly), not
+                // pile up on the crawl date.
+                let span = (snapshot.unix() - born.unix()).max(1);
+                at = born.unix() + (rng.gen::<f64>() * span as f64) as i64;
+            }
+            out.push(Friendship::new(a, b, SimTime::from_unix(at)));
         }
-        out.push(Friendship::new(a, b, SimTime::from_unix(at)));
+        out
+    });
+    let mut out = Vec::with_capacity(pairs.len());
+    for mut c in time_chunks {
+        out.append(&mut c);
     }
     out
 }
@@ -206,14 +260,15 @@ pub fn generate_friendships(
 /// Standardized composite of the three behavioral propensities.
 fn composite_keys(cfg: &SynthConfig, pop: &Population) -> Vec<f64> {
     let n = pop.accounts.len();
-    let ln_e: Vec<f64> = pop.engagement.iter().map(|e| e.ln()).collect();
+    let lat = &pop.latents;
+    let ln_e: Vec<f64> = lat.engagement.iter().map(|e| e.ln()).collect();
     let raw = |i: usize| -> [f64; 3] {
         [
-            cfg.degree_mu + 1.0 * ln_e[i] + cfg.degree_sigma * pop.z_degree[i],
+            cfg.degree_mu + 1.0 * ln_e[i] + cfg.degree_sigma * lat.z_degree[i],
             cfg.library_mu
                 + cfg.library_engagement_coupling * ln_e[i]
-                + cfg.library_sigma * pop.z_library[i],
-            cfg.playtime_engagement_coupling * ln_e[i] + 1.0 * pop.z_playtime[i],
+                + cfg.library_sigma * lat.z_library[i],
+            cfg.playtime_engagement_coupling * ln_e[i] + 1.0 * lat.z_playtime[i],
         ]
     };
     // Standardize each dimension over the population.
@@ -247,13 +302,13 @@ fn composite_keys(cfg: &SynthConfig, pop: &Population) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::accounts::generate_population;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn build() -> (Population, Vec<Friendship>, SynthConfig) {
         let cfg = SynthConfig::small(11);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let pop = generate_population(&mut rng, &cfg);
-        let edges = generate_friendships(&mut rng, &cfg, &pop);
+        let pop = generate_population(&cfg, 1);
+        let edges = generate_friendships(&cfg, &pop, 1);
         (pop, edges, cfg)
     }
 
@@ -347,18 +402,17 @@ mod tests {
         // random pairs.
         let mut rng = StdRng::seed_from_u64(5);
         let n = pop.accounts.len();
+        let eng = &pop.latents.engagement;
         let edge_gap: f64 = edges
             .iter()
-            .map(|e| {
-                (pop.engagement[e.a as usize].ln() - pop.engagement[e.b as usize].ln()).abs()
-            })
+            .map(|e| (eng[e.a as usize].ln() - eng[e.b as usize].ln()).abs())
             .sum::<f64>()
             / edges.len() as f64;
         let rand_gap: f64 = (0..edges.len())
             .map(|_| {
                 let a = rng.gen_range(0..n);
                 let b = rng.gen_range(0..n);
-                (pop.engagement[a].ln() - pop.engagement[b].ln()).abs()
+                (eng[a].ln() - eng[b].ln()).abs()
             })
             .sum::<f64>()
             / edges.len() as f64;
@@ -374,7 +428,8 @@ mod tests {
         let same = edges
             .iter()
             .filter(|e| {
-                pop.true_country[e.a as usize] == pop.true_country[e.b as usize]
+                pop.latents.true_country[e.a as usize]
+                    == pop.latents.true_country[e.b as usize]
             })
             .count() as f64;
         let frac = same / edges.len() as f64;
@@ -386,10 +441,18 @@ mod tests {
     fn deterministic() {
         let cfg = SynthConfig::small(13);
         let run = || {
-            let mut rng = StdRng::seed_from_u64(cfg.seed);
-            let pop = generate_population(&mut rng, &cfg);
-            generate_friendships(&mut rng, &cfg, &pop)
+            let pop = generate_population(&cfg, 1);
+            generate_friendships(&cfg, &pop, 1)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn jobs_invariant() {
+        let cfg = SynthConfig::small(13);
+        let pop = generate_population(&cfg, 1);
+        let serial = generate_friendships(&cfg, &pop, 1);
+        let parallel = generate_friendships(&cfg, &pop, 4);
+        assert_eq!(serial, parallel);
     }
 }

@@ -6,6 +6,12 @@
 //! * the top-250 groups mix per Table 2 (Game Server 45.6%, ...);
 //! * game-focused groups whose members actually play the focal game, giving
 //!   Figure 3's spread of distinct-games-played per group.
+//!
+//! Three seed streams: `groups.universe` (sequential — the group list and
+//! the popularity shuffle are tiny), `groups.memberships` (fanned out over
+//! user chunks; users join independently given the shared group table), and
+//! `groups.recruit` (sequential — the devotee pass mutates many users'
+//! membership lists, and is a scan over groups, not users).
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -13,7 +19,9 @@ use steam_model::{Group, GroupId, GroupKind, OwnedGame};
 
 use crate::catalog::CatalogModel;
 use crate::config::SynthConfig;
+use crate::par::{run_chunks, USERS_CHUNK};
 use crate::samplers::{categorical, chance, lognormal, zipf_weights, AliasTable};
+use crate::seed::stage_rng;
 
 /// The group universe plus per-user membership lists (sorted, deduped).
 #[derive(Clone, Debug)]
@@ -34,17 +42,68 @@ fn pick_kind(rng: &mut StdRng) -> GroupKind {
     GroupKind::TABLE2_SHARES[categorical(rng, &shares)].0
 }
 
+/// One user's membership list (sorted, deduped).
+fn join_groups(
+    rng: &mut StdRng,
+    cfg: &SynthConfig,
+    lib: &[OwnedGame],
+    groups_of_game: &[Vec<u32>],
+    group_table: &AliasTable,
+    game_index_of_app: &std::collections::HashMap<steam_model::AppId, u32>,
+) -> Vec<u32> {
+    if !chance(rng, cfg.group_member_rate) {
+        return Vec::new();
+    }
+    // Lognormal body with a small Pareto tail (Table 3's membership
+    // ladder runs 2 / 7 / 13 / 22 / 62 — too heavy for a lognormal
+    // alone).
+    let raw = if chance(rng, 0.05) {
+        crate::samplers::pareto(rng, 10.0, 1.5)
+    } else {
+        lognormal(rng, cfg.membership_mu, cfg.membership_sigma)
+    };
+    let n_m = (raw.round() as usize).clamp(1, 400);
+    let played: Vec<u32> = lib
+        .iter()
+        .filter(|o| o.played())
+        .filter_map(|o| game_index_of_app.get(&o.app_id).copied())
+        .collect();
+    let mut mine: Vec<u32> = Vec::with_capacity(n_m);
+    let mut attempts = 0;
+    while mine.len() < n_m && attempts < n_m * 10 {
+        attempts += 1;
+        let g = if !played.is_empty() && chance(rng, cfg.game_directed_membership) {
+            // Join a group focused on a game I actually play.
+            let game = played[rng.gen_range(0..played.len())] as usize;
+            let candidates = &groups_of_game[game];
+            if candidates.is_empty() {
+                group_table.sample(rng) as u32
+            } else {
+                candidates[rng.gen_range(0..candidates.len())]
+            }
+        } else {
+            group_table.sample(rng) as u32
+        };
+        if !mine.contains(&g) {
+            mine.push(g);
+        }
+    }
+    mine.sort_unstable();
+    mine
+}
+
 /// Generates groups and memberships.
 pub fn generate_groups(
-    rng: &mut StdRng,
     cfg: &SynthConfig,
     ownerships: &[Vec<OwnedGame>],
     catalog: &CatalogModel,
+    jobs: usize,
 ) -> GroupModel {
     let n_groups = cfg.n_groups;
     let n_games = catalog.game_indices.len();
 
     // --- the group universe ---------------------------------------------------
+    let rng = &mut stage_rng(cfg.seed, "groups.universe", 0);
     let mut groups = Vec::with_capacity(n_groups);
     let mut focal_game = Vec::with_capacity(n_groups);
     // Focal games follow popularity so big games host big server groups.
@@ -94,48 +153,24 @@ pub fn generate_groups(
     }
 
     // --- memberships ----------------------------------------------------------
+    let chunks = run_chunks(jobs, ownerships.len(), USERS_CHUNK, |c, range| {
+        let mut rng = stage_rng(cfg.seed, "groups.memberships", c as u64);
+        range
+            .map(|u| {
+                join_groups(
+                    &mut rng,
+                    cfg,
+                    &ownerships[u],
+                    &groups_of_game,
+                    &group_table,
+                    &game_index_of_app,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
     let mut memberships = Vec::with_capacity(ownerships.len());
-    for lib in ownerships {
-        if !chance(rng, cfg.group_member_rate) {
-            memberships.push(Vec::new());
-            continue;
-        }
-        // Lognormal body with a small Pareto tail (Table 3's membership
-        // ladder runs 2 / 7 / 13 / 22 / 62 — too heavy for a lognormal
-        // alone).
-        let raw = if chance(rng, 0.05) {
-            crate::samplers::pareto(rng, 10.0, 1.5)
-        } else {
-            lognormal(rng, cfg.membership_mu, cfg.membership_sigma)
-        };
-        let n_m = (raw.round() as usize).clamp(1, 400);
-        let played: Vec<u32> = lib
-            .iter()
-            .filter(|o| o.played())
-            .filter_map(|o| game_index_of_app.get(&o.app_id).copied())
-            .collect();
-        let mut mine: Vec<u32> = Vec::with_capacity(n_m);
-        let mut attempts = 0;
-        while mine.len() < n_m && attempts < n_m * 10 {
-            attempts += 1;
-            let g = if !played.is_empty() && chance(rng, cfg.game_directed_membership) {
-                // Join a group focused on a game I actually play.
-                let game = played[rng.gen_range(0..played.len())] as usize;
-                let candidates = &groups_of_game[game];
-                if candidates.is_empty() {
-                    group_table.sample(rng) as u32
-                } else {
-                    candidates[rng.gen_range(0..candidates.len())]
-                }
-            } else {
-                group_table.sample(rng) as u32
-            };
-            if !mine.contains(&g) {
-                mine.push(g);
-            }
-        }
-        mine.sort_unstable();
-        memberships.push(mine);
+    for mut c in chunks {
+        memberships.append(&mut c);
     }
 
     // --- dedicated-community recruitment ---------------------------------------
@@ -159,6 +194,7 @@ pub fn generate_groups(
             }
         }
     }
+    let rng = &mut stage_rng(cfg.seed, "groups.recruit", 0);
     for (g, focal) in focal_game.iter().enumerate() {
         let Some(game) = focal else { continue };
         // A small slice of single-game groups are dedicated communities —
@@ -198,15 +234,18 @@ mod tests {
     use crate::accounts::generate_population;
     use crate::catalog::generate_catalog;
     use crate::ownership::generate_ownership;
-    use rand::SeedableRng;
+
+    fn build_libs(cfg: &SynthConfig) -> (Vec<Vec<OwnedGame>>, CatalogModel) {
+        let catalog = generate_catalog(cfg, 1);
+        let pop = generate_population(cfg, 1);
+        let libs = generate_ownership(cfg, &pop, &catalog, 1);
+        (libs, catalog)
+    }
 
     fn build() -> (GroupModel, SynthConfig) {
         let cfg = SynthConfig::small(23);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let catalog = generate_catalog(&mut rng, &cfg);
-        let pop = generate_population(&mut rng, &cfg);
-        let libs = generate_ownership(&mut rng, &cfg, &pop, &catalog);
-        (generate_groups(&mut rng, &cfg, &libs, &catalog), cfg)
+        let (libs, catalog) = build_libs(&cfg);
+        (generate_groups(&cfg, &libs, &catalog, 1), cfg)
     }
 
     #[test]
@@ -291,5 +330,16 @@ mod tests {
             .count() as f64;
         let frac = server / cfg.n_groups as f64;
         assert!((frac - 0.456).abs() < 0.05, "game-server share = {frac}");
+    }
+
+    #[test]
+    fn jobs_invariant() {
+        let cfg = SynthConfig::small(23);
+        let (libs, catalog) = build_libs(&cfg);
+        let serial = generate_groups(&cfg, &libs, &catalog, 1);
+        let parallel = generate_groups(&cfg, &libs, &catalog, 4);
+        assert_eq!(serial.groups, parallel.groups);
+        assert_eq!(serial.memberships, parallel.memberships);
+        assert_eq!(serial.focal_game, parallel.focal_game);
     }
 }

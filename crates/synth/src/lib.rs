@@ -29,9 +29,11 @@ pub mod generate;
 pub mod groups;
 pub mod ownership;
 pub mod panel;
+pub mod par;
 pub mod samplers;
+pub mod seed;
 
-pub use accounts::{Archetype, Population};
+pub use accounts::{Archetype, Latents, Population};
 pub use catalog::CatalogModel;
 pub use config::SynthConfig;
-pub use generate::{Generator, World};
+pub use generate::{CatalogLatents, GenTimings, Generator, World};

@@ -5,19 +5,54 @@
 //! headline observation: day-to-day behavior is bursty — many users who
 //! played nothing on day one played substantially on later days — yet the
 //! heavy players stay heavier on average.
+//!
+//! Two seed streams: `panel.sample` (a single offset draw picks the
+//! stride's phase) and `panel.days` (fanned out over chunks of the selected
+//! panel users; each user's seven diary days are independent).
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use steam_model::{Snapshot, WeekPanel};
 
+use crate::par::{run_chunks, PANEL_CHUNK};
 use crate::samplers::{chance, lognormal};
+use crate::seed::stage_rng;
 
 /// Fraction of users sampled into the panel (the paper used 0.5%).
 pub const PANEL_FRACTION: f64 = 0.005;
 
+/// Draws one panel user's seven diary days.
+fn diary_week(rng: &mut StdRng, snapshot: &Snapshot, u: u32) -> [u32; 7] {
+    // Daily propensity scales with the user's recent activity; users
+    // with no two-week playtime still have a small chance of playing.
+    let two_week: u64 = snapshot.ownerships[u as usize]
+        .iter()
+        .map(|o| u64::from(o.playtime_2weeks_min))
+        .sum();
+    let daily_mean = (two_week as f64 / 14.0).max(0.0);
+    let mut days = [0u32; 7];
+    for (d, out) in days.iter_mut().enumerate() {
+        // Play probability: actives play most days; inactives rarely.
+        let p_play: f64 = if two_week > 0 { 0.60 } else { 0.05 };
+        // Weekend boost (days 0 and 6 — the paper's window started on a
+        // Saturday).
+        let weekend = if d == 0 || d == 6 { 1.5 } else { 1.0 };
+        if chance(rng, (p_play * weekend).min(0.95)) {
+            // Bursty lognormal around the personal mean; recently-idle
+            // users who do play put in a short session.
+            // A session is at least ~half an hour; heavy players scale
+            // with their personal mean.
+            let mean = daily_mean.max(30.0);
+            let minutes = lognormal(rng, mean.ln(), 0.9);
+            *out = (minutes.round() as u32).min(24 * 60);
+        }
+    }
+    days
+}
+
 /// Builds the panel from a snapshot: stratified-uniform sample over the
 /// total-playtime ordering, then seven days of bursty play per user.
-pub fn generate_panel(rng: &mut StdRng, snapshot: &Snapshot) -> WeekPanel {
+pub fn generate_panel(seed: u64, snapshot: &Snapshot, jobs: usize) -> WeekPanel {
     let n = snapshot.n_users();
     // Order users by lifetime playtime (the paper's sampling frame).
     let totals: Vec<u64> = snapshot
@@ -31,39 +66,20 @@ pub fn generate_panel(rng: &mut StdRng, snapshot: &Snapshot) -> WeekPanel {
     // Uniform stride over the ordering = uniform random sample across the
     // playtime spectrum.
     let step = (1.0 / PANEL_FRACTION) as usize;
-    let offset = rng.gen_range(0..step.max(1));
-    let mut panel = WeekPanel::default();
+    let offset = stage_rng(seed, "panel.sample", 0).gen_range(0..step.max(1));
 
-    for pos in (offset..n).step_by(step.max(1)) {
-        let u = order[pos];
-        // Daily propensity scales with the user's recent activity; users
-        // with no two-week playtime still have a small chance of playing.
-        let two_week: u64 = snapshot.ownerships[u as usize]
-            .iter()
-            .map(|o| u64::from(o.playtime_2weeks_min))
-            .sum();
-        let daily_mean = (two_week as f64 / 14.0).max(0.0);
-        let mut days = [0u32; 7];
-        for (d, out) in days.iter_mut().enumerate() {
-            // Play probability: actives play most days; inactives rarely.
-            let p_play: f64 = if two_week > 0 { 0.60 } else { 0.05 };
-            // Weekend boost (days 0 and 6 — the paper's window started on a
-            // Saturday).
-            let weekend = if d == 0 || d == 6 { 1.5 } else { 1.0 };
-            if chance(rng, (p_play * weekend).min(0.95)) {
-                // Bursty lognormal around the personal mean; recently-idle
-                // users who do play put in a short session.
-                // A session is at least ~half an hour; heavy players scale
-                // with their personal mean.
-                let mean = daily_mean.max(30.0);
-                let minutes = lognormal(rng, mean.ln(), 0.9);
-                *out = (minutes.round() as u32).min(24 * 60);
-            }
-        }
-        panel.users.push(u);
-        panel.daily_minutes.push(days);
+    let users: Vec<u32> = (offset..n).step_by(step.max(1)).map(|pos| order[pos]).collect();
+    let chunks = run_chunks(jobs, users.len(), PANEL_CHUNK, |c, range| {
+        let mut rng = stage_rng(seed, "panel.days", c as u64);
+        range
+            .map(|i| diary_week(&mut rng, snapshot, users[i]))
+            .collect::<Vec<_>>()
+    });
+    let mut daily_minutes = Vec::with_capacity(users.len());
+    for mut c in chunks {
+        daily_minutes.append(&mut c);
     }
-    panel
+    WeekPanel { users, daily_minutes }
 }
 
 #[cfg(test)]
@@ -103,6 +119,15 @@ mod tests {
                 assert!(m <= 24 * 60);
             }
         }
+    }
+
+    #[test]
+    fn jobs_invariant() {
+        let world = Generator::new(SynthConfig::small(41)).generate_world();
+        let serial = generate_panel(41, &world.second_snapshot, 1);
+        let parallel = generate_panel(41, &world.second_snapshot, 4);
+        assert_eq!(serial.users, parallel.users);
+        assert_eq!(serial.daily_minutes, parallel.daily_minutes);
     }
 
     #[test]
