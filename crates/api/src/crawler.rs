@@ -800,7 +800,10 @@ mod tests {
             Arc::clone(&original),
             "127.0.0.1:0",
             2,
-            RateLimit { per_key_rps: 300.0, burst: 10.0 },
+            // Capped far below the crawl's natural rate even on a loaded
+            // host running the whole suite in parallel, so 429s are
+            // guaranteed regardless of server mode or CPU contention.
+            RateLimit { per_key_rps: 100.0, burst: 5.0 },
         )
         .unwrap();
         let config = CrawlerConfig {
@@ -983,7 +986,10 @@ mod tests {
             Arc::clone(&original),
             "127.0.0.1:0",
             2,
-            RateLimit { per_key_rps: 300.0, burst: 10.0 },
+            // Capped far below the crawl's natural rate even on a loaded
+            // host running the whole suite in parallel, so 429s are
+            // guaranteed regardless of server mode or CPU contention.
+            RateLimit { per_key_rps: 100.0, burst: 5.0 },
         )
         .unwrap();
         let config = CrawlerConfig {
@@ -1020,9 +1026,13 @@ mod tests {
         };
         let (server, _service) =
             serve(Arc::clone(&original), "127.0.0.1:0", 2, RateLimit::default()).unwrap();
+        // The cap must sit well below the server's natural rate in *any*
+        // mode, or the burst + refill could absorb this small crawl whole
+        // and the throttle would never engage.
+        let rps = 150.0;
         let config = CrawlerConfig {
             empty_batches_to_stop: 2,
-            self_throttle_rps: Some(400.0),
+            self_throttle_rps: Some(rps),
             ..CrawlerConfig::default()
         };
         let mut crawler = Crawler::new(server.addr(), config);
@@ -1031,9 +1041,11 @@ mod tests {
         let elapsed = start.elapsed();
         assert_eq!(crawled.n_users(), original.n_users());
         let requests = crawler.stats().requests;
-        // With a 400 rps cap, n requests need at least ~(n-burst)/400 secs.
+        // The bucket bursts rps/4 tokens and refills at rps tokens/sec, so
+        // n requests need at least ~(n - burst)/rps seconds end to end.
+        let burst = rps / 4.0;
         let min_expected =
-            std::time::Duration::from_secs_f64((requests as f64 - 100.0).max(0.0) / 400.0);
+            std::time::Duration::from_secs_f64((requests as f64 - burst).max(0.0) / rps);
         assert!(
             elapsed >= min_expected,
             "crawl of {requests} requests finished in {elapsed:?} (< {min_expected:?})"

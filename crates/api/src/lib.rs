@@ -23,6 +23,7 @@ pub use cache::{CacheKey, WireCache};
 pub use checkpoint::{CheckpointStore, Record, Replay, UserRecord};
 pub use crawler::{CrawlProgress, CrawlStats, Crawler, CrawlerConfig};
 pub use service::{
-    serve, serve_observed, serve_service, serve_service_faulty, serve_service_observed,
+    serve, serve_observed, serve_service, serve_service_config, serve_service_faulty,
+    serve_service_observed,
     ApiService, RateLimit,
 };

@@ -428,12 +428,30 @@ pub fn serve_service_faulty(
     registry: Option<Arc<steam_obs::Registry>>,
     faults: Option<Arc<steam_net::FaultInjector>>,
 ) -> Result<(HttpServer, Arc<ApiService>), NetError> {
+    let config = steam_net::ServerConfig { workers, ..Default::default() };
+    serve_service_config(service, addr, config, registry, faults)
+}
+
+/// The fully general entry point: every other `serve_*` delegates here.
+/// `config` picks the server mode ([`ServerMode::Epoll`] reactor vs
+/// [`ServerMode::Threaded`] worker pool — both serve byte-identical
+/// responses) and the idle timeout.
+///
+/// [`ServerMode::Epoll`]: steam_net::ServerMode::Epoll
+/// [`ServerMode::Threaded`]: steam_net::ServerMode::Threaded
+pub fn serve_service_config(
+    service: ApiService,
+    addr: &str,
+    config: steam_net::ServerConfig,
+    registry: Option<Arc<steam_obs::Registry>>,
+    faults: Option<Arc<steam_net::FaultInjector>>,
+) -> Result<(HttpServer, Arc<ApiService>), NetError> {
     if let Some(registry) = &registry {
         service.attach_registry(registry);
     }
     let service = Arc::new(service);
     let handler: Arc<dyn Handler> = Arc::clone(&service) as Arc<dyn Handler>;
-    let server = HttpServer::bind_faulty(addr, workers, handler, registry, faults)?;
+    let server = HttpServer::bind_config(addr, config, handler, registry, faults)?;
     Ok((server, service))
 }
 

@@ -6,7 +6,7 @@
 //!                    [--second-out snap2.bin] [--panel-out panel.bin]
 //!                    [--jobs N] [--timings]
 //! steam-cli serve    --snapshot snap.bin --addr 127.0.0.1:8571 [--rps 5000]
-//!                    [--faults SPEC --fault-seed N]
+//!                    [--faults SPEC --fault-seed N] [--threaded]
 //! steam-cli crawl    --addr 127.0.0.1:8571 --out crawled.bin [--rps 1000]
 //!                    [--checkpoint-dir DIR [--resume]]
 //! steam-cli report   --snapshot snap.bin [--second snap2.bin]
@@ -30,7 +30,7 @@ use steam_analysis::{
     render_experiments_timed, render_full_report, render_full_report_timed, render_with_jobs,
     Ctx, Experiment, ReportInput,
 };
-use steam_api::{serve_service_faulty, ApiService, Crawler, CrawlerConfig, RateLimit};
+use steam_api::{ApiService, Crawler, CrawlerConfig, RateLimit};
 use steam_net::{FaultInjector, FaultPlan};
 use steam_model::codec;
 use steam_obs::Registry;
@@ -101,6 +101,10 @@ COMMANDS
              --no-cache        disable the wire-response cache (baseline
                                measurements; served bytes are identical
                                either way)
+             --threaded        use the blocking worker-pool server instead
+                               of the epoll reactor (the Linux default);
+                               concurrency is then capped at the worker
+                               count, but served bytes are identical
              Also serves GET /metrics (Prometheus text exposition with
              per-endpoint request counts and latency histograms) and
              GET /healthz (liveness; both bypass the rate limit)
@@ -225,10 +229,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         eprintln!("wire-response cache disabled");
         service = service.without_cache();
     }
+    let mode = if args.has("threaded") {
+        steam_net::ServerMode::Threaded
+    } else {
+        steam_net::ServerMode::default()
+    };
+    let config = steam_net::ServerConfig { workers: 8, mode, ..Default::default() };
     let (server, _service) =
-        serve_service_faulty(service, addr, 8, Some(registry), faults)
+        steam_api::serve_service_config(service, addr, config, Some(registry), faults)
             .map_err(|e| e.to_string())?;
-    eprintln!("listening on http://{} (ctrl-c to stop)", server.addr());
+    eprintln!("listening on http://{} ({} mode, ctrl-c to stop)", server.addr(), server.mode().label());
     eprintln!("metrics at http://{0}/metrics, liveness at http://{0}/healthz", server.addr());
     // Serve until interrupted.
     loop {

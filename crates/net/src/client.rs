@@ -84,9 +84,9 @@ impl HttpClient {
             };
             match Self::send_on(&mut conn, req) {
                 Ok(resp) => {
-                    if resp.keep_alive() {
-                        self.pool.checkin(conn);
-                    }
+                    // The pool inspects the response's close intent itself;
+                    // a `Connection: close` response is never parked.
+                    self.pool.checkin(conn, &resp);
                     return Ok(resp);
                 }
                 Err(_stale) if pooled && reconnects_left > 0 => {
@@ -184,6 +184,44 @@ mod tests {
         assert_eq!(client.pool().idle_len(), 0, "closed connection must not be parked");
         client.get("/b").unwrap();
         assert_eq!(client.pool().connects(), 2, "each close forces a fresh connection");
+    }
+
+    #[test]
+    fn pool_does_not_resurrect_a_server_reaped_connection() {
+        use crate::server::ServerConfig;
+        use steam_obs::Registry;
+        // Server reaps idle keep-alive connections quickly; the pool's
+        // idle-age cap sits below that, so a parked connection ages out of
+        // the pool before the server half-closes it under our feet.
+        let registry = Arc::new(Registry::new());
+        let handler: Arc<dyn Handler> = Arc::new(|_req: Request| Response::json("{}".into()));
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        };
+        let server = HttpServer::bind_config(
+            "127.0.0.1:0",
+            config,
+            handler,
+            Some(Arc::clone(&registry)),
+            None,
+        )
+        .unwrap();
+        let pool = Arc::new(
+            ConnectionPool::new(server.addr(), 2).with_max_idle_age(Duration::from_millis(150)),
+        );
+        let mut client = HttpClient::with_pool(Arc::clone(&pool));
+        client.get("/a").unwrap();
+        assert_eq!(pool.idle_len(), 1);
+        // Well past both the pool's idle-age cap and the server's idle
+        // timeout: the server has closed its side of the parked socket.
+        std::thread::sleep(Duration::from_millis(600));
+        client.get("/b").unwrap();
+        assert_eq!(client.reconnects(), 0, "stale socket reached the wire before the TTL");
+        assert_eq!(pool.expired(), 1);
+        // The server's own connection counter confirms the second request
+        // rode a genuinely fresh connection.
+        assert_eq!(registry.counter("http_connections_total", &[]).get(), 2);
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Per-connection request machinery shared by both server modes.
+//!
+//! The threaded server ([`server`](crate::server)) and the epoll reactor
+//! ([`reactor`](crate::reactor)) must serve byte-identical responses for the
+//! same request stream — `serve_bench` and the mode-parity suite assert it.
+//! The only way to guarantee that is to route both through one code path:
+//!
+//! * [`try_parse_request`] — incremental request parsing over a byte buffer
+//!   (the reactor accumulates nonblocking reads and needs to distinguish
+//!   "not all bytes arrived yet" from "malformed"); it reuses the exact
+//!   [`read_request`] parser over the buffered bytes, so the two modes
+//!   cannot disagree on what constitutes a valid request.
+//! * [`Dispatcher`] — everything that happens between a parsed request and
+//!   the serialized response: operational endpoints (`/metrics`,
+//!   `/healthz`), fault injection, per-endpoint metrics, the application
+//!   handler, and the close-intent decision.
+//!
+//! ## Close intent
+//!
+//! A response that will be followed by the server closing the connection
+//! always carries `Connection: close` ([`finalize_response`]). Before this,
+//! the server could answer (a 400, say) and silently drop the socket — a
+//! client connection pool would park that connection and find it dead on
+//! the next checkout. Signaling intent on the wire lets
+//! [`ConnectionPool::checkin`](crate::pool::ConnectionPool::checkin) refuse
+//! half-closed connections instead of discovering them later.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use steam_obs::{obs_trace, Counter, Gauge, Histogram, Registry};
+
+use crate::error::NetError;
+use crate::fault::{FaultInjector, FaultKind};
+use crate::http::{
+    read_request, write_response, write_response_truncated, Request, Response, MAX_HEADER_BYTES,
+    MAX_LINE_BYTES,
+};
+use crate::server::{normalize_endpoint, Handler};
+
+/// The server side of the observability layer: pre-registered instruments
+/// plus the registry itself (for `/metrics`).
+pub(crate) struct ServerObs {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) in_flight: Arc<Gauge>,
+    pub(crate) connections: Arc<Counter>,
+}
+
+impl ServerObs {
+    pub(crate) fn new(registry: Arc<Registry>) -> Self {
+        registry.describe(
+            "http_requests_total",
+            "HTTP requests served, by endpoint, method and status",
+        );
+        registry
+            .describe("http_request_duration_seconds", "Request handling latency, by endpoint");
+        registry.describe("http_requests_in_flight", "Requests currently being handled");
+        registry.describe("http_connections_total", "TCP connections accepted");
+        ServerObs {
+            in_flight: registry.gauge("http_requests_in_flight", &[]),
+            connections: registry.counter("http_connections_total", &[]),
+            registry,
+        }
+    }
+}
+
+/// Per-connection cache of metric handles, so keep-alive request streams
+/// touch only atomics after the first request to each endpoint. (The
+/// reactor keeps a single cache for all its connections — it is one
+/// thread, so the map warms even faster.)
+#[derive(Default)]
+pub(crate) struct ObsCache {
+    latency: HashMap<String, Arc<Histogram>>,
+    requests: HashMap<(String, String, u16), Arc<Counter>>,
+}
+
+impl ObsCache {
+    pub(crate) fn record(
+        &mut self,
+        obs: &ServerObs,
+        req_method: &str,
+        endpoint: &str,
+        status: u16,
+        elapsed: Duration,
+    ) {
+        self.latency
+            .entry(endpoint.to_string())
+            .or_insert_with(|| {
+                obs.registry.histogram("http_request_duration_seconds", &[("endpoint", endpoint)])
+            })
+            .record_duration(elapsed);
+        self.requests
+            .entry((endpoint.to_string(), req_method.to_string(), status))
+            .or_insert_with(|| {
+                obs.registry.counter(
+                    "http_requests_total",
+                    &[
+                        ("endpoint", endpoint),
+                        ("method", req_method),
+                        ("status", &status.to_string()),
+                    ],
+                )
+            })
+            .inc();
+        obs_trace!(
+            "http",
+            "{req_method} {endpoint} -> {status} in {:.3?}",
+            elapsed
+        );
+    }
+}
+
+/// One step of incremental request parsing over accumulated bytes.
+pub(crate) enum ParseStep {
+    /// Not enough bytes yet; keep reading.
+    Incomplete,
+    /// A complete request; `consumed` bytes of the buffer belong to it.
+    Request { req: Request, consumed: usize },
+    /// The bytes can never become a valid request.
+    Bad(NetError),
+}
+
+/// Attempts to parse one request from the front of `buf` without consuming
+/// it. Parsing only runs once the full header block has arrived, so a
+/// partial request line can never be misread as malformed; an incomplete
+/// body (headers promise more `Content-Length` than has arrived) is
+/// `Incomplete`, not an error. Delegates to [`read_request`] for the actual
+/// parse — both server modes accept exactly the same byte streams.
+pub(crate) fn try_parse_request(buf: &[u8]) -> ParseStep {
+    if find_header_end(buf).is_none() {
+        // A header block that exceeds the limits can never become valid.
+        return if buf.len() > MAX_HEADER_BYTES + MAX_LINE_BYTES {
+            ParseStep::Bad(NetError::Http("header block too large".into()))
+        } else {
+            ParseStep::Incomplete
+        };
+    }
+    let mut cursor = std::io::Cursor::new(buf);
+    match read_request(&mut cursor) {
+        Ok(Some(req)) => ParseStep::Request { req, consumed: cursor.position() as usize },
+        Ok(None) => ParseStep::Incomplete,
+        Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            // Headers are complete, the body is still in flight.
+            ParseStep::Incomplete
+        }
+        Err(e) => ParseStep::Bad(e),
+    }
+}
+
+/// Byte offset just past the header block's terminating empty line, if the
+/// block is complete. Lines may end in `\r\n` or bare `\n` (the parser
+/// accepts both), so the terminator is `\n\r\n` or `\n\n`.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(3).position(|w| w == b"\n\r\n").map(|p| p + 3);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// What the connection driver should do with one parsed request.
+pub(crate) enum Outcome {
+    /// Write `resp` (after [`finalize_response`]); close afterwards if
+    /// `close`. `truncate` damages the write on the wire (fault injection);
+    /// `delay` postpones the write (`stall` fault) — the threaded server
+    /// sleeps, the reactor parks the response on a deadline.
+    Respond { resp: Response, close: bool, truncate: bool, delay: Option<Duration> },
+    /// Close the connection without writing anything (fault `drop`).
+    Drop,
+}
+
+/// Stamps the server's close intent onto the response before it is
+/// serialized: a connection the server will close must say so.
+pub(crate) fn finalize_response(resp: &mut Response, close: bool) {
+    if close && resp.header("connection").is_none() {
+        resp.headers.push(("Connection".into(), "close".into()));
+    }
+}
+
+/// Serializes a response to its exact wire bytes (the reactor's write
+/// queue holds serialized bytes, not `Response` values).
+pub(crate) fn serialize_response(resp: &Response, truncate: bool) -> Vec<u8> {
+    let mut wire = Vec::with_capacity(resp.body.len() + 128);
+    let result = if truncate {
+        write_response_truncated(&mut wire, resp)
+    } else {
+        write_response(&mut wire, resp)
+    };
+    debug_assert!(result.is_ok(), "writing to a Vec cannot fail");
+    wire
+}
+
+/// The 400 answered to an unparsable request; the connection closes after
+/// it, and the response says so.
+pub(crate) fn bad_request_response(err: &NetError) -> Response {
+    let mut resp = Response::error(400, &err.to_string());
+    finalize_response(&mut resp, true);
+    resp
+}
+
+/// Everything between a parsed request and its response, shared verbatim by
+/// the threaded server and the epoll reactor: operational endpoints, fault
+/// injection, metrics, the application handler, close intent.
+pub(crate) struct Dispatcher {
+    handler: Arc<dyn Handler>,
+    obs: Option<Arc<ServerObs>>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(
+        handler: Arc<dyn Handler>,
+        obs: Option<Arc<ServerObs>>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        Dispatcher { handler, obs, faults }
+    }
+
+    pub(crate) fn obs(&self) -> Option<&Arc<ServerObs>> {
+        self.obs.as_ref()
+    }
+
+    /// Decides the response (or lack of one) for a single request.
+    pub(crate) fn dispatch(&self, req: Request, cache: &mut ObsCache) -> Outcome {
+        let keep_alive = req.keep_alive();
+        // Fault injection, ahead of the handler but never for operational
+        // endpoints: a fault drill must not blind the metrics watching it.
+        let operational =
+            req.method == "GET" && (req.path == "/metrics" || req.path == "/healthz");
+        let mut delay = None;
+        if let Some(inj) = self.faults.as_deref().filter(|_| !operational) {
+            match inj.decide(&req.path) {
+                None => {}
+                // Stall injects latency, then the request proceeds normally.
+                Some(FaultKind::Stall) => delay = Some(inj.stall_duration()),
+                Some(FaultKind::Drop) => return Outcome::Drop,
+                Some(k @ (FaultKind::Status500 | FaultKind::Status503)) => {
+                    let status = if k == FaultKind::Status500 { 500 } else { 503 };
+                    if let Some(obs) = &self.obs {
+                        let endpoint = normalize_endpoint(&req.path);
+                        cache.record(obs, &req.method, &endpoint, status, Duration::ZERO);
+                    }
+                    return Outcome::Respond {
+                        resp: Response::error(status, "injected fault"),
+                        close: !keep_alive,
+                        truncate: false,
+                        delay,
+                    };
+                }
+                Some(k @ (FaultKind::Truncate | FaultKind::Corrupt)) => {
+                    // Compute the real response, then damage it on the wire.
+                    let mut resp = self.handle_app(req, cache);
+                    if k == FaultKind::Corrupt {
+                        match resp.body.first_mut() {
+                            Some(b) => *b = b'#',
+                            None => resp.body.push(b'#'),
+                        }
+                        let close = !keep_alive || !resp.keep_alive();
+                        return Outcome::Respond { resp, close, truncate: false, delay };
+                    }
+                    // The declared Content-Length will not be honored; the
+                    // only coherent next step is closing the connection.
+                    return Outcome::Respond { resp, close: true, truncate: true, delay };
+                }
+            }
+        }
+        // Operational endpoints answer before the application handler, so
+        // they are never subject to app-level rate limiting.
+        if let Some(obs) = &self.obs {
+            if req.method == "GET" && req.path == "/metrics" {
+                let resp = Response::text(obs.registry.render_prometheus());
+                return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+            }
+            if req.method == "GET" && req.path == "/healthz" {
+                let resp = Response::text("ok\n".into());
+                return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+            }
+        }
+        let resp = self.handle_app(req, cache);
+        let close = !keep_alive || !resp.keep_alive();
+        Outcome::Respond { resp, close, truncate: false, delay }
+    }
+
+    /// Runs the application handler, instrumented when observed.
+    fn handle_app(&self, req: Request, cache: &mut ObsCache) -> Response {
+        match &self.obs {
+            None => self.handler.handle(req),
+            Some(obs) => {
+                let endpoint = normalize_endpoint(&req.path);
+                let method = req.method.clone();
+                obs.in_flight.inc();
+                let start = Instant::now();
+                let resp = self.handler.handle(req);
+                let elapsed = start.elapsed();
+                obs.in_flight.dec();
+                cache.record(obs, &method, &endpoint, resp.status, elapsed);
+                resp
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::write_request;
+
+    fn wire(req: &Request) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_request(&mut buf, req).unwrap();
+        buf
+    }
+
+    #[test]
+    fn parses_complete_request_and_reports_consumed() {
+        let bytes = wire(&Request::get("/a/b?x=1"));
+        match try_parse_request(&bytes) {
+            ParseStep::Request { req, consumed } => {
+                assert_eq!(req.path, "/a/b");
+                assert_eq!(consumed, bytes.len());
+            }
+            _ => panic!("expected a complete request"),
+        }
+    }
+
+    #[test]
+    fn every_prefix_is_incomplete_never_malformed() {
+        // Byte-at-a-time arrival: no prefix of a valid request may parse as
+        // malformed — the reactor would 400 a client mid-send.
+        let mut req = Request::get("/ISteamUser/GetPlayerSummaries/v2?steamids=1,2,3");
+        req.method = "POST".into();
+        req.body = b"hello body".to_vec();
+        let bytes = wire(&req);
+        for cut in 0..bytes.len() {
+            match try_parse_request(&bytes[..cut]) {
+                ParseStep::Incomplete => {}
+                ParseStep::Request { .. } => panic!("complete at {cut}/{}", bytes.len()),
+                ParseStep::Bad(e) => panic!("malformed at {cut}: {e}"),
+            }
+        }
+        assert!(matches!(try_parse_request(&bytes), ParseStep::Request { .. }));
+    }
+
+    #[test]
+    fn pipelined_requests_consume_one_at_a_time() {
+        let mut bytes = wire(&Request::get("/first"));
+        let first_len = bytes.len();
+        bytes.extend_from_slice(&wire(&Request::get("/second")));
+        match try_parse_request(&bytes) {
+            ParseStep::Request { req, consumed } => {
+                assert_eq!(req.path, "/first");
+                assert_eq!(consumed, first_len);
+                match try_parse_request(&bytes[consumed..]) {
+                    ParseStep::Request { req, .. } => assert_eq!(req.path, "/second"),
+                    _ => panic!("second request should parse"),
+                }
+            }
+            _ => panic!("first request should parse"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_is_bad_once_headers_complete() {
+        assert!(matches!(
+            try_parse_request(b"NOT A REQUEST\r\n\r\n"),
+            ParseStep::Bad(NetError::Http(_))
+        ));
+        // LF-only framing is accepted by the parser, so it must complete
+        // here too.
+        assert!(matches!(
+            try_parse_request(b"GET / HTTP/1.1\n\n"),
+            ParseStep::Request { .. }
+        ));
+    }
+
+    #[test]
+    fn unterminated_garbage_eventually_rejected() {
+        // No header terminator, ever: must flip to Bad once past the limit
+        // instead of buffering unboundedly.
+        let junk = vec![b'a'; MAX_HEADER_BYTES + MAX_LINE_BYTES + 1];
+        assert!(matches!(try_parse_request(&junk), ParseStep::Bad(_)));
+        assert!(matches!(try_parse_request(&junk[..64]), ParseStep::Incomplete));
+    }
+
+    #[test]
+    fn close_intent_is_stamped_once() {
+        let mut resp = Response::json("{}".into());
+        finalize_response(&mut resp, true);
+        assert_eq!(resp.header("connection"), Some("close"));
+        assert!(!resp.keep_alive());
+        // Already-present headers are not duplicated.
+        let mut resp = Response::json("{}".into()).with_header("Connection", "close");
+        finalize_response(&mut resp, true);
+        assert_eq!(resp.headers.iter().filter(|(k, _)| k == "Connection").count(), 1);
+        // No close intent, no header.
+        let mut resp = Response::json("{}".into());
+        finalize_response(&mut resp, false);
+        assert_eq!(resp.header("connection"), None);
+    }
+
+    #[test]
+    fn serialized_bytes_match_the_streaming_writer() {
+        let resp = Response::json("{\"ok\":true}".into());
+        let mut direct = Vec::new();
+        write_response(&mut direct, &resp).unwrap();
+        assert_eq!(serialize_response(&resp, false), direct);
+        let mut truncated = Vec::new();
+        write_response_truncated(&mut truncated, &resp).unwrap();
+        assert_eq!(serialize_response(&resp, true), truncated);
+    }
+}

@@ -8,10 +8,10 @@ use crate::error::NetError;
 use crate::url::split_target;
 
 /// Maximum accepted header block (DoS guard).
-const MAX_HEADER_BYTES: usize = 64 * 1024;
+pub(crate) const MAX_HEADER_BYTES: usize = 64 * 1024;
 /// Maximum accepted single line — request line, status line, or one header
 /// (DoS guard: without it a line that never terminates buffers unboundedly).
-const MAX_LINE_BYTES: usize = 8 * 1024;
+pub(crate) const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Maximum accepted body (DoS guard; batch endpoints stay far below this).
 const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 
@@ -184,6 +184,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         403 => "Forbidden",
         404 => "Not Found",
+        408 => "Request Timeout",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",

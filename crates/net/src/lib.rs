@@ -7,7 +7,8 @@
 //! * [`json`] — a full JSON value type, parser and writer;
 //! * [`url`] — percent-encoding and query strings;
 //! * [`http`] — HTTP/1.1 request/response framing with keep-alive;
-//! * [`server`] — a thread-pool TCP server with graceful shutdown;
+//! * [`server`] — an HTTP server with graceful shutdown, in two modes:
+//!   a nonblocking epoll reactor (Linux default) and a thread pool;
 //! * [`client`] — a blocking keep-alive client;
 //! * [`pool`] — a shared keep-alive connection pool behind the client;
 //! * [`lru`] — a bounded least-recently-used map (wire-response cache);
@@ -20,6 +21,7 @@
 
 pub mod backoff;
 pub mod client;
+pub(crate) mod conn;
 pub mod error;
 pub mod fault;
 pub mod http;
@@ -27,6 +29,8 @@ pub mod json;
 pub mod lru;
 pub mod pool;
 pub mod ratelimit;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod server;
 pub mod url;
 
@@ -39,4 +43,12 @@ pub use json::Json;
 pub use lru::LruCache;
 pub use pool::ConnectionPool;
 pub use ratelimit::{KeyedLimiter, TokenBucket};
-pub use server::{Handler, HttpServer};
+#[cfg(target_os = "linux")]
+pub use reactor::raise_nofile_limit;
+pub use server::{Handler, HttpServer, ServerConfig, ServerMode};
+
+/// No-op off Linux (the reactor — and its fd-hungry bench — is Linux-only).
+#[cfg(not(target_os = "linux"))]
+pub fn raise_nofile_limit(_want: u64) -> u64 {
+    0
+}

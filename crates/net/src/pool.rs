@@ -13,11 +13,12 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::error::NetError;
+use crate::http::Response;
 
 /// One pooled connection: a writer handle and a buffered reader over the
 /// same socket. Crossing request/response pairs is impossible because a
@@ -32,9 +33,15 @@ pub struct ConnectionPool {
     addr: SocketAddr,
     timeout: Duration,
     max_idle: usize,
-    idle: Mutex<Vec<Conn>>,
+    /// Parked connections older than this are discarded at checkout instead
+    /// of reused: the server closes idle keep-alive connections after its
+    /// own idle timeout, so a connection parked longer than that is dead on
+    /// arrival. Kept below the server default (30 s) with margin.
+    max_idle_age: Duration,
+    idle: Mutex<Vec<(Conn, Instant)>>,
     connects: AtomicU64,
     reuses: AtomicU64,
+    expired: AtomicU64,
 }
 
 impl ConnectionPool {
@@ -44,15 +51,25 @@ impl ConnectionPool {
             addr,
             timeout: Duration::from_secs(30),
             max_idle: max_idle.max(1),
+            max_idle_age: Duration::from_secs(20),
             idle: Mutex::new(Vec::new()),
             connects: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
         }
     }
 
     /// Builder-style connect/read/write timeout (default 30 s).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Builder-style idle-age cap (default 20 s). Set it below the server's
+    /// idle timeout, so the pool never hands out a connection the server has
+    /// already reaped.
+    pub fn with_max_idle_age(mut self, max_idle_age: Duration) -> Self {
+        self.max_idle_age = max_idle_age;
         self
     }
 
@@ -75,14 +92,27 @@ impl ConnectionPool {
         self.idle.lock().len()
     }
 
-    /// Takes an idle connection if one is parked; `true` in the pair means
-    /// the connection was pooled (a failure on it may just be staleness).
+    /// Parked connections discarded at checkout for exceeding
+    /// [`with_max_idle_age`](Self::with_max_idle_age).
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Takes an idle connection if a fresh-enough one is parked. Entries
+    /// older than the idle-age cap are dropped (closing the socket) rather
+    /// than handed out — the server has likely reaped them already.
     pub(crate) fn checkout(&self) -> Option<Conn> {
-        let conn = self.idle.lock().pop();
-        if conn.is_some() {
+        let now = Instant::now();
+        let mut idle = self.idle.lock();
+        while let Some((conn, parked_at)) = idle.pop() {
+            if now.duration_since(parked_at) > self.max_idle_age {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                continue; // dropped: the socket closes here
+            }
             self.reuses.fetch_add(1, Ordering::Relaxed);
+            return Some(conn);
         }
-        conn
+        None
     }
 
     /// Opens a fresh connection (counted).
@@ -96,12 +126,18 @@ impl ConnectionPool {
         Ok(Conn { writer, reader: BufReader::new(stream) })
     }
 
-    /// Parks a healthy connection for reuse; drops it (closing the socket)
-    /// when the pool is already full.
-    pub(crate) fn checkin(&self, conn: Conn) {
+    /// Parks a connection for reuse after a successful exchange — unless
+    /// `resp` carries the server's close intent (`Connection: close`, sent
+    /// ahead of every server-side close: errors, truncations, idle reaps).
+    /// Parking such a connection would hand a half-closed socket to the next
+    /// checkout. Also drops the connection when the pool is already full.
+    pub(crate) fn checkin(&self, conn: Conn, resp: &Response) {
+        if !resp.keep_alive() {
+            return; // server is closing this connection: never park it
+        }
         let mut idle = self.idle.lock();
         if idle.len() < self.max_idle {
-            idle.push(conn);
+            idle.push((conn, Instant::now()));
         }
     }
 
@@ -123,6 +159,10 @@ mod tests {
         HttpServer::bind("127.0.0.1:0", 4, handler).unwrap()
     }
 
+    fn reusable() -> Response {
+        Response::json("{}".into())
+    }
+
     #[test]
     fn pool_caps_idle_connections() {
         let server = echo_server();
@@ -130,9 +170,9 @@ mod tests {
         let a = pool.connect().unwrap();
         let b = pool.connect().unwrap();
         let c = pool.connect().unwrap();
-        pool.checkin(a);
-        pool.checkin(b);
-        pool.checkin(c); // over max_idle: dropped, socket closed
+        pool.checkin(a, &reusable());
+        pool.checkin(b, &reusable());
+        pool.checkin(c, &reusable()); // over max_idle: dropped, socket closed
         assert_eq!(pool.idle_len(), 2);
         assert_eq!(pool.connects(), 3);
     }
@@ -143,9 +183,32 @@ mod tests {
         let pool = ConnectionPool::new(server.addr(), 4);
         assert!(pool.checkout().is_none(), "empty pool has nothing to reuse");
         let conn = pool.connect().unwrap();
-        pool.checkin(conn);
+        pool.checkin(conn, &reusable());
         assert!(pool.checkout().is_some());
         assert_eq!(pool.reuses(), 1);
         assert!(pool.checkout().is_none(), "checkout removes the connection");
+    }
+
+    #[test]
+    fn close_intent_response_is_never_parked() {
+        let server = echo_server();
+        let pool = ConnectionPool::new(server.addr(), 4);
+        let conn = pool.connect().unwrap();
+        let resp = Response::json("{}".into()).with_header("Connection", "close");
+        pool.checkin(conn, &resp);
+        assert_eq!(pool.idle_len(), 0, "a half-closed socket must not be pooled");
+    }
+
+    #[test]
+    fn expired_idle_connections_are_discarded_at_checkout() {
+        let server = echo_server();
+        let pool =
+            ConnectionPool::new(server.addr(), 4).with_max_idle_age(Duration::from_millis(50));
+        let conn = pool.connect().unwrap();
+        pool.checkin(conn, &reusable());
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(pool.checkout().is_none(), "aged-out connection must not be handed out");
+        assert_eq!(pool.expired(), 1);
+        assert_eq!(pool.reuses(), 0);
     }
 }

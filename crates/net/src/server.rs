@@ -1,9 +1,28 @@
-//! A blocking HTTP server on `std::net`: acceptor thread + fixed worker pool,
-//! keep-alive connections, graceful shutdown.
+//! The HTTP server behind the emulated Steam Web API, in two modes behind
+//! one API:
 //!
-//! Design follows the guides' advice for this workload: the API emulation is
-//! simple request/response over few connections, so a thread-per-connection
-//! pool is simpler and no slower than an async runtime here.
+//! * [`ServerMode::Epoll`] (default on Linux) — a nonblocking epoll reactor
+//!   ([`reactor`](crate::reactor)): one event-loop thread multiplexes every
+//!   connection, so concurrency is bounded by file descriptors, not worker
+//!   threads. This is what lets one process hold 10k+ keep-alive
+//!   connections from a fleet of crawl workers.
+//! * [`ServerMode::Threaded`] — the original blocking acceptor + fixed
+//!   worker pool. Simple, portable, and still the right tool when the
+//!   client count is small; concurrency is capped at the worker count.
+//!
+//! Both modes route every request through the same
+//! [`Dispatcher`](crate::conn::Dispatcher), so responses are byte-identical
+//! across modes — `serve_bench` and the mode-parity suite assert it.
+//!
+//! ## Connection lifecycle
+//!
+//! Idle keep-alive connections are closed after
+//! [`ServerConfig::idle_timeout`] (worker threads poll in short slices; the
+//! reactor sweeps on a timer), so an abandoned or slow-loris client cannot
+//! pin a worker forever. A connection that stalls *mid-request* is answered
+//! with `408 Request Timeout` and closed. Every response that precedes a
+//! server-side close carries `Connection: close`, so client pools can see
+//! the close intent instead of parking a half-closed socket.
 //!
 //! ## Observability
 //!
@@ -18,6 +37,7 @@
 //! in the `endpoint` label, keeping its cardinality bounded.
 
 use std::collections::HashMap;
+use std::io::BufRead;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -26,10 +46,13 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use steam_obs::{obs_trace, Counter, Gauge, Histogram, Registry};
+use steam_obs::Registry;
 
+use crate::conn::{
+    bad_request_response, finalize_response, Dispatcher, ObsCache, Outcome, ServerObs,
+};
 use crate::error::NetError;
-use crate::fault::{FaultInjector, FaultKind};
+use crate::fault::FaultInjector;
 use crate::http::{read_request, write_response, write_response_truncated, Request, Response};
 
 /// A request handler. Must be cheap to share across worker threads.
@@ -67,85 +90,87 @@ pub fn normalize_endpoint(path: &str) -> String {
     }
 }
 
-/// The server side of the observability layer: pre-registered instruments
-/// plus the registry itself (for `/metrics`).
-struct ServerObs {
-    registry: Arc<Registry>,
-    in_flight: Arc<Gauge>,
-    connections: Arc<Counter>,
+/// How the server multiplexes connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Nonblocking epoll reactor: one event-loop thread, unbounded
+    /// keep-alive concurrency. Linux-only; on other platforms this falls
+    /// back to [`ServerMode::Threaded`].
+    Epoll,
+    /// Blocking acceptor + fixed worker pool; concurrency capped at
+    /// [`ServerConfig::workers`].
+    Threaded,
 }
 
-impl ServerObs {
-    fn new(registry: Arc<Registry>) -> Self {
-        registry.describe(
-            "http_requests_total",
-            "HTTP requests served, by endpoint, method and status",
-        );
-        registry
-            .describe("http_request_duration_seconds", "Request handling latency, by endpoint");
-        registry.describe("http_requests_in_flight", "Requests currently being handled");
-        registry.describe("http_connections_total", "TCP connections accepted");
-        ServerObs {
-            in_flight: registry.gauge("http_requests_in_flight", &[]),
-            connections: registry.counter("http_connections_total", &[]),
-            registry,
+impl Default for ServerMode {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            ServerMode::Epoll
+        } else {
+            ServerMode::Threaded
         }
     }
 }
 
-/// Per-connection cache of metric handles, so keep-alive request streams
-/// touch only atomics after the first request to each endpoint.
-#[derive(Default)]
-struct ObsCache {
-    latency: HashMap<String, Arc<Histogram>>,
-    requests: HashMap<(String, String, u16), Arc<Counter>>,
-}
+impl ServerMode {
+    /// The mode that will actually run (epoll falls back to threaded off
+    /// Linux).
+    pub fn resolved(self) -> ServerMode {
+        if self == ServerMode::Epoll && !cfg!(target_os = "linux") {
+            ServerMode::Threaded
+        } else {
+            self
+        }
+    }
 
-impl ObsCache {
-    fn record(&mut self, obs: &ServerObs, req_method: &str, endpoint: &str, status: u16, elapsed: Duration) {
-        self.latency
-            .entry(endpoint.to_string())
-            .or_insert_with(|| {
-                obs.registry.histogram("http_request_duration_seconds", &[("endpoint", endpoint)])
-            })
-            .record_duration(elapsed);
-        self.requests
-            .entry((endpoint.to_string(), req_method.to_string(), status))
-            .or_insert_with(|| {
-                obs.registry.counter(
-                    "http_requests_total",
-                    &[
-                        ("endpoint", endpoint),
-                        ("method", req_method),
-                        ("status", &status.to_string()),
-                    ],
-                )
-            })
-            .inc();
-        obs_trace!(
-            "http",
-            "{req_method} {endpoint} -> {status} in {:.3?}",
-            elapsed
-        );
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerMode::Epoll => "epoll",
+            ServerMode::Threaded => "threaded",
+        }
     }
 }
 
+/// Server tuning knobs shared by both modes.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (threaded mode only; the reactor is one thread).
+    pub workers: usize,
+    pub mode: ServerMode,
+    /// Close a keep-alive connection after this long with no request, and
+    /// abort (408) a request that takes longer than this to arrive.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            mode: ServerMode::default(),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// How often blocked/idle paths re-check deadlines and the shutdown flag.
+pub(crate) const POLL_SLICE: Duration = Duration::from_millis(100);
+
 /// A running HTTP server; dropping it (or calling [`shutdown`](Self::shutdown))
-/// stops the acceptor and joins all workers.
+/// stops accepting, closes connections, and joins all threads.
 pub struct HttpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
-    conn_tx: Option<Sender<TcpStream>>,
-    /// Live connections, so shutdown can force-close sockets that workers
-    /// are blocked reading from.
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    inner: Inner,
+}
+
+enum Inner {
+    Threaded(ThreadedServer),
+    #[cfg(target_os = "linux")]
+    Epoll(crate::reactor::Reactor),
 }
 
 impl HttpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts serving
-    /// on `n_workers` threads.
+    /// in the default mode. `n_workers` sizes the pool in threaded mode.
     pub fn bind(addr: &str, n_workers: usize, handler: Arc<dyn Handler>) -> Result<Self, NetError> {
         Self::bind_observed(addr, n_workers, handler, None)
     }
@@ -174,24 +199,96 @@ impl HttpServer {
         registry: Option<Arc<Registry>>,
         faults: Option<Arc<FaultInjector>>,
     ) -> Result<Self, NetError> {
-        assert!(n_workers > 0);
+        let config = ServerConfig { workers: n_workers, ..ServerConfig::default() };
+        Self::bind_config(addr, config, handler, registry, faults)
+    }
+
+    /// The fully general constructor: every other `bind_*` delegates here.
+    pub fn bind_config(
+        addr: &str,
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+        registry: Option<Arc<Registry>>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, NetError> {
+        assert!(config.workers > 0);
         let obs = registry.map(|r| Arc::new(ServerObs::new(r)));
+        let dispatcher = Arc::new(Dispatcher::new(handler, obs, faults));
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let inner = match config.mode.resolved() {
+            ServerMode::Threaded => {
+                Inner::Threaded(ThreadedServer::start(listener, config, dispatcher)?)
+            }
+            #[cfg(target_os = "linux")]
+            ServerMode::Epoll => {
+                Inner::Epoll(crate::reactor::Reactor::start(listener, config, dispatcher)?)
+            }
+            #[cfg(not(target_os = "linux"))]
+            ServerMode::Epoll => unreachable!("resolved() falls back to Threaded off Linux"),
+        };
+        Ok(HttpServer { addr: local, inner })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The mode actually serving (after platform fallback).
+    pub fn mode(&self) -> ServerMode {
+        match &self.inner {
+            Inner::Threaded(_) => ServerMode::Threaded,
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(_) => ServerMode::Epoll,
+        }
+    }
+
+    /// Stops accepting, closes connections, joins threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        match &mut self.inner {
+            Inner::Threaded(s) => s.shutdown(),
+            #[cfg(target_os = "linux")]
+            Inner::Epoll(r) => r.shutdown(),
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The blocking acceptor + worker-pool server (the original mode).
+struct ThreadedServer {
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    conn_tx: Option<Sender<TcpStream>>,
+    /// Live connections, so shutdown can force-close sockets that workers
+    /// are blocked reading from.
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+}
+
+impl ThreadedServer {
+    fn start(
+        listener: TcpListener,
+        config: ServerConfig,
+        dispatcher: Arc<Dispatcher>,
+    ) -> Result<Self, NetError> {
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = bounded::<TcpStream>(n_workers * 4);
+        let (tx, rx) = bounded::<TcpStream>(config.workers * 4);
         let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let next_conn_id = Arc::new(AtomicU64::new(0));
 
-        let mut workers = Vec::with_capacity(n_workers);
-        for i in 0..n_workers {
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
             let rx = rx.clone();
-            let handler = Arc::clone(&handler);
+            let dispatcher = Arc::clone(&dispatcher);
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let next_conn_id = Arc::clone(&next_conn_id);
-            let obs = obs.clone();
-            let faults = faults.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("http-worker-{i}"))
@@ -204,17 +301,16 @@ impl HttpServer {
                             if let Ok(clone) = stream.try_clone() {
                                 conns.lock().insert(id, clone);
                             }
-                            if let Some(obs) = &obs {
+                            if let Some(obs) = dispatcher.obs() {
                                 obs.connections.inc();
                             }
                             // Individual connection failures must not kill
                             // the worker.
                             let _ = serve_connection(
                                 stream,
-                                &*handler,
+                                &dispatcher,
                                 &stop,
-                                obs.as_deref(),
-                                faults.as_deref(),
+                                config.idle_timeout,
                             );
                             conns.lock().remove(&id);
                         }
@@ -238,9 +334,6 @@ impl HttpServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             stream.set_nodelay(true).ok();
-                            stream
-                                .set_read_timeout(Some(Duration::from_secs(30)))
-                                .ok();
                             if tx.send(stream).is_err() {
                                 break;
                             }
@@ -254,8 +347,7 @@ impl HttpServer {
                 .expect("spawn acceptor")
         };
 
-        Ok(HttpServer {
-            addr: local,
+        Ok(ThreadedServer {
             stop,
             acceptor: Some(acceptor),
             workers,
@@ -264,16 +356,19 @@ impl HttpServer {
         })
     }
 
-    /// The bound address (resolves port 0 to the actual port).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
     /// Stops accepting, drains workers, joins threads. Idempotent.
-    pub fn shutdown(&mut self) {
+    ///
+    /// Three things unblock a worker, covering every race window: dropping
+    /// the sender wakes workers parked on `recv`; force-closing the tracked
+    /// sockets interrupts blocked reads; and workers that took a connection
+    /// before `stop` was visible (or whose socket missed the force-close
+    /// because it was not yet in the map) observe the flag within one
+    /// [`POLL_SLICE`], because every blocking read is sliced. A worker
+    /// mid-write when its socket is closed gets an I/O error, which
+    /// [`serve_connection`] returns (never panics) — the worker then exits
+    /// through the closed channel.
+    fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        // Closing the sender unblocks workers waiting on recv; shutting the
-        // live sockets unblocks workers mid-read.
         self.conn_tx.take();
         for (_, stream) in self.conns.lock().drain() {
             stream.shutdown(std::net::Shutdown::Both).ok();
@@ -284,126 +379,87 @@ impl HttpServer {
         for h in self.workers.drain(..) {
             h.join().ok();
         }
+        // Connections registered between the drain above and worker exit.
+        for (_, stream) in self.conns.lock().drain() {
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        }
     }
 }
 
-impl Drop for HttpServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
-/// Serves requests on one connection until close, error, or shutdown.
+/// Serves requests on one connection until close, error, idle timeout, or
+/// shutdown.
 fn serve_connection(
     stream: TcpStream,
-    handler: &dyn Handler,
+    dispatcher: &Dispatcher,
     stop: &AtomicBool,
-    obs: Option<&ServerObs>,
-    faults: Option<&FaultInjector>,
+    idle_timeout: Duration,
 ) -> Result<(), NetError> {
     let mut writer = stream.try_clone()?;
+    // Sliced read timeout: blocked reads wake every POLL_SLICE to check the
+    // idle deadline and the shutdown flag.
+    stream.set_read_timeout(Some(POLL_SLICE))?;
     let mut reader = BufReader::new(stream);
     let mut cache = ObsCache::default();
     loop {
-        if stop.load(Ordering::Relaxed) {
-            return Ok(());
+        // Between requests: wait for the first byte of the next request.
+        // An idle keep-alive connection (slow-loris, abandoned crawler) is
+        // closed at the idle deadline instead of holding this worker
+        // forever.
+        let idle_start = Instant::now();
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            match reader.fill_buf() {
+                Ok([]) => return Ok(()), // peer closed cleanly
+                Ok(_) => break,          // request bytes waiting
+                Err(ref e) if is_timeout(e) => {
+                    if idle_start.elapsed() >= idle_timeout {
+                        return Ok(()); // idle too long: close silently
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         let req = match read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return Ok(()), // peer closed cleanly
-            Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                // Read timeout: give the shutdown flag a chance, keep waiting.
-                continue;
+            Err(NetError::Io(ref e)) if is_timeout(e) => {
+                // A request started arriving but stalled mid-read (the
+                // sliced timeout expired inside the parse, whose state
+                // cannot be resumed). This is the slow-loris guard for the
+                // mid-request case: answer 408 with close intent and drop.
+                let mut resp = Response::error(408, "request read timed out");
+                finalize_response(&mut resp, true);
+                let _ = write_response(&mut writer, &resp);
+                return Ok(());
             }
             Err(e) => {
                 // Malformed request: answer 400 and drop the connection.
-                let _ = write_response(&mut writer, &Response::error(400, &e.to_string()));
+                let _ = write_response(&mut writer, &bad_request_response(&e));
                 return Err(e);
             }
         };
-        let keep_alive = req.keep_alive();
-        // Fault injection, ahead of the handler but never for operational
-        // endpoints: a fault drill must not blind the metrics watching it.
-        let operational =
-            req.method == "GET" && (req.path == "/metrics" || req.path == "/healthz");
-        if let Some(inj) = faults.filter(|_| !operational) {
-            match inj.decide(&req.path) {
-                None => {}
-                // Stall injects latency, then the request proceeds normally.
-                Some(FaultKind::Stall) => std::thread::sleep(inj.stall_duration()),
-                Some(FaultKind::Drop) => return Ok(()),
-                Some(k @ (FaultKind::Status500 | FaultKind::Status503)) => {
-                    let status = if k == FaultKind::Status500 { 500 } else { 503 };
-                    if let Some(obs) = obs {
-                        let endpoint = normalize_endpoint(&req.path);
-                        cache.record(obs, &req.method, &endpoint, status, Duration::ZERO);
-                    }
-                    write_response(&mut writer, &Response::error(status, "injected fault"))?;
-                    if !keep_alive {
-                        return Ok(());
-                    }
-                    continue;
+        match dispatcher.dispatch(req, &mut cache) {
+            Outcome::Drop => return Ok(()),
+            Outcome::Respond { mut resp, close, truncate, delay } => {
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
                 }
-                Some(k @ (FaultKind::Truncate | FaultKind::Corrupt)) => {
-                    // Compute the real response, then damage it on the wire.
-                    let endpoint = normalize_endpoint(&req.path);
-                    let method = req.method.clone();
-                    let start = Instant::now();
-                    let mut resp = handler.handle(req);
-                    if let Some(obs) = obs {
-                        cache.record(obs, &method, &endpoint, resp.status, start.elapsed());
-                    }
-                    if k == FaultKind::Corrupt {
-                        match resp.body.first_mut() {
-                            Some(b) => *b = b'#',
-                            None => resp.body.push(b'#'),
-                        }
-                        write_response(&mut writer, &resp)?;
-                        if !keep_alive {
-                            return Ok(());
-                        }
-                        continue;
-                    }
+                finalize_response(&mut resp, close);
+                if truncate {
                     write_response_truncated(&mut writer, &resp)?;
-                    // The declared Content-Length was not honored; the only
-                    // coherent next step is closing the connection.
+                } else {
+                    write_response(&mut writer, &resp)?;
+                }
+                if close {
                     return Ok(());
                 }
             }
-        }
-        let resp = match obs {
-            None => handler.handle(req),
-            Some(obs) => {
-                // Operational endpoints answer before the application handler,
-                // so they are never subject to app-level rate limiting.
-                if req.method == "GET" && req.path == "/metrics" {
-                    write_response(&mut writer, &Response::text(obs.registry.render_prometheus()))?;
-                    if !keep_alive {
-                        return Ok(());
-                    }
-                    continue;
-                }
-                if req.method == "GET" && req.path == "/healthz" {
-                    write_response(&mut writer, &Response::text("ok\n".into()))?;
-                    if !keep_alive {
-                        return Ok(());
-                    }
-                    continue;
-                }
-                let endpoint = normalize_endpoint(&req.path);
-                let method = req.method.clone();
-                obs.in_flight.inc();
-                let start = Instant::now();
-                let resp = handler.handle(req);
-                let elapsed = start.elapsed();
-                obs.in_flight.dec();
-                cache.record(obs, &method, &endpoint, resp.status, elapsed);
-                resp
-            }
-        };
-        write_response(&mut writer, &resp)?;
-        if !keep_alive {
-            return Ok(());
         }
     }
 }
@@ -411,14 +467,26 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::Request;
-    use std::io::Write;
+    use crate::http::{read_response, write_request, Request};
+    use std::io::{Read, Write};
 
-    fn echo_server() -> HttpServer {
-        let handler: Arc<dyn Handler> = Arc::new(|req: Request| {
-            Response::json(format!("{{\"path\":\"{}\"}}", req.path))
-        });
-        HttpServer::bind("127.0.0.1:0", 2, handler).unwrap()
+    /// Every mode this platform can run; core tests loop over all of them so
+    /// the reactor and the thread pool stay behaviorally interchangeable.
+    fn modes() -> Vec<ServerMode> {
+        let mut modes = vec![ServerMode::Threaded];
+        if cfg!(target_os = "linux") {
+            modes.push(ServerMode::Epoll);
+        }
+        modes
+    }
+
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: Request| Response::json(format!("{{\"path\":\"{}\"}}", req.path)))
+    }
+
+    fn echo_server(mode: ServerMode) -> HttpServer {
+        let config = ServerConfig { workers: 2, mode, ..ServerConfig::default() };
+        HttpServer::bind_config("127.0.0.1:0", config, echo_handler(), None, None).unwrap()
     }
 
     fn raw_get(addr: SocketAddr, target: &str, close: bool) -> Response {
@@ -428,57 +496,198 @@ mod tests {
         if close {
             req.headers.push(("Connection".into(), "close".into()));
         }
-        crate::http::write_request(&mut writer, &req).unwrap();
+        write_request(&mut writer, &req).unwrap();
         let mut reader = BufReader::new(stream);
-        crate::http::read_response(&mut reader).unwrap()
+        read_response(&mut reader).unwrap()
+    }
+
+    /// One request with close intent; returns the raw response bytes (read
+    /// to EOF), for byte-identity assertions.
+    fn raw_bytes(addr: SocketAddr, target: &str) -> Vec<u8> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut req = Request::get(target);
+        req.headers.push(("Connection".into(), "close".into()));
+        write_request(&mut writer, &req).unwrap();
+        let mut bytes = Vec::new();
+        let mut reader = stream;
+        reader.read_to_end(&mut bytes).unwrap();
+        bytes
     }
 
     #[test]
     fn serves_requests() {
-        let server = echo_server();
-        let resp = raw_get(server.addr(), "/hello", true);
-        assert_eq!(resp.status, 200);
-        assert!(resp.body_text().contains("/hello"));
+        for mode in modes() {
+            let server = echo_server(mode);
+            let resp = raw_get(server.addr(), "/hello", true);
+            assert_eq!(resp.status, 200, "{}", mode.label());
+            assert!(resp.body_text().contains("/hello"));
+        }
+    }
+
+    #[test]
+    fn default_mode_matches_platform() {
+        let server = echo_server(ServerMode::default());
+        if cfg!(target_os = "linux") {
+            assert_eq!(server.mode(), ServerMode::Epoll);
+        } else {
+            assert_eq!(server.mode(), ServerMode::Threaded);
+        }
     }
 
     #[test]
     fn keep_alive_serves_multiple_requests() {
-        let server = echo_server();
-        let stream = TcpStream::connect(server.addr()).unwrap();
-        let mut writer = stream.try_clone().unwrap();
-        let mut reader = BufReader::new(stream);
-        for path in ["/a", "/b", "/c"] {
-            crate::http::write_request(&mut writer, &Request::get(path)).unwrap();
-            let resp = crate::http::read_response(&mut reader).unwrap();
-            assert!(resp.body_text().contains(path));
+        for mode in modes() {
+            let server = echo_server(mode);
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            for path in ["/a", "/b", "/c"] {
+                write_request(&mut writer, &Request::get(path)).unwrap();
+                let resp = read_response(&mut reader).unwrap();
+                assert!(resp.body_text().contains(path), "{}", mode.label());
+                assert_eq!(resp.header("connection"), None, "keep-alive must not close");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        for mode in modes() {
+            let server = echo_server(mode);
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            // Both requests in one write: the server must answer in order
+            // without waiting for the first response to be consumed.
+            let mut bytes = Vec::new();
+            write_request(&mut bytes, &Request::get("/one")).unwrap();
+            write_request(&mut bytes, &Request::get("/two")).unwrap();
+            writer.write_all(&bytes).unwrap();
+            let mut reader = BufReader::new(stream);
+            let first = read_response(&mut reader).unwrap();
+            let second = read_response(&mut reader).unwrap();
+            assert!(first.body_text().contains("/one"), "{}", mode.label());
+            assert!(second.body_text().contains("/two"), "{}", mode.label());
         }
     }
 
     #[test]
     fn concurrent_clients() {
-        let server = echo_server();
-        let addr = server.addr();
-        let handles: Vec<_> = (0..8)
-            .map(|i| {
-                std::thread::spawn(move || {
-                    let resp = raw_get(addr, &format!("/client{i}"), true);
-                    assert!(resp.body_text().contains(&format!("client{i}")));
+        for mode in modes() {
+            let server = echo_server(mode);
+            let addr = server.addr();
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        let resp = raw_get(addr, &format!("/client{i}"), true);
+                        assert!(resp.body_text().contains(&format!("client{i}")));
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
         }
     }
 
     #[test]
-    fn malformed_request_gets_400() {
-        let server = echo_server();
-        let mut stream = TcpStream::connect(server.addr()).unwrap();
-        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
-        let mut reader = BufReader::new(stream);
-        let resp = crate::http::read_response(&mut reader).unwrap();
-        assert_eq!(resp.status, 400);
+    fn malformed_request_gets_400_with_close_intent() {
+        for mode in modes() {
+            let server = echo_server(mode);
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+            let mut reader = BufReader::new(stream);
+            let resp = read_response(&mut reader).unwrap();
+            assert_eq!(resp.status, 400, "{}", mode.label());
+            // The connection is about to be closed by the server; the
+            // response must say so (the client pool relies on this).
+            assert_eq!(resp.header("connection"), Some("close"));
+        }
+    }
+
+    #[test]
+    fn explicit_close_request_gets_close_intent_back() {
+        for mode in modes() {
+            let server = echo_server(mode);
+            let resp = raw_get(server.addr(), "/x", true);
+            assert_eq!(resp.header("connection"), Some("close"), "{}", mode.label());
+        }
+    }
+
+    #[test]
+    fn modes_serve_identical_bytes() {
+        if !cfg!(target_os = "linux") {
+            return; // only one mode exists off Linux
+        }
+        let threaded = echo_server(ServerMode::Threaded);
+        let epoll = echo_server(ServerMode::Epoll);
+        for path in ["/hello", "/user/42/profile", "/a/b?x=1&y=2"] {
+            assert_eq!(
+                raw_bytes(threaded.addr(), path),
+                raw_bytes(epoll.addr(), path),
+                "modes disagree on {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn silent_client_cannot_starve_the_server() {
+        for mode in modes() {
+            // One worker, short idle timeout: in threaded mode a slow-loris
+            // connection used to pin the lone worker forever.
+            let config = ServerConfig {
+                workers: 1,
+                mode,
+                idle_timeout: Duration::from_millis(250),
+            };
+            let server =
+                HttpServer::bind_config("127.0.0.1:0", config, echo_handler(), None, None)
+                    .unwrap();
+            let addr = server.addr();
+            let mut silent = TcpStream::connect(addr).unwrap();
+            // Let the worker adopt the silent connection before the real
+            // request arrives.
+            std::thread::sleep(Duration::from_millis(50));
+            let start = Instant::now();
+            let resp = raw_get(addr, "/alive", true);
+            assert_eq!(resp.status, 200, "{}", mode.label());
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "request starved behind an idle connection ({})",
+                mode.label()
+            );
+            // And the idle sweep actually closed the silent connection.
+            silent.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut buf = [0u8; 16];
+            assert!(
+                matches!(silent.read(&mut buf), Ok(0) | Err(_)),
+                "silent connection should have been closed ({})",
+                mode.label()
+            );
+        }
+    }
+
+    #[test]
+    fn stalled_mid_request_gets_408_with_close_intent() {
+        for mode in modes() {
+            let config = ServerConfig {
+                workers: 2,
+                mode,
+                idle_timeout: Duration::from_millis(200),
+            };
+            let server =
+                HttpServer::bind_config("127.0.0.1:0", config, echo_handler(), None, None)
+                    .unwrap();
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            // Half a request, then silence: the server must not wait
+            // forever for the rest.
+            writer.write_all(b"GET /half HTTP/1.1\r\nHost: steam").unwrap();
+            let mut reader = BufReader::new(stream);
+            let resp = read_response(&mut reader).unwrap();
+            assert_eq!(resp.status, 408, "{}", mode.label());
+            assert_eq!(resp.header("connection"), Some("close"));
+        }
     }
 
     #[test]
@@ -492,130 +701,168 @@ mod tests {
 
     #[test]
     fn metrics_and_healthz_endpoints() {
-        let registry = Arc::new(Registry::new());
-        let handler: Arc<dyn Handler> = Arc::new(|req: Request| {
-            if req.path == "/fail" {
-                Response::error(500, "boom")
-            } else {
-                Response::json("{}".into())
-            }
-        });
-        let server =
-            HttpServer::bind_observed("127.0.0.1:0", 2, handler, Some(Arc::clone(&registry)))
-                .unwrap();
-        assert_eq!(raw_get(server.addr(), "/healthz", true).body_text(), "ok\n");
-        raw_get(server.addr(), "/user/42/profile", true);
-        raw_get(server.addr(), "/user/77/profile", true);
-        raw_get(server.addr(), "/fail", true);
+        for mode in modes() {
+            let registry = Arc::new(Registry::new());
+            let handler: Arc<dyn Handler> = Arc::new(|req: Request| {
+                if req.path == "/fail" {
+                    Response::error(500, "boom")
+                } else {
+                    Response::json("{}".into())
+                }
+            });
+            let config = ServerConfig { workers: 2, mode, ..ServerConfig::default() };
+            let server = HttpServer::bind_config(
+                "127.0.0.1:0",
+                config,
+                handler,
+                Some(Arc::clone(&registry)),
+                None,
+            )
+            .unwrap();
+            assert_eq!(raw_get(server.addr(), "/healthz", true).body_text(), "ok\n");
+            raw_get(server.addr(), "/user/42/profile", true);
+            raw_get(server.addr(), "/user/77/profile", true);
+            raw_get(server.addr(), "/fail", true);
 
-        let resp = raw_get(server.addr(), "/metrics", true);
-        assert_eq!(resp.status, 200);
-        assert!(resp.header("content-type").unwrap().starts_with("text/plain"));
-        let body = resp.body_text();
-        assert!(
-            body.contains(
-                "http_requests_total{endpoint=\"/user/:id/profile\",method=\"GET\",status=\"200\"} 2"
-            ),
-            "numeric segments should collapse into one series:\n{body}"
-        );
-        assert!(body.contains(
-            "http_requests_total{endpoint=\"/fail\",method=\"GET\",status=\"500\"} 1"
-        ));
-        assert!(body.contains("http_request_duration_seconds_bucket{endpoint=\"/fail\",le="));
-        assert!(body.contains("http_requests_in_flight 0"));
-        // /metrics and /healthz must not instrument themselves.
-        assert!(!body.contains("endpoint=\"/metrics\""));
-        assert!(!body.contains("endpoint=\"/healthz\""));
+            let resp = raw_get(server.addr(), "/metrics", true);
+            assert_eq!(resp.status, 200);
+            assert!(resp.header("content-type").unwrap().starts_with("text/plain"));
+            let body = resp.body_text();
+            assert!(
+                body.contains(
+                    "http_requests_total{endpoint=\"/user/:id/profile\",method=\"GET\",status=\"200\"} 2"
+                ),
+                "numeric segments should collapse into one series ({}):\n{body}",
+                mode.label()
+            );
+            assert!(body.contains(
+                "http_requests_total{endpoint=\"/fail\",method=\"GET\",status=\"500\"} 1"
+            ));
+            assert!(body.contains("http_request_duration_seconds_bucket{endpoint=\"/fail\",le="));
+            assert!(body.contains("http_requests_in_flight 0"));
+            // /metrics and /healthz must not instrument themselves.
+            assert!(!body.contains("endpoint=\"/metrics\""));
+            assert!(!body.contains("endpoint=\"/healthz\""));
+        }
     }
 
-    fn faulty_server(spec: &str) -> HttpServer {
-        let handler: Arc<dyn Handler> = Arc::new(|req: Request| {
-            Response::json(format!("{{\"path\":\"{}\"}}", req.path))
-        });
+    fn faulty_server(spec: &str, mode: ServerMode) -> HttpServer {
         let inj = Arc::new(FaultInjector::new(crate::FaultPlan::parse(spec, 11).unwrap(), None));
-        HttpServer::bind_faulty("127.0.0.1:0", 2, handler, None, Some(inj)).unwrap()
+        let config = ServerConfig { workers: 2, mode, ..ServerConfig::default() };
+        HttpServer::bind_config("127.0.0.1:0", config, echo_handler(), None, Some(inj)).unwrap()
     }
 
     #[test]
     fn injected_500_and_503_are_served() {
-        let server = faulty_server("500=1.0");
-        let resp = raw_get(server.addr(), "/x", true);
-        assert_eq!(resp.status, 500);
-        let server = faulty_server("503=1.0");
-        let resp = raw_get(server.addr(), "/x", true);
-        assert_eq!(resp.status, 503);
+        for mode in modes() {
+            let server = faulty_server("500=1.0", mode);
+            let resp = raw_get(server.addr(), "/x", true);
+            assert_eq!(resp.status, 500, "{}", mode.label());
+            let server = faulty_server("503=1.0", mode);
+            let resp = raw_get(server.addr(), "/x", true);
+            assert_eq!(resp.status, 503, "{}", mode.label());
+        }
     }
 
     #[test]
     fn injected_drop_closes_without_response() {
-        let server = faulty_server("drop=1.0");
-        let stream = TcpStream::connect(server.addr()).unwrap();
-        let mut writer = stream.try_clone().unwrap();
-        crate::http::write_request(&mut writer, &Request::get("/x")).unwrap();
-        let mut reader = BufReader::new(stream);
-        assert!(crate::http::read_response(&mut reader).is_err());
+        for mode in modes() {
+            let server = faulty_server("drop=1.0", mode);
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            write_request(&mut writer, &Request::get("/x")).unwrap();
+            let mut reader = BufReader::new(stream);
+            assert!(read_response(&mut reader).is_err(), "{}", mode.label());
+        }
     }
 
     #[test]
     fn injected_corrupt_garbles_body() {
-        let server = faulty_server("corrupt=1.0");
-        let resp = raw_get(server.addr(), "/x", true);
-        assert_eq!(resp.status, 200);
-        assert!(resp.body.starts_with(b"#"), "{:?}", resp.body_text());
-        assert!(crate::Json::parse(&resp.body_text()).is_err());
+        for mode in modes() {
+            let server = faulty_server("corrupt=1.0", mode);
+            let resp = raw_get(server.addr(), "/x", true);
+            assert_eq!(resp.status, 200, "{}", mode.label());
+            assert!(resp.body.starts_with(b"#"), "{:?}", resp.body_text());
+            assert!(crate::Json::parse(&resp.body_text()).is_err());
+        }
     }
 
     #[test]
     fn injected_truncate_breaks_the_read() {
-        let server = faulty_server("truncate=1.0");
-        let stream = TcpStream::connect(server.addr()).unwrap();
-        let mut writer = stream.try_clone().unwrap();
-        crate::http::write_request(&mut writer, &Request::get("/x")).unwrap();
-        let mut reader = BufReader::new(stream);
-        assert!(matches!(
-            crate::http::read_response(&mut reader),
-            Err(NetError::Io(_))
-        ));
+        for mode in modes() {
+            let server = faulty_server("truncate=1.0", mode);
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            write_request(&mut writer, &Request::get("/x")).unwrap();
+            let mut reader = BufReader::new(stream);
+            assert!(
+                matches!(read_response(&mut reader), Err(NetError::Io(_))),
+                "{}",
+                mode.label()
+            );
+        }
     }
 
     #[test]
     fn operational_endpoints_are_never_faulted() {
-        let registry = Arc::new(Registry::new());
-        let handler: Arc<dyn Handler> = Arc::new(|_req: Request| Response::json("{}".into()));
-        let inj = Arc::new(FaultInjector::new(
-            crate::FaultPlan::parse("drop=1.0", 1).unwrap(),
-            Some(&registry),
-        ));
-        let server = HttpServer::bind_faulty(
-            "127.0.0.1:0",
-            2,
-            handler,
-            Some(Arc::clone(&registry)),
-            Some(inj),
-        )
-        .unwrap();
-        // App traffic is dropped, but /healthz and /metrics always answer.
-        assert_eq!(raw_get(server.addr(), "/healthz", true).body_text(), "ok\n");
-        let body = raw_get(server.addr(), "/metrics", true).body_text();
-        assert!(body.contains("crawl_faults_injected_total"), "{body}");
+        for mode in modes() {
+            let registry = Arc::new(Registry::new());
+            let handler: Arc<dyn Handler> = Arc::new(|_req: Request| Response::json("{}".into()));
+            let inj = Arc::new(FaultInjector::new(
+                crate::FaultPlan::parse("drop=1.0", 1).unwrap(),
+                Some(&registry),
+            ));
+            let config = ServerConfig { workers: 2, mode, ..ServerConfig::default() };
+            let server = HttpServer::bind_config(
+                "127.0.0.1:0",
+                config,
+                handler,
+                Some(Arc::clone(&registry)),
+                Some(inj),
+            )
+            .unwrap();
+            // App traffic is dropped, but /healthz and /metrics always answer.
+            assert_eq!(raw_get(server.addr(), "/healthz", true).body_text(), "ok\n");
+            let body = raw_get(server.addr(), "/metrics", true).body_text();
+            assert!(body.contains("crawl_faults_injected_total"), "{body}");
+        }
     }
 
     #[test]
     fn shutdown_is_clean_and_idempotent() {
-        let mut server = echo_server();
-        let addr = server.addr();
-        raw_get(addr, "/x", true);
-        server.shutdown();
-        server.shutdown();
-        // New connections now fail or hang-up immediately.
-        let result = TcpStream::connect(addr)
-            .map_err(|_| ())
-            .and_then(|stream| {
+        for mode in modes() {
+            let mut server = echo_server(mode);
+            let addr = server.addr();
+            raw_get(addr, "/x", true);
+            // A connection sitting mid-request when shutdown lands: it must
+            // neither hang the join nor panic a worker.
+            let mut mid = TcpStream::connect(addr).unwrap();
+            mid.write_all(b"GET /mid HTTP/1.1\r\nHost: st").unwrap();
+            // An idle keep-alive connection, for good measure.
+            let mut idle = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            server.shutdown();
+            server.shutdown();
+            // Both leftover connections are force-closed by shutdown.
+            for (label, conn) in [("mid-request", &mut mid), ("idle", &mut idle)] {
+                conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                let mut buf = [0u8; 256];
+                loop {
+                    match conn.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {} // drain whatever was in flight (e.g. a 408)
+                    }
+                }
+                let _ = label;
+            }
+            // New connections now fail or hang-up immediately.
+            let result = TcpStream::connect(addr).map_err(|_| ()).and_then(|stream| {
                 let mut writer = stream.try_clone().map_err(|_| ())?;
-                crate::http::write_request(&mut writer, &Request::get("/y")).map_err(|_| ())?;
+                write_request(&mut writer, &Request::get("/y")).map_err(|_| ())?;
                 let mut reader = BufReader::new(stream);
-                crate::http::read_response(&mut reader).map_err(|_| ())
+                read_response(&mut reader).map_err(|_| ())
             });
-        assert!(result.is_err(), "server still answering after shutdown");
+            assert!(result.is_err(), "server still answering after shutdown ({})", mode.label());
+        }
     }
 }
