@@ -118,6 +118,7 @@ pub struct WireCache {
     hits: AtomicU64,
     misses: AtomicU64,
     live: AtomicUsize,
+    capacity: usize,
     metrics: OnceLock<CacheMetrics>,
 }
 
@@ -131,6 +132,7 @@ impl WireCache {
     pub fn with_shape(shards: usize, max_entries: usize) -> Self {
         let shards = shards.max(1);
         let per_shard = max_entries.div_ceil(shards).max(1);
+        let capacity = per_shard * shards;
         let shards = (0..shards)
             .map(|_| Mutex::new(LruCache::new(per_shard)))
             .collect::<Vec<_>>()
@@ -141,6 +143,7 @@ impl WireCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             live: AtomicUsize::new(0),
+            capacity,
             metrics: OnceLock::new(),
         }
     }
@@ -218,6 +221,13 @@ impl WireCache {
     /// Lifetime cache misses.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total bodies the cache can hold before LRU eviction (summed across
+    /// shards; per-shard rounding may lift it slightly above the requested
+    /// `max_entries`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 

@@ -37,7 +37,10 @@ use steam_net::client::HttpClient;
 use steam_net::pool::ConnectionPool;
 use steam_net::ratelimit::TokenBucket;
 use steam_net::NetError;
-use steam_obs::{Counter, Gauge, Histogram, Registry};
+use steam_obs::{
+    mint_trace_id, next_span_id, now_us, record_span, Counter, Gauge, Histogram, Registry,
+    SpanId, SpanKind, SpanRecord, TraceContext,
+};
 
 use crate::checkpoint::{CheckpointStore, Record, Replay, UserRecord};
 use crate::service::MAX_BATCH_IDS;
@@ -70,6 +73,12 @@ pub struct CrawlerConfig {
     /// fetcher. Size it to the phase-2 worker count — smaller starves
     /// concurrent workers into opening throwaway connections.
     pub pool_size: Option<usize>,
+    /// Propagate a trace context (`X-Steam-Trace`) on every request and
+    /// record a client span per attempt in the flight recorder. Every
+    /// attempt of one logical fetch shares a trace id, so a retried request
+    /// reads as one trace on the server's `/debug/spans`. Tracing never
+    /// changes the crawled bytes; `false` exists for overhead measurement.
+    pub trace: bool,
 }
 
 impl Default for CrawlerConfig {
@@ -83,6 +92,7 @@ impl Default for CrawlerConfig {
             checkpoint_dir: None,
             resume: false,
             pool_size: None,
+            trace: true,
         }
     }
 }
@@ -274,6 +284,9 @@ struct Fetcher {
     progress: CrawlProgress,
     /// `client.reconnects()` at the last sync into the shared counter.
     synced_reconnects: u64,
+    /// Mint and propagate a trace per logical fetch (see
+    /// [`CrawlerConfig::trace`]).
+    trace: bool,
 }
 
 impl Fetcher {
@@ -281,6 +294,12 @@ impl Fetcher {
     /// response that parses as garbage (an injected corruption, a truncated
     /// proxy body) is retried like any other transient fault instead of
     /// killing a crawl that may be months in.
+    ///
+    /// With tracing on, the whole logical fetch shares one trace id; each
+    /// attempt gets its own span id (propagated via `X-Steam-Trace`) and a
+    /// client span annotated `attempt=N` — so a fetch that survived two
+    /// injected faults shows up on `/debug/spans` as one trace with three
+    /// client hops, the last joined to a server span.
     fn get_parsed<T>(
         &mut self,
         target: &str,
@@ -293,14 +312,48 @@ impl Fetcher {
             }
         }
         self.progress.requests.inc();
+        let trace_id = if self.trace { Some(mint_trace_id()) } else { None };
         let client = &mut self.client;
         let progress = &self.progress;
+        let mut attempt = 0u32;
         let start = std::time::Instant::now();
         let result = self.backoff.run_observed(
-            || parse(&client.get(target)?.body_text()),
+            || {
+                attempt += 1;
+                let ctx = trace_id
+                    .map(|trace| TraceContext { trace, span: next_span_id() });
+                client.set_trace(ctx);
+                let start_us = now_us();
+                let t0 = std::time::Instant::now();
+                let outcome = client.get(target);
+                if let Some(ctx) = ctx {
+                    let status = match &outcome {
+                        Ok(resp) => resp.status,
+                        Err(NetError::Status { code, .. }) => *code,
+                        // Dropped connection, timeout: no status line arrived.
+                        Err(_) => 0,
+                    };
+                    record_span(
+                        SpanRecord::new(
+                            ctx.trace,
+                            ctx.span,
+                            SpanId(0),
+                            SpanKind::Client,
+                            "crawl",
+                            target,
+                        )
+                        .with_timing(start_us, t0.elapsed().as_micros() as u64)
+                        .with_status(status)
+                        .with_annotation(&format!("attempt={attempt}")),
+                    );
+                }
+                parse(&outcome?.body_text())
+            },
             |e| transient(e) || matches!(e, NetError::Json { .. }),
             |err, delay| progress.record_retry(err, delay),
         );
+        // Leave no context behind: the next fetch mints its own.
+        self.client.set_trace(None);
         self.progress.request_latency.record_duration(start.elapsed());
         let reconnects = self.client.reconnects();
         if reconnects > self.synced_reconnects {
@@ -347,6 +400,7 @@ impl Crawler {
             throttle: Arc::clone(&throttle),
             progress: progress.clone(),
             synced_reconnects: 0,
+            trace: config.trace,
         };
         Crawler { addr, fetcher, config, throttle, registry, progress, pool }
     }
@@ -384,6 +438,7 @@ impl Crawler {
             throttle: Arc::clone(&self.throttle),
             progress: self.progress.clone(),
             synced_reconnects: 0,
+            trace: self.config.trace,
         }
     }
 
@@ -1013,6 +1068,47 @@ mod tests {
             stats.backoff_wait > Duration::ZERO,
             "retries must account their sleep time"
         );
+    }
+
+    #[test]
+    fn traced_crawl_joins_client_and_server_spans_without_changing_bytes() {
+        let original = {
+            let mut cfg = SynthConfig::small(98);
+            cfg.n_users = 60;
+            cfg.n_products = 30;
+            cfg.n_groups = 6;
+            Arc::new(Generator::new(cfg).generate())
+        };
+        let crawl_with = |trace: bool| {
+            let (server, _service) =
+                serve(Arc::clone(&original), "127.0.0.1:0", 2, RateLimit::default()).unwrap();
+            let config = CrawlerConfig {
+                empty_batches_to_stop: 2,
+                trace,
+                ..CrawlerConfig::default()
+            };
+            let mut crawler = Crawler::new(server.addr(), config);
+            crawler.crawl(original.collected_at).unwrap()
+        };
+        let traced = crawl_with(true);
+        let untraced = crawl_with(false);
+        assert_eq!(
+            steam_model::codec::encode_snapshot(&traced),
+            steam_model::codec::encode_snapshot(&untraced),
+            "tracing must not change the crawled bytes"
+        );
+        // The server ran in-process, so the flight recorder holds both sides
+        // of every recent hop: find a crawl-issued client span whose trace id
+        // also tagged a server span — a complete joined trace.
+        let spans = steam_obs::recent_spans();
+        let joined = spans.iter().any(|c| {
+            c.kind == steam_obs::SpanKind::Client
+                && c.target == "crawl"
+                && spans
+                    .iter()
+                    .any(|s| s.kind == steam_obs::SpanKind::Server && s.trace == c.trace)
+        });
+        assert!(joined, "no trace with both a client and a server span");
     }
 
     #[test]

@@ -334,6 +334,33 @@ impl ApiService {
         }
     }
 
+    /// `GET /debug/cache` — wire-cache occupancy and hit/miss totals. Like
+    /// `/metrics`, this is operational: never rate-limited, never faulted,
+    /// never traced (the server's dispatcher guarantees the latter two).
+    fn debug_cache(&self) -> Response {
+        let body = match &self.cache {
+            Some(cache) => format!(
+                "{{\"enabled\":true,\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{}}}",
+                cache.len(),
+                cache.capacity(),
+                cache.hits(),
+                cache.misses()
+            ),
+            None => "{\"enabled\":false,\"entries\":0,\"capacity\":0,\"hits\":0,\"misses\":0}"
+                .to_string(),
+        };
+        Response::json(body)
+    }
+
+    /// `GET /debug/limiter` — live rate-limiter key count against its bound.
+    fn debug_limiter(&self) -> Response {
+        Response::json(format!(
+            "{{\"keys\":{},\"max_keys\":{}}}",
+            self.limiter.len(),
+            self.limiter.capacity()
+        ))
+    }
+
     fn get_group_page(&self, gid_str: &str) -> Response {
         let gid: u32 = match gid_str.parse() {
             Ok(g) => g,
@@ -352,6 +379,13 @@ impl Handler for ApiService {
     fn handle(&self, req: Request) -> Response {
         if req.method != "GET" {
             return Response::error(400, "only GET is supported");
+        }
+        // Introspection answers before rate limiting: an operator debugging
+        // a throttled crawl must not be throttled out of the debugger.
+        match req.path.as_str() {
+            "/debug/cache" => return self.debug_cache(),
+            "/debug/limiter" => return self.debug_limiter(),
+            _ => {}
         }
         if let Err(resp) = self.check_rate(&req) {
             return resp;
@@ -648,6 +682,50 @@ mod tests {
             400
         );
         assert_eq!(service.cache().unwrap().len(), before, "errors must not be cached");
+    }
+
+    #[test]
+    fn debug_cache_and_limiter_report_live_state() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(snap, RateLimit::default());
+        let before = request(&service, "/debug/cache");
+        assert_eq!(before.status, 200);
+        assert!(before.body_text().contains("\"enabled\":true"));
+        assert!(before.body_text().contains("\"entries\":0"));
+        // Populate one entry, observe the counters move.
+        assert_eq!(request(&service, "/ISteamApps/GetAppList/v2").status, 200);
+        assert_eq!(request(&service, "/ISteamApps/GetAppList/v2").status, 200);
+        let after = request(&service, "/debug/cache");
+        assert!(after.body_text().contains("\"entries\":1"), "{}", after.body_text());
+        assert!(after.body_text().contains("\"hits\":1"), "{}", after.body_text());
+        assert!(after.body_text().contains("\"misses\":1"), "{}", after.body_text());
+
+        let limiter = request(&service, "/debug/limiter");
+        assert_eq!(limiter.status, 200);
+        assert!(limiter.body_text().contains("\"keys\":"), "{}", limiter.body_text());
+        assert!(
+            limiter
+                .body_text()
+                .contains(&format!("\"max_keys\":{}", steam_net::ratelimit::DEFAULT_MAX_KEYS)),
+            "{}",
+            limiter.body_text()
+        );
+
+        let uncached = ApiService::new(tiny_snapshot(), RateLimit::default()).without_cache();
+        assert!(request(&uncached, "/debug/cache").body_text().contains("\"enabled\":false"));
+    }
+
+    #[test]
+    fn debug_endpoints_are_never_rate_limited() {
+        let snap = tiny_snapshot();
+        let service = ApiService::new(snap, RateLimit { per_key_rps: 0.001, burst: 1.0 });
+        assert_eq!(request(&service, "/ISteamApps/GetAppList/v2").status, 200);
+        assert_eq!(request(&service, "/ISteamApps/GetAppList/v2").status, 429);
+        // A throttled-out key can still introspect the throttle.
+        for _ in 0..5 {
+            assert_eq!(request(&service, "/debug/cache").status, 200);
+            assert_eq!(request(&service, "/debug/limiter").status, 200);
+        }
     }
 
     #[test]

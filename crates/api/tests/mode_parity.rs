@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 use steam_api::{serve_service_config, ApiService, Crawler, CrawlerConfig, RateLimit};
 use steam_model::{codec, Snapshot};
+use steam_net::client::HttpClient;
 use steam_net::{Backoff, FaultInjector, FaultPlan, ServerConfig, ServerMode};
+use steam_obs::{SpanId, SpanKind, TraceContext, TraceId};
 use steam_synth::{Generator, SynthConfig};
 
 fn tiny_snapshot(seed: u64) -> Arc<Snapshot> {
@@ -101,6 +103,134 @@ fn faulty_round_trip_is_identical_across_modes() {
     let (_, reference) = &snapshots[0];
     for (mode, bytes) in &snapshots {
         assert_eq!(bytes, reference, "{} faulty crawl diverged", mode.label());
+    }
+}
+
+#[test]
+fn debug_surface_and_trace_echo_are_identical_across_modes() {
+    let original = tiny_snapshot(605);
+    let mut echoes = Vec::new();
+    for mode in modes() {
+        let (server, _svc) = bind(&original, mode, None);
+        let mut client = HttpClient::new(server.addr());
+        // Every introspection endpoint answers with the same JSON shape in
+        // both modes — including the app-layer ones the dispatcher forwards.
+        for (target, prefix) in [
+            ("/debug/spans", "{\"spans\":["),
+            ("/debug/slow", "{\"slow\":["),
+            ("/debug/conns", "{\"conns\":["),
+            ("/debug/cache", "{\"enabled\":"),
+            ("/debug/limiter", "{\"keys\":"),
+        ] {
+            let resp = client.get(target).unwrap();
+            assert_eq!(resp.status, 200, "{}: {target}", mode.label());
+            assert!(
+                resp.body_text().starts_with(prefix),
+                "{}: {target} answered {}",
+                mode.label(),
+                resp.body_text()
+            );
+            assert_eq!(
+                resp.header("x-steam-trace"),
+                None,
+                "{}: operational {target} must not be traced",
+                mode.label()
+            );
+        }
+        // And a client-supplied trace id comes back on the wire identically.
+        client.set_trace(Some(TraceContext { trace: TraceId(0x5eed), span: SpanId(1) }));
+        let resp = client.get("/ISteamApps/GetAppList/v2").unwrap();
+        let echoed = resp.header("x-steam-trace").expect("app response must echo the trace");
+        assert_eq!(echoed, TraceId(0x5eed).to_hex(), "{}", mode.label());
+        echoes.push(echoed.to_string());
+    }
+    assert!(echoes.windows(2).all(|w| w[0] == w[1]), "modes disagree on the trace echo");
+}
+
+#[test]
+fn traces_survive_faults_and_checkpoint_resume() {
+    // A fault-heavy crawl with a thin retry budget: some fetches retry and
+    // succeed (same trace id, attempt=2), some die and resume from the
+    // journal. Afterwards the flight recorder must hold complete joined
+    // traces, retrievable over the wire via `/debug/spans?trace=`.
+    let original = tiny_snapshot(606);
+    for mode in modes() {
+        let plan = FaultPlan::parse("500=0.12", 999).unwrap();
+        let injector = Arc::new(FaultInjector::new(plan, None));
+        let (server, _svc) = bind(&original, mode, Some(injector));
+        let dir = std::env::temp_dir().join(format!(
+            "steam-parity-trace-{}-{}",
+            mode.label(),
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut finished = None;
+        for run in 0..1000 {
+            let config = CrawlerConfig {
+                empty_batches_to_stop: 2,
+                backoff: Backoff {
+                    base: std::time::Duration::from_millis(1),
+                    max: std::time::Duration::from_millis(1),
+                    attempts: 2,
+                },
+                workers: 2,
+                checkpoint_dir: Some(dir.clone()),
+                resume: run > 0,
+                ..CrawlerConfig::default()
+            };
+            match Crawler::new(server.addr(), config).crawl(original.collected_at) {
+                Ok(snapshot) => {
+                    finished = Some(snapshot);
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+        finished.expect("crawl must complete across resumes");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A retried fetch keeps its trace id across attempts. Concurrent
+        // tests share the process-global ring, so the oldest retried spans
+        // may have had their siblings lapped out — any surviving pair will
+        // do.
+        let spans = steam_obs::recent_spans();
+        let retries: Vec<_> = spans
+            .iter()
+            .filter(|s| {
+                s.kind == SpanKind::Client && s.target == "crawl" && s.annotation() == "attempt=2"
+            })
+            .collect();
+        assert!(!retries.is_empty(), "{}: no retried client span recorded", mode.label());
+        let retried = retries
+            .iter()
+            .find(|r| {
+                spans.iter().any(|s| {
+                    s.trace == r.trace && s.span != r.span && s.annotation() == "attempt=1"
+                })
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "{}: no first attempt shares a retried fetch's trace id",
+                    mode.label()
+                )
+            });
+        // ...and the joined trace is retrievable over the wire.
+        let mut client = HttpClient::new(server.addr());
+        let resp = client
+            .get(&format!("/debug/spans?trace={}", retried.trace.to_hex()))
+            .unwrap();
+        let body = resp.body_text();
+        assert!(
+            body.contains(&retried.trace.to_hex()),
+            "{}: /debug/spans?trace= lost the trace",
+            mode.label()
+        );
+        assert!(
+            body.contains("\"kind\":\"client\"") && body.contains("\"kind\":\"server\""),
+            "{}: trace is not a joined client+server trace: {body}",
+            mode.label()
+        );
     }
 }
 

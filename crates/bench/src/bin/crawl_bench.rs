@@ -14,6 +14,12 @@
 //! The crawled snapshot must be byte-identical across all three — the fast
 //! path is not allowed to change a single wire byte.
 //!
+//! With `--trace`, two extra crawls run against a fresh uncached server —
+//! one with span recording disabled, one with it on (the default) — and the
+//! report gains a `trace_overhead` object with the req/s delta. The traced
+//! and untraced snapshots must also be byte-identical: tracing is not
+//! allowed to change the crawl either.
+//!
 //! ```text
 //! cargo run --release -p steam-bench --bin crawl_bench
 //! cargo run --release -p steam-bench --bin crawl_bench -- --users 600 --workers 8 --out BENCH_crawl.json
@@ -55,12 +61,14 @@ fn crawl_once(
     addr: std::net::SocketAddr,
     workers: usize,
     pooled: bool,
+    trace: bool,
     original: &Snapshot,
 ) -> (Snapshot, Run) {
     let config = CrawlerConfig {
         empty_batches_to_stop: 2,
         workers,
         pool_size: if pooled { Some(workers) } else { None },
+        trace,
         ..CrawlerConfig::default()
     };
     let mut crawler = Crawler::new(addr, config);
@@ -97,6 +105,7 @@ fn main() {
     let workers: usize = arg("--workers").and_then(|s| s.parse().ok()).unwrap_or(4);
     let out = arg("--out").unwrap_or_else(|| "BENCH_crawl.json".into());
     let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(2016);
+    let trace = std::env::args().any(|a| a == "--trace");
 
     let mut cfg = SynthConfig::small(seed);
     cfg.n_users = users;
@@ -116,7 +125,7 @@ fn main() {
     let (baseline_server, _svc) =
         serve_service(baseline_service, "127.0.0.1:0", server_workers).expect("bind");
     let (baseline_snap, baseline) =
-        crawl_once("baseline", baseline_server.addr(), workers, false, &original);
+        crawl_once("baseline", baseline_server.addr(), workers, false, true, &original);
     drop(baseline_server);
 
     // Cold + warm share one cached server: the warm crawl hits what the
@@ -124,8 +133,10 @@ fn main() {
     let cached_service = ApiService::new(Arc::clone(&original), RateLimit::default());
     let (cached_server, service) =
         serve_service(cached_service, "127.0.0.1:0", server_workers).expect("bind");
-    let (cold_snap, cold) = crawl_once("cold", cached_server.addr(), workers, true, &original);
-    let (warm_snap, warm) = crawl_once("warm", cached_server.addr(), workers, true, &original);
+    let (cold_snap, cold) =
+        crawl_once("cold", cached_server.addr(), workers, true, true, &original);
+    let (warm_snap, warm) =
+        crawl_once("warm", cached_server.addr(), workers, true, true, &original);
     let cache = service.cache().expect("cached service");
     let (cache_hits, cache_misses) = (cache.hits(), cache.misses());
     drop(cached_server);
@@ -144,7 +155,40 @@ fn main() {
     );
     eprintln!("# snapshots byte-identical across baseline/cold/warm");
 
-    let report = Json::obj([
+    // Tracing overhead: untraced vs traced crawl of the same uncached
+    // server, so the only variable is span minting + recording.
+    let mut trace_overhead = None;
+    if trace {
+        let service =
+            ApiService::new(Arc::clone(&original), RateLimit::default()).without_cache();
+        let (server, _svc) =
+            serve_service(service, "127.0.0.1:0", server_workers).expect("bind");
+        let (off_snap, off) =
+            crawl_once("untraced", server.addr(), workers, false, false, &original);
+        let (on_snap, on) =
+            crawl_once("traced", server.addr(), workers, false, true, &original);
+        assert_eq!(
+            codec::encode_snapshot(&off_snap),
+            codec::encode_snapshot(&on_snap),
+            "tracing changed the crawled bytes"
+        );
+        let overhead_pct =
+            (1.0 - on.requests_per_sec / off.requests_per_sec.max(1e-9)) * 100.0;
+        eprintln!(
+            "# tracing overhead: {:.0} -> {:.0} req/s ({overhead_pct:+.2}%)",
+            off.requests_per_sec, on.requests_per_sec
+        );
+        trace_overhead = Some(Json::obj([
+            ("requests_per_sec_untraced", Json::Num(off.requests_per_sec)),
+            ("requests_per_sec_traced", Json::Num(on.requests_per_sec)),
+            ("p99_ms_untraced", Json::Num(off.p99_ms)),
+            ("p99_ms_traced", Json::Num(on.p99_ms)),
+            ("overhead_pct", Json::Num(overhead_pct)),
+            ("snapshots_identical", Json::Bool(true)),
+        ]));
+    }
+
+    let mut report_fields = vec![
         ("bench", Json::Str("crawl".into())),
         ("users", Json::Num(users as f64)),
         ("workers", Json::Num(workers as f64)),
@@ -165,7 +209,11 @@ fn main() {
             Json::Num(warm.requests_per_sec / baseline.requests_per_sec.max(1e-9)),
         ),
         ("snapshots_identical", Json::Bool(true)),
-    ]);
+    ];
+    if let Some(overhead) = trace_overhead {
+        report_fields.push(("trace_overhead", overhead));
+    }
+    let report = Json::obj(report_fields);
     let text = report.to_text();
     std::fs::write(&out, &text).expect("write BENCH_crawl.json");
     println!("{text}");

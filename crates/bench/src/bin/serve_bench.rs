@@ -28,6 +28,13 @@
 //! of the traffic, echoing the per-game popularity skew of De Luisa et al.)
 //! so the wire cache and any future hot-key path see representative load.
 //!
+//! With `--trace`, each mode is measured twice over the same server —
+//! plain, then with a fresh `X-Steam-Trace` context on every request (the
+//! worst case for the flight recorder: every response is a distinct traced
+//! span) — and the report gains a `trace_overhead` section comparing the
+//! two. The `runs` section always holds the untraced numbers, so existing
+//! consumers see the same shape either way.
+//!
 //! ```text
 //! cargo run --release -p steam-bench --bin serve_bench
 //! cargo run --release -p steam-bench --bin serve_bench -- \
@@ -43,11 +50,16 @@ use steam_api::service::{serve_service_config, ApiService, RateLimit};
 use steam_model::Snapshot;
 use steam_net::http::{read_response, write_request, Request};
 use steam_net::{Json, ServerConfig, ServerMode};
+use steam_obs::{SpanId, TraceContext, TraceId, TRACE_HEADER};
 use steam_synth::{Generator, SynthConfig};
 
 fn arg(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
 }
 
 /// Deterministic splitmix64 — the target mix must not depend on platform RNG.
@@ -114,8 +126,19 @@ fn connect(addr: SocketAddr) -> BenchConn {
     BenchConn { writer, reader: BufReader::new(stream) }
 }
 
-fn exchange(conn: &mut BenchConn, target: &str) -> u16 {
-    write_request(&mut conn.writer, &Request::get(target)).expect("write request");
+/// One keep-alive exchange. With `trace = Some(n)` the request carries a
+/// deterministic `X-Steam-Trace` context derived from `n` — a fresh trace
+/// and span id per request, so the server records every response.
+fn exchange(conn: &mut BenchConn, target: &str, trace: Option<u64>) -> u16 {
+    let mut req = Request::get(target);
+    if let Some(n) = trace {
+        let ctx = TraceContext {
+            trace: TraceId(splitmix64(n ^ 0x7472_6163_6562_6e63) | 1),
+            span: SpanId(splitmix64(n ^ 0x7370_616e_6265_6e63) | 1),
+        };
+        req.headers.push((TRACE_HEADER.into(), ctx.header_value()));
+    }
+    write_request(&mut conn.writer, &req).expect("write request");
     read_response(&mut conn.reader).expect("read response").status
 }
 
@@ -180,6 +203,7 @@ fn run_mode(
     threads: usize,
     mix: Arc<TargetMix>,
     warmup_per_conn: u64,
+    traced: bool,
 ) -> RunResult {
     let threads = threads.min(conns).max(1);
     eprintln!("# [{mode}] opening {conns} keep-alive connections ({threads} threads)...");
@@ -200,7 +224,7 @@ fn run_mode(
                 let mut warm_n = (t as u64) << 32;
                 for _ in 0..warmup_per_conn {
                     for conn in fleet.iter_mut() {
-                        exchange(conn, mix.pick(warm_n));
+                        exchange(conn, mix.pick(warm_n), traced.then_some(warm_n));
                         warm_n += 1;
                     }
                 }
@@ -220,7 +244,7 @@ fn run_mode(
                     let slot = (k as usize) % fleet.len();
                     let conn = &mut fleet[slot];
                     let n = ((t as u64) << 32) | k;
-                    let status = exchange(conn, mix.pick(n));
+                    let status = exchange(conn, mix.pick(n), traced.then_some(n));
                     if status != 200 {
                         errors += 1;
                     }
@@ -292,6 +316,7 @@ fn main() {
         arg("--warmup-per-conn").and_then(|s| s.parse().ok()).unwrap_or(2);
     let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(2016);
     let out = arg("--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let trace = has("--trace");
     let default_mode = if cfg!(target_os = "linux") { "both" } else { "threaded" };
     let mode_arg = arg("--mode").unwrap_or_else(|| default_mode.into());
     let duration = Duration::from_secs_f64(duration_secs);
@@ -327,23 +352,13 @@ fn main() {
         eprintln!("# probe responses byte-identical across epoll/threaded");
     }
 
-    let mut runs = Vec::new();
+    let mut selected: Vec<(&'static str, &'static str, ServerMode, usize)> = Vec::new();
     if mode_arg == "both" || mode_arg == "epoll" {
         if !cfg!(target_os = "linux") {
             eprintln!("error: epoll mode requires Linux");
             std::process::exit(2);
         }
-        let (server, _svc) = bind_server(&snapshot, ServerMode::Epoll, server_workers);
-        runs.push(run_mode(
-            "epoll",
-            server.addr(),
-            conns,
-            rate,
-            duration,
-            threads,
-            Arc::clone(&mix),
-            warmup_per_conn,
-        ));
+        selected.push(("epoll", "epoll+trace", ServerMode::Epoll, conns));
     }
     if mode_arg == "both" || mode_arg == "threaded" {
         // A threaded worker owns its connection until close, so only
@@ -355,21 +370,59 @@ fn main() {
                 "# [threaded] fleet capped at {threaded_conns} connections (worker count)"
             );
         }
-        let (server, _svc) = bind_server(&snapshot, ServerMode::Threaded, server_workers);
-        runs.push(run_mode(
-            "threaded",
+        selected.push(("threaded", "threaded+trace", ServerMode::Threaded, threaded_conns));
+    }
+    assert!(!selected.is_empty(), "--mode must be both, epoll or threaded");
+
+    let mut runs = Vec::new();
+    let mut trace_overhead = Vec::new();
+    for (label, traced_label, mode, mode_conns) in selected {
+        let (server, _svc) = bind_server(&snapshot, mode, server_workers);
+        let off = run_mode(
+            label,
             server.addr(),
-            threaded_conns,
+            mode_conns,
             rate,
             duration,
             threads,
             Arc::clone(&mix),
             warmup_per_conn,
-        ));
+            false,
+        );
+        if trace {
+            // Same server, same fleet size: only the trace header differs,
+            // so the delta isolates header parse + span recording cost.
+            let on = run_mode(
+                traced_label,
+                server.addr(),
+                mode_conns,
+                rate,
+                duration,
+                threads,
+                Arc::clone(&mix),
+                warmup_per_conn,
+                true,
+            );
+            let overhead_pct = (1.0
+                - on.requests_per_sec / off.requests_per_sec.max(1e-9))
+                * 100.0;
+            eprintln!(
+                "# [{label}] tracing overhead: {:.0} -> {:.0} req/s ({overhead_pct:+.2}%)",
+                off.requests_per_sec, on.requests_per_sec
+            );
+            trace_overhead.push(Json::obj([
+                ("mode", Json::Str(label.to_string())),
+                ("requests_per_sec_untraced", Json::Num(off.requests_per_sec)),
+                ("requests_per_sec_traced", Json::Num(on.requests_per_sec)),
+                ("p99_ms_untraced", Json::Num(off.p99_ms)),
+                ("p99_ms_traced", Json::Num(on.p99_ms)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+            ]));
+        }
+        runs.push(off);
     }
-    assert!(!runs.is_empty(), "--mode must be both, epoll or threaded");
 
-    let report = Json::obj([
+    let mut report_fields = vec![
         ("bench", Json::Str("serve".into())),
         ("users", Json::Num(users as f64)),
         ("conns", Json::Num(conns as f64)),
@@ -380,7 +433,11 @@ fn main() {
         ("seed", Json::Num(seed as f64)),
         ("runs", Json::Arr(runs.iter().map(RunResult::to_json).collect())),
         ("responses_identical", Json::Bool(identical)),
-    ]);
+    ];
+    if trace {
+        report_fields.push(("trace_overhead", Json::Arr(trace_overhead)));
+    }
+    let report = Json::obj(report_fields);
     let text = report.to_text();
     std::fs::write(&out, &text).expect("write BENCH_serve.json");
     println!("{text}");

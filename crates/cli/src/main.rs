@@ -8,7 +8,8 @@
 //! steam-cli serve    --snapshot snap.bin --addr 127.0.0.1:8571 [--rps 5000]
 //!                    [--faults SPEC --fault-seed N] [--threaded]
 //! steam-cli crawl    --addr 127.0.0.1:8571 --out crawled.bin [--rps 1000]
-//!                    [--checkpoint-dir DIR [--resume]]
+//!                    [--checkpoint-dir DIR [--resume]] [--trace-slow N]
+//! steam-cli trace    --id TRACE_ID [--addr 127.0.0.1:8571]
 //! steam-cli report   --snapshot snap.bin [--second snap2.bin]
 //!                    [--panel panel.bin] [--experiment table3|figure6|...|all]
 //!                    [--jobs N] [--timings]
@@ -20,6 +21,7 @@
 //! exposes `GET /metrics` (Prometheus text) and `GET /healthz`.
 
 mod args;
+mod trace_view;
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(&args),
         "export" => cmd_export(&args),
         "validate" => cmd_validate(&args),
+        "trace" => cmd_trace(&args),
         "" | "help" | "--help" => {
             print!("{HELP}");
             Ok(())
@@ -106,8 +109,10 @@ COMMANDS
                                concurrency is then capped at the worker
                                count, but served bytes are identical
              Also serves GET /metrics (Prometheus text exposition with
-             per-endpoint request counts and latency histograms) and
-             GET /healthz (liveness; both bypass the rate limit)
+             per-endpoint request counts and latency histograms),
+             GET /healthz (liveness), and GET /debug/spans|slow|conns|
+             cache|limiter (the introspection surface; see `trace`) —
+             none are rate-limited, faulted, or traced
   crawl      Crawl a served API back into a snapshot file
              --addr HOST:PORT  server address (default 127.0.0.1:8571)
              --out PATH        output snapshot (default crawled.bin)
@@ -118,6 +123,15 @@ COMMANDS
                                connection per worker; size it to --workers)
              --checkpoint-dir DIR  journal completed work for crash recovery
              --resume          replay DIR's journal and fetch only the rest
+             --trace-slow N    print the N slowest recorded spans at exit
+             --no-trace        don't propagate X-Steam-Trace or record
+                               client spans (overhead measurement; the
+                               crawled bytes are identical either way)
+  trace      Render one trace from a server's flight recorder as a span tree
+             --id TRACE_ID     16-hex-char trace id (as echoed in the
+                               X-Steam-Trace response header or listed by
+                               /debug/spans and /debug/slow)
+             --addr HOST:PORT  server address (default 127.0.0.1:8571)
   report     Render the paper's tables and figures from a snapshot
              --snapshot PATH   snapshot (default snapshot.bin)
              --second PATH     second snapshot (enables Table 4 2nd rows, §8)
@@ -238,8 +252,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let (server, _service) =
         steam_api::serve_service_config(service, addr, config, Some(registry), faults)
             .map_err(|e| e.to_string())?;
-    eprintln!("listening on http://{} ({} mode, ctrl-c to stop)", server.addr(), server.mode().label());
-    eprintln!("metrics at http://{0}/metrics, liveness at http://{0}/healthz", server.addr());
+    // Not `eprintln!`: a supervisor that closes our stderr right after
+    // parsing the address line must lose banner lines, not the server
+    // (eprintln! panics on EPIPE).
+    {
+        use std::io::Write;
+        let _ = writeln!(
+            std::io::stderr().lock(),
+            "listening on http://{0} ({1} mode, ctrl-c to stop)\n\
+             metrics at http://{0}/metrics, liveness at http://{0}/healthz\n\
+             introspection at http://{0}/debug/spans|slow|conns|cache|limiter",
+            server.addr(),
+            server.mode().label()
+        );
+    }
     // Serve until interrupted.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -266,6 +292,8 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
     if config.resume && config.checkpoint_dir.is_none() {
         return Err("--resume requires --checkpoint-dir".into());
     }
+    config.trace = !args.has("no-trace");
+    let trace_slow = args.get_parse("trace-slow", 0usize)?;
     let resuming = config.resume;
     let mut crawler = Crawler::new(addr, config);
     eprintln!("crawling {addr}...");
@@ -329,8 +357,60 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         "  waited: {:.1?} throttled, {:.1?} backing off",
         stats.throttle_wait, stats.backoff_wait
     );
+    if trace_slow > 0 {
+        let slow = steam_obs::slowest_spans();
+        eprintln!("slowest {} of {} recorded spans:", trace_slow.min(slow.len()), slow.len());
+        for s in slow.iter().take(trace_slow) {
+            eprintln!(
+                "  {:>9}µs  {} {}:{}  trace={} status={}{}",
+                s.duration_us,
+                s.kind.as_str(),
+                s.target,
+                s.name(),
+                s.trace.to_hex(),
+                s.status,
+                if s.annotation().is_empty() {
+                    String::new()
+                } else {
+                    format!("  [{}]", s.annotation())
+                },
+            );
+        }
+        eprintln!("  (inspect one with: steam-cli trace --id TRACE_ID --addr {addr})");
+    }
     codec::write_snapshot(Path::new(out), &snapshot).map_err(|e| e.to_string())?;
     eprintln!("wrote {out}");
+    Ok(())
+}
+
+/// `steam-cli trace --id <hex>` — fetch one trace's spans from a running
+/// server's `/debug/spans` and render them as an indented tree.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let addr: std::net::SocketAddr = args
+        .get_or("addr", "127.0.0.1:8571")
+        .parse()
+        .map_err(|_| "bad --addr".to_string())?;
+    let raw = args.get("id").ok_or("missing --id TRACE_ID (16 hex chars)")?;
+    let trace = steam_obs::TraceId::from_hex(raw.trim())
+        .ok_or_else(|| format!("bad trace id {raw:?} (expected 16 hex chars)"))?;
+    let mut client = steam_net::HttpClient::new(addr);
+    let resp = client
+        .get(&format!("/debug/spans?trace={}", trace.to_hex()))
+        .map_err(|e| e.to_string())?;
+    let json = steam_net::Json::parse(&resp.body_text()).map_err(|e| e.to_string())?;
+    let spans = json
+        .get("spans")
+        .and_then(steam_net::Json::as_arr)
+        .ok_or("malformed /debug/spans response")?;
+    let rows = trace_view::rows(spans);
+    if rows.is_empty() {
+        return Err(format!(
+            "no spans recorded for trace {} on {addr} (the flight recorder keeps the \
+             most recent spans only — old traces age out)",
+            trace.to_hex()
+        ));
+    }
+    print!("{}", trace_view::render(&rows, &trace.to_hex()));
     Ok(())
 }
 

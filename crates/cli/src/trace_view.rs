@@ -1,0 +1,189 @@
+//! Renders one trace's spans (as served by `GET /debug/spans?trace=`) as an
+//! indented tree: client hops at the root, the server spans they fathered
+//! nested beneath, attempts in start order. Pure formatting — the fetch
+//! itself lives in `cmd_trace`.
+
+use steam_net::Json;
+
+/// One span row lifted out of the `/debug/spans` JSON.
+#[derive(Clone, Debug)]
+pub struct SpanRow {
+    pub span: String,
+    pub parent: String,
+    pub kind: String,
+    pub target: String,
+    pub name: String,
+    pub start_us: u64,
+    pub duration_us: u64,
+    pub status: u64,
+    pub annotation: String,
+}
+
+/// The all-zero parent id marking a root span.
+const NO_PARENT: &str = "0000000000000000";
+
+/// Extracts rows from a parsed `{"spans":[...]}` body. Spans missing
+/// required fields are skipped rather than failing the whole render (the
+/// recorder may be mid-lap).
+pub fn rows(spans: &[Json]) -> Vec<SpanRow> {
+    let field = |s: &Json, k: &str| s.get(k).and_then(Json::as_str).map(str::to_string);
+    spans
+        .iter()
+        .filter_map(|s| {
+            Some(SpanRow {
+                span: field(s, "span")?,
+                parent: field(s, "parent")?,
+                kind: field(s, "kind")?,
+                target: field(s, "target")?,
+                name: field(s, "name")?,
+                start_us: s.get("start_us").and_then(Json::as_u64)?,
+                duration_us: s.get("duration_us").and_then(Json::as_u64)?,
+                status: s.get("status").and_then(Json::as_u64)?,
+                annotation: field(s, "annotation")?,
+            })
+        })
+        .collect()
+}
+
+/// Renders the tree. Roots are spans with no parent, plus spans whose
+/// parent fell out of the flight recorder's ring (orphans render at the
+/// root rather than vanishing). Start times are relative to the trace's
+/// first span.
+pub fn render(rows: &[SpanRow], trace: &str) -> String {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| {
+        (rows[a].start_us, &rows[a].span).cmp(&(rows[b].start_us, &rows[b].span))
+    });
+    let known: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.span.as_str()).collect();
+    let base = rows.iter().map(|r| r.start_us).min().unwrap_or(0);
+
+    let mut out = format!("trace {trace} — {} span(s)\n", rows.len());
+    let mut emitted = vec![false; rows.len()];
+    for &i in &order {
+        let root = rows[i].parent == NO_PARENT || !known.contains(rows[i].parent.as_str());
+        if root {
+            emit(&mut out, rows, &order, &mut emitted, i, 0, base);
+        }
+    }
+    // A parent cycle can never happen with honest ids, but a corrupt ring
+    // lap could fabricate one; anything unreachable still gets printed.
+    for &i in &order {
+        if !emitted[i] {
+            emit(&mut out, rows, &order, &mut emitted, i, 0, base);
+        }
+    }
+    out
+}
+
+fn emit(
+    out: &mut String,
+    rows: &[SpanRow],
+    order: &[usize],
+    emitted: &mut [bool],
+    i: usize,
+    depth: usize,
+    base: u64,
+) {
+    if emitted[i] {
+        return;
+    }
+    emitted[i] = true;
+    let r = &rows[i];
+    let annot = if r.annotation.is_empty() {
+        String::new()
+    } else {
+        format!("  [{}]", r.annotation)
+    };
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "{:indent$}{} {}:{}  +{}µs  {}µs  status={}{annot}",
+        "",
+        r.kind,
+        r.target,
+        r.name,
+        r.start_us.saturating_sub(base),
+        r.duration_us,
+        r.status,
+        indent = depth * 2,
+    );
+    for &c in order {
+        if rows[c].parent == r.span {
+            emit(out, rows, order, emitted, c, depth + 1, base);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(span: &str, parent: &str, kind: &str, start: u64, annot: &str) -> SpanRow {
+        SpanRow {
+            span: span.into(),
+            parent: parent.into(),
+            kind: kind.into(),
+            target: if kind == "client" { "crawl" } else { "http" }.into(),
+            name: "/ISteamApps/GetAppList/v2".into(),
+            start_us: start,
+            duration_us: 120,
+            status: 200,
+            annotation: annot.into(),
+        }
+    }
+
+    #[test]
+    fn server_span_nests_under_its_client_parent() {
+        let rows = vec![
+            row("aaaaaaaaaaaaaaaa", NO_PARENT, "client", 100, "attempt=1"),
+            row("bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "server", 140, ""),
+        ];
+        let text = render(&rows, "00000000000000ab");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("trace 00000000000000ab — 2 span(s)"));
+        assert!(lines[1].starts_with("client crawl:"), "{text}");
+        assert!(lines[1].contains("+0µs"), "{text}");
+        assert!(lines[1].contains("[attempt=1]"), "{text}");
+        assert!(lines[2].starts_with("  server http:"), "indent expected: {text}");
+        assert!(lines[2].contains("+40µs"), "{text}");
+    }
+
+    #[test]
+    fn retried_attempts_render_in_start_order_as_siblings() {
+        let rows = vec![
+            row("cccccccccccccccc", NO_PARENT, "client", 900, "attempt=2"),
+            row("aaaaaaaaaaaaaaaa", NO_PARENT, "client", 100, "attempt=1"),
+            row("dddddddddddddddd", "cccccccccccccccc", "server", 950, ""),
+        ];
+        let text = render(&rows, "00000000000000ab");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains("[attempt=1]"), "{text}");
+        assert!(lines[2].contains("[attempt=2]"), "{text}");
+        assert!(lines[3].starts_with("  server"), "{text}");
+    }
+
+    #[test]
+    fn orphaned_span_still_renders_at_root() {
+        // Parent span lapped out of the ring: the child must not vanish.
+        let rows = vec![row("bbbbbbbbbbbbbbbb", "eeeeeeeeeeeeeeee", "server", 140, "")];
+        let text = render(&rows, "00000000000000ab");
+        assert!(text.lines().nth(1).unwrap().starts_with("server http:"), "{text}");
+    }
+
+    #[test]
+    fn rows_skip_malformed_entries() {
+        let json = Json::parse(
+            "{\"spans\":[{\"span\":\"aaaaaaaaaaaaaaaa\",\"parent\":\"0000000000000000\",\
+             \"kind\":\"client\",\"target\":\"crawl\",\"name\":\"/x\",\"start_us\":5,\
+             \"duration_us\":7,\"status\":200,\"annotation\":\"\"},{\"bogus\":true}]}",
+        )
+        .unwrap();
+        let spans = json.get("spans").unwrap().as_arr().unwrap();
+        let rows = rows(spans);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].span, "aaaaaaaaaaaaaaaa");
+        assert_eq!(rows[0].duration_us, 7);
+    }
+}

@@ -5,6 +5,8 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
+use steam_obs::{TraceContext, TRACE_HEADER};
+
 use crate::error::NetError;
 use crate::http::{read_response, write_request, Request, Response};
 use crate::pool::{Conn, ConnectionPool};
@@ -29,18 +31,32 @@ const MAX_RECONNECTS_PER_REQUEST: u32 = 2;
 pub struct HttpClient {
     pool: Arc<ConnectionPool>,
     reconnects: u64,
+    trace: Option<TraceContext>,
 }
 
 impl HttpClient {
     /// A client with its own single-slot connection pool (the pre-pooling
     /// behavior: one keep-alive connection, reconnect when stale).
     pub fn new(addr: SocketAddr) -> Self {
-        HttpClient { pool: Arc::new(ConnectionPool::new(addr, 1)), reconnects: 0 }
+        HttpClient { pool: Arc::new(ConnectionPool::new(addr, 1)), reconnects: 0, trace: None }
     }
 
     /// A client drawing connections from a shared pool.
     pub fn with_pool(pool: Arc<ConnectionPool>) -> Self {
-        HttpClient { pool, reconnects: 0 }
+        HttpClient { pool, reconnects: 0, trace: None }
+    }
+
+    /// Sets (or clears) the trace context stamped onto outgoing requests:
+    /// while set, every request carries `X-Steam-Trace` with this context.
+    /// Callers running a retry loop refresh the span id per attempt while
+    /// keeping the trace id, so all attempts of one logical request join.
+    pub fn set_trace(&mut self, trace: Option<TraceContext>) {
+        self.trace = trace;
+    }
+
+    /// The trace context currently stamped onto outgoing requests.
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.trace
     }
 
     /// Sets the connect/read/write timeout. Only valid before the client's
@@ -76,6 +92,18 @@ impl HttpClient {
     /// Healthy connections go back to the pool unless the response forbids
     /// reuse (`Connection: close`).
     pub fn send(&mut self, req: &Request) -> Result<Response, NetError> {
+        // Trace injection clones the request once; a request that already
+        // carries the header (caller-stamped) is sent untouched.
+        let traced;
+        let req = match &self.trace {
+            Some(ctx) if req.header(TRACE_HEADER).is_none() => {
+                let mut stamped = req.clone();
+                stamped.headers.push((TRACE_HEADER.into(), ctx.header_value()));
+                traced = stamped;
+                &traced
+            }
+            _ => req,
+        };
         let mut reconnects_left = MAX_RECONNECTS_PER_REQUEST;
         loop {
             let (mut conn, pooled) = match self.pool.checkout() {
@@ -274,6 +302,35 @@ mod tests {
             "reconnects = {}",
             client.reconnects()
         );
+    }
+
+    #[test]
+    fn trace_context_is_injected_and_echoed() {
+        use steam_obs::{SpanId, TraceId};
+        let handler: Arc<dyn Handler> = Arc::new(|req: Request| {
+            Response::json(format!(
+                "{{\"trace\":\"{}\"}}",
+                req.header("x-steam-trace").unwrap_or("none")
+            ))
+        });
+        let server = HttpServer::bind("127.0.0.1:0", 2, handler).unwrap();
+        let mut client = HttpClient::new(server.addr());
+        // No context set: nothing injected, but the server mints a trace
+        // and echoes its id on the response.
+        let resp = client.get("/plain").unwrap();
+        assert!(resp.body_text().contains("\"trace\":\"none\""), "{}", resp.body_text());
+        let minted = resp.header("x-steam-trace").expect("server must stamp a minted trace id");
+        assert_eq!(minted.len(), 16, "echoed id must be 16 hex chars, got {minted:?}");
+        // Context set: the pair rides the wire; the trace id comes back.
+        let ctx = TraceContext { trace: TraceId(0xabcd), span: SpanId(0x1234) };
+        client.set_trace(Some(ctx));
+        let resp = client.get("/traced").unwrap();
+        assert!(resp.body_text().contains(&ctx.header_value()), "{}", resp.body_text());
+        assert_eq!(resp.header("x-steam-trace"), Some(ctx.trace.to_hex().as_str()));
+        // Cleared: no more injection.
+        client.set_trace(None);
+        let resp = client.get("/plain").unwrap();
+        assert!(resp.body_text().contains("\"trace\":\"none\""));
     }
 
     #[test]

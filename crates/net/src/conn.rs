@@ -26,10 +26,14 @@
 //! half-closed connections instead of discovering them later.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use steam_obs::{obs_trace, Counter, Gauge, Histogram, Registry};
+use steam_obs::{
+    next_span_id, now_us, obs_trace, record_span, Counter, Gauge, Histogram, Registry, SpanId,
+    SpanKind, SpanRecord, TraceContext, TraceId, TRACE_HEADER,
+};
 
 use crate::error::NetError;
 use crate::fault::{FaultInjector, FaultKind};
@@ -108,6 +112,127 @@ impl ObsCache {
             "{req_method} {endpoint} -> {status} in {:.3?}",
             elapsed
         );
+    }
+}
+
+/// Lifecycle stage of a live connection, as exposed by `/debug/conns`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum ConnState {
+    Idle = 0,
+    Reading = 1,
+    Dispatching = 2,
+    Writing = 3,
+    Stalled = 4,
+}
+
+impl ConnState {
+    fn as_str(self) -> &'static str {
+        match self {
+            ConnState::Idle => "idle",
+            ConnState::Reading => "reading",
+            ConnState::Dispatching => "dispatching",
+            ConnState::Writing => "writing",
+            ConnState::Stalled => "stalled",
+        }
+    }
+
+    fn from_u8(v: u8) -> ConnState {
+        match v {
+            1 => ConnState::Reading,
+            2 => ConnState::Dispatching,
+            3 => ConnState::Writing,
+            4 => ConnState::Stalled,
+            _ => ConnState::Idle,
+        }
+    }
+}
+
+/// Live state of one connection, updated with relaxed atomic stores by the
+/// owning driver (reactor thread or worker thread) and read by
+/// `/debug/conns` without coordination.
+pub(crate) struct ConnStat {
+    fd: i32,
+    state: AtomicU8,
+    last_activity_us: AtomicU64,
+    inbuf: AtomicUsize,
+    outbuf: AtomicUsize,
+}
+
+impl ConnStat {
+    pub(crate) fn set_state(&self, state: ConnState) {
+        self.state.store(state as u8, Ordering::Relaxed);
+    }
+
+    pub(crate) fn touch(&self) {
+        self.last_activity_us.store(now_us(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_last_activity(&self, us: u64) {
+        self.last_activity_us.store(us, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_buffers(&self, inbuf: usize, outbuf: usize) {
+        self.inbuf.store(inbuf, Ordering::Relaxed);
+        self.outbuf.store(outbuf, Ordering::Relaxed);
+    }
+}
+
+/// Registry of live connections behind `/debug/conns`, shared by both
+/// server modes through the [`Dispatcher`]. The mutex is touched only on
+/// accept, close, and introspection — never per request.
+#[derive(Default)]
+pub(crate) struct ConnTracker {
+    conns: Mutex<HashMap<u64, Arc<ConnStat>>>,
+    next: AtomicU64,
+}
+
+impl ConnTracker {
+    pub(crate) fn register(&self, fd: i32) -> (u64, Arc<ConnStat>) {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let stat = Arc::new(ConnStat {
+            fd,
+            state: AtomicU8::new(ConnState::Idle as u8),
+            last_activity_us: AtomicU64::new(now_us()),
+            inbuf: AtomicUsize::new(0),
+            outbuf: AtomicUsize::new(0),
+        });
+        self.conns.lock().expect("conn tracker poisoned").insert(id, Arc::clone(&stat));
+        (id, stat)
+    }
+
+    pub(crate) fn deregister(&self, id: u64) {
+        self.conns.lock().expect("conn tracker poisoned").remove(&id);
+    }
+
+    fn render_json(&self) -> String {
+        let now = now_us();
+        let mut entries: Vec<(u64, Arc<ConnStat>)> = {
+            let conns = self.conns.lock().expect("conn tracker poisoned");
+            conns.iter().map(|(id, stat)| (*id, Arc::clone(stat))).collect()
+        };
+        entries.sort_by_key(|(id, _)| *id);
+        let mut body = String::with_capacity(entries.len() * 96 + 16);
+        body.push_str("{\"conns\":[");
+        for (i, (id, stat)) in entries.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let idle_us = now.saturating_sub(stat.last_activity_us.load(Ordering::Relaxed));
+            use std::fmt::Write;
+            let _ = write!(
+                body,
+                "{{\"id\":{},\"fd\":{},\"state\":\"{}\",\"idle_ms\":{},\"inbuf\":{},\"outbuf\":{}}}",
+                id,
+                stat.fd,
+                ConnState::from_u8(stat.state.load(Ordering::Relaxed)).as_str(),
+                idle_us / 1000,
+                stat.inbuf.load(Ordering::Relaxed),
+                stat.outbuf.load(Ordering::Relaxed),
+            );
+        }
+        body.push_str("]}");
+        body
     }
 }
 
@@ -200,13 +325,83 @@ pub(crate) fn bad_request_response(err: &NetError) -> Response {
     resp
 }
 
+/// Seed of the server-side trace-id mint. Fixed so two fresh servers fed
+/// the same sequential request stream stamp identical ids — the cross-mode
+/// byte-identity suites depend on it.
+const SERVER_MINT_SEED: u64 = 0x5354_4541_4d73_7276;
+
+/// The trace identity one request runs under on the server side: the trace
+/// extracted from `X-Steam-Trace` (parent = the client's span), or a
+/// server-minted root trace when the request carried none.
+pub(crate) struct RequestTrace {
+    trace: TraceId,
+    parent: SpanId,
+}
+
+/// Minimal JSON string escaping for span names/annotations (which may carry
+/// request-path bytes) — quotes, backslashes, and control characters.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_json(out: &mut String, s: &SpanRecord) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"trace\":\"{}\",\"span\":\"{}\",\"parent\":\"{}\",\"kind\":\"{}\",\"target\":\"{}\",\
+         \"name\":\"{}\",\"start_us\":{},\"duration_us\":{},\"status\":{},\"annotation\":\"{}\"}}",
+        s.trace.to_hex(),
+        s.span.to_hex(),
+        s.parent.to_hex(),
+        s.kind.as_str(),
+        json_escape(s.target),
+        json_escape(s.name()),
+        s.start_us,
+        s.duration_us,
+        s.status,
+        json_escape(s.annotation()),
+    );
+}
+
+fn spans_json(key: &str, spans: &[SpanRecord], filter: Option<TraceId>) -> String {
+    let mut body = String::with_capacity(spans.len() * 192 + 16);
+    body.push_str("{\"");
+    body.push_str(key);
+    body.push_str("\":[");
+    let mut first = true;
+    for span in spans {
+        if filter.is_some_and(|f| span.trace != f) {
+            continue;
+        }
+        if !first {
+            body.push(',');
+        }
+        first = false;
+        span_json(&mut body, span);
+    }
+    body.push_str("]}");
+    body
+}
+
 /// Everything between a parsed request and its response, shared verbatim by
 /// the threaded server and the epoll reactor: operational endpoints, fault
-/// injection, metrics, the application handler, close intent.
+/// injection, metrics, tracing, the application handler, close intent.
 pub(crate) struct Dispatcher {
     handler: Arc<dyn Handler>,
     obs: Option<Arc<ServerObs>>,
     faults: Option<Arc<FaultInjector>>,
+    /// Counter behind the deterministic mint for traceless requests.
+    mint: AtomicU64,
+    conns: ConnTracker,
 }
 
 impl Dispatcher {
@@ -215,43 +410,98 @@ impl Dispatcher {
         obs: Option<Arc<ServerObs>>,
         faults: Option<Arc<FaultInjector>>,
     ) -> Self {
-        Dispatcher { handler, obs, faults }
+        Dispatcher { handler, obs, faults, mint: AtomicU64::new(0), conns: ConnTracker::default() }
     }
 
     pub(crate) fn obs(&self) -> Option<&Arc<ServerObs>> {
         self.obs.as_ref()
     }
 
+    pub(crate) fn conns(&self) -> &ConnTracker {
+        &self.conns
+    }
+
+    fn extract_trace(&self, req: &Request) -> RequestTrace {
+        match req.header(TRACE_HEADER).and_then(TraceContext::parse) {
+            Some(ctx) => RequestTrace { trace: ctx.trace, parent: ctx.span },
+            None => RequestTrace {
+                trace: TraceId::mint_seeded(
+                    SERVER_MINT_SEED,
+                    self.mint.fetch_add(1, Ordering::Relaxed),
+                ),
+                parent: SpanId(0),
+            },
+        }
+    }
+
+    /// Echoes the request's trace id on the response so a client can join
+    /// its span to the server's without parsing `/debug/spans`.
+    fn stamp_trace(resp: &mut Response, trace: Option<&RequestTrace>) {
+        if let Some(t) = trace {
+            resp.headers.push((TRACE_HEADER.into(), t.trace.to_hex()));
+        }
+    }
+
+    fn record_fault_span(&self, req: &Request, trace: &RequestTrace, status: u16, note: &str) {
+        record_span(
+            SpanRecord::new(
+                trace.trace,
+                next_span_id(),
+                trace.parent,
+                SpanKind::Server,
+                "http",
+                &normalize_endpoint(&req.path),
+            )
+            .with_timing(now_us(), 0)
+            .with_status(status)
+            .with_annotation(note),
+        );
+    }
+
     /// Decides the response (or lack of one) for a single request.
     pub(crate) fn dispatch(&self, req: Request, cache: &mut ObsCache) -> Outcome {
         let keep_alive = req.keep_alive();
-        // Fault injection, ahead of the handler but never for operational
-        // endpoints: a fault drill must not blind the metrics watching it.
-        let operational =
-            req.method == "GET" && (req.path == "/metrics" || req.path == "/healthz");
+        // Operational endpoints (`/metrics`, `/healthz`, `/debug/*`) are
+        // never faulted, throttled, traced, or counted: the instruments
+        // watching a drill must not be blinded by it, and polling the
+        // introspection endpoints must not pollute what they expose.
+        let operational = req.method == "GET"
+            && (req.path == "/metrics"
+                || req.path == "/healthz"
+                || req.path.starts_with("/debug/"));
+        // Every app request runs under a trace: extracted from the wire, or
+        // minted deterministically so both server modes stamp identical ids
+        // on identical request streams.
+        let trace = if operational { None } else { Some(self.extract_trace(&req)) };
         let mut delay = None;
         if let Some(inj) = self.faults.as_deref().filter(|_| !operational) {
             match inj.decide(&req.path) {
                 None => {}
                 // Stall injects latency, then the request proceeds normally.
                 Some(FaultKind::Stall) => delay = Some(inj.stall_duration()),
-                Some(FaultKind::Drop) => return Outcome::Drop,
+                Some(FaultKind::Drop) => {
+                    if let Some(t) = &trace {
+                        self.record_fault_span(&req, t, 0, "fault=drop");
+                    }
+                    return Outcome::Drop;
+                }
                 Some(k @ (FaultKind::Status500 | FaultKind::Status503)) => {
                     let status = if k == FaultKind::Status500 { 500 } else { 503 };
                     if let Some(obs) = &self.obs {
                         let endpoint = normalize_endpoint(&req.path);
                         cache.record(obs, &req.method, &endpoint, status, Duration::ZERO);
                     }
-                    return Outcome::Respond {
-                        resp: Response::error(status, "injected fault"),
-                        close: !keep_alive,
-                        truncate: false,
-                        delay,
-                    };
+                    if let Some(t) = &trace {
+                        self.record_fault_span(&req, t, status, "fault=status");
+                    }
+                    let mut resp = Response::error(status, "injected fault");
+                    Self::stamp_trace(&mut resp, trace.as_ref());
+                    return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
                 }
                 Some(k @ (FaultKind::Truncate | FaultKind::Corrupt)) => {
                     // Compute the real response, then damage it on the wire.
-                    let mut resp = self.handle_app(req, cache);
+                    let mut resp = self.handle_app(req, cache, trace.as_ref());
+                    Self::stamp_trace(&mut resp, trace.as_ref());
                     if k == FaultKind::Corrupt {
                         match resp.body.first_mut() {
                             Some(b) => *b = b'#',
@@ -267,38 +517,92 @@ impl Dispatcher {
             }
         }
         // Operational endpoints answer before the application handler, so
-        // they are never subject to app-level rate limiting.
-        if let Some(obs) = &self.obs {
-            if req.method == "GET" && req.path == "/metrics" {
-                let resp = Response::text(obs.registry.render_prometheus());
-                return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+        // they are never subject to app-level rate limiting. The flight
+        // recorder is process-global, so `/debug/spans|slow|conns` answer
+        // whether or not a registry is attached — both modes identically.
+        if operational {
+            match req.path.as_str() {
+                "/debug/spans" => {
+                    let filter = req.query_param("trace").and_then(TraceId::from_hex);
+                    let resp =
+                        Response::json(spans_json("spans", &steam_obs::recent_spans(), filter));
+                    return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+                }
+                "/debug/slow" => {
+                    let resp =
+                        Response::json(spans_json("slow", &steam_obs::slowest_spans(), None));
+                    return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+                }
+                "/debug/conns" => {
+                    let resp = Response::json(self.conns.render_json());
+                    return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+                }
+                _ => {}
             }
-            if req.method == "GET" && req.path == "/healthz" {
-                let resp = Response::text("ok\n".into());
-                return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+            if let Some(obs) = &self.obs {
+                if req.path == "/metrics" {
+                    let resp = Response::text(obs.registry.render_prometheus());
+                    return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+                }
+                if req.path == "/healthz" {
+                    let resp = Response::text("ok\n".into());
+                    return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
+                }
             }
+            // Remaining operational paths belong to the application layer
+            // (e.g. the API service's `/debug/cache` and `/debug/limiter`):
+            // still uninstrumented, untraced, and unstamped.
+            let resp = self.handler.handle(req);
+            let close = !keep_alive || !resp.keep_alive();
+            return Outcome::Respond { resp, close, truncate: false, delay };
         }
-        let resp = self.handle_app(req, cache);
+        let mut resp = self.handle_app(req, cache, trace.as_ref());
+        Self::stamp_trace(&mut resp, trace.as_ref());
         let close = !keep_alive || !resp.keep_alive();
         Outcome::Respond { resp, close, truncate: false, delay }
     }
 
-    /// Runs the application handler, instrumented when observed.
-    fn handle_app(&self, req: Request, cache: &mut ObsCache) -> Response {
-        match &self.obs {
-            None => self.handler.handle(req),
-            Some(obs) => {
-                let endpoint = normalize_endpoint(&req.path);
-                let method = req.method.clone();
-                obs.in_flight.inc();
-                let start = Instant::now();
-                let resp = self.handler.handle(req);
-                let elapsed = start.elapsed();
-                obs.in_flight.dec();
-                cache.record(obs, &method, &endpoint, resp.status, elapsed);
-                resp
-            }
+    /// Runs the application handler, instrumented when observed; the hop is
+    /// recorded into the flight recorder whenever it runs under a trace
+    /// (always, except operational endpoints) — span recording is not gated
+    /// by the log level or the presence of a registry.
+    fn handle_app(
+        &self,
+        req: Request,
+        cache: &mut ObsCache,
+        trace: Option<&RequestTrace>,
+    ) -> Response {
+        if trace.is_none() && self.obs.is_none() {
+            return self.handler.handle(req);
         }
+        let endpoint = normalize_endpoint(&req.path);
+        let method = req.method.clone();
+        if let Some(obs) = &self.obs {
+            obs.in_flight.inc();
+        }
+        let start = Instant::now();
+        let start_us = now_us();
+        let resp = self.handler.handle(req);
+        let elapsed = start.elapsed();
+        if let Some(obs) = &self.obs {
+            obs.in_flight.dec();
+            cache.record(obs, &method, &endpoint, resp.status, elapsed);
+        }
+        if let Some(t) = trace {
+            record_span(
+                SpanRecord::new(
+                    t.trace,
+                    next_span_id(),
+                    t.parent,
+                    SpanKind::Server,
+                    "http",
+                    &endpoint,
+                )
+                .with_timing(start_us, elapsed.as_micros() as u64)
+                .with_status(resp.status),
+            );
+        }
+        resp
     }
 }
 

@@ -67,11 +67,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use steam_obs::obs_debug;
+use steam_obs::{now_us, obs_debug, Counter, Gauge, Histogram, Registry};
 
 use crate::conn::{
-    bad_request_response, finalize_response, serialize_response, try_parse_request, Dispatcher,
-    ObsCache, Outcome, ParseStep,
+    bad_request_response, finalize_response, serialize_response, try_parse_request, ConnStat,
+    ConnState, Dispatcher, ObsCache, Outcome, ParseStep,
 };
 use crate::error::NetError;
 use crate::http::Response;
@@ -203,6 +203,51 @@ impl Epoll {
     }
 }
 
+/// Event-loop health instruments: "is the reactor itself stalling" is the
+/// one signal an edge-triggered single-thread loop cannot do without. All
+/// updates happen on the reactor thread; the registry renders them at
+/// `/metrics` like any other instrument.
+struct ReactorObs {
+    /// Time spent blocked in `epoll_wait` (idle time, healthy).
+    wait_latency: Arc<Histogram>,
+    /// Time spent processing one wake's events (busy time; growth here
+    /// means the loop is falling behind its sockets).
+    iter_latency: Arc<Histogram>,
+    events_per_wake: Arc<Gauge>,
+    active_conns: Arc<Gauge>,
+    accepts: Arc<Counter>,
+    sweeps: Arc<Counter>,
+    stall_parks: Arc<Counter>,
+}
+
+impl ReactorObs {
+    fn new(registry: &Registry) -> ReactorObs {
+        registry.describe(
+            "reactor_epoll_wait_duration_seconds",
+            "Time the event loop spent blocked in epoll_wait",
+        );
+        registry.describe(
+            "reactor_loop_iteration_duration_seconds",
+            "Time the event loop spent processing one wake's events",
+        );
+        registry.describe("reactor_events_per_wake", "Events returned by the last epoll_wait");
+        registry.describe("reactor_active_connections", "Connections currently registered");
+        registry.describe("reactor_accepts_total", "Connections accepted by the reactor");
+        registry.describe("reactor_sweeps_total", "Connections closed by the idle sweep");
+        registry
+            .describe("reactor_stall_parks_total", "Responses parked by the stall fault");
+        ReactorObs {
+            wait_latency: registry.histogram("reactor_epoll_wait_duration_seconds", &[]),
+            iter_latency: registry.histogram("reactor_loop_iteration_duration_seconds", &[]),
+            events_per_wake: registry.gauge("reactor_events_per_wake", &[]),
+            active_conns: registry.gauge("reactor_active_connections", &[]),
+            accepts: registry.counter("reactor_accepts_total", &[]),
+            sweeps: registry.counter("reactor_sweeps_total", &[]),
+            stall_parks: registry.counter("reactor_stall_parks_total", &[]),
+        }
+    }
+}
+
 const TOK_LISTENER: u64 = 0;
 const TOK_WAKER: u64 = 1;
 const FIRST_CONN_TOKEN: u64 = 2;
@@ -239,6 +284,8 @@ impl Reactor {
             std::thread::Builder::new()
                 .name("http-reactor".into())
                 .spawn(move || {
+                    let obs =
+                        dispatcher.obs().map(|obs| ReactorObs::new(&obs.registry));
                     EventLoop {
                         epoll,
                         listener,
@@ -250,6 +297,7 @@ impl Reactor {
                         next_token: FIRST_CONN_TOKEN,
                         cache: ObsCache::default(),
                         stall_count: 0,
+                        obs,
                     }
                     .run()
                 })
@@ -283,6 +331,9 @@ struct Conn {
     /// A stall-fault response parked until its deadline.
     stalled: Option<(Instant, Vec<u8>, bool)>,
     last_activity: Instant,
+    /// Registration in the dispatcher's `/debug/conns` tracker.
+    track_id: u64,
+    stat: Arc<ConnStat>,
 }
 
 /// What `Conn::handle_events` decided about the connection's future.
@@ -292,7 +343,7 @@ enum Keep {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, track_id: u64, stat: Arc<ConnStat>) -> Conn {
         Conn {
             stream,
             inbuf: Vec::new(),
@@ -302,7 +353,28 @@ impl Conn {
             peer_eof: false,
             stalled: None,
             last_activity: Instant::now(),
+            track_id,
+            stat,
         }
+    }
+
+    /// Mirrors the connection's state into its `/debug/conns` entry:
+    /// relaxed stores on the reactor thread, read lock-free by the
+    /// introspection endpoint.
+    fn sync_stat(&self) {
+        let state = if self.stalled.is_some() {
+            ConnState::Stalled
+        } else if self.written < self.outbuf.len() {
+            ConnState::Writing
+        } else if !self.inbuf.is_empty() {
+            ConnState::Reading
+        } else {
+            ConnState::Idle
+        };
+        self.stat.set_state(state);
+        self.stat.set_buffers(self.inbuf.len(), self.outbuf.len() - self.written);
+        let idle_us = self.last_activity.elapsed().as_micros() as u64;
+        self.stat.set_last_activity(now_us().saturating_sub(idle_us));
     }
 
     /// Drains a readiness edge: read everything, dispatch every complete
@@ -334,6 +406,7 @@ impl Conn {
         if self.peer_eof && flushed && self.stalled.is_none() {
             return Keep::Close;
         }
+        self.sync_stat();
         Keep::Yes
     }
 
@@ -437,6 +510,8 @@ struct EventLoop {
     cache: ObsCache,
     /// Connections with a parked stall response (tightens the poll timeout).
     stall_count: usize,
+    /// Event-loop health instruments; `None` when the server is unobserved.
+    obs: Option<ReactorObs>,
 }
 
 impl EventLoop {
@@ -446,6 +521,7 @@ impl EventLoop {
         while !self.stop.load(Ordering::Relaxed) {
             let timeout =
                 if self.stall_count > 0 { Duration::from_millis(5) } else { POLL_SLICE };
+            let wait_start = Instant::now();
             let n = match self.epoll.wait(&mut events, timeout) {
                 Ok(n) => n,
                 Err(e) => {
@@ -453,6 +529,11 @@ impl EventLoop {
                     break;
                 }
             };
+            let iter_start = Instant::now();
+            if let Some(obs) = &self.obs {
+                obs.wait_latency.record_duration(iter_start.duration_since(wait_start));
+                obs.events_per_wake.set(n as i64);
+            }
             for ev in events.iter().take(n).copied() {
                 match ev.data {
                     TOK_LISTENER => self.accept_all(),
@@ -467,6 +548,10 @@ impl EventLoop {
             if last_sweep.elapsed() >= SWEEP_INTERVAL {
                 self.sweep_idle();
                 last_sweep = Instant::now();
+            }
+            if let Some(obs) = &self.obs {
+                obs.iter_latency.record_duration(iter_start.elapsed());
+                obs.active_conns.set(self.conns.len() as i64);
             }
         }
         // Shutdown: dropping the map closes every socket; the listener
@@ -486,13 +571,18 @@ impl EventLoop {
                     if let Some(obs) = self.dispatcher.obs() {
                         obs.connections.inc();
                     }
+                    if let Some(obs) = &self.obs {
+                        obs.accepts.inc();
+                    }
                     let token = self.next_token;
                     self.next_token += 1;
                     let flags = sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP | sys::EPOLLET;
                     if self.epoll.add(stream.as_raw_fd(), flags, token).is_err() {
                         continue; // fd exhaustion: drop the connection
                     }
-                    self.conns.insert(token, Conn::new(stream));
+                    let (track_id, stat) =
+                        self.dispatcher.conns().register(stream.as_raw_fd());
+                    self.conns.insert(token, Conn::new(stream, track_id, stat));
                 }
                 Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -503,6 +593,7 @@ impl EventLoop {
 
     /// Drives one connection through `handle_events`, closing it if asked.
     fn pump(&mut self, token: u64, evmask: u32) {
+        let parked_before = self.stall_count;
         let keep = match self.conns.get_mut(&token) {
             Some(conn) => conn.handle_events(
                 evmask,
@@ -512,6 +603,11 @@ impl EventLoop {
             ),
             None => return,
         };
+        if self.stall_count > parked_before {
+            if let Some(obs) = &self.obs {
+                obs.stall_parks.add((self.stall_count - parked_before) as u64);
+            }
+        }
         if matches!(keep, Keep::Close) {
             self.close(token);
         }
@@ -522,6 +618,7 @@ impl EventLoop {
             if conn.stalled.is_some() {
                 self.stall_count -= 1;
             }
+            self.dispatcher.conns().deregister(conn.track_id);
             self.epoll.del(conn.stream.as_raw_fd());
             // Dropping the stream closes the socket.
         }
@@ -567,6 +664,9 @@ impl EventLoop {
             .map(|(&t, _)| t)
             .collect();
         for token in expired {
+            if let Some(obs) = &self.obs {
+                obs.sweeps.inc();
+            }
             let conn = match self.conns.get_mut(&token) {
                 Some(c) => c,
                 None => continue,

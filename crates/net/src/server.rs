@@ -49,7 +49,8 @@ use parking_lot::Mutex;
 use steam_obs::Registry;
 
 use crate::conn::{
-    bad_request_response, finalize_response, Dispatcher, ObsCache, Outcome, ServerObs,
+    bad_request_response, finalize_response, ConnStat, ConnState, Dispatcher, ObsCache, Outcome,
+    ServerObs,
 };
 use crate::error::NetError;
 use crate::fault::FaultInjector;
@@ -391,12 +392,33 @@ fn is_timeout(e: &std::io::Error) -> bool {
 }
 
 /// Serves requests on one connection until close, error, idle timeout, or
-/// shutdown.
+/// shutdown. Registers the connection in the dispatcher's `/debug/conns`
+/// tracker for its lifetime, mirroring what the reactor does.
 fn serve_connection(
     stream: TcpStream,
     dispatcher: &Dispatcher,
     stop: &AtomicBool,
     idle_timeout: Duration,
+) -> Result<(), NetError> {
+    #[cfg(unix)]
+    let fd = {
+        use std::os::fd::AsRawFd;
+        stream.as_raw_fd()
+    };
+    #[cfg(not(unix))]
+    let fd = -1;
+    let (track_id, stat) = dispatcher.conns().register(fd);
+    let result = serve_connection_tracked(stream, dispatcher, stop, idle_timeout, &stat);
+    dispatcher.conns().deregister(track_id);
+    result
+}
+
+fn serve_connection_tracked(
+    stream: TcpStream,
+    dispatcher: &Dispatcher,
+    stop: &AtomicBool,
+    idle_timeout: Duration,
+    stat: &ConnStat,
 ) -> Result<(), NetError> {
     let mut writer = stream.try_clone()?;
     // Sliced read timeout: blocked reads wake every POLL_SLICE to check the
@@ -410,6 +432,7 @@ fn serve_connection(
         // closed at the idle deadline instead of holding this worker
         // forever.
         let idle_start = Instant::now();
+        stat.set_state(ConnState::Idle);
         loop {
             if stop.load(Ordering::Relaxed) {
                 return Ok(());
@@ -425,6 +448,8 @@ fn serve_connection(
                 Err(e) => return Err(e.into()),
             }
         }
+        stat.set_state(ConnState::Reading);
+        stat.touch();
         let req = match read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return Ok(()), // peer closed cleanly
@@ -444,18 +469,22 @@ fn serve_connection(
                 return Err(e);
             }
         };
+        stat.set_state(ConnState::Dispatching);
         match dispatcher.dispatch(req, &mut cache) {
             Outcome::Drop => return Ok(()),
             Outcome::Respond { mut resp, close, truncate, delay } => {
                 if let Some(d) = delay {
+                    stat.set_state(ConnState::Stalled);
                     std::thread::sleep(d);
                 }
+                stat.set_state(ConnState::Writing);
                 finalize_response(&mut resp, close);
                 if truncate {
                     write_response_truncated(&mut writer, &resp)?;
                 } else {
                     write_response(&mut writer, &resp)?;
                 }
+                stat.touch();
                 if close {
                     return Ok(());
                 }
@@ -628,6 +657,57 @@ mod tests {
                 "modes disagree on {path}"
             );
         }
+    }
+
+    #[test]
+    fn debug_endpoints_answer_in_both_modes() {
+        for mode in modes() {
+            let server = echo_server(mode);
+            let addr = server.addr();
+            let spans = raw_get(addr, "/debug/spans", false);
+            assert_eq!(spans.status, 200, "{}", mode.label());
+            assert!(
+                spans.body_text().starts_with("{\"spans\":["),
+                "{}: {}",
+                mode.label(),
+                spans.body_text()
+            );
+            let slow = raw_get(addr, "/debug/slow", false);
+            assert_eq!(slow.status, 200, "{}", mode.label());
+            assert!(slow.body_text().starts_with("{\"slow\":["), "{}", mode.label());
+            let conns = raw_get(addr, "/debug/conns", true);
+            assert_eq!(conns.status, 200, "{}", mode.label());
+            let body = conns.body_text();
+            assert!(body.starts_with("{\"conns\":["), "{}: {body}", mode.label());
+            // The connection asking is itself tracked.
+            assert!(body.contains("\"state\":"), "{}: {body}", mode.label());
+        }
+    }
+
+    #[test]
+    fn trace_header_is_echoed_identically_across_modes() {
+        let mut echoed = Vec::new();
+        for mode in modes() {
+            let server = echo_server(mode);
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut req = Request::get("/traced");
+            req.headers
+                .push(("X-Steam-Trace".into(), "00000000000000ab-00000000000000cd".into()));
+            req.headers.push(("Connection".into(), "close".into()));
+            write_request(&mut writer, &req).unwrap();
+            let mut reader = BufReader::new(stream);
+            let resp = read_response(&mut reader).unwrap();
+            assert_eq!(resp.status, 200, "{}", mode.label());
+            assert_eq!(
+                resp.header("x-steam-trace"),
+                Some("00000000000000ab"),
+                "{}",
+                mode.label()
+            );
+            echoed.push(resp.header("x-steam-trace").unwrap().to_string());
+        }
+        assert!(echoed.windows(2).all(|w| w[0] == w[1]), "modes disagree on trace echo");
     }
 
     #[test]

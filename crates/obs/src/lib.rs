@@ -13,7 +13,10 @@
 //!   text exposition (what `GET /metrics` serves);
 //! * [`trace`] — leveled structured events and `span`-style RAII timers,
 //!   buffered in per-thread rings, with a pluggable [`Sink`] (stderr text
-//!   formatter included, honoring `--log-level`).
+//!   formatter included, honoring `--log-level`);
+//! * [`flight`] — request-scoped [`TraceId`]/[`SpanId`] propagation
+//!   (`X-Steam-Trace`) and the always-on, lock-free flight recorder behind
+//!   the server's `/debug/spans` and `/debug/slow` endpoints.
 //!
 //! ## Determinism contract
 //!
@@ -23,10 +26,15 @@
 //! observability enabled or disabled (enforced by
 //! `crates/core/tests/parallel_report.rs`).
 
+pub mod flight;
 pub mod metrics;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{
+    mint_trace_id, next_span_id, now_us, recent_spans, record_span, slowest_spans, FlightRecorder,
+    SpanId, SpanKind, SpanRecord, TraceContext, TraceId, TRACE_HEADER,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::Registry;
 pub use trace::{

@@ -11,8 +11,9 @@
 //! Nothing here writes to stdout; the bundled [`StderrSink`] formats to
 //! stderr, keeping report output byte-identical with tracing enabled.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -89,7 +90,8 @@ pub fn enabled(level: Level) -> bool {
 }
 
 /// The process-wide monotonic epoch every event timestamp is relative to.
-fn epoch() -> Instant {
+/// Shared with the flight recorder so span and event timelines line up.
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
@@ -116,7 +118,13 @@ pub struct StderrSink;
 
 impl Sink for StderrSink {
     fn emit(&self, event: &Event) {
-        eprintln!(
+        use std::io::Write;
+        // Never `eprintln!` here: it panics on EPIPE, and a supervisor
+        // that closes our stderr (after reading the startup banner, say)
+        // must lose log lines, not serving threads.
+        let stderr = std::io::stderr();
+        let _ = writeln!(
+            stderr.lock(),
             "[{:>9.4}s {:<5} {}] {}",
             event.elapsed.as_secs_f64(),
             event.level.as_str(),
@@ -128,10 +136,20 @@ impl Sink for StderrSink {
 
 static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+/// Bumped on every [`set_sink`]; emitters revalidate their thread-local
+/// sink clone against it with one relaxed-cost atomic load, so the hot
+/// path never touches the `SINK` mutex after the first event per thread.
+static SINK_GEN: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// `(generation, sink)` cache; stale when the generation lags SINK_GEN.
+    static SINK_CACHE: RefCell<(u64, Option<Arc<dyn Sink>>)> = const { RefCell::new((0, None)) };
+}
 
 /// Installs (or replaces) the global sink.
 pub fn set_sink(sink: Arc<dyn Sink>) {
     *SINK.lock().expect("sink poisoned") = Some(sink);
+    SINK_GEN.fetch_add(1, Ordering::Release);
     SINK_INSTALLED.store(true, Ordering::Release);
 }
 
@@ -146,7 +164,12 @@ static RINGS: Mutex<Vec<SharedRing>> = Mutex::new(Vec::new());
 thread_local! {
     static LOCAL_RING: SharedRing = {
         let ring = Arc::new(Mutex::new(VecDeque::with_capacity(RING_CAPACITY)));
-        RINGS.lock().expect("ring registry poisoned").push(Arc::clone(&ring));
+        let mut rings = RINGS.lock().expect("ring registry poisoned");
+        // A ring whose only owner is the registry belongs to an exited
+        // thread; prune here (and in `recent_events`) so thread churn
+        // cannot grow the registry without bound.
+        rings.retain(|r| Arc::strong_count(r) > 1);
+        rings.push(Arc::clone(&ring));
         ring
     };
 }
@@ -169,16 +192,31 @@ pub fn event(level: Level, target: &'static str, message: String) {
         ring.push_back(event.clone());
     });
     if SINK_INSTALLED.load(Ordering::Acquire) {
-        let sink = SINK.lock().expect("sink poisoned").clone();
-        if let Some(sink) = sink {
-            sink.emit(&event);
+        let gen = SINK_GEN.load(Ordering::Acquire);
+        // `try_with` mirrors the ring above: events during thread teardown
+        // fall back to a one-off mutex read instead of panicking.
+        let cached = SINK_CACHE.try_with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.0 != gen {
+                *cache = (gen, SINK.lock().expect("sink poisoned").clone());
+            }
+            if let Some(sink) = &cache.1 {
+                sink.emit(&event);
+            }
+        });
+        if cached.is_err() {
+            if let Some(sink) = SINK.lock().expect("sink poisoned").clone() {
+                sink.emit(&event);
+            }
         }
     }
 }
 
-/// Snapshot of every thread's recent events, oldest first.
+/// Snapshot of every live thread's recent events, oldest first. Rings of
+/// exited threads are pruned first — their events age out with them.
 pub fn recent_events() -> Vec<Event> {
-    let rings = RINGS.lock().expect("ring registry poisoned");
+    let mut rings = RINGS.lock().expect("ring registry poisoned");
+    rings.retain(|r| Arc::strong_count(r) > 1);
     let mut events: Vec<Event> = rings
         .iter()
         .flat_map(|ring| ring.lock().expect("ring poisoned").iter().cloned().collect::<Vec<_>>())
@@ -318,5 +356,75 @@ mod tests {
         set_level(Level::Warn);
         event(Level::Debug, "test-disabled", "invisible".into());
         assert!(recent_events().iter().all(|e| e.target != "test-disabled"));
+    }
+
+    #[test]
+    fn ring_registry_prunes_exited_threads() {
+        let _guard = LEVEL_LOCK.lock().unwrap();
+        set_level(Level::Warn);
+        // Sequential spawn+join keeps at most a couple of churn threads
+        // alive at once; without pruning this leaks 200 rings.
+        for i in 0..200 {
+            std::thread::spawn(move || {
+                event(Level::Warn, "test-churn", format!("thread {i}"));
+            })
+            .join()
+            .unwrap();
+        }
+        let _ = recent_events();
+        let live = RINGS.lock().unwrap().len();
+        // Loose bound: other tests in the harness own live rings too, but
+        // nowhere near the 200 this test would leak unpruned.
+        assert!(live < 64, "registry retained {live} rings after 200 exited threads");
+    }
+
+    struct CountingSink {
+        hits: AtomicU64,
+    }
+
+    impl Sink for CountingSink {
+        fn emit(&self, event: &Event) {
+            if event.target == "test-sink-swap" {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_emit_with_sink_swap_loses_nothing() {
+        let _guard = LEVEL_LOCK.lock().unwrap();
+        set_level(Level::Warn);
+        let first = Arc::new(CountingSink { hits: AtomicU64::new(0) });
+        let second = Arc::new(CountingSink { hits: AtomicU64::new(0) });
+        set_sink(Arc::clone(&first) as Arc<dyn Sink>);
+
+        const THREADS: u64 = 4;
+        const EVENTS: u64 = 500;
+        let emitters: Vec<_> = (0..THREADS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..EVENTS {
+                        event(Level::Warn, "test-sink-swap", format!("{t}-{i}"));
+                    }
+                })
+            })
+            .collect();
+        // Swap mid-stream: cached clones may deliver a few more events to
+        // the old sink, but every event lands in exactly one of the two.
+        set_sink(Arc::clone(&second) as Arc<dyn Sink>);
+        for emitter in emitters {
+            emitter.join().unwrap();
+        }
+        // Post-swap events from this thread must reach the new sink.
+        let already = second.hits.load(Ordering::Relaxed);
+        for i in 0..10 {
+            event(Level::Warn, "test-sink-swap", format!("main-{i}"));
+        }
+        assert_eq!(second.hits.load(Ordering::Relaxed), already + 10);
+        assert_eq!(
+            first.hits.load(Ordering::Relaxed) + second.hits.load(Ordering::Relaxed),
+            THREADS * EVENTS + 10,
+            "an event was dropped or double-emitted across the sink swap"
+        );
     }
 }
