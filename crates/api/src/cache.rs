@@ -5,8 +5,9 @@
 //! valid forever — no invalidation protocol, just a bounded LRU per shard to
 //! keep the long tail (per-user endpoints over millions of users) from
 //! holding every body in memory at once. Keys are `(endpoint, id)`; the hot
-//! batch endpoint is keyed by its raw `steamids` list so repeated census
-//! sweeps hit too.
+//! batch endpoint is keyed by its parsed, order-preserving id list so
+//! repeated census sweeps hit too — and so equivalent batches that differ
+//! only in encoding share one entry.
 
 use std::collections::hash_map::RandomState;
 use std::hash::BuildHasher;
@@ -23,8 +24,12 @@ use steam_obs::{Counter, Gauge, Registry};
 /// re-serializing.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum CacheKey {
-    /// `GetPlayerSummaries` keyed by the raw (pre-parse) `steamids` value.
-    Summaries(String),
+    /// `GetPlayerSummaries` keyed by the parsed, decoded, order-preserving
+    /// (and de-duplicated) id list — never by the raw query string, so
+    /// batches that differ only in percent-encoding, empty segments
+    /// (`a,,b`), or duplicate ids share one entry. The router's re-batched
+    /// sub-requests therefore hit the same entries a crawler warmed.
+    Summaries(Vec<u64>),
     /// `GetFriendList` keyed by account index.
     Friends(u32),
     /// `GetOwnedGames` keyed by account index.

@@ -44,6 +44,7 @@ use steam_obs::{
 
 use crate::checkpoint::{CheckpointStore, Record, Replay, UserRecord};
 use crate::service::MAX_BATCH_IDS;
+use crate::shard::{shard_of, shard_of_app, shard_of_group};
 use crate::wire;
 
 /// Crawler configuration.
@@ -222,6 +223,14 @@ impl CrawlProgress {
         &self.request_latency
     }
 
+    /// A live view attached to `registry`. Instruments are shared with any
+    /// crawler recording there — with [`crawl_sharded`] every per-shard
+    /// crawler records into one registry, so this view observes the whole
+    /// fleet's aggregate progress.
+    pub fn attach(registry: &Registry) -> Self {
+        Self::new(registry)
+    }
+
     fn record_retry(&self, err: &NetError, delay: Duration) {
         match err {
             NetError::Status { code: 429, .. } => self.retries_429.inc(),
@@ -393,7 +402,7 @@ impl Crawler {
                 .map(|rps| TokenBucket::new(rps, (rps / 4.0).max(1.0))),
         );
         let progress = CrawlProgress::new(&registry);
-        let pool = config.pool_size.map(|n| ConnectionPool::shared(addr, n));
+        let pool = config.pool_size.map(ConnectionPool::shared);
         let fetcher = Fetcher {
             client: Self::make_client(addr, pool.as_ref()),
             backoff: config.backoff,
@@ -407,7 +416,7 @@ impl Crawler {
 
     fn make_client(addr: SocketAddr, pool: Option<&Arc<ConnectionPool>>) -> HttpClient {
         match pool {
-            Some(pool) => HttpClient::with_pool(Arc::clone(pool)),
+            Some(pool) => HttpClient::with_pool(addr, Arc::clone(pool)),
             None => HttpClient::new(addr),
         }
     }
@@ -789,6 +798,411 @@ impl Crawler {
             catalog,
         })
     }
+
+    /// Phase 1 against one shard of a mod-`n` fleet: walks the shard's
+    /// residue class (global indices `shard`, `shard + n`, `shard + 2n`, …)
+    /// in batches of up to [`MAX_BATCH_IDS`] *owned* IDs.
+    ///
+    /// The stop rule counts consecutive empty owned batches, so each stop
+    /// window spans `n×` the ID positions of the unsharded rule — a shard
+    /// can never give up before the unsharded census would have. Returned
+    /// `scanned` is the shard's last valid *global* index + 1; the fleet's
+    /// scanned space is the max over shards.
+    ///
+    /// Journaled batches are keyed by the global index of their first owned
+    /// ID, so a resumed sharded crawl replays its own journal and an `n = 1`
+    /// "fleet" journal is record-compatible with an unsharded one.
+    fn shard_census(
+        &mut self,
+        shard: u64,
+        n: u64,
+        journal: Option<&Mutex<CheckpointStore>>,
+        replay: &Replay,
+    ) -> Result<(Vec<steam_model::Account>, u64), NetError> {
+        let _timer = steam_obs::span("crawl", "census")
+            .with_histogram(Arc::clone(&self.progress.phase_census));
+        let mut accounts = Vec::new();
+        let mut batch_no: u64 = 0; // walk position, in owned batches
+        let mut empty_run = 0usize;
+        let mut last_valid: Option<u64> = None;
+        let stride = MAX_BATCH_IDS as u64 * n;
+        let key_of = |b: u64| shard + b * stride;
+
+        while let Some(batch) = replay.census_batches.get(&key_of(batch_no)) {
+            self.progress.resume_skipped.inc();
+            if batch.is_empty() {
+                empty_run += 1;
+            } else {
+                empty_run = 0;
+                for p in batch {
+                    last_valid = Some(p.id.index().max(last_valid.unwrap_or(0)));
+                    accounts.push(p.clone());
+                }
+            }
+            batch_no += 1;
+            self.progress.ids_scanned.set_max(key_of(batch_no) as i64);
+        }
+
+        if let Some(scanned) = replay.census_complete {
+            accounts.sort_by_key(|a| a.id);
+            return Ok((accounts, scanned));
+        }
+
+        while empty_run < self.config.empty_batches_to_stop {
+            let first = key_of(batch_no);
+            let ids: Vec<String> = (0..MAX_BATCH_IDS as u64)
+                .map(|j| SteamId::from_index(first + j * n).to_string())
+                .collect();
+            let players = self.fetcher.get_parsed(
+                &format!(
+                    "/ISteamUser/GetPlayerSummaries/v2?key={}&steamids={}",
+                    self.config.api_key,
+                    ids.join(",")
+                ),
+                wire::parse_player_summaries,
+            )?;
+            self.progress.census_batches.inc();
+            if let Some(j) = journal {
+                j.lock().append(&Record::CensusBatch {
+                    start_index: first,
+                    accounts: players.clone(),
+                })?;
+            }
+            if players.is_empty() {
+                empty_run += 1;
+            } else {
+                empty_run = 0;
+                for p in players {
+                    last_valid = Some(p.id.index().max(last_valid.unwrap_or(0)));
+                    accounts.push(p);
+                }
+            }
+            batch_no += 1;
+            self.progress.ids_scanned.set_max(key_of(batch_no) as i64);
+        }
+        accounts.sort_by_key(|a| a.id);
+        let scanned = last_valid.map_or(0, |v| v + 1);
+        if let Some(j) = journal {
+            j.lock().append(&Record::CensusComplete { scanned_id_space: scanned })?;
+        }
+        Ok((accounts, scanned))
+    }
+}
+
+/// Crawls a sharded fleet into one merged snapshot, byte-identical to an
+/// unsharded crawl of the same world.
+///
+/// One [`Crawler`] per shard address, all recording into a private shared
+/// registry (see [`crawl_sharded_observed`] to supply one). Phase 1 censuses
+/// every residue class concurrently; phase 2 harvests every shard
+/// concurrently ([`CrawlerConfig::workers`] worker threads *per shard*);
+/// groups and catalog fetches go to the shard that owns each gid/app id.
+///
+/// With [`CrawlerConfig::checkpoint_dir`] set, each shard journals into its
+/// own `shard-{i}-of-{n}` subdirectory, flushed on every exit path; with
+/// [`CrawlerConfig::resume`] each shard replays its own journal. Global user
+/// indices are stable across resume because the merged census is
+/// deterministic.
+///
+/// Other knobs apply per shard: `self_throttle_rps` and `pool_size` bound
+/// each shard's crawlers separately (fleet-wide rate is `n ×` the knob).
+pub fn crawl_sharded(
+    addrs: &[SocketAddr],
+    config: &CrawlerConfig,
+    collected_at: steam_model::SimTime,
+) -> Result<Snapshot, NetError> {
+    crawl_sharded_observed(addrs, config, collected_at, Arc::new(Registry::new()))
+}
+
+/// [`crawl_sharded`] recording fleet-wide metrics into `registry` (attach a
+/// [`CrawlProgress`] to the same registry for a live progress line).
+pub fn crawl_sharded_observed(
+    addrs: &[SocketAddr],
+    config: &CrawlerConfig,
+    collected_at: steam_model::SimTime,
+    registry: Arc<Registry>,
+) -> Result<Snapshot, NetError> {
+    assert!(!addrs.is_empty(), "crawl_sharded needs at least one shard address");
+    let n = addrs.len();
+    let mut crawlers = Vec::with_capacity(n);
+    let mut journals: Vec<Option<Mutex<CheckpointStore>>> = Vec::with_capacity(n);
+    let mut replays: Vec<Replay> = Vec::with_capacity(n);
+    for (i, &addr) in addrs.iter().enumerate() {
+        // Journals are managed here (one per shard), not by Crawler::crawl.
+        let mut shard_config = config.clone();
+        shard_config.checkpoint_dir = None;
+        let crawler = Crawler::with_registry(addr, shard_config, Arc::clone(&registry));
+        let (journal, replay) = match &config.checkpoint_dir {
+            Some(dir) => {
+                let sub = dir.join(format!("shard-{i}-of-{n}"));
+                let (store, replay) = if config.resume {
+                    CheckpointStore::resume(&sub)?
+                } else {
+                    (CheckpointStore::create(&sub)?, Replay::default())
+                };
+                let store =
+                    store.with_counter(Arc::clone(&crawler.progress.checkpoint_records));
+                (Some(Mutex::new(store)), replay)
+            }
+            None => (None, Replay::default()),
+        };
+        crawlers.push(crawler);
+        journals.push(journal);
+        replays.push(replay);
+    }
+    let result = crawl_sharded_phases(&mut crawlers, &journals, &replays, collected_at);
+    for journal in journals.iter().flatten() {
+        let flushed = journal.lock().flush();
+        if result.is_ok() {
+            // As in Crawler::crawl: a failed final flush only matters on the
+            // success path.
+            flushed?;
+        }
+    }
+    result
+}
+
+fn crawl_sharded_phases(
+    crawlers: &mut [Crawler],
+    journals: &[Option<Mutex<CheckpointStore>>],
+    replays: &[Replay],
+    collected_at: steam_model::SimTime,
+) -> Result<Snapshot, NetError> {
+    let n = crawlers.len();
+
+    // --- phase 1: every shard censuses its residue class concurrently. The
+    // classes partition the ID space, so the union is exactly the unsharded
+    // census; sorting by ID reproduces its order, and the fleet's scanned
+    // space is the max of the per-shard last-valid watermarks.
+    let census: Vec<Result<(Vec<steam_model::Account>, u64), NetError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = crawlers
+                .iter_mut()
+                .zip(journals)
+                .zip(replays)
+                .enumerate()
+                .map(|(i, ((crawler, journal), replay))| {
+                    scope.spawn(move || {
+                        crawler.shard_census(i as u64, n as u64, journal.as_ref(), replay)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("census thread panicked"))
+                .collect()
+        });
+    let mut accounts: Vec<steam_model::Account> = Vec::new();
+    let mut scanned_id_space = 0u64;
+    for result in census {
+        let (shard_accounts, shard_scanned) = result?;
+        accounts.extend(shard_accounts);
+        scanned_id_space = scanned_id_space.max(shard_scanned);
+    }
+    accounts.sort_by_key(|a| a.id);
+    let progress = crawlers[0].progress.clone();
+    progress.profiles_found.set(accounts.len() as i64);
+    let index_of: HashMap<SteamId, u32> = accounts
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.id, i as u32))
+        .collect();
+
+    // --- phase 2: per-shard harvest, all shards concurrent, each shard
+    // fanning out over its own worker threads and atomic cursor. Results
+    // land in per-user slots keyed by *global* index, so the merge below is
+    // the same code path as the unsharded crawl.
+    let harvest_timer = steam_obs::span("crawl", "harvest")
+        .with_histogram(Arc::clone(&progress.phase_harvest));
+    let key = crawlers[0].config.api_key.clone();
+    let mut user_records: Vec<Option<UserRecord>> = (0..accounts.len() as u32)
+        .map(|u| replays.iter().find_map(|r| r.users.get(&u)).cloned())
+        .collect();
+    let replayed = user_records.iter().filter(|r| r.is_some()).count();
+    progress.resume_skipped.add(replayed as u64);
+    let mut todo_per_shard: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for u in 0..accounts.len() as u32 {
+        if user_records[u as usize].is_none() {
+            todo_per_shard[shard_of(accounts[u as usize].id, n)].push(u);
+        }
+    }
+    let cursors: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let worker_results: Vec<Result<Vec<UserRecord>, NetError>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, crawler) in crawlers.iter().enumerate() {
+                let todo = &todo_per_shard[i];
+                let cursor = &cursors[i];
+                let journal = journals[i].as_ref();
+                let key = &key;
+                let accounts = &accounts;
+                let workers = crawler.config.workers.max(1).min(todo.len().max(1));
+                for _ in 0..workers {
+                    let mut fetcher = crawler.new_fetcher();
+                    handles.push(scope.spawn(move || -> Result<Vec<UserRecord>, NetError> {
+                        let mut out = Vec::new();
+                        loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&u) = todo.get(k) else { break };
+                            let id = accounts[u as usize].id;
+                            let friends = fetcher.get_parsed(
+                                &format!(
+                                    "/ISteamUser/GetFriendList/v1?key={key}&steamid={id}"
+                                ),
+                                wire::parse_friend_list,
+                            )?;
+                            let games = fetcher.get_parsed(
+                                &format!(
+                                    "/IPlayerService/GetOwnedGames/v1?key={key}&steamid={id}"
+                                ),
+                                wire::parse_owned_games,
+                            )?;
+                            let groups = fetcher.get_parsed(
+                                &format!(
+                                    "/ISteamUser/GetUserGroupList/v1?key={key}&steamid={id}"
+                                ),
+                                wire::parse_group_list,
+                            )?;
+                            let rec = UserRecord { index: u, friends, games, groups };
+                            if let Some(j) = journal {
+                                j.lock().append(&Record::User(rec.clone()))?;
+                            }
+                            fetcher.progress.users_harvested.inc();
+                            out.push(rec);
+                        }
+                        Ok(out)
+                    }));
+                }
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("harvest worker panicked"))
+                .collect()
+        });
+    for result in worker_results {
+        for rec in result? {
+            let slot = rec.index as usize;
+            user_records[slot] = Some(rec);
+        }
+    }
+
+    // Merge in global index order — the same sequence (and so the same
+    // bytes) as Crawler::crawl_phases.
+    let mut friendships: Vec<Friendship> = Vec::new();
+    let mut ownerships = Vec::with_capacity(accounts.len());
+    let mut raw_memberships: Vec<Vec<GroupId>> = Vec::with_capacity(accounts.len());
+    for rec in &user_records {
+        let rec = rec.as_ref().expect("every user harvested or replayed");
+        for &(fid, since) in &rec.friends {
+            if let Some(&v) = index_of.get(&fid) {
+                if rec.index < v {
+                    friendships.push(Friendship::new(rec.index, v, since));
+                }
+            }
+        }
+    }
+    for rec in user_records.into_iter().flatten() {
+        ownerships.push(rec.games);
+        raw_memberships.push(rec.groups);
+    }
+    let mut seen_groups: BTreeMap<GroupId, ()> = BTreeMap::new();
+    for gids in &raw_memberships {
+        for g in gids {
+            seen_groups.insert(*g, ());
+        }
+    }
+
+    // Group metadata, ascending gid (the dense index order), each page from
+    // the shard that owns the gid.
+    let mut groups: Vec<Group> = Vec::with_capacity(seen_groups.len());
+    let mut group_index: HashMap<GroupId, u32> = HashMap::with_capacity(seen_groups.len());
+    for (gid, ()) in seen_groups {
+        let page = if let Some(g) = replays.iter().find_map(|r| r.groups.get(&gid)) {
+            progress.resume_skipped.inc();
+            g.clone()
+        } else {
+            let s = shard_of_group(gid, n);
+            let page = crawlers[s].fetcher.get_parsed(
+                &format!("/community/group/{}", gid.0),
+                wire::parse_group_page,
+            )?;
+            if let Some(j) = &journals[s] {
+                j.lock().append(&Record::GroupPage(page.clone()))?;
+            }
+            crawlers[s].progress.groups_fetched.inc();
+            page
+        };
+        group_index.insert(gid, groups.len() as u32);
+        groups.push(page);
+    }
+    let memberships: Vec<Vec<u32>> = raw_memberships
+        .into_iter()
+        .map(|gids| {
+            let mut m: Vec<u32> = gids.iter().map(|g| group_index[g]).collect();
+            m.sort_unstable();
+            m
+        })
+        .collect();
+
+    drop(harvest_timer);
+
+    // --- phase 3: the catalog is replicated to every shard; the app list
+    // comes from shard 0 and per-app details from the shard that owns the
+    // app id (pure load spreading — any shard could answer).
+    let catalog_timer = steam_obs::span("crawl", "catalog")
+        .with_histogram(Arc::clone(&progress.phase_catalog));
+    let app_ids = if let Some(list) = &replays[0].app_list {
+        progress.resume_skipped.inc();
+        list.clone()
+    } else {
+        let list = crawlers[0]
+            .fetcher
+            .get_parsed("/ISteamApps/GetAppList/v2", wire::parse_app_list)?;
+        if let Some(j) = &journals[0] {
+            j.lock().append(&Record::AppList(list.clone()))?;
+        }
+        list
+    };
+    let mut catalog = Vec::with_capacity(app_ids.len());
+    for app in app_ids {
+        if let Some(game) = replays.iter().find_map(|r| r.apps.get(&app)) {
+            progress.resume_skipped.inc();
+            catalog.push(game.clone());
+            continue;
+        }
+        let s = shard_of_app(app, n);
+        let crawler = &mut crawlers[s];
+        let mut game = crawler.fetcher.get_parsed(
+            &format!("/api/appdetails?appids={}", app.0),
+            |body| wire::parse_app_details(app, body),
+        )?;
+        game.achievements = crawler.fetcher.get_parsed(
+            &format!(
+                "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2?gameid={}",
+                app.0
+            ),
+            wire::parse_achievement_percentages,
+        )?;
+        if let Some(j) = &journals[s] {
+            j.lock().append(&Record::App(game.clone()))?;
+        }
+        crawler.progress.apps_fetched.inc();
+        catalog.push(game);
+    }
+    catalog.sort_by_key(|g| g.app_id);
+    drop(catalog_timer);
+
+    friendships.sort_by_key(|e| (e.a, e.b));
+    Ok(Snapshot {
+        collected_at,
+        scanned_id_space,
+        accounts,
+        friendships,
+        ownerships,
+        groups,
+        memberships,
+        catalog,
+    })
 }
 
 #[cfg(test)]

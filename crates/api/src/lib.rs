@@ -8,22 +8,35 @@
 //!   token-bucket rate limiting and the batch-100 profile endpoint;
 //! * [`crawler`] — the three-phase collection pipeline (ID-space census →
 //!   per-user harvest → catalog), self-throttled to a configurable rate and
-//!   retrying transient failures with exponential backoff.
+//!   retrying transient failures with exponential backoff;
+//! * [`shard`] — per-shard snapshot stores (`shard-split`) and the
+//!   shard-side service;
+//! * [`router`] — the scatter-gather front door over a shard fleet.
 //!
 //! The integration tests (and the `crawl_api` example) demonstrate the key
-//! property: crawling the served snapshot reproduces it record-for-record.
+//! property: crawling the served snapshot reproduces it record-for-record —
+//! whether served by one process or by a routed shard fleet.
 
 pub mod cache;
 pub mod checkpoint;
 pub mod crawler;
+pub mod router;
 pub mod service;
+pub mod shard;
 pub mod wire;
 
 pub use cache::{CacheKey, WireCache};
 pub use checkpoint::{CheckpointStore, Record, Replay, UserRecord};
-pub use crawler::{CrawlProgress, CrawlStats, Crawler, CrawlerConfig};
+pub use crawler::{
+    crawl_sharded, crawl_sharded_observed, CrawlProgress, CrawlStats, Crawler, CrawlerConfig,
+};
+pub use router::{serve_router_config, RouterConfig, RouterService};
 pub use service::{
     serve, serve_observed, serve_service, serve_service_config, serve_service_faulty,
     serve_service_observed,
     ApiService, RateLimit,
+};
+pub use shard::{
+    decode_shard, encode_shard, read_shard, serve_shard_config, shard_of, shard_of_app,
+    shard_of_group, split_snapshot, write_shard, ShardService, ShardStore,
 };

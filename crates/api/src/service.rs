@@ -210,24 +210,33 @@ impl ApiService {
             Some(raw) => raw,
             None => return Response::error(400, "missing steamids"),
         };
-        // Keyed by the raw id list: a hit skips parsing and lookup entirely,
-        // which is what makes repeated census sweeps nearly free.
-        let key = CacheKey::Summaries(raw.to_string());
+        let segments: Vec<&str> = raw.split(',').filter(|s| !s.is_empty()).collect();
+        if segments.len() > MAX_BATCH_IDS {
+            return Response::error(400, "too many steamids (max 100)");
+        }
+        // Parse before keying: the cache key is the decoded, order-preserving
+        // id list with duplicates collapsed, so equivalent batches that
+        // differ only in percent-encoding, empty segments (`a,,b`), or
+        // repeated ids share one entry — and the router's re-batched
+        // sub-requests hit entries a direct crawl warmed.
+        let mut ids: Vec<SteamId> = Vec::with_capacity(segments.len());
+        for s in segments {
+            let id: SteamId = match s.parse() {
+                Ok(id) => id,
+                Err(_) => return Response::error(400, "malformed steamid"),
+            };
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        let key = CacheKey::Summaries(ids.iter().map(|id| id.as_u64()).collect());
         if let Some(cache) = &self.cache {
             if let Some(body) = cache.lookup(&key) {
                 return Response::json_bytes(body.as_ref().clone());
             }
         }
-        let ids: Vec<&str> = raw.split(',').filter(|s| !s.is_empty()).collect();
-        if ids.len() > MAX_BATCH_IDS {
-            return Response::error(400, "too many steamids (max 100)");
-        }
         let mut found = Vec::new();
-        for s in ids {
-            let id: SteamId = match s.parse() {
-                Ok(id) => id,
-                Err(_) => return Response::error(400, "malformed steamid"),
-            };
+        for id in ids {
             // Unknown ids are silently absent from the response, exactly how
             // the crawler discovers the ID space's density (§3.1).
             if let Some(&idx) = self.by_id.get(&id) {
@@ -523,6 +532,37 @@ mod tests {
         let players = wire::parse_player_summaries(&resp.body_text()).unwrap();
         assert_eq!(players.len(), 2);
         assert_eq!(players[0].id, id0);
+    }
+
+    #[test]
+    fn equivalent_summary_batches_share_one_cache_entry() {
+        // Regression: the cache used to key summaries by the raw `steamids`
+        // query string, so batches differing only in percent-encoding,
+        // empty segments, or duplicate ids occupied distinct entries.
+        let snap = tiny_snapshot();
+        let service = ApiService::new(Arc::clone(&snap), RateLimit::default());
+        let id0 = snap.accounts[0].id;
+        let id1 = snap.accounts[1].id;
+        // Percent-encode the first digit of id0 — the HTTP layer decodes
+        // query params, so the service sees the same id either way.
+        let id0s = id0.to_string();
+        let encoded = format!("%{:02X}{}", id0s.as_bytes()[0], &id0s[1..]);
+        let variants = [
+            format!("/ISteamUser/GetPlayerSummaries/v2?steamids={id0},{id1}"),
+            format!("/ISteamUser/GetPlayerSummaries/v2?steamids={id0},,{id1},"),
+            format!("/ISteamUser/GetPlayerSummaries/v2?steamids={encoded},{id1}"),
+            format!("/ISteamUser/GetPlayerSummaries/v2?steamids={id0},{id0},{id1}"),
+        ];
+        let first = request(&service, &variants[0]);
+        assert_eq!(first.status, 200);
+        for v in &variants {
+            let resp = request(&service, v);
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, first.body, "variant {v} must serve identical bytes");
+        }
+        let cache = service.cache().unwrap();
+        assert_eq!(cache.len(), 1, "all encoding variants must share one entry");
+        assert_eq!(cache.hits(), 4, "every variant after the first fill must hit");
     }
 
     #[test]

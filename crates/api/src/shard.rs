@@ -1,0 +1,732 @@
+//! Sharded snapshot stores and the shard-side API service.
+//!
+//! A [`Snapshot`] cannot be cut into N servable pieces directly: its
+//! friendship edges are *account-index* pairs, and an edge endpoint usually
+//! lives on another shard. `shard-split` therefore resolves every
+//! cross-account reference while the whole snapshot is still in one piece —
+//! each account's friend list becomes `(SteamId, since)` pairs in exactly
+//! the order [`ApiService`](crate::service::ApiService) would serve them —
+//! and writes one self-contained [`ShardStore`] per shard.
+//!
+//! Assignment is residue-class by SteamID: account `id` lives on shard
+//! `id.index() % n`, groups on `gid % n`, apps on `app_id % n` (the catalog
+//! is small and replicated to every shard, so any shard *can* answer any
+//! app; the router spreads the load by residue). Residue classes — rather
+//! than contiguous index ranges — keep every shard's census workable: a
+//! range split would give every shard but the first an enormous prefix of
+//! ids it does not own, tripping the crawler's consecutive-empty-batch stop
+//! rule long before the shard's own accounts begin.
+//!
+//! The on-disk format follows the v2 snapshot container idiom: magic +
+//! version + header, then per-section checksummed blocks, so a torn or
+//! bit-rotten shard file fails loudly at load time instead of serving
+//! silently wrong bytes.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use steam_model::codec::{
+    checksum32, get_account, get_game, get_group, get_vari64, get_varu64, put_account, put_game,
+    put_group, put_vari64, put_varu64, write_atomic,
+};
+use steam_model::{
+    Account, AppId, Game, Group, GroupId, ModelError, OwnedGame, SimTime, Snapshot, SteamId,
+};
+use steam_net::http::{Request, Response};
+use steam_net::ratelimit::KeyedLimiter;
+use steam_net::server::{Handler, HttpServer};
+use steam_net::NetError;
+use steam_obs::Gauge;
+
+use crate::cache::{CacheKey, WireCache};
+use crate::service::{RateLimit, MAX_BATCH_IDS};
+use crate::wire;
+
+/// Magic prefix of a shard store file.
+pub const SHARD_MAGIC: &[u8; 4] = b"CSHD";
+/// Version byte following [`SHARD_MAGIC`].
+pub const SHARD_VERSION: u8 = 1;
+
+/// The shard that owns account `id` in an `n_shards`-way split.
+pub fn shard_of(id: SteamId, n_shards: usize) -> usize {
+    (id.index() % n_shards as u64) as usize
+}
+
+/// The shard that owns group `gid` in an `n_shards`-way split.
+pub fn shard_of_group(gid: GroupId, n_shards: usize) -> usize {
+    gid.0 as usize % n_shards
+}
+
+/// The shard that answers for app `app_id`. Every shard holds the full
+/// catalog; this just spreads catalog traffic across the fleet.
+pub fn shard_of_app(app_id: AppId, n_shards: usize) -> usize {
+    app_id.0 as usize % n_shards
+}
+
+/// One shard's self-contained slice of a snapshot: the accounts it owns
+/// with every cross-account reference pre-resolved, the groups it owns, and
+/// a replicated catalog.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardStore {
+    pub shard_index: u32,
+    pub shard_count: u32,
+    pub collected_at: SimTime,
+    pub scanned_id_space: u64,
+    /// Accounts owned by this shard, sorted by id.
+    pub accounts: Vec<Account>,
+    /// Per owned account: friend `(id, since)` pairs, in the order the
+    /// unsharded service serves them (ascending global account index).
+    pub friends: Vec<Vec<(SteamId, SimTime)>>,
+    /// Per owned account: owned games, snapshot order.
+    pub games: Vec<Vec<OwnedGame>>,
+    /// Per owned account: member group ids, in the order the unsharded
+    /// service serves them (ascending global group index).
+    pub member_gids: Vec<Vec<GroupId>>,
+    /// Groups owned by this shard (`gid % n == shard_index`).
+    pub groups: Vec<Group>,
+    /// Full catalog, replicated to every shard.
+    pub catalog: Vec<Game>,
+}
+
+/// Cuts a snapshot into `n_shards` self-contained stores. Every account,
+/// group, and catalog byte the unsharded service would emit is reachable
+/// from exactly the shard the router would ask.
+pub fn split_snapshot(snap: &Snapshot, n_shards: usize) -> Vec<ShardStore> {
+    assert!(n_shards >= 1, "need at least one shard");
+    // Adjacency in service order: both edge directions, sorted by the
+    // friend's global account index (what ApiService serves).
+    let mut adjacency: Vec<Vec<(u32, SimTime)>> = vec![Vec::new(); snap.n_users()];
+    for e in &snap.friendships {
+        adjacency[e.a as usize].push((e.b, e.created_at));
+        adjacency[e.b as usize].push((e.a, e.created_at));
+    }
+    for list in &mut adjacency {
+        list.sort_by_key(|(v, _)| *v);
+    }
+    let mut shards: Vec<ShardStore> = (0..n_shards)
+        .map(|i| ShardStore {
+            shard_index: i as u32,
+            shard_count: n_shards as u32,
+            collected_at: snap.collected_at,
+            scanned_id_space: snap.scanned_id_space,
+            accounts: Vec::new(),
+            friends: Vec::new(),
+            games: Vec::new(),
+            member_gids: Vec::new(),
+            groups: Vec::new(),
+            catalog: snap.catalog.clone(),
+        })
+        .collect();
+    for (u, acct) in snap.accounts.iter().enumerate() {
+        let shard = &mut shards[shard_of(acct.id, n_shards)];
+        shard.accounts.push(acct.clone());
+        shard.friends.push(
+            adjacency[u]
+                .iter()
+                .map(|&(v, since)| (snap.accounts[v as usize].id, since))
+                .collect(),
+        );
+        shard.games.push(snap.ownerships[u].clone());
+        shard.member_gids.push(
+            snap.memberships[u].iter().map(|&g| snap.groups[g as usize].id).collect(),
+        );
+    }
+    for g in &snap.groups {
+        shards[shard_of_group(g.id, n_shards)].groups.push(g.clone());
+    }
+    shards
+}
+
+// --- codec ------------------------------------------------------------------
+
+const SECTION_ACCOUNTS: u8 = 1;
+const SECTION_GROUPS: u8 = 2;
+const SECTION_CATALOG: u8 = 3;
+
+fn put_section(buf: &mut BytesMut, id: u8, payload: &BytesMut) {
+    buf.put_u8(id);
+    put_varu64(buf, payload.len() as u64);
+    buf.put_u32_le(checksum32(payload));
+    buf.put_slice(payload);
+}
+
+fn get_section(buf: &mut Bytes, want: u8) -> Result<Bytes, ModelError> {
+    if !buf.has_remaining() {
+        return Err(ModelError::Codec(format!("missing shard section {want}")));
+    }
+    let id = buf.get_u8();
+    if id != want {
+        return Err(ModelError::Codec(format!("expected shard section {want}, found {id}")));
+    }
+    let len = get_varu64(buf)? as usize;
+    if buf.remaining() < 4 + len {
+        return Err(ModelError::Codec(format!("truncated shard section {want}")));
+    }
+    let want_sum = buf.get_u32_le();
+    let payload = buf.split_to(len);
+    if checksum32(&payload) != want_sum {
+        return Err(ModelError::Codec(format!("shard section {want} checksum mismatch")));
+    }
+    Ok(payload)
+}
+
+/// Serializes a shard store.
+pub fn encode_shard(s: &ShardStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + s.accounts.len() * 48 + s.catalog.len() * 64);
+    buf.put_slice(SHARD_MAGIC);
+    buf.put_u8(SHARD_VERSION);
+    put_varu64(&mut buf, u64::from(s.shard_index));
+    put_varu64(&mut buf, u64::from(s.shard_count));
+    put_vari64(&mut buf, s.collected_at.unix());
+    put_varu64(&mut buf, s.scanned_id_space);
+
+    let mut accounts = BytesMut::new();
+    put_varu64(&mut accounts, s.accounts.len() as u64);
+    for (u, a) in s.accounts.iter().enumerate() {
+        put_account(&mut accounts, a);
+        put_varu64(&mut accounts, s.friends[u].len() as u64);
+        for &(id, since) in &s.friends[u] {
+            put_varu64(&mut accounts, id.index());
+            put_vari64(&mut accounts, since.unix());
+        }
+        put_varu64(&mut accounts, s.games[u].len() as u64);
+        for g in &s.games[u] {
+            put_varu64(&mut accounts, u64::from(g.app_id.0));
+            put_varu64(&mut accounts, u64::from(g.playtime_forever_min));
+            put_varu64(&mut accounts, u64::from(g.playtime_2weeks_min));
+        }
+        put_varu64(&mut accounts, s.member_gids[u].len() as u64);
+        for gid in &s.member_gids[u] {
+            put_varu64(&mut accounts, u64::from(gid.0));
+        }
+    }
+    put_section(&mut buf, SECTION_ACCOUNTS, &accounts);
+
+    let mut groups = BytesMut::new();
+    put_varu64(&mut groups, s.groups.len() as u64);
+    for g in &s.groups {
+        put_group(&mut groups, g);
+    }
+    put_section(&mut buf, SECTION_GROUPS, &groups);
+
+    let mut catalog = BytesMut::new();
+    put_varu64(&mut catalog, s.catalog.len() as u64);
+    for g in &s.catalog {
+        put_game(&mut catalog, g);
+    }
+    put_section(&mut buf, SECTION_CATALOG, &catalog);
+
+    buf.freeze()
+}
+
+/// Deserializes a shard store written by [`encode_shard`].
+pub fn decode_shard(mut buf: Bytes) -> Result<ShardStore, ModelError> {
+    if buf.remaining() < 5 || &buf.split_to(4)[..] != SHARD_MAGIC {
+        return Err(ModelError::Codec("not a shard store (bad magic)".into()));
+    }
+    let version = buf.get_u8();
+    if version != SHARD_VERSION {
+        return Err(ModelError::Codec(format!("unsupported shard version {version}")));
+    }
+    let shard_index = u32::try_from(get_varu64(&mut buf)?)
+        .map_err(|_| ModelError::Codec("shard index overflow".into()))?;
+    let shard_count = u32::try_from(get_varu64(&mut buf)?)
+        .map_err(|_| ModelError::Codec("shard count overflow".into()))?;
+    if shard_count == 0 || shard_index >= shard_count {
+        return Err(ModelError::Codec(format!(
+            "invalid shard header {shard_index}/{shard_count}"
+        )));
+    }
+    let collected_at = SimTime::from_unix(get_vari64(&mut buf)?);
+    let scanned_id_space = get_varu64(&mut buf)?;
+
+    let mut accounts_buf = get_section(&mut buf, SECTION_ACCOUNTS)?;
+    let n = get_varu64(&mut accounts_buf)? as usize;
+    let mut accounts = Vec::with_capacity(n);
+    let mut friends = Vec::with_capacity(n);
+    let mut games = Vec::with_capacity(n);
+    let mut member_gids = Vec::with_capacity(n);
+    for _ in 0..n {
+        accounts.push(get_account(&mut accounts_buf)?);
+        let nf = get_varu64(&mut accounts_buf)? as usize;
+        let mut fl = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            let id = SteamId::from_index(get_varu64(&mut accounts_buf)?);
+            let since = SimTime::from_unix(get_vari64(&mut accounts_buf)?);
+            fl.push((id, since));
+        }
+        friends.push(fl);
+        let ng = get_varu64(&mut accounts_buf)? as usize;
+        let mut gl = Vec::with_capacity(ng);
+        for _ in 0..ng {
+            let app_id = AppId(
+                u32::try_from(get_varu64(&mut accounts_buf)?)
+                    .map_err(|_| ModelError::Codec("app id overflow".into()))?,
+            );
+            let forever = u32::try_from(get_varu64(&mut accounts_buf)?)
+                .map_err(|_| ModelError::Codec("playtime overflow".into()))?;
+            let recent = u32::try_from(get_varu64(&mut accounts_buf)?)
+                .map_err(|_| ModelError::Codec("playtime overflow".into()))?;
+            gl.push(OwnedGame {
+                app_id,
+                playtime_forever_min: forever,
+                playtime_2weeks_min: recent,
+            });
+        }
+        games.push(gl);
+        let nm = get_varu64(&mut accounts_buf)? as usize;
+        let mut ml = Vec::with_capacity(nm);
+        for _ in 0..nm {
+            ml.push(GroupId(
+                u32::try_from(get_varu64(&mut accounts_buf)?)
+                    .map_err(|_| ModelError::Codec("group id overflow".into()))?,
+            ));
+        }
+        member_gids.push(ml);
+    }
+
+    let mut groups_buf = get_section(&mut buf, SECTION_GROUPS)?;
+    let n = get_varu64(&mut groups_buf)? as usize;
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        groups.push(get_group(&mut groups_buf)?);
+    }
+
+    let mut catalog_buf = get_section(&mut buf, SECTION_CATALOG)?;
+    let n = get_varu64(&mut catalog_buf)? as usize;
+    let mut catalog = Vec::with_capacity(n);
+    for _ in 0..n {
+        catalog.push(get_game(&mut catalog_buf)?);
+    }
+
+    Ok(ShardStore {
+        shard_index,
+        shard_count,
+        collected_at,
+        scanned_id_space,
+        accounts,
+        friends,
+        games,
+        member_gids,
+        groups,
+        catalog,
+    })
+}
+
+/// Atomically writes a shard store to `path`.
+pub fn write_shard(path: &Path, s: &ShardStore) -> Result<(), ModelError> {
+    write_atomic(path, &encode_shard(s))
+}
+
+/// Reads a shard store from `path`.
+pub fn read_shard(path: &Path) -> Result<ShardStore, ModelError> {
+    decode_shard(Bytes::from(std::fs::read(path)?))
+}
+
+// --- shard-side service -----------------------------------------------------
+
+/// Serves one [`ShardStore`] over the same endpoint surface as the
+/// unsharded [`ApiService`](crate::service::ApiService). Every response for
+/// an entity this shard owns is byte-identical to what the unsharded
+/// service would produce — the store carries references pre-resolved in
+/// service order precisely so this holds.
+pub struct ShardService {
+    store: ShardStore,
+    limiter: KeyedLimiter,
+    cache: Option<WireCache>,
+    limiter_keys: OnceLock<Arc<Gauge>>,
+    by_id: HashMap<SteamId, u32>,
+    app_index: HashMap<AppId, u32>,
+    group_index: HashMap<u32, u32>,
+}
+
+impl ShardService {
+    pub fn new(store: ShardStore, limits: RateLimit) -> Self {
+        let by_id =
+            store.accounts.iter().enumerate().map(|(i, a)| (a.id, i as u32)).collect();
+        let app_index =
+            store.catalog.iter().enumerate().map(|(i, g)| (g.app_id, i as u32)).collect();
+        let group_index =
+            store.groups.iter().enumerate().map(|(i, g)| (g.id.0, i as u32)).collect();
+        ShardService {
+            store,
+            limiter: KeyedLimiter::new(limits.per_key_rps, limits.burst),
+            cache: Some(WireCache::new()),
+            limiter_keys: OnceLock::new(),
+            by_id,
+            app_index,
+            group_index,
+        }
+    }
+
+    /// Disables the wire-response cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The store being served.
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+
+    /// Binds cache counters and the limiter gauge to `registry`, labeled
+    /// with this shard's index so a fleet scraping into one place stays
+    /// tellable apart.
+    pub fn attach_registry(&self, registry: &steam_obs::Registry) {
+        if let Some(cache) = &self.cache {
+            cache.attach_registry(registry);
+        }
+        let shard = self.store.shard_index.to_string();
+        let _ = self
+            .limiter_keys
+            .set(registry.gauge("api_rate_limiter_keys", &[("shard", shard.as_str())]));
+    }
+
+    fn check_rate(&self, req: &Request) -> Result<(), Response> {
+        let key = req.query_param("key").unwrap_or("anonymous");
+        let bucket = self.limiter.bucket(key);
+        if let Some(g) = self.limiter_keys.get() {
+            g.set(self.limiter.len() as i64);
+        }
+        if bucket.try_acquire() {
+            Ok(())
+        } else {
+            let secs = bucket.time_until_available().as_secs_f64().ceil().max(1.0) as u64;
+            Err(Response::error(429, "rate limit exceeded")
+                .with_header("Retry-After", &secs.to_string()))
+        }
+    }
+
+    fn cached(&self, key: CacheKey, build: impl FnOnce() -> String) -> Response {
+        match &self.cache {
+            Some(cache) => {
+                if let Some(body) = cache.lookup(&key) {
+                    return Response::json_bytes(body.as_ref().clone());
+                }
+                let bytes = build().into_bytes();
+                cache.store(key, bytes.clone());
+                Response::json_bytes(bytes)
+            }
+            None => Response::json(build()),
+        }
+    }
+
+    fn user_index(&self, req: &Request) -> Result<u32, Response> {
+        let raw = match req.query_param("steamid") {
+            Some(raw) => raw,
+            None => return Err(Response::error(400, "missing steamid")),
+        };
+        let id: SteamId = match raw.parse() {
+            Ok(id) => id,
+            Err(_) => return Err(Response::error(400, "malformed steamid")),
+        };
+        match self.by_id.get(&id) {
+            Some(&idx) => Ok(idx),
+            None => Err(Response::error(404, "no such account")),
+        }
+    }
+
+    fn get_player_summaries(&self, req: &Request) -> Response {
+        let raw = match req.query_param("steamids") {
+            Some(raw) => raw,
+            None => return Response::error(400, "missing steamids"),
+        };
+        let segments: Vec<&str> = raw.split(',').filter(|s| !s.is_empty()).collect();
+        if segments.len() > MAX_BATCH_IDS {
+            return Response::error(400, "too many steamids (max 100)");
+        }
+        let mut ids: Vec<SteamId> = Vec::with_capacity(segments.len());
+        for s in segments {
+            let id: SteamId = match s.parse() {
+                Ok(id) => id,
+                Err(_) => return Response::error(400, "malformed steamid"),
+            };
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        let key = CacheKey::Summaries(ids.iter().map(|id| id.as_u64()).collect());
+        if let Some(cache) = &self.cache {
+            if let Some(body) = cache.lookup(&key) {
+                return Response::json_bytes(body.as_ref().clone());
+            }
+        }
+        let mut found = Vec::new();
+        for id in ids {
+            if let Some(&idx) = self.by_id.get(&id) {
+                found.push(&self.store.accounts[idx as usize]);
+            }
+        }
+        let text = wire::player_summaries_response(&found).to_text();
+        match &self.cache {
+            Some(cache) => {
+                let bytes = text.into_bytes();
+                cache.store(key, bytes.clone());
+                Response::json_bytes(bytes)
+            }
+            None => Response::json(text),
+        }
+    }
+
+    fn get_friend_list(&self, req: &Request) -> Response {
+        let idx = match self.user_index(req) {
+            Ok(i) => i,
+            Err(resp) => return resp,
+        };
+        self.cached(CacheKey::Friends(idx), || {
+            wire::friend_list_response(&self.store.friends[idx as usize]).to_text()
+        })
+    }
+
+    fn get_owned_games(&self, req: &Request) -> Response {
+        let idx = match self.user_index(req) {
+            Ok(i) => i,
+            Err(resp) => return resp,
+        };
+        self.cached(CacheKey::Games(idx), || {
+            wire::owned_games_response(&self.store.games[idx as usize]).to_text()
+        })
+    }
+
+    fn get_group_list(&self, req: &Request) -> Response {
+        let idx = match self.user_index(req) {
+            Ok(i) => i,
+            Err(resp) => return resp,
+        };
+        self.cached(CacheKey::Groups(idx), || {
+            wire::group_list_response(&self.store.member_gids[idx as usize]).to_text()
+        })
+    }
+
+    fn get_app_list(&self) -> Response {
+        self.cached(CacheKey::AppList, || {
+            wire::app_list_response(&self.store.catalog).to_text()
+        })
+    }
+
+    fn get_app_details(&self, req: &Request) -> Response {
+        let app = match req.query_param("appids").and_then(|s| s.parse::<u32>().ok()) {
+            Some(a) => AppId(a),
+            None => return Response::error(400, "missing or malformed appids"),
+        };
+        match self.app_index.get(&app) {
+            Some(&gi) => self.cached(CacheKey::AppDetails(gi), || {
+                wire::app_details_response(&self.store.catalog[gi as usize]).to_text()
+            }),
+            None => Response::error(404, "unknown app"),
+        }
+    }
+
+    fn get_achievements(&self, req: &Request) -> Response {
+        let app = match req.query_param("gameid").and_then(|s| s.parse::<u32>().ok()) {
+            Some(a) => AppId(a),
+            None => return Response::error(400, "missing or malformed gameid"),
+        };
+        match self.app_index.get(&app) {
+            Some(&gi) => self.cached(CacheKey::Achievements(gi), || {
+                wire::achievement_percentages_response(
+                    &self.store.catalog[gi as usize].achievements,
+                )
+                .to_text()
+            }),
+            None => Response::error(404, "unknown app"),
+        }
+    }
+
+    fn get_group_page(&self, gid_str: &str) -> Response {
+        let gid: u32 = match gid_str.parse() {
+            Ok(g) => g,
+            Err(_) => return Response::error(400, "malformed gid"),
+        };
+        match self.group_index.get(&gid) {
+            Some(&gi) => self.cached(CacheKey::GroupPage(gi), || {
+                wire::group_page_response(&self.store.groups[gi as usize]).to_text()
+            }),
+            None => Response::error(404, "unknown group"),
+        }
+    }
+
+    fn debug_cache(&self) -> Response {
+        let body = match &self.cache {
+            Some(cache) => format!(
+                "{{\"enabled\":true,\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{}}}",
+                cache.len(),
+                cache.capacity(),
+                cache.hits(),
+                cache.misses()
+            ),
+            None => "{\"enabled\":false,\"entries\":0,\"capacity\":0,\"hits\":0,\"misses\":0}"
+                .to_string(),
+        };
+        Response::json(body)
+    }
+
+    fn debug_limiter(&self) -> Response {
+        Response::json(format!(
+            "{{\"keys\":{},\"max_keys\":{}}}",
+            self.limiter.len(),
+            self.limiter.capacity()
+        ))
+    }
+}
+
+impl Handler for ShardService {
+    fn handle(&self, req: Request) -> Response {
+        if req.method != "GET" {
+            return Response::error(400, "only GET is supported");
+        }
+        match req.path.as_str() {
+            "/debug/cache" => return self.debug_cache(),
+            "/debug/limiter" => return self.debug_limiter(),
+            _ => {}
+        }
+        if let Err(resp) = self.check_rate(&req) {
+            return resp;
+        }
+        if let Some(gid) = req.path.strip_prefix("/community/group/") {
+            return self.get_group_page(gid);
+        }
+        match req.path.as_str() {
+            "/ISteamUser/GetPlayerSummaries/v2" => self.get_player_summaries(&req),
+            "/ISteamUser/GetFriendList/v1" => self.get_friend_list(&req),
+            "/IPlayerService/GetOwnedGames/v1" => self.get_owned_games(&req),
+            "/ISteamUser/GetUserGroupList/v1" => self.get_group_list(&req),
+            "/ISteamApps/GetAppList/v2" => self.get_app_list(),
+            "/api/appdetails" => self.get_app_details(&req),
+            "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2" => {
+                self.get_achievements(&req)
+            }
+            // Shard stores carry no week panel; mirrors the unsharded
+            // service when none is attached.
+            "/reproduction/panel" => Response::error(404, "no panel attached to this service"),
+            _ => Response::error(404, "unknown endpoint"),
+        }
+    }
+}
+
+/// Binds an HTTP server serving one shard, with optional metrics registry
+/// and fault injector (same contract as the unsharded `serve_*` helpers).
+pub fn serve_shard_config(
+    service: ShardService,
+    addr: &str,
+    config: steam_net::ServerConfig,
+    registry: Option<Arc<steam_obs::Registry>>,
+    faults: Option<Arc<steam_net::FaultInjector>>,
+) -> Result<(HttpServer, Arc<ShardService>), NetError> {
+    if let Some(registry) = &registry {
+        service.attach_registry(registry);
+    }
+    let service = Arc::new(service);
+    let handler: Arc<dyn Handler> = Arc::clone(&service) as Arc<dyn Handler>;
+    let server = HttpServer::bind_config(addr, config, handler, registry, faults)?;
+    Ok((server, service))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ApiService;
+    use steam_synth::{Generator, SynthConfig};
+
+    fn tiny_snapshot() -> Arc<Snapshot> {
+        let mut cfg = SynthConfig::small(77);
+        cfg.n_users = 400;
+        cfg.n_products = 120;
+        cfg.n_groups = 30;
+        Arc::new(Generator::new(cfg).generate())
+    }
+
+    #[test]
+    fn split_covers_every_account_group_exactly_once() {
+        let snap = tiny_snapshot();
+        let shards = split_snapshot(&snap, 4);
+        assert_eq!(shards.iter().map(|s| s.accounts.len()).sum::<usize>(), snap.n_users());
+        assert_eq!(
+            shards.iter().map(|s| s.groups.len()).sum::<usize>(),
+            snap.groups.len()
+        );
+        for shard in &shards {
+            for a in &shard.accounts {
+                assert_eq!(shard_of(a.id, 4), shard.shard_index as usize);
+            }
+            assert!(shard.accounts.windows(2).all(|w| w[0].id < w[1].id), "sorted by id");
+            assert_eq!(shard.catalog, snap.catalog, "catalog is replicated verbatim");
+            assert_eq!(shard.scanned_id_space, snap.scanned_id_space);
+        }
+    }
+
+    #[test]
+    fn shard_store_roundtrips_through_the_codec() {
+        let snap = tiny_snapshot();
+        for store in split_snapshot(&snap, 3) {
+            let decoded = decode_shard(encode_shard(&store)).unwrap();
+            assert_eq!(decoded, store);
+        }
+    }
+
+    #[test]
+    fn corrupt_shard_bytes_fail_loudly() {
+        let snap = tiny_snapshot();
+        let store = &split_snapshot(&snap, 2)[0];
+        let bytes = encode_shard(store);
+        // Flip one byte mid-payload: a section checksum must catch it.
+        let mut corrupt = bytes.to_vec();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xff;
+        assert!(decode_shard(Bytes::from(corrupt)).is_err());
+        // Truncation fails too.
+        let short = bytes.slice(0..bytes.len() - 3);
+        assert!(decode_shard(short).is_err());
+    }
+
+    #[test]
+    fn shard_service_serves_the_same_bytes_as_the_unsharded_service() {
+        let snap = tiny_snapshot();
+        let unsharded = ApiService::new(Arc::clone(&snap), RateLimit::default());
+        let n = 4;
+        let services: Vec<ShardService> = split_snapshot(&snap, n)
+            .into_iter()
+            .map(|s| ShardService::new(s, RateLimit::default()))
+            .collect();
+        let ask = |svc: &dyn Handler, target: &str| svc.handle(Request::get(target));
+        for acct in snap.accounts.iter().take(40) {
+            let shard = &services[shard_of(acct.id, n)];
+            for target in [
+                format!("/ISteamUser/GetPlayerSummaries/v2?steamids={}", acct.id),
+                format!("/ISteamUser/GetFriendList/v1?steamid={}", acct.id),
+                format!("/IPlayerService/GetOwnedGames/v1?steamid={}", acct.id),
+                format!("/ISteamUser/GetUserGroupList/v1?steamid={}", acct.id),
+            ] {
+                let a = ask(&unsharded, &target);
+                let b = ask(shard, &target);
+                assert_eq!(a.status, b.status, "{target}");
+                assert_eq!(a.body, b.body, "{target}");
+            }
+        }
+        for g in snap.groups.iter().take(10) {
+            let target = format!("/community/group/{}", g.id.0);
+            let shard = &services[shard_of_group(g.id, n)];
+            assert_eq!(ask(&unsharded, &target).body, ask(shard, &target).body, "{target}");
+        }
+        for game in snap.catalog.iter().take(10) {
+            let shard = &services[shard_of_app(game.app_id, n)];
+            for target in [
+                format!("/api/appdetails?appids={}", game.app_id.0),
+                format!(
+                    "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2?gameid={}",
+                    game.app_id.0
+                ),
+            ] {
+                assert_eq!(ask(&unsharded, &target).body, ask(shard, &target).body, "{target}");
+            }
+        }
+        // Any shard serves the full app list, byte-identical.
+        let target = "/ISteamApps/GetAppList/v2";
+        for shard in &services {
+            assert_eq!(ask(&unsharded, target).body, ask(shard, target).body);
+        }
+    }
+}

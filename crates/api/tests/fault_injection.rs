@@ -151,9 +151,14 @@ fn crawl_survives_seeded_fault_plan() {
         stats.retries_corrupt > 0,
         "corrupt bodies must be retried as parse failures (stats: {stats:?})"
     );
+    // A drop/truncation surfaces as an io-classified retry only when it
+    // hits a fresh connection; on a pooled connection the client absorbs
+    // it as a transparent reconnect-and-resend (counted in `reconnects`).
+    // Which path wins is a race on pool occupancy, so accept either — the
+    // byte-identity assertions above prove nothing was lost either way.
     assert!(
-        stats.retries_io > 0,
-        "drops/truncations must be retried as io failures (stats: {stats:?})"
+        stats.retries_io + stats.reconnects > 0,
+        "drops/truncations must surface as io retries or pooled reconnects (stats: {stats:?})"
     );
     // The injector's metrics land in the shared registry.
     let text = registry.render_prometheus();

@@ -6,9 +6,13 @@
 //!                    [--second-out snap2.bin] [--panel-out panel.bin]
 //!                    [--jobs N] [--timings]
 //! steam-cli serve    --snapshot snap.bin --addr 127.0.0.1:8571 [--rps 5000]
-//!                    [--faults SPEC --fault-seed N] [--threaded]
+//!                    [--faults SPEC --fault-seed N] [--threaded] [--shard I/N]
+//! steam-cli shard-split --snapshot snap.bin --shards 4 --out shard
+//! steam-cli route    --shards 127.0.0.1:9001,127.0.0.1:9002,…
+//!                    [--addr 127.0.0.1:8570] [--pool N]
 //! steam-cli crawl    --addr 127.0.0.1:8571 --out crawled.bin [--rps 1000]
-//!                    [--checkpoint-dir DIR [--resume]] [--trace-slow N]
+//!                    [--shards ADDR,ADDR,…] [--checkpoint-dir DIR [--resume]]
+//!                    [--trace-slow N]
 //! steam-cli trace    --id TRACE_ID [--addr 127.0.0.1:8571]
 //! steam-cli report   --snapshot snap.bin [--second snap2.bin]
 //!                    [--panel panel.bin] [--experiment table3|figure6|...|all]
@@ -32,7 +36,7 @@ use steam_analysis::{
     render_experiments_timed, render_full_report, render_full_report_timed, render_with_jobs,
     Ctx, Experiment, ReportInput,
 };
-use steam_api::{ApiService, Crawler, CrawlerConfig, RateLimit};
+use steam_api::{ApiService, CrawlProgress, Crawler, CrawlerConfig, RateLimit};
 use steam_net::{FaultInjector, FaultPlan};
 use steam_model::codec;
 use steam_obs::Registry;
@@ -54,6 +58,8 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "serve" => cmd_serve(&args),
+        "shard-split" => cmd_shard_split(&args),
+        "route" => cmd_route(&args),
         "crawl" => cmd_crawl(&args),
         "report" => cmd_report(&args),
         "export" => cmd_export(&args),
@@ -108,13 +114,37 @@ COMMANDS
                                of the epoll reactor (the Linux default);
                                concurrency is then capped at the worker
                                count, but served bytes are identical
+             --shard I/N       serve one shard file written by shard-split
+                               (--snapshot then names the shard file; the
+                               file's recorded index/count must match)
              Also serves GET /metrics (Prometheus text exposition with
              per-endpoint request counts and latency histograms),
              GET /healthz (liveness), and GET /debug/spans|slow|conns|
              cache|limiter (the introspection surface; see `trace`) —
              none are rate-limited, faulted, or traced
+  shard-split
+             Cut a snapshot into N self-contained shard files
+             --snapshot PATH   snapshot to split (default snapshot.bin)
+             --shards N        shard count (default 4)
+             --out PREFIX      output prefix (default shard); writes
+                               PREFIX-I-of-N.bin for each shard I
+  route      Scatter-gather router over a shard fleet
+             --shards A,B,…    shard addresses in ring order (required;
+                               order and count must match shard-split)
+             --addr HOST:PORT  bind address (default 127.0.0.1:8570)
+             --pool N          idle keep-alive connections per shard
+                               (default 4)
+             Single-id endpoints proxy to the owning shard; batch
+             GetPlayerSummaries splits per shard, fans out, and merges in
+             request order. X-Steam-Trace propagates through, so a routed
+             request shows client→router→shard spans in /debug/spans.
   crawl      Crawl a served API back into a snapshot file
              --addr HOST:PORT  server address (default 127.0.0.1:8571)
+             --shards A,B,…    crawl a shard fleet directly (one crawler
+                               per shard, merged into one snapshot
+                               byte-identical to an unsharded crawl;
+                               --rps/--pool/--workers apply per shard,
+                               --checkpoint-dir journals per shard)
              --out PATH        output snapshot (default crawled.bin)
              --rps N           self-throttle requests/sec (default none)
              --workers N       phase-2 worker threads (default 4)
@@ -218,43 +248,36 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(args: &Args) -> Result<(), String> {
-    let path = args.get_or("snapshot", "snapshot.bin");
-    let addr = args.get_or("addr", "127.0.0.1:8571");
-    let rps = args.get_parse("rps", 100_000.0)?;
-    let snapshot =
-        Arc::new(codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?);
-    eprintln!("serving {} users from {path}", snapshot.n_users());
-    let registry = Arc::new(Registry::new());
-    let faults = match args.get("faults") {
+fn parse_faults(
+    args: &Args,
+    registry: &Arc<Registry>,
+) -> Result<Option<Arc<FaultInjector>>, String> {
+    match args.get("faults") {
         Some(spec) => {
             let seed = args.get_parse("fault-seed", 2016u64)?;
             let plan = FaultPlan::parse(spec, seed).map_err(|e| e.to_string())?;
             eprintln!("fault injection armed: {spec} (seed {seed})");
-            Some(Arc::new(FaultInjector::new(plan, Some(&registry))))
+            Ok(Some(Arc::new(FaultInjector::new(plan, Some(registry)))))
         }
-        None => None,
-    };
-    let mut service = ApiService::new(
-        snapshot,
-        RateLimit { per_key_rps: rps, burst: (rps / 10.0).max(10.0) },
-    );
-    if args.has("no-cache") {
-        eprintln!("wire-response cache disabled");
-        service = service.without_cache();
+        None => Ok(None),
     }
+}
+
+fn server_config(args: &Args) -> steam_net::ServerConfig {
     let mode = if args.has("threaded") {
         steam_net::ServerMode::Threaded
     } else {
         steam_net::ServerMode::default()
     };
-    let config = steam_net::ServerConfig { workers: 8, mode, ..Default::default() };
-    let (server, _service) =
-        steam_api::serve_service_config(service, addr, config, Some(registry), faults)
-            .map_err(|e| e.to_string())?;
-    // Not `eprintln!`: a supervisor that closes our stderr right after
-    // parsing the address line must lose banner lines, not the server
-    // (eprintln! panics on EPIPE).
+    steam_net::ServerConfig { workers: 8, mode, ..Default::default() }
+}
+
+/// Prints the listening banner and parks the main thread forever.
+///
+/// Not `eprintln!`: a supervisor that closes our stderr right after parsing
+/// the address line must lose banner lines, not the server (eprintln!
+/// panics on EPIPE).
+fn serve_forever(server: &steam_net::HttpServer) -> ! {
     {
         use std::io::Write;
         let _ = writeln!(
@@ -272,7 +295,119 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let path = args.get_or("snapshot", "snapshot.bin");
+    let addr = args.get_or("addr", "127.0.0.1:8571");
+    let rps = args.get_parse("rps", 100_000.0)?;
+    let limits = RateLimit { per_key_rps: rps, burst: (rps / 10.0).max(10.0) };
+    let registry = Arc::new(Registry::new());
+    let config = server_config(args);
+
+    if let Some(spec) = args.get("shard") {
+        // `--shard I/N`: --snapshot names a shard file from shard-split.
+        let (index, count) = spec
+            .split_once('/')
+            .and_then(|(i, n)| Some((i.parse::<u32>().ok()?, n.parse::<u32>().ok()?)))
+            .ok_or_else(|| format!("bad --shard {spec:?} (expected I/N, e.g. 0/4)"))?;
+        let store = steam_api::read_shard(Path::new(path)).map_err(|e| e.to_string())?;
+        if (store.shard_index, store.shard_count) != (index, count) {
+            return Err(format!(
+                "{path} is shard {}/{} but --shard asked for {index}/{count}",
+                store.shard_index, store.shard_count
+            ));
+        }
+        eprintln!(
+            "serving shard {index}/{count} ({} accounts, {} groups) from {path}",
+            store.accounts.len(),
+            store.groups.len()
+        );
+        let faults = parse_faults(args, &registry)?;
+        let mut service = steam_api::ShardService::new(store, limits);
+        if args.has("no-cache") {
+            eprintln!("wire-response cache disabled");
+            service = service.without_cache();
+        }
+        let (server, _service) =
+            steam_api::serve_shard_config(service, addr, config, Some(registry), faults)
+                .map_err(|e| e.to_string())?;
+        serve_forever(&server);
+    }
+
+    let snapshot =
+        Arc::new(codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?);
+    eprintln!("serving {} users from {path}", snapshot.n_users());
+    let faults = parse_faults(args, &registry)?;
+    let mut service = ApiService::new(snapshot, limits);
+    if args.has("no-cache") {
+        eprintln!("wire-response cache disabled");
+        service = service.without_cache();
+    }
+    let (server, _service) =
+        steam_api::serve_service_config(service, addr, config, Some(registry), faults)
+            .map_err(|e| e.to_string())?;
+    serve_forever(&server);
+}
+
+fn cmd_shard_split(args: &Args) -> Result<(), String> {
+    let path = args.get_or("snapshot", "snapshot.bin");
+    let n: usize = args.get_parse("shards", 4usize)?;
+    if n == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let prefix = args.get_or("out", "shard");
+    let snapshot = codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
+    eprintln!("splitting {} users {n} ways...", snapshot.n_users());
+    for store in steam_api::split_snapshot(&snapshot, n) {
+        let out = format!("{prefix}-{}-of-{n}.bin", store.shard_index);
+        steam_api::write_shard(Path::new(&out), &store).map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote {out} ({} accounts, {} groups, {} products)",
+            store.accounts.len(),
+            store.groups.len(),
+            store.catalog.len()
+        );
+    }
+    Ok(())
+}
+
+fn parse_shard_addrs(raw: &str) -> Result<Vec<std::net::SocketAddr>, String> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().map_err(|_| format!("bad shard address {s:?}")))
+        .collect()
+}
+
+fn cmd_route(args: &Args) -> Result<(), String> {
+    let raw = args.get("shards").ok_or("missing --shards ADDR,ADDR,…")?;
+    let shards = parse_shard_addrs(raw)?;
+    if shards.is_empty() {
+        return Err("--shards needs at least one address".into());
+    }
+    let addr = args.get_or("addr", "127.0.0.1:8570");
+    let config = steam_api::RouterConfig {
+        pool_size: args.get_parse("pool", 4usize)?,
+        ..Default::default()
+    };
+    eprintln!("routing across {} shards: {raw}", shards.len());
+    let service = steam_api::RouterService::new(shards, config);
+    let registry = Arc::new(Registry::new());
+    let (server, _service) =
+        steam_api::serve_router_config(service, addr, server_config(args), Some(registry))
+            .map_err(|e| e.to_string())?;
+    serve_forever(&server);
+}
+
 fn cmd_crawl(args: &Args) -> Result<(), String> {
+    let shard_addrs = match args.get("shards") {
+        Some(raw) => {
+            let addrs = parse_shard_addrs(raw)?;
+            if addrs.is_empty() {
+                return Err("--shards needs at least one address".into());
+            }
+            Some(addrs)
+        }
+        None => None,
+    };
     let addr: std::net::SocketAddr = args
         .get_or("addr", "127.0.0.1:8571")
         .parse()
@@ -295,13 +430,18 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
     config.trace = !args.has("no-trace");
     let trace_slow = args.get_parse("trace-slow", 0usize)?;
     let resuming = config.resume;
-    let mut crawler = Crawler::new(addr, config);
-    eprintln!("crawling {addr}...");
+    let registry = Arc::new(Registry::new());
+    let progress = CrawlProgress::attach(&registry);
+    let trace_addr = shard_addrs.as_ref().map_or(addr, |a| a[0]);
+    match &shard_addrs {
+        Some(addrs) => eprintln!("crawling {} shards...", addrs.len()),
+        None => eprintln!("crawling {addr}..."),
+    }
     let started = std::time::Instant::now();
 
     // Live progress line, repainted in place while the crawl runs. Only on
     // an interactive stderr: redirected logs get the final summary only.
-    let progress = crawler.progress();
+    let display_progress = progress.clone();
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let display = {
         use std::io::IsTerminal;
@@ -309,21 +449,30 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         std::io::stderr().is_terminal().then(|| {
             std::thread::spawn(move || {
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    eprint!("\r{}\x1b[K", progress.progress_line());
+                    eprint!("\r{}\x1b[K", display_progress.progress_line());
                     std::thread::sleep(std::time::Duration::from_millis(200));
                 }
                 eprint!("\r\x1b[K");
             })
         })
     };
-    let crawl_result = crawler.crawl(steam_model::SimTime::from_ymd(2013, 11, 5));
+    let collected_at = steam_model::SimTime::from_ymd(2013, 11, 5);
+    let crawl_result = match &shard_addrs {
+        Some(addrs) => {
+            steam_api::crawl_sharded_observed(addrs, &config, collected_at, Arc::clone(&registry))
+        }
+        None => {
+            let mut crawler = Crawler::with_registry(addr, config, Arc::clone(&registry));
+            crawler.crawl(collected_at)
+        }
+    };
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     if let Some(handle) = display {
         handle.join().ok();
     }
     let snapshot = crawl_result.map_err(|e| e.to_string())?;
 
-    let stats = crawler.stats();
+    let stats = progress.stats();
     eprintln!(
         "crawled {} users with {} requests in {:.1?}",
         stats.profiles_found,
@@ -376,7 +525,7 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
                 },
             );
         }
-        eprintln!("  (inspect one with: steam-cli trace --id TRACE_ID --addr {addr})");
+        eprintln!("  (inspect one with: steam-cli trace --id TRACE_ID --addr {trace_addr})");
     }
     codec::write_snapshot(Path::new(out), &snapshot).map_err(|e| e.to_string())?;
     eprintln!("wrote {out}");

@@ -16,12 +16,19 @@ use crate::pool::{Conn, ConnectionPool};
 /// so a couple of silent retries are allowed before the error surfaces.
 const MAX_RECONNECTS_PER_REQUEST: u32 = 2;
 
+/// Upper bound on an honored `Retry-After` hint, matching the default
+/// backoff policy's `max` (asserted in sync by a test). A misbehaving
+/// server advertising `Retry-After: 99999` must not stall a retry loop for
+/// a day; beyond this cap its hint is worth no more than our own schedule.
+pub const MAX_RETRY_AFTER: Duration = Duration::from_secs(5);
+
 /// A keep-alive HTTP client bound to one server address.
 ///
 /// Connections come from a [`ConnectionPool`]: a private single-slot pool by
 /// default ([`new`](Self::new)), or a pool shared with other clients across
 /// threads ([`with_pool`](Self::with_pool)) — the crawler's phase-2 workers
-/// share one pool so the whole crawl runs over a bounded socket set.
+/// share one pool so the whole crawl runs over a bounded socket set, and the
+/// router's per-shard clients share one address-keyed pool across the fleet.
 /// Reconnects transparently when a pooled connection has gone stale —
 /// counting every reconnect (see [`reconnects`](Self::reconnects)) and
 /// capping attempts per request so a flapping server can never trap a
@@ -29,6 +36,7 @@ const MAX_RECONNECTS_PER_REQUEST: u32 = 2;
 /// Not `Sync` — each thread owns its own client; the pool behind it is the
 /// shared part.
 pub struct HttpClient {
+    addr: SocketAddr,
     pool: Arc<ConnectionPool>,
     reconnects: u64,
     trace: Option<TraceContext>,
@@ -38,12 +46,18 @@ impl HttpClient {
     /// A client with its own single-slot connection pool (the pre-pooling
     /// behavior: one keep-alive connection, reconnect when stale).
     pub fn new(addr: SocketAddr) -> Self {
-        HttpClient { pool: Arc::new(ConnectionPool::new(addr, 1)), reconnects: 0, trace: None }
+        HttpClient { addr, pool: Arc::new(ConnectionPool::new(1)), reconnects: 0, trace: None }
     }
 
-    /// A client drawing connections from a shared pool.
-    pub fn with_pool(pool: Arc<ConnectionPool>) -> Self {
-        HttpClient { pool, reconnects: 0, trace: None }
+    /// A client for `addr` drawing connections from a shared (possibly
+    /// multi-address) pool.
+    pub fn with_pool(addr: SocketAddr, pool: Arc<ConnectionPool>) -> Self {
+        HttpClient { addr, pool, reconnects: 0, trace: None }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// Sets (or clears) the trace context stamped onto outgoing requests:
@@ -62,10 +76,9 @@ impl HttpClient {
     /// Sets the connect/read/write timeout. Only valid before the client's
     /// pool is shared (it rebuilds the pool's timeout in place).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        let pool = Arc::get_mut(&mut self.pool)
+        Arc::get_mut(&mut self.pool)
             .expect("with_timeout requires exclusive ownership of the pool");
-        let rebuilt = ConnectionPool::new(pool.addr(), 1).with_timeout(timeout);
-        self.pool = Arc::new(rebuilt);
+        self.pool = Arc::new(ConnectionPool::new(1).with_timeout(timeout));
         self
     }
 
@@ -106,9 +119,9 @@ impl HttpClient {
         };
         let mut reconnects_left = MAX_RECONNECTS_PER_REQUEST;
         loop {
-            let (mut conn, pooled) = match self.pool.checkout() {
+            let (mut conn, pooled) = match self.pool.checkout(self.addr) {
                 Some(conn) => (conn, true),
-                None => (self.pool.connect()?, false),
+                None => (self.pool.connect(self.addr)?, false),
             };
             match Self::send_on(&mut conn, req) {
                 Ok(resp) => {
@@ -128,7 +141,10 @@ impl HttpClient {
     }
 
     /// GET a target; non-2xx statuses become [`NetError::Status`], carrying
-    /// any `Retry-After` header (whole seconds) the server sent.
+    /// any `Retry-After` header the server sent. The hint is parsed as whole
+    /// seconds and clamped to [`MAX_RETRY_AFTER`]; non-numeric forms (the
+    /// HTTP-date variant) yield no hint — the retry itself is unaffected,
+    /// the backoff schedule just falls back to its own delays.
     pub fn get(&mut self, target: &str) -> Result<Response, NetError> {
         let resp = self.send(&Request::get(target))?;
         if resp.is_success() {
@@ -137,7 +153,7 @@ impl HttpClient {
             let retry_after = resp
                 .header("retry-after")
                 .and_then(|v| v.trim().parse::<u64>().ok())
-                .map(Duration::from_secs);
+                .map(|secs| Duration::from_secs(secs).min(MAX_RETRY_AFTER));
             Err(NetError::Status { code: resp.status, body: resp.body_text(), retry_after })
         }
     }
@@ -190,9 +206,9 @@ mod tests {
     fn shared_pool_bounds_sockets_across_clients() {
         // Two sequential clients on one pool share the same socket.
         let (server, hits) = counting_server();
-        let pool = ConnectionPool::shared(server.addr(), 2);
-        let mut a = HttpClient::with_pool(Arc::clone(&pool));
-        let mut b = HttpClient::with_pool(Arc::clone(&pool));
+        let pool = ConnectionPool::shared(2);
+        let mut a = HttpClient::with_pool(server.addr(), Arc::clone(&pool));
+        let mut b = HttpClient::with_pool(server.addr(), Arc::clone(&pool));
         a.get("/ok").unwrap();
         b.get("/ok").unwrap();
         a.get("/ok").unwrap();
@@ -235,10 +251,9 @@ mod tests {
             None,
         )
         .unwrap();
-        let pool = Arc::new(
-            ConnectionPool::new(server.addr(), 2).with_max_idle_age(Duration::from_millis(150)),
-        );
-        let mut client = HttpClient::with_pool(Arc::clone(&pool));
+        let pool =
+            Arc::new(ConnectionPool::new(2).with_max_idle_age(Duration::from_millis(150)));
+        let mut client = HttpClient::with_pool(server.addr(), Arc::clone(&pool));
         client.get("/a").unwrap();
         assert_eq!(pool.idle_len(), 1);
         // Well past both the pool's idle-age cap and the server's idle
@@ -264,6 +279,81 @@ mod tests {
             Err(NetError::Status { code: 429, .. }) => {}
             other => panic!("expected 429, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_after_cap_matches_default_backoff_max() {
+        assert_eq!(
+            MAX_RETRY_AFTER,
+            crate::backoff::Backoff::default().max,
+            "the honored Retry-After cap is defined as the backoff policy's max"
+        );
+    }
+
+    #[test]
+    fn huge_retry_after_is_clamped_to_backoff_max() {
+        // A shard advertising `Retry-After: 99999` must not stall the
+        // router's (or crawler's) retry loop for a day.
+        let handler: Arc<dyn Handler> = Arc::new(|_req: Request| {
+            Response::error(429, "slow down").with_header("Retry-After", "99999")
+        });
+        let server = HttpServer::bind("127.0.0.1:0", 2, handler).unwrap();
+        let mut client = HttpClient::new(server.addr());
+        match client.get("/limited") {
+            Err(NetError::Status { code: 429, retry_after, .. }) => {
+                assert_eq!(retry_after, Some(MAX_RETRY_AFTER), "hint must be clamped");
+            }
+            other => panic!("expected 429, got {other:?}"),
+        }
+        // A modest hint below the cap passes through untouched.
+        let handler: Arc<dyn Handler> = Arc::new(|_req: Request| {
+            Response::error(429, "slow down").with_header("Retry-After", "2")
+        });
+        let server = HttpServer::bind("127.0.0.1:0", 2, handler).unwrap();
+        let mut client = HttpClient::new(server.addr());
+        match client.get("/limited") {
+            Err(NetError::Status { retry_after, .. }) => {
+                assert_eq!(retry_after, Some(Duration::from_secs(2)));
+            }
+            other => panic!("expected 429, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn http_date_retry_after_is_ignored_without_losing_the_retry() {
+        use crate::backoff::Backoff;
+        // First hit: 503 with the RFC 9110 HTTP-date form we don't parse.
+        // The hint must degrade to None (backoff falls back to its own
+        // schedule) and the retry itself must still happen and succeed.
+        let hits = Arc::new(AtomicU32::new(0));
+        let h2 = Arc::clone(&hits);
+        let handler: Arc<dyn Handler> = Arc::new(move |_req: Request| {
+            if h2.fetch_add(1, Ordering::Relaxed) == 0 {
+                Response::error(503, "maintenance")
+                    .with_header("Retry-After", "Fri, 31 Dec 1999 23:59:59 GMT")
+            } else {
+                Response::json("{\"ok\":true}".into())
+            }
+        });
+        let server = HttpServer::bind("127.0.0.1:0", 2, handler).unwrap();
+        let mut client = HttpClient::new(server.addr());
+        match client.get("/flaky") {
+            Err(NetError::Status { code: 503, retry_after, .. }) => {
+                assert_eq!(retry_after, None, "date form must not parse as seconds");
+            }
+            other => panic!("expected 503, got {other:?}"),
+        }
+        // Drive the same exchange through the backoff loop: one retry wins.
+        let backoff = Backoff { base: Duration::from_millis(1), ..Backoff::default() };
+        hits.store(0, Ordering::Relaxed);
+        let resp = backoff
+            .run(
+                || client.get("/flaky"),
+                |e| matches!(e, NetError::Status { code: 503, .. }),
+            )
+            .expect("retry must survive an unparseable Retry-After");
+        assert!(resp.body_text().contains("ok"));
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
     }
 
     #[test]

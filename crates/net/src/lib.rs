@@ -35,13 +35,13 @@ pub mod server;
 pub mod url;
 
 pub use backoff::{transient, Backoff};
-pub use client::HttpClient;
+pub use client::{HttpClient, MAX_RETRY_AFTER};
 pub use error::NetError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
 pub use http::{Request, Response};
 pub use json::Json;
 pub use lru::LruCache;
-pub use pool::ConnectionPool;
+pub use pool::{AddrStats, ConnectionPool};
 pub use ratelimit::{KeyedLimiter, TokenBucket};
 #[cfg(target_os = "linux")]
 pub use reactor::raise_nofile_limit;

@@ -1,14 +1,22 @@
-//! A thread-safe keep-alive connection pool for one server address.
+//! A thread-safe keep-alive connection pool keyed by server address.
 //!
 //! [`HttpClient`](crate::client::HttpClient) checks a connection out, runs
 //! one request/response exchange, and checks it back in if the exchange
 //! succeeded and the response allows reuse. Sharing one `Arc<ConnectionPool>`
 //! across the crawler's phase-2 workers lets N worker threads drive the
-//! whole crawl over at most `max_idle` sockets (plus short-lived overflow
-//! connections when every pooled one is checked out at once) instead of one
-//! socket per worker per lifetime — fewer TCP handshakes, fewer server
-//! workers pinned to dead connections.
+//! whole crawl over at most `max_idle` sockets per address (plus short-lived
+//! overflow connections when every pooled one is checked out at once)
+//! instead of one socket per worker per lifetime — fewer TCP handshakes,
+//! fewer server workers pinned to dead connections.
+//!
+//! The pool keeps one idle stack per address under a shared
+//! `max_idle`/`max_idle_age` policy, so a single pool can front a whole
+//! shard fleet: the router fans a batch out to N shards over one pool and
+//! each shard reuses only its own sockets. Every [`Conn`] is stamped with
+//! the address it was opened against, so a checkin can never park a socket
+//! under the wrong shard even if the caller confuses addresses.
 
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,38 +29,63 @@ use crate::error::NetError;
 use crate::http::Response;
 
 /// One pooled connection: a writer handle and a buffered reader over the
-/// same socket. Crossing request/response pairs is impossible because a
-/// connection is owned by exactly one request between checkout and checkin.
+/// same socket, stamped with the address it was opened against. Crossing
+/// request/response pairs is impossible because a connection is owned by
+/// exactly one request between checkout and checkin; crossing *addresses*
+/// is impossible because checkin files the connection under `addr`.
 pub struct Conn {
     pub(crate) writer: TcpStream,
     pub(crate) reader: BufReader<TcpStream>,
+    pub(crate) addr: SocketAddr,
 }
 
-/// A bounded pool of idle keep-alive connections to a single address.
+/// Per-address idle stack plus per-address counters.
+#[derive(Default)]
+struct Bucket {
+    idle: Vec<(Conn, Instant)>,
+    connects: u64,
+    reuses: u64,
+    expired: u64,
+}
+
+/// Per-address pool counters, as returned by
+/// [`ConnectionPool::addr_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddrStats {
+    /// TCP connections opened to this address.
+    pub connects: u64,
+    /// Checkouts served from this address's idle stack.
+    pub reuses: u64,
+    /// Idle connections discarded for exceeding the idle-age cap.
+    pub expired: u64,
+    /// Idle connections currently parked for this address.
+    pub idle: usize,
+}
+
+/// A bounded pool of idle keep-alive connections, keyed by address.
 pub struct ConnectionPool {
-    addr: SocketAddr,
     timeout: Duration,
+    /// Idle-stack cap *per address*, not across the whole pool.
     max_idle: usize,
     /// Parked connections older than this are discarded at checkout instead
     /// of reused: the server closes idle keep-alive connections after its
     /// own idle timeout, so a connection parked longer than that is dead on
     /// arrival. Kept below the server default (30 s) with margin.
     max_idle_age: Duration,
-    idle: Mutex<Vec<(Conn, Instant)>>,
+    buckets: Mutex<HashMap<SocketAddr, Bucket>>,
     connects: AtomicU64,
     reuses: AtomicU64,
     expired: AtomicU64,
 }
 
 impl ConnectionPool {
-    /// A pool for `addr` holding up to `max_idle` idle connections.
-    pub fn new(addr: SocketAddr, max_idle: usize) -> Self {
+    /// A pool holding up to `max_idle` idle connections per address.
+    pub fn new(max_idle: usize) -> Self {
         ConnectionPool {
-            addr,
             timeout: Duration::from_secs(30),
             max_idle: max_idle.max(1),
             max_idle_age: Duration::from_secs(20),
-            idle: Mutex::new(Vec::new()),
+            buckets: Mutex::new(HashMap::new()),
             connects: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             expired: AtomicU64::new(0),
@@ -73,77 +106,92 @@ impl ConnectionPool {
         self
     }
 
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// TCP connections opened over the pool's lifetime.
+    /// TCP connections opened over the pool's lifetime, all addresses.
     pub fn connects(&self) -> u64 {
         self.connects.load(Ordering::Relaxed)
     }
 
-    /// Checkouts served from an idle pooled connection.
+    /// Checkouts served from an idle pooled connection, all addresses.
     pub fn reuses(&self) -> u64 {
         self.reuses.load(Ordering::Relaxed)
     }
 
-    /// Idle connections currently parked in the pool.
+    /// Idle connections currently parked in the pool, all addresses.
     pub fn idle_len(&self) -> usize {
-        self.idle.lock().len()
+        self.buckets.lock().values().map(|b| b.idle.len()).sum()
     }
 
     /// Parked connections discarded at checkout for exceeding
-    /// [`with_max_idle_age`](Self::with_max_idle_age).
+    /// [`with_max_idle_age`](Self::with_max_idle_age), all addresses.
     pub fn expired(&self) -> u64 {
         self.expired.load(Ordering::Relaxed)
     }
 
-    /// Takes an idle connection if a fresh-enough one is parked. Entries
-    /// older than the idle-age cap are dropped (closing the socket) rather
-    /// than handed out — the server has likely reaped them already.
-    pub(crate) fn checkout(&self) -> Option<Conn> {
+    /// Per-address counters, or `None` if the pool has never touched `addr`.
+    pub fn addr_stats(&self, addr: SocketAddr) -> Option<AddrStats> {
+        let buckets = self.buckets.lock();
+        buckets.get(&addr).map(|b| AddrStats {
+            connects: b.connects,
+            reuses: b.reuses,
+            expired: b.expired,
+            idle: b.idle.len(),
+        })
+    }
+
+    /// Takes an idle connection to `addr` if a fresh-enough one is parked.
+    /// Entries older than the idle-age cap are dropped (closing the socket)
+    /// rather than handed out — the server has likely reaped them already.
+    /// Connections parked under other addresses are never considered.
+    pub(crate) fn checkout(&self, addr: SocketAddr) -> Option<Conn> {
         let now = Instant::now();
-        let mut idle = self.idle.lock();
-        while let Some((conn, parked_at)) = idle.pop() {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.get_mut(&addr)?;
+        while let Some((conn, parked_at)) = bucket.idle.pop() {
             if now.duration_since(parked_at) > self.max_idle_age {
+                bucket.expired += 1;
                 self.expired.fetch_add(1, Ordering::Relaxed);
                 continue; // dropped: the socket closes here
             }
+            bucket.reuses += 1;
             self.reuses.fetch_add(1, Ordering::Relaxed);
             return Some(conn);
         }
         None
     }
 
-    /// Opens a fresh connection (counted).
-    pub(crate) fn connect(&self) -> Result<Conn, NetError> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+    /// Opens a fresh connection to `addr` (counted).
+    pub(crate) fn connect(&self, addr: SocketAddr) -> Result<Conn, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, self.timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         let writer = stream.try_clone()?;
         self.connects.fetch_add(1, Ordering::Relaxed);
-        Ok(Conn { writer, reader: BufReader::new(stream) })
+        self.buckets.lock().entry(addr).or_default().connects += 1;
+        Ok(Conn { writer, reader: BufReader::new(stream), addr })
     }
 
     /// Parks a connection for reuse after a successful exchange — unless
     /// `resp` carries the server's close intent (`Connection: close`, sent
     /// ahead of every server-side close: errors, truncations, idle reaps).
     /// Parking such a connection would hand a half-closed socket to the next
-    /// checkout. Also drops the connection when the pool is already full.
+    /// checkout. Also drops the connection when the address's idle stack is
+    /// already full. The connection is filed under the address it was opened
+    /// against, never anywhere else.
     pub(crate) fn checkin(&self, conn: Conn, resp: &Response) {
         if !resp.keep_alive() {
             return; // server is closing this connection: never park it
         }
-        let mut idle = self.idle.lock();
-        if idle.len() < self.max_idle {
-            idle.push((conn, Instant::now()));
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(conn.addr).or_default();
+        if bucket.idle.len() < self.max_idle {
+            bucket.idle.push((conn, Instant::now()));
         }
     }
 
     /// Convenience for the common shared-pool construction.
-    pub fn shared(addr: SocketAddr, max_idle: usize) -> Arc<Self> {
-        Arc::new(Self::new(addr, max_idle))
+    pub fn shared(max_idle: usize) -> Arc<Self> {
+        Arc::new(Self::new(max_idle))
     }
 }
 
@@ -164,12 +212,12 @@ mod tests {
     }
 
     #[test]
-    fn pool_caps_idle_connections() {
+    fn pool_caps_idle_connections_per_addr() {
         let server = echo_server();
-        let pool = ConnectionPool::new(server.addr(), 2);
-        let a = pool.connect().unwrap();
-        let b = pool.connect().unwrap();
-        let c = pool.connect().unwrap();
+        let pool = ConnectionPool::new(2);
+        let a = pool.connect(server.addr()).unwrap();
+        let b = pool.connect(server.addr()).unwrap();
+        let c = pool.connect(server.addr()).unwrap();
         pool.checkin(a, &reusable());
         pool.checkin(b, &reusable());
         pool.checkin(c, &reusable()); // over max_idle: dropped, socket closed
@@ -180,20 +228,20 @@ mod tests {
     #[test]
     fn checkout_prefers_pooled() {
         let server = echo_server();
-        let pool = ConnectionPool::new(server.addr(), 4);
-        assert!(pool.checkout().is_none(), "empty pool has nothing to reuse");
-        let conn = pool.connect().unwrap();
+        let pool = ConnectionPool::new(4);
+        assert!(pool.checkout(server.addr()).is_none(), "empty pool has nothing to reuse");
+        let conn = pool.connect(server.addr()).unwrap();
         pool.checkin(conn, &reusable());
-        assert!(pool.checkout().is_some());
+        assert!(pool.checkout(server.addr()).is_some());
         assert_eq!(pool.reuses(), 1);
-        assert!(pool.checkout().is_none(), "checkout removes the connection");
+        assert!(pool.checkout(server.addr()).is_none(), "checkout removes the connection");
     }
 
     #[test]
     fn close_intent_response_is_never_parked() {
         let server = echo_server();
-        let pool = ConnectionPool::new(server.addr(), 4);
-        let conn = pool.connect().unwrap();
+        let pool = ConnectionPool::new(4);
+        let conn = pool.connect(server.addr()).unwrap();
         let resp = Response::json("{}".into()).with_header("Connection", "close");
         pool.checkin(conn, &resp);
         assert_eq!(pool.idle_len(), 0, "a half-closed socket must not be pooled");
@@ -202,13 +250,55 @@ mod tests {
     #[test]
     fn expired_idle_connections_are_discarded_at_checkout() {
         let server = echo_server();
-        let pool =
-            ConnectionPool::new(server.addr(), 4).with_max_idle_age(Duration::from_millis(50));
-        let conn = pool.connect().unwrap();
+        let pool = ConnectionPool::new(4).with_max_idle_age(Duration::from_millis(50));
+        let conn = pool.connect(server.addr()).unwrap();
         pool.checkin(conn, &reusable());
         std::thread::sleep(Duration::from_millis(80));
-        assert!(pool.checkout().is_none(), "aged-out connection must not be handed out");
+        assert!(
+            pool.checkout(server.addr()).is_none(),
+            "aged-out connection must not be handed out"
+        );
         assert_eq!(pool.expired(), 1);
         assert_eq!(pool.reuses(), 0);
+    }
+
+    #[test]
+    fn checkin_against_one_addr_is_never_checked_out_for_another() {
+        // Regression: the pool used to be hard-wired to a single address, so
+        // a router fanning out to shards either funneled every shard through
+        // one pool or cross-wired sockets. Park a connection to shard A and
+        // assert shard B can never receive it.
+        let shard_a = echo_server();
+        let shard_b = echo_server();
+        let pool = ConnectionPool::new(4);
+        let conn = pool.connect(shard_a.addr()).unwrap();
+        pool.checkin(conn, &reusable());
+        assert!(
+            pool.checkout(shard_b.addr()).is_none(),
+            "a socket parked for shard A must never serve shard B"
+        );
+        let reused = pool.checkout(shard_a.addr()).expect("shard A gets its own socket back");
+        assert_eq!(reused.addr, shard_a.addr());
+        let a = pool.addr_stats(shard_a.addr()).unwrap();
+        assert_eq!((a.connects, a.reuses), (1, 1));
+        assert!(pool.addr_stats(shard_b.addr()).is_none(), "shard B was never dialed");
+    }
+
+    #[test]
+    fn per_addr_counters_track_their_own_addr_only() {
+        let shard_a = echo_server();
+        let shard_b = echo_server();
+        let pool = ConnectionPool::new(4).with_max_idle_age(Duration::from_millis(50));
+        let a = pool.connect(shard_a.addr()).unwrap();
+        let b = pool.connect(shard_b.addr()).unwrap();
+        pool.checkin(a, &reusable());
+        pool.checkin(b, &reusable());
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(pool.checkout(shard_a.addr()).is_none(), "shard A entry aged out");
+        let a = pool.addr_stats(shard_a.addr()).unwrap();
+        let b = pool.addr_stats(shard_b.addr()).unwrap();
+        assert_eq!(a.expired, 1, "only shard A's checkout observed the expiry");
+        assert_eq!(b.expired, 0, "shard B's parked socket was not touched");
+        assert_eq!(pool.expired(), 1);
     }
 }
