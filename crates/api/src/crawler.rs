@@ -1255,6 +1255,45 @@ mod tests {
         assert_eq!(stats.profiles_found, original.n_users() as u64);
     }
 
+    /// Cross-version read-equivalence for crawl output: the CLI now lands
+    /// crawled snapshots in the chunked v3 container, but archives of v1
+    /// (and v2) crawl files must stay loadable — and all three containers
+    /// must decode to the same world.
+    #[test]
+    fn crawled_snapshot_round_trips_identically_through_every_container_version() {
+        let original = tiny_world();
+        let (server, _service) =
+            serve(Arc::clone(&original), "127.0.0.1:0", 2, RateLimit::default()).unwrap();
+        let mut crawler = Crawler::new(server.addr(), CrawlerConfig::default());
+        let crawled = crawler.crawl(original.collected_at).unwrap();
+
+        let dir = std::env::temp_dir()
+            .join(format!("crawl-versions-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1 = dir.join("crawl-v1.bin");
+        let v2 = dir.join("crawl-v2.bin");
+        let v3 = dir.join("crawl-v3.bin");
+        steam_model::codec::write_snapshot(&v1, &crawled).unwrap();
+        steam_model::codec::write_snapshot_jobs(&v2, &crawled, 2).unwrap();
+        steam_model::codec::write_snapshot_v3(&v3, &crawled, 2).unwrap();
+        assert_eq!(steam_model::codec::snapshot_file_version(&v1).unwrap(), 1);
+        assert_eq!(
+            steam_model::codec::snapshot_file_version(&v3).unwrap(),
+            steam_model::codec::VERSION_CHUNKED
+        );
+        let baseline = steam_model::codec::encode_snapshot(&crawled).to_vec();
+        for path in [&v1, &v2, &v3] {
+            let read = steam_model::codec::read_snapshot(path).unwrap();
+            assert_eq!(
+                steam_model::codec::encode_snapshot(&read).to_vec(),
+                baseline,
+                "container {:?} did not round-trip the crawl",
+                path.file_name()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn crawl_survives_rate_limiting() {
         // A tight server-side limit forces 429s; backoff must get through.

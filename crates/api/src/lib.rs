@@ -38,5 +38,5 @@ pub use service::{
 };
 pub use shard::{
     decode_shard, encode_shard, read_shard, serve_shard_config, shard_of, shard_of_app,
-    shard_of_group, split_snapshot, write_shard, ShardService, ShardStore,
+    shard_of_group, split_snapshot, write_shard, ShardService, ShardStore, StreamSplitter,
 };

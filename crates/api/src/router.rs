@@ -12,7 +12,10 @@
 //! emits found players in (deduplicated) request order; each shard does the
 //! same for the subsequence it owns; re-emitting by walking the original
 //! deduplicated list and picking each id's account from whichever shard
-//! returned it reconstructs exactly that interleaving.
+//! returned it reconstructs exactly that interleaving. A single-shard
+//! fleet (and the single-id endpoints) skip the scatter entirely and
+//! forward on the caller's thread — `BENCH_shard.json` showed the
+//! per-request `thread::scope` spawn dominating routing overhead.
 //!
 //! Failure policy: a sub-request that keeps failing after bounded retries
 //! never yields a partially merged 200 — the client gets a clean 502
@@ -297,6 +300,15 @@ impl RouterService {
     fn route_summaries(&self, req: &Request, incoming: Option<TraceContext>) -> Response {
         let n = self.shards.len();
         let target = Self::rebuild_target(req);
+        // Single-shard fleet fast path: every id hashes to shard 0 by
+        // construction, so parsing, deduplicating, and re-encoding the id
+        // list can only reproduce the request we already have. The shard
+        // deduplicates in the same first-occurrence order, so forwarding
+        // the original target verbatim is byte-identical to the
+        // split/merge below — minus its parse and thread-scope cost.
+        if n == 1 {
+            return self.proxy(0, &target, incoming);
+        }
         let Some(raw) = req.query_param("steamids") else {
             return self.proxy(0, &target, incoming);
         };
@@ -332,9 +344,14 @@ impl RouterService {
         if parts.len() == 1 {
             return self.proxy(parts[0].0, &parts[0].1, incoming);
         }
+        // Fan out: spawn threads for every part but the first, which runs
+        // on the caller's thread — a two-part batch costs one spawn, not
+        // two. Outcomes are collected in part order either way, so the
+        // all-or-nothing merge below reports the same shard's failure the
+        // all-spawned version would.
         let outcomes: Vec<(usize, Result<Response, NetError>)> =
             std::thread::scope(|scope| {
-                let handles: Vec<_> = parts
+                let handles: Vec<_> = parts[1..]
                     .iter()
                     .map(|(shard, target)| {
                         let shard = *shard;
@@ -342,7 +359,10 @@ impl RouterService {
                         scope.spawn(move || (shard, self.exchange(shard, target, incoming)))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("fan-out thread")).collect()
+                let first = (parts[0].0, self.exchange(parts[0].0, &parts[0].1, incoming));
+                std::iter::once(first)
+                    .chain(handles.into_iter().map(|h| h.join().expect("fan-out thread")))
+                    .collect()
             });
         // All-or-nothing merge: any failed sub-request fails the whole
         // batch cleanly; a partially merged 200 would be silently wrong.

@@ -139,6 +139,133 @@ pub fn split_snapshot(snap: &Snapshot, n_shards: usize) -> Vec<ShardStore> {
     shards
 }
 
+/// Streaming shard-split over a chunked (v3) snapshot file: builds one
+/// [`ShardStore`] at a time from a [`SnapshotReader`] without ever decoding
+/// the full snapshot. Resident state between shards is only the SteamId
+/// column (8 bytes/user) plus the small replicated sections (groups,
+/// catalog); each `shard()` call streams the account, friendship, library
+/// and membership chunks once and keeps just the records the shard owns.
+///
+/// Every store is byte-identical (through [`encode_shard`]) to the
+/// corresponding element of [`split_snapshot`]: accounts are visited in
+/// global index order, adjacency is accumulated in edge order and stably
+/// sorted by the friend's global index — the same order the in-memory split
+/// produces.
+pub struct StreamSplitter<'a> {
+    reader: &'a steam_model::SnapshotReader,
+    n_shards: usize,
+    /// SteamId per global account index (friend lists reference these).
+    ids: Vec<SteamId>,
+    groups: Vec<Group>,
+    catalog: Vec<Game>,
+}
+
+impl<'a> StreamSplitter<'a> {
+    pub fn new(
+        reader: &'a steam_model::SnapshotReader,
+        n_shards: usize,
+    ) -> Result<Self, ModelError> {
+        assert!(n_shards >= 1, "need at least one shard");
+        let mut ids = Vec::with_capacity(reader.n_users());
+        for k in 0..reader.n_account_chunks() {
+            for a in reader.account_chunk(k)? {
+                ids.push(a.id);
+            }
+        }
+        Ok(StreamSplitter {
+            reader,
+            n_shards,
+            ids,
+            groups: reader.groups()?,
+            catalog: reader.catalog()?,
+        })
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Builds shard `index` with four chunk passes (accounts, friendships,
+    /// libraries, memberships).
+    pub fn shard(&self, index: usize) -> Result<ShardStore, ModelError> {
+        assert!(index < self.n_shards);
+        let r = self.reader;
+        let mut accounts = Vec::new();
+        // Slot of each owned account, keyed by global index.
+        let mut slot_of: HashMap<u32, u32> = HashMap::new();
+        for k in 0..r.n_account_chunks() {
+            let base = r.account_chunk_start(k);
+            for (i, a) in r.account_chunk(k)?.into_iter().enumerate() {
+                if shard_of(a.id, self.n_shards) == index {
+                    slot_of.insert((base + i) as u32, accounts.len() as u32);
+                    accounts.push(a);
+                }
+            }
+        }
+
+        // Adjacency in service order: both edge directions in edge order,
+        // then a stable sort by the friend's global index — exactly what
+        // `split_snapshot` computes, restricted to owned endpoints.
+        let mut adjacency: Vec<Vec<(u32, SimTime)>> = vec![Vec::new(); accounts.len()];
+        for k in 0..r.n_friendship_chunks() {
+            for e in r.friendship_chunk(k)? {
+                if let Some(&s) = slot_of.get(&e.a) {
+                    adjacency[s as usize].push((e.b, e.created_at));
+                }
+                if let Some(&s) = slot_of.get(&e.b) {
+                    adjacency[s as usize].push((e.a, e.created_at));
+                }
+            }
+        }
+        let friends: Vec<Vec<(SteamId, SimTime)>> = adjacency
+            .into_iter()
+            .map(|mut list| {
+                list.sort_by_key(|(v, _)| *v);
+                list.into_iter().map(|(v, since)| (self.ids[v as usize], since)).collect()
+            })
+            .collect();
+
+        let mut games: Vec<Vec<OwnedGame>> = vec![Vec::new(); accounts.len()];
+        for k in 0..r.n_library_chunks() {
+            let base = r.library_chunk_start(k);
+            for (i, lib) in r.library_chunk(k)?.into_iter().enumerate() {
+                if let Some(&s) = slot_of.get(&((base + i) as u32)) {
+                    games[s as usize] = lib;
+                }
+            }
+        }
+
+        let mut member_gids: Vec<Vec<GroupId>> = vec![Vec::new(); accounts.len()];
+        for k in 0..r.n_membership_chunks() {
+            let base = r.membership_chunk_start(k);
+            for (i, ms) in r.membership_chunk(k)?.into_iter().enumerate() {
+                if let Some(&s) = slot_of.get(&((base + i) as u32)) {
+                    member_gids[s as usize] =
+                        ms.iter().map(|&g| self.groups[g as usize].id).collect();
+                }
+            }
+        }
+
+        Ok(ShardStore {
+            shard_index: index as u32,
+            shard_count: self.n_shards as u32,
+            collected_at: r.collected_at(),
+            scanned_id_space: r.scanned_id_space(),
+            accounts,
+            friends,
+            games,
+            member_gids,
+            groups: self
+                .groups
+                .iter()
+                .filter(|g| shard_of_group(g.id, self.n_shards) == index)
+                .cloned()
+                .collect(),
+            catalog: self.catalog.clone(),
+        })
+    }
+}
+
 // --- codec ------------------------------------------------------------------
 
 const SECTION_ACCOUNTS: u8 = 1;
@@ -656,6 +783,30 @@ mod tests {
             assert_eq!(shard.catalog, snap.catalog, "catalog is replicated verbatim");
             assert_eq!(shard.scanned_id_space, snap.scanned_id_space);
         }
+    }
+
+    #[test]
+    fn streamed_split_matches_in_memory_split_byte_for_byte() {
+        let snap = tiny_snapshot();
+        let dir = std::env::temp_dir().join(format!("shard-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.snap");
+        steam_model::codec::write_snapshot_v3(&path, &snap, 2).unwrap();
+        let reader = steam_model::SnapshotReader::open(&path).unwrap();
+        for n in [1usize, 3] {
+            let in_memory = split_snapshot(&snap, n);
+            let splitter = StreamSplitter::new(&reader, n).unwrap();
+            for (i, expected) in in_memory.iter().enumerate() {
+                let streamed = splitter.shard(i).unwrap();
+                assert_eq!(&streamed, expected, "shard {i}/{n}");
+                assert_eq!(
+                    encode_shard(&streamed),
+                    encode_shard(expected),
+                    "shard {i}/{n} encoded bytes"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -340,6 +340,68 @@ fn killed_sharded_crawl_resumes_to_identical_snapshot() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Regression test for the single-shard fast path: a one-shard fleet
+/// behind the router forwards batches verbatim on the caller's thread
+/// (no id parse, no `thread::scope`), and that shortcut must stay
+/// byte-identical to the unsharded service — including for duplicate
+/// ids, misses, single ids, and malformed batches.
+#[test]
+fn single_shard_fleet_routes_byte_identical_to_unsharded_service() {
+    let original = tiny_snapshot(608);
+    let (direct_server, _s) = serve_service_faulty(
+        ApiService::new(Arc::clone(&original), RateLimit::default()),
+        "127.0.0.1:0",
+        2,
+        None,
+        None,
+    )
+    .unwrap();
+    let store = split_snapshot(&original, 1).pop().unwrap();
+    let (shard_server, _sh) = serve_shard_config(
+        ShardService::new(store, RateLimit::default()),
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, ..Default::default() },
+        None,
+        None,
+    )
+    .unwrap();
+    let (router, _r) = bind_router(vec![shard_server.addr()], RouterConfig::default());
+
+    let mut via_router = HttpClient::new(router.addr());
+    let mut via_direct = HttpClient::new(direct_server.addr());
+    let ids: Vec<String> =
+        original.accounts.iter().take(6).map(|a| a.id.to_string()).collect();
+    let targets = [
+        format!("/ISteamUser/GetPlayerSummaries/v2?steamids={}", ids.join(",")),
+        format!(
+            "/ISteamUser/GetPlayerSummaries/v2?steamids={},{},999999999999",
+            ids[0], ids[0]
+        ),
+        format!("/ISteamUser/GetPlayerSummaries/v2?steamids={}", ids[2]),
+        "/ISteamUser/GetPlayerSummaries/v2?steamids=notanumber".to_string(),
+        "/ISteamUser/GetPlayerSummaries/v2".to_string(),
+        format!("/ISteamUser/GetFriendList/v1?steamid={}", ids[0]),
+    ];
+    for target in &targets {
+        match (via_router.get(target), via_direct.get(target)) {
+            (Ok(routed), Ok(direct)) => {
+                assert_eq!(routed.status, direct.status, "{target}");
+                assert_eq!(routed.body, direct.body, "routed bytes diverged for {target}");
+            }
+            (
+                Err(NetError::Status { code: rc, body: rb, .. }),
+                Err(NetError::Status { code: dc, body: db, .. }),
+            ) => {
+                assert_eq!(rc, dc, "{target}");
+                assert_eq!(rb, db, "routed error bytes diverged for {target}");
+            }
+            (routed, direct) => {
+                panic!("outcome shape diverged for {target}: {routed:?} vs {direct:?}")
+            }
+        }
+    }
+}
+
 #[test]
 fn routed_request_joins_client_router_and_shard_spans() {
     let original = tiny_snapshot(607);

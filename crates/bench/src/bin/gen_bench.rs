@@ -126,6 +126,24 @@ fn main() {
     let dec_v2_parallel = report_run("decode_v2", jobs, start.elapsed().as_secs_f64(), mb, "MB/s");
     assert_eq!(d.n_users(), snapshot.n_users());
 
+    // --- v3: chunk-at-a-time file write, then a streaming open ---
+    let v3_path = std::env::temp_dir().join(format!("gen-bench-v3-{}.snap", std::process::id()));
+    let start = Instant::now();
+    codec::write_snapshot_v3(&v3_path, &snapshot, jobs).expect("v3 write");
+    let enc_v3 = report_run("write_v3", jobs, start.elapsed().as_secs_f64(), mb, "MB/s");
+
+    let start = Instant::now();
+    let reader = steam_model::SnapshotReader::open(&v3_path).expect("v3 open");
+    assert_eq!(reader.n_users(), snapshot.n_users());
+    let dec_v3 = report_run("open_v3", 1, start.elapsed().as_secs_f64(), mb, "MB/s");
+    drop(reader);
+    std::fs::remove_file(&v3_path).ok();
+
+    let peak_rss = steam_obs::peak_rss_bytes();
+    if let Some(peak) = peak_rss {
+        eprintln!("# peak_rss_bytes = {peak} ({:.1} MB)", peak as f64 / (1024.0 * 1024.0));
+    }
+
     let report = Json::obj([
         ("bench", Json::Str("gen".into())),
         ("users", Json::Num(users as f64)),
@@ -138,11 +156,25 @@ fn main() {
         ),
         (
             "encode",
-            Json::Arr(vec![enc_v1.to_json(), enc_v2_serial.to_json(), enc_v2_parallel.to_json()]),
+            Json::Arr(vec![
+                enc_v1.to_json(),
+                enc_v2_serial.to_json(),
+                enc_v2_parallel.to_json(),
+                enc_v3.to_json(),
+            ]),
         ),
         (
             "decode",
-            Json::Arr(vec![dec_v1.to_json(), dec_v2_serial.to_json(), dec_v2_parallel.to_json()]),
+            Json::Arr(vec![
+                dec_v1.to_json(),
+                dec_v2_serial.to_json(),
+                dec_v2_parallel.to_json(),
+                dec_v3.to_json(),
+            ]),
+        ),
+        (
+            "peak_rss_bytes",
+            peak_rss.map_or(Json::Null, |b| Json::Num(b as f64)),
         ),
         (
             "synth_speedup",

@@ -1,0 +1,145 @@
+//! Out-of-core report benchmark: renders the full report twice over the
+//! same v3 snapshot file — once through the streaming [`SnapshotReader`]
+//! context and once through a full in-memory decode — and records wall
+//! time plus `peak_rss_bytes` for each pass.
+//!
+//! The two report texts must be byte-identical; the interesting numbers
+//! are the memory ceilings. On kernels that expose
+//! `/proc/self/clear_refs` the peak is reset between phases so each pass
+//! reports its own high-water mark; where the reset is unavailable
+//! (`peak_rss_reset: false`, e.g. sandboxed kernels) the peaks are
+//! cumulative and only the final value is a true ceiling — the CI
+//! `rss-smoke` job's hard `ulimit -v` cap is the authoritative proof
+//! there.
+//!
+//! ```text
+//! cargo run --release -p steam-bench --bin report_bench
+//! cargo run --release -p steam-bench --bin report_bench -- --users 20000 --jobs 4 --out BENCH_report.json
+//! ```
+//!
+//! [`SnapshotReader`]: steam_model::SnapshotReader
+
+use std::time::Instant;
+
+use steam_analysis::{render_full_report, Ctx, ReportInput};
+use steam_model::codec;
+use steam_net::Json;
+use steam_synth::{Generator, SynthConfig};
+
+fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+struct Phase {
+    label: &'static str,
+    elapsed_secs: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
+impl Phase {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::Str(self.label.to_string())),
+            ("elapsed_secs", Json::Num(self.elapsed_secs)),
+            (
+                "peak_rss_bytes",
+                self.peak_rss_bytes.map_or(Json::Null, |b| Json::Num(b as f64)),
+            ),
+        ])
+    }
+}
+
+fn main() {
+    let users: usize = arg("--users").and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let jobs: usize = arg("--jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(2016);
+    let out = arg("--out").unwrap_or_else(|| "BENCH_report.json".into());
+    let keep = arg("--snapshot");
+
+    // Synthesize the world and land it in a v3 file; the world itself is
+    // dropped before either measured phase so the report passes own the
+    // memory profile (modulo allocator retention — see the reset note).
+    let path = keep.clone().map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("report-bench-{}.snap", std::process::id()))
+    });
+    eprintln!("# synthesizing {users} users (seed {seed}) into {}...", path.display());
+    let mut cfg = SynthConfig::small(seed);
+    cfg.n_users = users;
+    cfg.n_groups = (users / 33).max(10);
+    cfg.validate().expect("config");
+    let world = Generator::new(cfg).generate_world_jobs(jobs);
+    codec::write_snapshot_v3(&path, &world.snapshot, jobs).expect("v3 write");
+    let snapshot_mb = std::fs::metadata(&path).expect("stat").len() as f64 / (1024.0 * 1024.0);
+    drop(world);
+
+    // --- streaming pass: mmap reader, bounded-memory context ---
+    let reset_works = steam_obs::reset_peak_rss();
+    let start = Instant::now();
+    let reader = steam_model::SnapshotReader::open(&path).expect("v3 open");
+    let streamed_ctx = Ctx::from_reader(&reader, jobs).expect("streaming context");
+    let streamed_text = render_full_report(
+        &ReportInput { ctx: &streamed_ctx, second: None, panel: None },
+        jobs,
+    );
+    let streaming = Phase {
+        label: "streaming",
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        peak_rss_bytes: steam_obs::peak_rss_bytes(),
+    };
+    drop(streamed_ctx);
+    drop(reader);
+
+    // --- in-memory pass: full decode, resident context ---
+    steam_obs::reset_peak_rss();
+    let start = Instant::now();
+    let snapshot = codec::read_snapshot_jobs(&path, jobs).expect("full decode");
+    let mem_ctx = Ctx::new_with_jobs(&snapshot, jobs);
+    let mem_text =
+        render_full_report(&ReportInput { ctx: &mem_ctx, second: None, panel: None }, jobs);
+    let in_memory = Phase {
+        label: "in_memory",
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        peak_rss_bytes: steam_obs::peak_rss_bytes(),
+    };
+
+    assert_eq!(
+        streamed_text, mem_text,
+        "streaming report diverged from the in-memory report"
+    );
+    for p in [&streaming, &in_memory] {
+        match p.peak_rss_bytes {
+            Some(b) => eprintln!(
+                "# {:<10} {:>7.3}s peak_rss = {:.1} MB",
+                p.label,
+                p.elapsed_secs,
+                b as f64 / (1024.0 * 1024.0)
+            ),
+            None => eprintln!("# {:<10} {:>7.3}s peak_rss unavailable", p.label, p.elapsed_secs),
+        }
+    }
+
+    let report = Json::obj([
+        ("bench", Json::Str("report".into())),
+        ("users", Json::Num(users as f64)),
+        ("jobs", Json::Num(jobs as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("snapshot_mb", Json::Num(snapshot_mb)),
+        ("runs", Json::Arr(vec![streaming.to_json(), in_memory.to_json()])),
+        (
+            "peak_rss_bytes",
+            steam_obs::peak_rss_bytes().map_or(Json::Null, |b| Json::Num(b as f64)),
+        ),
+        ("peak_rss_reset", Json::Bool(reset_works)),
+        ("outputs_identical", Json::Bool(true)),
+    ]);
+    let text = report.to_text();
+    std::fs::write(&out, &text).expect("write BENCH_report.json");
+    println!("{text}");
+    eprintln!("# wrote {out}");
+    if keep.is_none() {
+        std::fs::remove_file(&path).ok();
+    }
+}

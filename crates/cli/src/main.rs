@@ -88,7 +88,10 @@ COMMANDS
              --scale small|medium|large   population preset (default small)
              --users N                    override user count
              --seed N                     RNG seed (default 2016)
-             --out PATH                   snapshot output (default snapshot.bin)
+             --out PATH                   snapshot output (default snapshot.bin);
+                                          written as the chunked (v3) container,
+                                          one chunk at a time — the encoder never
+                                          holds the full serialized image
              --second-out PATH            also write the second snapshot
              --panel-out PATH             also write the week panel
              --jobs N                     worker threads for synthesis and
@@ -128,6 +131,9 @@ COMMANDS
              --shards N        shard count (default 4)
              --out PREFIX      output prefix (default shard); writes
                                PREFIX-I-of-N.bin for each shard I
+             v3 snapshots are split by streaming chunk passes, one shard
+             at a time, so peak memory stays near one shard's size; the
+             shard bytes are identical to an in-memory split
   route      Scatter-gather router over a shard fleet
              --shards A,B,…    shard addresses in ring order (required;
                                order and count must match shard-split)
@@ -171,6 +177,12 @@ COMMANDS
                                or `all` (default all)
              --jobs N          worker threads for the report engine (default:
                                all cores; output is identical for any N)
+             --in-memory       fully decode the snapshot before analysing.
+                               Chunked (v3) snapshots stream by default:
+                               report passes decode one chunk at a time, so
+                               peak memory stays bounded by the per-user
+                               aggregate columns instead of the whole world.
+                               Output is byte-identical in both modes.
              --timings         print a per-experiment timing table to stderr
                                (stdout stays byte-identical)
   export     Write the figures' underlying series as TSV files
@@ -233,11 +245,11 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     if args.has("timings") {
         eprint!("{}", timings.render_table());
     }
-    codec::write_snapshot_jobs(Path::new(out), &world.snapshot, jobs)
+    codec::write_snapshot_v3(Path::new(out), &world.snapshot, jobs)
         .map_err(|e| e.to_string())?;
     eprintln!("wrote {out}");
     if let Some(second) = args.get("second-out") {
-        codec::write_snapshot_jobs(Path::new(second), &world.second_snapshot, jobs)
+        codec::write_snapshot_v3(Path::new(second), &world.second_snapshot, jobs)
             .map_err(|e| e.to_string())?;
         eprintln!("wrote {second}");
     }
@@ -355,17 +367,35 @@ fn cmd_shard_split(args: &Args) -> Result<(), String> {
         return Err("--shards must be at least 1".into());
     }
     let prefix = args.get_or("out", "shard");
-    let snapshot = codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
-    eprintln!("splitting {} users {n} ways...", snapshot.n_users());
-    for store in steam_api::split_snapshot(&snapshot, n) {
+    let p = Path::new(path);
+    let write = |store: &steam_api::ShardStore| -> Result<(), String> {
         let out = format!("{prefix}-{}-of-{n}.bin", store.shard_index);
-        steam_api::write_shard(Path::new(&out), &store).map_err(|e| e.to_string())?;
+        steam_api::write_shard(Path::new(&out), store).map_err(|e| e.to_string())?;
         eprintln!(
             "wrote {out} ({} accounts, {} groups, {} products)",
             store.accounts.len(),
             store.groups.len(),
             store.catalog.len()
         );
+        Ok(())
+    };
+    let version = codec::snapshot_file_version(p).map_err(|e| e.to_string())?;
+    if version == codec::VERSION_CHUNKED {
+        // v3: stream one shard at a time — peak memory is one shard's
+        // store plus the id column, never the whole world.
+        let reader = steam_model::SnapshotReader::open(p).map_err(|e| e.to_string())?;
+        let splitter =
+            steam_api::StreamSplitter::new(&reader, n).map_err(|e| e.to_string())?;
+        eprintln!("splitting {} users {n} ways (streaming)...", reader.n_users());
+        for i in 0..n {
+            write(&splitter.shard(i).map_err(|e| e.to_string())?)?;
+        }
+        return Ok(());
+    }
+    let snapshot = codec::read_snapshot(p).map_err(|e| e.to_string())?;
+    eprintln!("splitting {} users {n} ways...", snapshot.n_users());
+    for store in steam_api::split_snapshot(&snapshot, n) {
+        write(&store)?;
     }
     Ok(())
 }
@@ -527,7 +557,7 @@ fn cmd_crawl(args: &Args) -> Result<(), String> {
         }
         eprintln!("  (inspect one with: steam-cli trace --id TRACE_ID --addr {trace_addr})");
     }
-    codec::write_snapshot(Path::new(out), &snapshot).map_err(|e| e.to_string())?;
+    codec::write_snapshot_v3(Path::new(out), &snapshot, 1).map_err(|e| e.to_string())?;
     eprintln!("wrote {out}");
     Ok(())
 }
@@ -563,11 +593,51 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// A snapshot opened for reporting: fully decoded, or left on disk behind a
+/// chunk-streaming reader (the bounded-memory path for v3 files).
+enum Loaded {
+    Mem(steam_model::Snapshot),
+    Stream(steam_model::SnapshotReader),
+}
+
+/// Opens a snapshot for `report`. Chunked (v3) files stream by default —
+/// the report passes then decode one chunk at a time instead of
+/// materializing the world — unless `--in-memory` forces a full decode.
+/// v1/v2 files always decode fully.
+fn load_for_report(path: &str, in_memory: bool, jobs: usize) -> Result<Loaded, String> {
+    let p = Path::new(path);
+    let version = codec::snapshot_file_version(p).map_err(|e| e.to_string())?;
+    if version == codec::VERSION_CHUNKED && !in_memory {
+        let reader = steam_model::SnapshotReader::open(p).map_err(|e| e.to_string())?;
+        eprintln!(
+            "streaming {} users from {path} ({}; --in-memory forces a full decode)",
+            reader.n_users(),
+            if reader.is_mapped() { "mmap" } else { "pread" },
+        );
+        return Ok(Loaded::Stream(reader));
+    }
+    Ok(Loaded::Mem(codec::read_snapshot_jobs(p, jobs).map_err(|e| e.to_string())?))
+}
+
+fn report_ctx<'a>(loaded: &'a Loaded, jobs: usize) -> Result<Ctx<'a>, String> {
+    match loaded {
+        Loaded::Mem(s) => Ok(Ctx::new_with_jobs(s, jobs)),
+        Loaded::Stream(r) => Ctx::from_reader(r, jobs).map_err(|e| e.to_string()),
+    }
+}
+
 fn cmd_report(args: &Args) -> Result<(), String> {
+    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = args.get_parse("jobs", default_jobs)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let in_memory = args.has("in-memory");
+
     let path = args.get_or("snapshot", "snapshot.bin");
-    let snapshot = codec::read_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
+    let loaded = load_for_report(path, in_memory, jobs)?;
     let second = match args.get("second") {
-        Some(p) => Some(codec::read_snapshot(Path::new(p)).map_err(|e| e.to_string())?),
+        Some(p) => Some(load_for_report(p, in_memory, jobs)?),
         None => None,
     };
     let panel = match args.get("panel") {
@@ -578,14 +648,11 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         None => None,
     };
 
-    let default_jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let jobs = args.get_parse("jobs", default_jobs)?;
-    if jobs == 0 {
-        return Err("--jobs must be at least 1".into());
-    }
-
-    let ctx = Ctx::new_with_jobs(&snapshot, jobs);
-    let second_ctx = second.as_ref().map(|s| Ctx::new_with_jobs(s, jobs));
+    let ctx = report_ctx(&loaded, jobs)?;
+    let second_ctx = match &second {
+        Some(l) => Some(report_ctx(l, jobs)?),
+        None => None,
+    };
     let input = ReportInput { ctx: &ctx, second: second_ctx.as_ref(), panel: panel.as_ref() };
 
     let which = args.get_or("experiment", "all");

@@ -19,15 +19,15 @@ pub struct AchievementCountStats {
 
 /// Per-game cumulative playtime joined with achievement counts.
 fn game_playtime_and_achievements(ctx: &Ctx) -> Vec<(u32, f64)> {
-    let catalog = &ctx.snapshot.catalog;
+    let catalog = ctx.world.catalog();
     let mut playtime = vec![0u64; catalog.len()];
-    for lib in &ctx.snapshot.ownerships {
+    ctx.world.for_each_library(&mut |_, lib| {
         for o in lib {
             if let Some(&gi) = ctx.app_index.get(&o.app_id) {
                 playtime[gi as usize] += u64::from(o.playtime_forever_min);
             }
         }
-    }
+    });
     catalog
         .iter()
         .enumerate()
@@ -38,8 +38,8 @@ fn game_playtime_and_achievements(ctx: &Ctx) -> Vec<(u32, f64)> {
 
 pub fn achievement_count_stats(ctx: &Ctx) -> AchievementCountStats {
     let counts: Vec<u32> = ctx
-        .snapshot
-        .catalog
+        .world
+        .catalog()
         .iter()
         .filter(|g| g.app_type == AppType::Game)
         .map(|g| g.achievement_count() as u32)
@@ -111,7 +111,7 @@ pub fn completion_by_mode(ctx: &Ctx) -> (CompletionStats, CompletionStats) {
     let mut sp_offered = Vec::new();
     let mut mp_rates = Vec::new();
     let mut mp_offered = Vec::new();
-    for g in &ctx.snapshot.catalog {
+    for g in ctx.world.catalog() {
         if g.app_type != AppType::Game {
             continue;
         }
@@ -137,15 +137,15 @@ pub fn completion_by_genre(ctx: &Ctx) -> Vec<(Genre, f64, f64)> {
         .into_iter()
         .map(|genre| {
             let rates: Vec<f64> = ctx
-                .snapshot
-                .catalog
+                .world
+                .catalog()
                 .iter()
                 .filter(|g| g.app_type == AppType::Game && g.genres.contains(genre))
                 .filter_map(|g| g.mean_completion_pct())
                 .collect();
             let offered: Vec<f64> = ctx
-                .snapshot
-                .catalog
+                .world
+                .catalog()
                 .iter()
                 .filter(|g| g.app_type == AppType::Game && g.genres.contains(genre))
                 .map(|g| g.achievement_count() as f64)

@@ -4,7 +4,6 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use steam_graph::evolution::degrees_in_years;
 use steam_stats::tailfit::{
     classify_tail_jobs, fit_discrete_power_law, ClassifyOptions, TailReport,
 };
@@ -43,11 +42,11 @@ pub fn table4_attributes(ctx: &Ctx) -> Vec<(String, Vec<f64>)> {
     // Friendship degree distributions, cumulative and per-year (Figure 2's
     // series, classified like the paper's appendix).
     for year in 2009..=2013 {
-        let deg = degrees_in_years(ctx.n_users(), &ctx.snapshot.friendships, i32::MIN, year);
+        let deg = ctx.degrees_in_years(i32::MIN, year);
         out.push((format!("Friendship (through {year})"), Ctx::nonzero_f64(&deg)));
     }
     for year in 2009..=2013 {
-        let deg = degrees_in_years(ctx.n_users(), &ctx.snapshot.friendships, year, year);
+        let deg = ctx.degrees_in_years(year, year);
         out.push((format!("Friendship ({year} only)"), Ctx::nonzero_f64(&deg)));
     }
     out

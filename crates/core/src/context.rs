@@ -2,16 +2,25 @@
 
 use std::collections::HashMap;
 
-use steam_graph::Csr;
-use steam_model::{AppId, Snapshot};
+use steam_graph::{degrees_in_years_with, Csr};
+use steam_model::{
+    AppId, CountryCode, Friendship, ModelError, SimTime, Snapshot, SnapshotReader,
+};
 
-/// Precomputed view over a snapshot: per-user degree, library sizes,
-/// playtimes and market value, plus the friendship graph in CSR form.
+use crate::world::{FriendshipChunks, WorldView};
+
+/// Precomputed view over a world: per-user degree, library sizes, playtimes
+/// and market value, plus the friendship graph in CSR form and the resident
+/// account columns the analyses index at random.
 ///
 /// Building it is one linear pass over the data; every table/figure function
-/// then works from these vectors.
+/// then works from these vectors. The backing [`WorldView`] may be a fully
+/// decoded snapshot or a chunk-streaming reader over a v3 file — the
+/// resulting context is identical either way, and all per-record data
+/// (individual libraries, membership lists, edges) stays behind the world's
+/// visitors so streaming mode never materializes a whole section.
 pub struct Ctx<'a> {
-    pub snapshot: &'a Snapshot,
+    pub world: WorldView<'a>,
     /// Friend count per user.
     pub degrees: Vec<u32>,
     /// Games owned per user.
@@ -26,6 +35,12 @@ pub struct Ctx<'a> {
     pub value_cents: Vec<u64>,
     /// Group memberships per user.
     pub group_count: Vec<u32>,
+    /// Account creation time per user.
+    pub created_at: Vec<SimTime>,
+    /// Self-reported country per user.
+    pub country: Vec<Option<CountryCode>>,
+    /// Self-reported city per user.
+    pub city: Vec<Option<u16>>,
     /// `AppId -> catalog index`.
     pub app_index: HashMap<AppId, u32>,
     /// Friendship graph.
@@ -41,23 +56,58 @@ impl<'a> Ctx<'a> {
     /// parallelized over `jobs` threads. The resulting context is identical
     /// for any `jobs` value.
     pub fn new_with_jobs(snapshot: &'a Snapshot, jobs: usize) -> Self {
-        let n = snapshot.n_users();
-        let app_index = snapshot.catalog_index();
-        let degrees = snapshot.degrees();
-        let graph = if jobs > 1 {
-            let edges: Vec<(u32, u32)> =
-                snapshot.friendships.iter().map(|e| (e.a, e.b)).collect();
-            Csr::from_edge_list(n, &edges, jobs)
-        } else {
-            Csr::from_edges(n, snapshot.friendships.iter().map(|e| (e.a, e.b)))
+        Self::from_world(WorldView::mem(snapshot), jobs)
+    }
+
+    /// Builds a context directly from a chunked-snapshot reader without ever
+    /// materializing the full world: the CSR is assembled by a two-pass walk
+    /// over the friendship chunks, and the per-user columns by one pass over
+    /// the account/library/membership chunks.
+    pub fn from_reader(reader: &'a SnapshotReader, jobs: usize) -> Result<Self, ModelError> {
+        Ok(Self::from_world(WorldView::stream(reader)?, jobs))
+    }
+
+    /// The shared build: identical aggregation loops for both world
+    /// backings, so a streamed context is byte-for-byte the same as an
+    /// in-memory one.
+    pub fn from_world(world: WorldView<'a>, jobs: usize) -> Self {
+        let n = world.n_users();
+        let catalog = world.catalog();
+        let mut app_index = HashMap::with_capacity(catalog.len());
+        for (gi, g) in catalog.iter().enumerate() {
+            app_index.insert(g.app_id, gi as u32);
+        }
+        let price_cents: Vec<u32> = catalog.iter().map(|g| g.price_cents).collect();
+
+        let graph = match &world {
+            WorldView::Mem(s) => {
+                if jobs > 1 {
+                    let edges: Vec<(u32, u32)> =
+                        s.friendships.iter().map(|e| (e.a, e.b)).collect();
+                    Csr::from_edge_list(n, &edges, jobs)
+                } else {
+                    Csr::from_edges(n, s.friendships.iter().map(|e| (e.a, e.b)))
+                }
+            }
+            WorldView::Stream(v) => Csr::from_edge_chunks(n, &FriendshipChunks(v.reader), jobs),
         };
+        let degrees = graph.degrees();
+
+        let mut created_at = Vec::with_capacity(n);
+        let mut country = Vec::with_capacity(n);
+        let mut city = Vec::with_capacity(n);
+        world.for_each_account(&mut |_, a| {
+            created_at.push(a.created_at);
+            country.push(a.country);
+            city.push(a.city);
+        });
 
         let mut owned = vec![0u32; n];
         let mut played = vec![0u32; n];
         let mut total_minutes = vec![0u64; n];
         let mut two_week_minutes = vec![0u64; n];
         let mut value_cents = vec![0u64; n];
-        for (u, lib) in snapshot.ownerships.iter().enumerate() {
+        world.for_each_library(&mut |u, lib| {
             owned[u] = lib.len() as u32;
             for o in lib {
                 if o.played() {
@@ -66,14 +116,18 @@ impl<'a> Ctx<'a> {
                 total_minutes[u] += u64::from(o.playtime_forever_min);
                 two_week_minutes[u] += u64::from(o.playtime_2weeks_min);
                 if let Some(&gi) = app_index.get(&o.app_id) {
-                    value_cents[u] += u64::from(snapshot.catalog[gi as usize].price_cents);
+                    value_cents[u] += u64::from(price_cents[gi as usize]);
                 }
             }
-        }
-        let group_count = snapshot.memberships.iter().map(|m| m.len() as u32).collect();
+        });
+
+        let mut group_count = vec![0u32; n];
+        world.for_each_memberships(&mut |u, ms| {
+            group_count[u] = ms.len() as u32;
+        });
 
         Ctx {
-            snapshot,
+            world,
             degrees,
             owned,
             played,
@@ -81,13 +135,43 @@ impl<'a> Ctx<'a> {
             two_week_minutes,
             value_cents,
             group_count,
+            created_at,
+            country,
+            city,
             app_index,
             graph,
         }
     }
 
     pub fn n_users(&self) -> usize {
-        self.snapshot.n_users()
+        self.degrees.len()
+    }
+
+    /// Total friendship edges (from the edge list or the chunk directory —
+    /// no pass either way).
+    pub fn n_friendships(&self) -> u64 {
+        self.world.n_friendships()
+    }
+
+    /// Total owned-game records across all libraries.
+    pub fn n_owned_games(&self) -> u64 {
+        self.owned.iter().map(|&o| u64::from(o)).sum()
+    }
+
+    /// Total group-membership records across all users.
+    pub fn n_memberships(&self) -> u64 {
+        self.group_count.iter().map(|&g| u64::from(g)).sum()
+    }
+
+    /// Calls `f` for every friendship edge, streaming chunks in stream mode.
+    pub fn visit_friendships(&self, f: &mut dyn FnMut(&Friendship)) {
+        self.world.for_each_friendship(f);
+    }
+
+    /// Per-node degree counting only edges created in `[from, to]` (by
+    /// calendar year), via one pass over the edges.
+    pub fn degrees_in_years(&self, from: i32, to: i32) -> Vec<u32> {
+        degrees_in_years_with(self.n_users(), |f| self.world.for_each_friendship(f), from, to)
     }
 
     /// Dollars from cents.
@@ -119,6 +203,7 @@ mod tests {
         assert_eq!(ctx.degrees.len(), n);
         // Degrees agree between snapshot and CSR.
         assert_eq!(ctx.graph.degrees(), ctx.degrees);
+        assert_eq!(world.snapshot.degrees(), ctx.degrees);
         // Owned/played/identity checks.
         for u in 0..n {
             assert!(ctx.played[u] <= ctx.owned[u]);
@@ -129,6 +214,15 @@ mod tests {
         assert_eq!(total, world.snapshot.total_playtime_minutes());
         let value0 = world.snapshot.account_value_cents(0, &ctx.app_index);
         assert_eq!(value0, ctx.value_cents[0]);
+        assert_eq!(ctx.n_friendships(), world.snapshot.n_friendships() as u64);
+        assert_eq!(ctx.n_owned_games(), world.snapshot.n_owned_games() as u64);
+        assert_eq!(ctx.n_memberships(), world.snapshot.n_memberships() as u64);
+        // Resident columns mirror the accounts section.
+        for (u, a) in world.snapshot.accounts.iter().enumerate().step_by(97) {
+            assert_eq!(ctx.created_at[u], a.created_at);
+            assert_eq!(ctx.country[u], a.country);
+            assert_eq!(ctx.city[u], a.city);
+        }
     }
 
     #[test]
@@ -141,6 +235,40 @@ mod tests {
         for u in (0..serial.n_users() as u32).step_by(97) {
             assert_eq!(serial.graph.neighbors(u), parallel.graph.neighbors(u), "node {u}");
         }
+    }
+
+    #[test]
+    fn streamed_context_matches_in_memory() {
+        let world = testworld::world();
+        let dir = std::env::temp_dir().join(format!("ctx-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.snap");
+        steam_model::codec::write_snapshot_v3(&path, &world.snapshot, 2).unwrap();
+        let reader = SnapshotReader::open(&path).unwrap();
+
+        let mem = Ctx::new_with_jobs(&world.snapshot, 2);
+        for jobs in [1usize, 4] {
+            let streamed = Ctx::from_reader(&reader, jobs).unwrap();
+            assert_eq!(streamed.degrees, mem.degrees, "jobs={jobs}");
+            assert_eq!(streamed.owned, mem.owned);
+            assert_eq!(streamed.played, mem.played);
+            assert_eq!(streamed.total_minutes, mem.total_minutes);
+            assert_eq!(streamed.two_week_minutes, mem.two_week_minutes);
+            assert_eq!(streamed.value_cents, mem.value_cents);
+            assert_eq!(streamed.group_count, mem.group_count);
+            assert_eq!(streamed.created_at, mem.created_at);
+            assert_eq!(streamed.country, mem.country);
+            assert_eq!(streamed.city, mem.city);
+            assert_eq!(streamed.app_index, mem.app_index);
+            assert_eq!(streamed.graph.degrees(), mem.graph.degrees());
+            for u in (0..mem.n_users() as u32).step_by(53) {
+                assert_eq!(streamed.graph.neighbors(u), mem.graph.neighbors(u), "node {u}");
+            }
+            assert_eq!(streamed.n_friendships(), mem.n_friendships());
+            assert_eq!(streamed.n_owned_games(), mem.n_owned_games());
+            assert_eq!(streamed.n_memberships(), mem.n_memberships());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

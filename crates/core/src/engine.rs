@@ -213,6 +213,44 @@ mod tests {
         }
     }
 
+    /// The report contract for the out-of-core path: a streamed context must
+    /// render every experiment byte-identically to the in-memory context,
+    /// for any worker count — the jobs × {in-memory, streaming} matrix.
+    #[test]
+    fn streamed_report_matches_in_memory_for_any_jobs() {
+        let world = testworld::world();
+        let dir = std::env::temp_dir().join(format!("report-matrix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.snap");
+        steam_model::codec::write_snapshot_v3(&path, &world.snapshot, 2).unwrap();
+        let reader = steam_model::SnapshotReader::open(&path).unwrap();
+
+        // Table 4 is exercised by the integration suite; skip it here to
+        // keep the 2×2 matrix fast.
+        let experiments: Vec<Experiment> = Experiment::ALL
+            .into_iter()
+            .filter(|&e| e != Experiment::Table4)
+            .collect();
+        let mem = Ctx::new(&world.snapshot);
+        let mem_input = ReportInput { ctx: &mem, second: None, panel: Some(&world.panel) };
+        let reference = render_experiments(&mem_input, &experiments, 1);
+        for jobs in [1usize, 4] {
+            let streamed = Ctx::from_reader(&reader, jobs).unwrap();
+            let input = ReportInput { ctx: &streamed, second: None, panel: Some(&world.panel) };
+            for got in [
+                render_experiments(&mem_input, &experiments, jobs),
+                render_experiments(&input, &experiments, jobs),
+            ] {
+                assert_eq!(got.len(), reference.len());
+                for ((re, rt), (ge, gt)) in reference.iter().zip(&got) {
+                    assert_eq!(re, ge, "jobs={jobs}");
+                    assert_eq!(rt, gt, "jobs={jobs}: {} diverged", re.name());
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn timed_run_reports_every_experiment_and_identical_text() {
         let world = testworld::world();

@@ -62,7 +62,7 @@ impl GenreBreakdown {
 pub fn genre_breakdown(ctx: &Ctx) -> GenreBreakdown {
     let mut rows: Vec<(Genre, GenreRow)> =
         Genre::ALL.into_iter().map(|g| (g, GenreRow::default())).collect();
-    let catalog = &ctx.snapshot.catalog;
+    let catalog = ctx.world.catalog();
 
     let mut total_catalog_games = 0u64;
     for g in catalog {
@@ -76,7 +76,7 @@ pub fn genre_breakdown(ctx: &Ctx) -> GenreBreakdown {
 
     let mut total_playtime = 0u64;
     let mut total_value = 0u64;
-    for lib in &ctx.snapshot.ownerships {
+    ctx.world.for_each_library(&mut |_, lib| {
         for o in lib {
             let Some(&gi) = ctx.app_index.get(&o.app_id) else { continue };
             let game = &catalog[gi as usize];
@@ -92,7 +92,7 @@ pub fn genre_breakdown(ctx: &Ctx) -> GenreBreakdown {
                 row.value_cents += u64::from(game.price_cents);
             }
         }
-    }
+    });
 
     GenreBreakdown {
         rows,
@@ -147,8 +147,8 @@ mod tests {
     #[test]
     fn totals_consistent() {
         let b = breakdown();
-        let ctx = Ctx::new(&testworld::world().snapshot);
-        assert_eq!(b.total_playtime_minutes, ctx.snapshot.total_playtime_minutes());
+        let world = testworld::world();
+        assert_eq!(b.total_playtime_minutes, world.snapshot.total_playtime_minutes());
         // Overlapping genre rows each ≤ total.
         for (_, row) in &b.rows {
             assert!(row.playtime_minutes <= b.total_playtime_minutes);

@@ -14,14 +14,14 @@ pub struct GroupTypeBreakdown {
     pub rows: Vec<(GroupKind, usize, f64)>,
 }
 
-/// Sizes of all groups (member counts), indexed like `snapshot.groups`.
+/// Sizes of all groups (member counts), indexed like the groups section.
 pub fn group_sizes(ctx: &Ctx) -> Vec<u64> {
-    let mut sizes = vec![0u64; ctx.snapshot.groups.len()];
-    for ms in &ctx.snapshot.memberships {
+    let mut sizes = vec![0u64; ctx.world.groups().len()];
+    ctx.world.for_each_memberships(&mut |_, ms| {
         for &g in ms {
             sizes[g as usize] += 1;
         }
-    }
+    });
     sizes
 }
 
@@ -33,7 +33,7 @@ pub fn group_type_breakdown(ctx: &Ctx, top_n: usize) -> GroupTypeBreakdown {
     let top_n = top_n.min(order.len());
     let mut counts = [0usize; 6];
     for &g in &order[..top_n] {
-        counts[ctx.snapshot.groups[g].kind.tag() as usize] += 1;
+        counts[ctx.world.groups()[g].kind.tag() as usize] += 1;
     }
     let mut rows: Vec<(GroupKind, usize, f64)> = GroupKind::ALL
         .into_iter()
@@ -75,11 +75,10 @@ pub fn group_game_diversity(ctx: &Ctx, min_members: u64) -> GroupGameDiversity {
         .map(|(slot, &g)| (g, slot))
         .collect();
 
-    for (u, ms) in ctx.snapshot.memberships.iter().enumerate() {
+    ctx.world.for_each_membership_lib(&mut |_, ms, lib| {
         if ms.is_empty() {
-            continue;
+            return;
         }
-        let lib = &ctx.snapshot.ownerships[u];
         for &g in ms {
             if let Some(&slot) = slot_of_group.get(&g) {
                 for o in lib {
@@ -93,7 +92,7 @@ pub fn group_game_diversity(ctx: &Ctx, min_members: u64) -> GroupGameDiversity {
                 }
             }
         }
-    }
+    });
 
     let mut focused = 0usize;
     let rows: Vec<(u32, u64, u32)> = qualifying
@@ -127,7 +126,7 @@ mod tests {
         let ctx = ctx();
         let sizes = group_sizes(&ctx);
         let total: u64 = sizes.iter().sum();
-        assert_eq!(total, ctx.snapshot.n_memberships() as u64);
+        assert_eq!(total, ctx.n_memberships());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod report;
 pub mod sampling_bias;
 pub mod social;
 pub mod summary;
+pub mod world;
 
 #[cfg(test)]
 mod testworld;
@@ -51,3 +52,4 @@ pub use engine::{
     ExperimentTiming, ReportTimings,
 };
 pub use report::{render, render_with_jobs, Experiment, ReportInput};
+pub use world::WorldView;

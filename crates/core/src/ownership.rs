@@ -69,8 +69,8 @@ pub fn collector_report(ctx: &Ctx) -> CollectorReport {
         }
     }
     let n_games = ctx
-        .snapshot
-        .catalog
+        .world
+        .catalog()
         .iter()
         .filter(|g| g.app_type == steam_model::AppType::Game)
         .count()

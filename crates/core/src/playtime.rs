@@ -105,7 +105,7 @@ pub struct MultiplayerShares {
 }
 
 pub fn multiplayer_shares(ctx: &Ctx) -> MultiplayerShares {
-    let catalog = &ctx.snapshot.catalog;
+    let catalog = ctx.world.catalog();
     let mut games = 0u64;
     let mut mp_games = 0u64;
     for g in catalog {
@@ -120,7 +120,7 @@ pub fn multiplayer_shares(ctx: &Ctx) -> MultiplayerShares {
     let mut total_mp = 0u64;
     let mut recent = 0u64;
     let mut recent_mp = 0u64;
-    for lib in &ctx.snapshot.ownerships {
+    ctx.world.for_each_library(&mut |_, lib| {
         for o in lib {
             let Some(&gi) = ctx.app_index.get(&o.app_id) else { continue };
             let mp = catalog[gi as usize].multiplayer;
@@ -131,7 +131,7 @@ pub fn multiplayer_shares(ctx: &Ctx) -> MultiplayerShares {
                 recent_mp += u64::from(o.playtime_2weeks_min);
             }
         }
-    }
+    });
     MultiplayerShares {
         catalog_share: mp_games as f64 / games.max(1) as f64,
         total_playtime_share: total_mp as f64 / total.max(1) as f64,

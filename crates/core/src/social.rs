@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use steam_graph::evolution::{degrees_in_years, yearly_evolution, YearPoint};
+use steam_graph::evolution::{yearly_evolution_with, YearPoint};
 use steam_model::CountryCode;
 use steam_stats::frequency_u32;
 
@@ -24,8 +24,8 @@ pub struct CountryBreakdown {
 pub fn country_breakdown(ctx: &Ctx) -> CountryBreakdown {
     let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
     let mut reporting = 0u64;
-    for a in &ctx.snapshot.accounts {
-        if let Some(c) = a.country {
+    for c in &ctx.country {
+        if let Some(c) = *c {
             *counts.entry(c.dense_index()).or_insert(0) += 1;
             reporting += 1;
         }
@@ -62,9 +62,7 @@ pub fn country_breakdown(ctx: &Ctx) -> CountryBreakdown {
 
 /// Figure 1: the network's growth series, 2008–2013.
 pub fn friendship_evolution(ctx: &Ctx) -> Vec<YearPoint> {
-    let created: Vec<steam_model::SimTime> =
-        ctx.snapshot.accounts.iter().map(|a| a.created_at).collect();
-    yearly_evolution(&created, &ctx.snapshot.friendships, 2008, 2013)
+    yearly_evolution_with(&ctx.created_at, |f| ctx.visit_friendships(f), 2008, 2013)
 }
 
 /// One series of Figure 2.
@@ -79,7 +77,7 @@ pub struct DegreeSeries {
 pub fn degree_distributions(ctx: &Ctx) -> Vec<DegreeSeries> {
     let mut out = Vec::new();
     for year in 2009..=2013 {
-        let deg = degrees_in_years(ctx.n_users(), &ctx.snapshot.friendships, year, year);
+        let deg = ctx.degrees_in_years(year, year);
         out.push(DegreeSeries {
             label: format!("{year} only"),
             points: frequency_u32(&deg)
@@ -174,22 +172,21 @@ impl Locality {
 
 pub fn locality(ctx: &Ctx) -> Locality {
     let mut out = Locality::default();
-    let accounts = &ctx.snapshot.accounts;
-    for e in &ctx.snapshot.friendships {
-        let (a, b) = (&accounts[e.a as usize], &accounts[e.b as usize]);
-        if let (Some(ca), Some(cb)) = (a.country, b.country) {
+    ctx.visit_friendships(&mut |e| {
+        let (a, b) = (e.a as usize, e.b as usize);
+        if let (Some(ca), Some(cb)) = (ctx.country[a], ctx.country[b]) {
             out.country_pairs += 1;
             if ca != cb {
                 out.international += 1;
             }
-            if let (Some(cia), Some(cib)) = (a.city, b.city) {
+            if let (Some(cia), Some(cib)) = (ctx.city[a], ctx.city[b]) {
                 out.city_pairs += 1;
                 if ca != cb || cia != cib {
                     out.intercity += 1;
                 }
             }
         }
-    }
+    });
     out
 }
 

@@ -108,9 +108,9 @@ pub fn aggregates(ctx: &Ctx) -> Aggregates {
     let cents: u64 = ctx.value_cents.iter().sum();
     Aggregates {
         users: ctx.n_users() as u64,
-        friendships: ctx.snapshot.n_friendships() as u64,
-        owned_games: ctx.snapshot.n_owned_games() as u64,
-        group_memberships: ctx.snapshot.n_memberships() as u64,
+        friendships: ctx.n_friendships(),
+        owned_games: ctx.n_owned_games(),
+        group_memberships: ctx.n_memberships(),
         total_playtime_years: minutes as f64 / 60.0 / 24.0 / 365.25,
         total_market_value_dollars: cents as f64 / 100.0,
     }

@@ -3,9 +3,43 @@
 //! The paper's graph has 108.7 M nodes and 196.4 M undirected edges; CSR
 //! keeps neighbor iteration cache-friendly with two flat arrays.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::par;
+
+/// A source of undirected edges grouped into independently readable chunks —
+/// the shape in which the streaming snapshot reader exposes the friendships
+/// section. `Sync` so worker threads can claim chunks concurrently.
+pub trait EdgeChunks: Sync {
+    fn n_chunks(&self) -> usize;
+    /// Calls `f(a, b)` for every edge in chunk `k`, in chunk order. A chunk
+    /// must yield the same edges every time it is visited (the CSR build
+    /// reads the source twice).
+    fn for_each(&self, k: usize, f: &mut dyn FnMut(u32, u32));
+}
+
+/// Runs `f(0..n)` on up to `jobs` scoped workers claiming indices through an
+/// atomic cursor.
+fn claim_chunks(jobs: usize, n: usize, f: impl Fn(usize) + Sync) {
+    if jobs <= 1 || n <= 1 {
+        for k in 0..n {
+            f(k);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                f(k);
+            });
+        }
+    });
+}
 
 /// An undirected graph in CSR form. Each undirected edge appears in both
 /// endpoints' neighbor lists.
@@ -98,35 +132,66 @@ impl Csr {
         });
         let mut neighbors: Vec<u32> = slots.into_iter().map(AtomicU32::into_inner).collect();
 
-        // Pass 3: sort each adjacency list, threads owning disjoint
-        // contiguous node ranges (rows are contiguous in node order).
-        let per = n_nodes.div_ceil(jobs);
-        let mut tail: &mut [u32] = &mut neighbors;
-        let mut consumed = 0u64;
-        std::thread::scope(|scope| {
-            for j in 0..jobs {
-                let lo = (j * per).min(n_nodes);
-                let hi = ((j + 1) * per).min(n_nodes);
-                if lo >= hi {
-                    continue;
-                }
-                let len = (offsets[hi] - consumed) as usize;
-                let (head, rest) = std::mem::take(&mut tail).split_at_mut(len);
-                tail = rest;
-                consumed = offsets[hi];
-                let offsets = &offsets;
-                let base = offsets[lo];
-                scope.spawn(move || {
-                    for u in lo..hi {
-                        let s = (offsets[u] - base) as usize;
-                        let e = (offsets[u + 1] - base) as usize;
-                        head[s..e].sort_unstable();
-                    }
-                });
-            }
-        });
+        // Pass 3: sort each adjacency list.
+        sort_rows(&offsets, &mut neighbors, n_nodes, jobs);
 
         Csr { offsets, neighbors, n_edges: edges.len() }
+    }
+
+    /// Builds CSR from chunked edges in two passes — shared atomic degree
+    /// counting, then fill through per-node atomic cursors — with chunks
+    /// claimed by an atomic cursor on up to `jobs` threads. Reads the source
+    /// twice and never materializes the full edge list, so resident memory is
+    /// the CSR itself plus `O(n_nodes)` counters, independent of how the
+    /// chunks are stored. The result is identical to [`Csr::from_edges`]
+    /// over the same edges, for any `jobs`: degree sums are order-independent,
+    /// and the canonical per-row sort erases fill-order races.
+    pub fn from_edge_chunks(n_nodes: usize, src: &dyn EdgeChunks, jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let n_chunks = src.n_chunks();
+
+        // Pass 1: degree counts (u32: degrees are capped far below 2^32).
+        let deg: Vec<AtomicU32> = (0..n_nodes).map(|_| AtomicU32::new(0)).collect();
+        let edge_count = AtomicU64::new(0);
+        claim_chunks(jobs, n_chunks, |k| {
+            let mut in_chunk = 0u64;
+            src.for_each(k, &mut |a, b| {
+                assert!((a as usize) < n_nodes && (b as usize) < n_nodes, "edge out of range");
+                deg[a as usize].fetch_add(1, Ordering::Relaxed);
+                deg[b as usize].fetch_add(1, Ordering::Relaxed);
+                in_chunk += 1;
+            });
+            edge_count.fetch_add(in_chunk, Ordering::Relaxed);
+        });
+        let mut offsets = Vec::with_capacity(n_nodes + 1);
+        offsets.push(0u64);
+        let mut acc = 0u64;
+        for d in &deg {
+            acc += u64::from(d.load(Ordering::Relaxed));
+            offsets.push(acc);
+        }
+        drop(deg);
+
+        // Pass 2: fill through per-node atomic cursors, re-reading the
+        // chunks. Slot assignment within a row races; the sort restores
+        // canonical order.
+        let cursors: Vec<AtomicU64> =
+            offsets[..n_nodes].iter().map(|&o| AtomicU64::new(o)).collect();
+        let slots: Vec<AtomicU32> = (0..acc as usize).map(|_| AtomicU32::new(0)).collect();
+        claim_chunks(jobs, n_chunks, |k| {
+            src.for_each(k, &mut |a, b| {
+                let ia = cursors[a as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                slots[ia].store(b, Ordering::Relaxed);
+                let ib = cursors[b as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                slots[ib].store(a, Ordering::Relaxed);
+            });
+        });
+        let mut neighbors: Vec<u32> = slots.into_iter().map(AtomicU32::into_inner).collect();
+
+        sort_rows(&offsets, &mut neighbors, n_nodes, jobs);
+
+        let n_edges = edge_count.into_inner() as usize;
+        Csr { offsets, neighbors, n_edges }
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -168,6 +233,42 @@ impl Csr {
             2.0 * self.n_edges as f64 / self.n_nodes() as f64
         }
     }
+}
+
+/// Sorts every adjacency row ascending, threads owning disjoint contiguous
+/// node ranges (rows are contiguous in node order).
+fn sort_rows(offsets: &[u64], neighbors: &mut [u32], n_nodes: usize, jobs: usize) {
+    if jobs <= 1 {
+        for u in 0..n_nodes {
+            let (s, e) = (offsets[u] as usize, offsets[u + 1] as usize);
+            neighbors[s..e].sort_unstable();
+        }
+        return;
+    }
+    let per = n_nodes.div_ceil(jobs);
+    let mut tail: &mut [u32] = neighbors;
+    let mut consumed = 0u64;
+    std::thread::scope(|scope| {
+        for j in 0..jobs {
+            let lo = (j * per).min(n_nodes);
+            let hi = ((j + 1) * per).min(n_nodes);
+            if lo >= hi {
+                continue;
+            }
+            let len = (offsets[hi] - consumed) as usize;
+            let (head, rest) = std::mem::take(&mut tail).split_at_mut(len);
+            tail = rest;
+            consumed = offsets[hi];
+            let base = offsets[lo];
+            scope.spawn(move || {
+                for u in lo..hi {
+                    let s = (offsets[u] - base) as usize;
+                    let e = (offsets[u + 1] - base) as usize;
+                    head[s..e].sort_unstable();
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -246,6 +347,53 @@ mod tests {
             assert_eq!(par.neighbors, serial.neighbors, "jobs={jobs}");
             assert_eq!(par.n_edges(), serial.n_edges(), "jobs={jobs}");
         }
+    }
+
+    struct SliceChunks<'a> {
+        edges: &'a [(u32, u32)],
+        cap: usize,
+    }
+
+    impl EdgeChunks for SliceChunks<'_> {
+        fn n_chunks(&self) -> usize {
+            self.edges.len().div_ceil(self.cap)
+        }
+
+        fn for_each(&self, k: usize, f: &mut dyn FnMut(u32, u32)) {
+            let lo = k * self.cap;
+            let hi = (lo + self.cap).min(self.edges.len());
+            for &(a, b) in &self.edges[lo..hi] {
+                f(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_build_matches_serial() {
+        use rand::prelude::*;
+        let n_nodes = 500u32;
+        let mut rng = StdRng::seed_from_u64(7);
+        let edges: Vec<(u32, u32)> = (0..3_000)
+            .map(|_| (rng.gen_range(0..n_nodes), rng.gen_range(0..n_nodes)))
+            .collect();
+        let serial = Csr::from_edges(n_nodes as usize, edges.iter().copied());
+        for cap in [1, 17, 4096] {
+            for jobs in [1, 2, 8] {
+                let src = SliceChunks { edges: &edges, cap };
+                let chunked = Csr::from_edge_chunks(n_nodes as usize, &src, jobs);
+                assert_eq!(chunked.offsets, serial.offsets, "cap={cap} jobs={jobs}");
+                assert_eq!(chunked.neighbors, serial.neighbors, "cap={cap} jobs={jobs}");
+                assert_eq!(chunked.n_edges(), serial.n_edges(), "cap={cap} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_build_handles_empty_source() {
+        let src = SliceChunks { edges: &[], cap: 8 };
+        let g = Csr::from_edge_chunks(3, &src, 4);
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_edges(), 0);
     }
 
     #[test]

@@ -27,6 +27,31 @@ pub fn yearly_evolution(
     first: i32,
     last: i32,
 ) -> Vec<YearPoint> {
+    yearly_evolution_with(
+        account_created,
+        |f| {
+            for e in friendships {
+                f(e);
+            }
+        },
+        first,
+        last,
+    )
+}
+
+/// [`yearly_evolution`] with edges supplied by a visitor instead of a slice,
+/// so the streaming snapshot path can feed chunks without materializing the
+/// edge list. The slice version delegates here — one counting loop, both
+/// paths, identical results.
+pub fn yearly_evolution_with<F>(
+    account_created: &[SimTime],
+    visit_edges: F,
+    first: i32,
+    last: i32,
+) -> Vec<YearPoint>
+where
+    F: Fn(&mut dyn FnMut(&Friendship)),
+{
     assert!(first <= last);
     let n_years = (last - first + 1) as usize;
     let mut users = vec![0u64; n_years];
@@ -42,14 +67,14 @@ pub fn yearly_evolution(
             users[(y - first) as usize] += 1;
         }
     }
-    for e in friendships {
+    visit_edges(&mut |e| {
         let y = e.created_at.year();
         if y < first {
             edges_before += 1;
         } else if y <= last {
             edges_new[(y - first) as usize] += 1;
         }
-    }
+    });
 
     let mut out = Vec::with_capacity(n_years);
     let mut cu = users_before;
@@ -76,14 +101,32 @@ pub fn degrees_in_years(
     from: i32,
     to: i32,
 ) -> Vec<u32> {
+    degrees_in_years_with(
+        n_nodes,
+        |f| {
+            for e in friendships {
+                f(e);
+            }
+        },
+        from,
+        to,
+    )
+}
+
+/// [`degrees_in_years`] with edges supplied by a visitor instead of a slice
+/// (see [`yearly_evolution_with`]).
+pub fn degrees_in_years_with<F>(n_nodes: usize, visit_edges: F, from: i32, to: i32) -> Vec<u32>
+where
+    F: Fn(&mut dyn FnMut(&Friendship)),
+{
     let mut deg = vec![0u32; n_nodes];
-    for e in friendships {
+    visit_edges(&mut |e| {
         let y = e.created_at.year();
         if y >= from && y <= to {
             deg[e.a as usize] += 1;
             deg[e.b as usize] += 1;
         }
-    }
+    });
     deg
 }
 

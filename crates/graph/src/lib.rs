@@ -25,8 +25,10 @@ pub mod sampling;
 pub mod smallworld;
 
 pub use components::{connected_components, Components};
-pub use csr::Csr;
-pub use evolution::{degrees_in_years, yearly_evolution, YearPoint};
+pub use csr::{Csr, EdgeChunks};
+pub use evolution::{
+    degrees_in_years, degrees_in_years_with, yearly_evolution, yearly_evolution_with, YearPoint,
+};
 pub use neighbors::{
     degree_assortativity, degree_assortativity_jobs, homophily_pairs, neighbor_mean,
     neighbor_mean_jobs,

@@ -49,6 +49,32 @@
 //! two, which makes truncation at *any* byte detectable. Version-1 inputs
 //! remain fully readable — [`decode_snapshot`] dispatches on the version
 //! byte.
+//!
+//! Version 3 is the *chunked columnar* container for out-of-core work: the
+//! same record encodings and section ids, but each section is split into
+//! fixed-record-count chunks, every chunk independently framed and
+//! checksummed, with a seekable chunk directory in the trailer:
+//!
+//! ```text
+//! "CSTM" u8(3)
+//! collected_at:i64(zigzag) scanned_id_space
+//! chunks, sections in id order, chunks in record order:
+//!     u8(section_id) n_records payload_len u32le(fnv1a(payload)) payload
+//! trailer:    6  6 × { u8(section_id) chunk_cap total_records n_chunks
+//!                      n_chunks × { offset payload_len n_records u32le(sum) } }
+//!             u32le(fnv1a(header))            -- checksum of bytes before the first chunk
+//!             u32le(fnv1a(trailer))           -- checksum of the trailer itself
+//! u64le(trailer_offset)                       -- final 8 bytes
+//! ```
+//!
+//! Chunk payloads carry records back-to-back with *no* leading count — counts
+//! live in the frame header and the directory, which the decoder cross-checks
+//! so corruption is pinned to a section *and* chunk. Every chunk except a
+//! section's last holds exactly `chunk_cap` records, so record `i` lives in
+//! chunk `i / cap` without scanning. A [`SnapshotReader`](crate::reader)
+//! opens v3 files via mmap/pread and serves individual chunks without
+//! materializing the world; [`decode_snapshot`] still fully materializes any
+//! version.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -70,16 +96,16 @@ const VERSION: u8 = 1;
 /// Version byte of the sectioned (parallel) snapshot container.
 pub const VERSION_SECTIONED: u8 = 2;
 
-/// Section ids of the v2 container, in file order.
-const SECTION_IDS: [u8; 6] = [0, 1, 2, 3, 4, 5];
-const SECTION_ACCOUNTS: u8 = 0;
-const SECTION_FRIENDSHIPS: u8 = 1;
-const SECTION_OWNERSHIPS: u8 = 2;
-const SECTION_GROUPS: u8 = 3;
-const SECTION_MEMBERSHIPS: u8 = 4;
-const SECTION_CATALOG: u8 = 5;
+/// Section ids of the v2/v3 containers, in file order.
+pub(crate) const SECTION_IDS: [u8; 6] = [0, 1, 2, 3, 4, 5];
+pub(crate) const SECTION_ACCOUNTS: u8 = 0;
+pub(crate) const SECTION_FRIENDSHIPS: u8 = 1;
+pub(crate) const SECTION_OWNERSHIPS: u8 = 2;
+pub(crate) const SECTION_GROUPS: u8 = 3;
+pub(crate) const SECTION_MEMBERSHIPS: u8 = 4;
+pub(crate) const SECTION_CATALOG: u8 = 5;
 
-fn section_name(id: u8) -> &'static str {
+pub(crate) fn section_name(id: u8) -> &'static str {
     match id {
         SECTION_ACCOUNTS => "accounts",
         SECTION_FRIENDSHIPS => "friendships",
@@ -91,7 +117,7 @@ fn section_name(id: u8) -> &'static str {
     }
 }
 
-fn err(msg: impl Into<String>) -> ModelError {
+pub(crate) fn err(msg: impl Into<String>) -> ModelError {
     ModelError::Codec(msg.into())
 }
 
@@ -399,14 +425,7 @@ pub fn decode_segment(mut seg: Bytes) -> Result<(Vec<Bytes>, bool), ModelError> 
 /// one writer's complete bytes (last rename wins), never an interleaving.
 pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), ModelError> {
     use std::io::Write;
-    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(
-        ".{}.{}.tmp",
-        std::process::id(),
-        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let tmp = std::path::PathBuf::from(tmp);
+    let tmp = temp_sibling(path);
     {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(bytes)?;
@@ -416,12 +435,30 @@ pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), ModelErr
         std::fs::remove_file(&tmp).ok();
         return Err(e.into());
     }
+    fsync_parent(path);
+    Ok(())
+}
+
+/// Temp-file path next to `path`, unique per writer (pid + process-wide
+/// counter), so concurrent writers to one target never share a temp file.
+fn temp_sibling(path: &std::path::Path) -> std::path::PathBuf {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::path::PathBuf::from(tmp)
+}
+
+/// Best-effort fsync of `path`'s parent directory so a rename is durable.
+fn fsync_parent(path: &std::path::Path) {
     if let Some(parent) = path.parent() {
         if let Ok(dir) = std::fs::File::open(parent) {
             dir.sync_all().ok();
         }
     }
-    Ok(())
 }
 
 // --- snapshot ---------------------------------------------------------------
@@ -493,6 +530,7 @@ pub fn decode_snapshot_jobs(mut buf: Bytes, jobs: usize) -> Result<Snapshot, Mod
     match buf.get_u8() {
         VERSION => decode_snapshot_v1(buf),
         VERSION_SECTIONED => decode_snapshot_v2(full, jobs),
+        VERSION_CHUNKED => decode_snapshot_v3(full, jobs),
         version => Err(err(format!("unsupported snapshot version {version}"))),
     }
 }
@@ -679,7 +717,7 @@ fn encode_section_payload(s: &Snapshot, id: u8) -> BytesMut {
 }
 
 /// One decoded section's typed contents.
-enum Section {
+pub(crate) enum Section {
     Accounts(Vec<Account>),
     Friendships(Vec<Friendship>),
     Ownerships(Vec<Vec<OwnedGame>>),
@@ -977,6 +1015,647 @@ fn decode_snapshot_v2(full: Bytes, jobs: usize) -> Result<Snapshot, ModelError> 
     })
 }
 
+// --- chunked columnar snapshot container (v3) --------------------------------
+
+/// Version byte of the chunked columnar (out-of-core) snapshot container.
+pub const VERSION_CHUNKED: u8 = 3;
+
+/// Records per chunk by section, as chosen by this writer. The caps are
+/// recorded in the directory, so readers never assume these exact values.
+pub(crate) fn default_chunk_cap(id: u8) -> u64 {
+    match id {
+        // Friendship records are small (three varints); catalog entries carry
+        // names + achievement lists and are by far the fattest.
+        SECTION_FRIENDSHIPS => 16 * 1024,
+        SECTION_CATALOG => 1024,
+        _ => 4 * 1024,
+    }
+}
+
+/// Directory entry for one chunk of a v3 section.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChunkEntry {
+    /// File offset of the chunk's frame header.
+    pub offset: u64,
+    /// Payload bytes, excluding the frame header.
+    pub len: u64,
+    pub n_records: u64,
+    /// FNV-1a of the payload.
+    pub sum: u32,
+}
+
+/// Directory for one v3 section.
+#[derive(Clone, Debug)]
+pub(crate) struct SectionDir {
+    pub id: u8,
+    /// Records per chunk; every chunk but the last holds exactly this many.
+    pub cap: u64,
+    pub total_records: u64,
+    pub chunks: Vec<ChunkEntry>,
+}
+
+/// The parsed, checksum-verified v3 trailer.
+pub(crate) struct V3Directory {
+    /// One entry per section, in id order.
+    pub sections: Vec<SectionDir>,
+    /// Stored checksum of the bytes before the first chunk.
+    pub header_sum: u32,
+}
+
+/// Encoded byte length of a varint.
+fn varu64_len(mut v: u64) -> u64 {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn section_records(s: &Snapshot, id: u8) -> usize {
+    match id {
+        SECTION_ACCOUNTS => s.accounts.len(),
+        SECTION_FRIENDSHIPS => s.friendships.len(),
+        SECTION_OWNERSHIPS => s.ownerships.len(),
+        SECTION_GROUPS => s.groups.len(),
+        SECTION_MEMBERSHIPS => s.memberships.len(),
+        SECTION_CATALOG => s.catalog.len(),
+        _ => unreachable!("unknown section id {id}"),
+    }
+}
+
+/// `(section_id, first_record, one_past_last)` for every chunk, in file order.
+fn v3_chunk_specs(s: &Snapshot, cap: fn(u8) -> u64) -> Vec<(u8, usize, usize)> {
+    let mut specs = Vec::new();
+    for &id in &SECTION_IDS {
+        let total = section_records(s, id);
+        let cap = cap(id).max(1) as usize;
+        let mut start = 0;
+        while start < total {
+            let end = (start + cap).min(total);
+            specs.push((id, start, end));
+            start = end;
+        }
+    }
+    specs
+}
+
+/// Encodes records `[start, end)` of one section as a v3 chunk payload:
+/// records back-to-back, no leading count (counts live in the directory).
+fn encode_v3_chunk_payload(s: &Snapshot, id: u8, start: usize, end: usize) -> BytesMut {
+    let mut buf = BytesMut::with_capacity((end - start) * 12 + 16);
+    match id {
+        SECTION_ACCOUNTS => {
+            for a in &s.accounts[start..end] {
+                put_account(&mut buf, a);
+            }
+        }
+        SECTION_FRIENDSHIPS => {
+            for e in &s.friendships[start..end] {
+                put_varu64(&mut buf, u64::from(e.a));
+                put_varu64(&mut buf, u64::from(e.b));
+                put_vari64(&mut buf, e.created_at.unix());
+            }
+        }
+        SECTION_OWNERSHIPS => {
+            for lib in &s.ownerships[start..end] {
+                put_varu64(&mut buf, lib.len() as u64);
+                for o in lib {
+                    put_varu64(&mut buf, u64::from(o.app_id.0));
+                    put_varu64(&mut buf, u64::from(o.playtime_forever_min));
+                    put_varu64(&mut buf, u64::from(o.playtime_2weeks_min));
+                }
+            }
+        }
+        SECTION_GROUPS => {
+            for g in &s.groups[start..end] {
+                put_group(&mut buf, g);
+            }
+        }
+        SECTION_MEMBERSHIPS => {
+            for ms in &s.memberships[start..end] {
+                put_varu64(&mut buf, ms.len() as u64);
+                for &g in ms {
+                    put_varu64(&mut buf, u64::from(g));
+                }
+            }
+        }
+        SECTION_CATALOG => {
+            for g in &s.catalog[start..end] {
+                put_game(&mut buf, g);
+            }
+        }
+        _ => unreachable!("unknown section id {id}"),
+    }
+    buf
+}
+
+/// Magic, version, and shared header of a v3 file.
+fn encode_v3_header(s: &Snapshot) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(32);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION_CHUNKED);
+    put_vari64(&mut buf, s.collected_at.unix());
+    put_varu64(&mut buf, s.scanned_id_space);
+    buf
+}
+
+/// Appends the v3 trailer (directory + header/trailer checksums + offset
+/// pointer) to `buf`, which must currently end exactly at `trailer_offset`
+/// relative to the file start.
+fn append_v3_trailer(buf: &mut BytesMut, dirs: &[SectionDir], header_sum: u32, trailer_offset: u64) {
+    let tstart = buf.len();
+    put_varu64(buf, dirs.len() as u64);
+    for d in dirs {
+        buf.put_u8(d.id);
+        put_varu64(buf, d.cap);
+        put_varu64(buf, d.total_records);
+        put_varu64(buf, d.chunks.len() as u64);
+        for c in &d.chunks {
+            put_varu64(buf, c.offset);
+            put_varu64(buf, c.len);
+            put_varu64(buf, c.n_records);
+            buf.put_u32_le(c.sum);
+        }
+    }
+    buf.put_u32_le(header_sum);
+    let trailer_sum = checksum32(&buf[tstart..]);
+    buf.put_u32_le(trailer_sum);
+    buf.put_u64_le(trailer_offset);
+}
+
+/// Serializes a snapshot into the chunked v3 container in memory, encoding
+/// chunks on up to `jobs` workers. Byte-identical for every `jobs >= 1`, and
+/// to what [`write_snapshot_v3`] streams to disk.
+pub fn encode_snapshot_v3(s: &Snapshot, jobs: usize) -> Bytes {
+    encode_snapshot_v3_caps(s, jobs, default_chunk_cap)
+}
+
+pub(crate) fn encode_snapshot_v3_caps(s: &Snapshot, jobs: usize, cap: fn(u8) -> u64) -> Bytes {
+    let specs = v3_chunk_specs(s, cap);
+    let payloads = map_parallel(jobs, specs.len(), |i| {
+        let (id, start, end) = specs[i];
+        let payload = encode_v3_chunk_payload(s, id, start, end);
+        let sum = checksum32(&payload);
+        (payload, sum)
+    });
+
+    let body: usize = payloads.iter().map(|(p, _)| p.len() + 24).sum();
+    let mut buf = BytesMut::with_capacity(body + 64);
+    buf.put_slice(&encode_v3_header(s));
+    let header_sum = checksum32(&buf);
+
+    let mut dirs: Vec<SectionDir> = SECTION_IDS
+        .iter()
+        .map(|&id| SectionDir {
+            id,
+            cap: cap(id).max(1),
+            total_records: section_records(s, id) as u64,
+            chunks: Vec::new(),
+        })
+        .collect();
+    for (i, (payload, sum)) in payloads.iter().enumerate() {
+        let (id, start, end) = specs[i];
+        dirs[id as usize].chunks.push(ChunkEntry {
+            offset: buf.len() as u64,
+            len: payload.len() as u64,
+            n_records: (end - start) as u64,
+            sum: *sum,
+        });
+        buf.put_u8(id);
+        put_varu64(&mut buf, (end - start) as u64);
+        put_varu64(&mut buf, payload.len() as u64);
+        buf.put_u32_le(*sum);
+        buf.put_slice(payload);
+    }
+
+    let trailer_offset = buf.len() as u64;
+    append_v3_trailer(&mut buf, &dirs, header_sum, trailer_offset);
+    buf.freeze()
+}
+
+/// Writes a snapshot in the chunked v3 container without ever materializing
+/// the full encoding: chunks are encoded in bounded parallel windows and
+/// streamed to a sibling temp file, then fsync + rename as in
+/// [`write_atomic`]. Output bytes are identical to [`encode_snapshot_v3`]
+/// for any `jobs`.
+pub fn write_snapshot_v3(
+    path: &std::path::Path,
+    s: &Snapshot,
+    jobs: usize,
+) -> Result<(), ModelError> {
+    use std::io::Write;
+    let tmp = temp_sibling(path);
+    let written = (|| -> Result<(), ModelError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        let header = encode_v3_header(s);
+        let header_sum = checksum32(&header);
+        f.write_all(&header)?;
+        let mut offset = header.len() as u64;
+
+        let specs = v3_chunk_specs(s, default_chunk_cap);
+        let mut dirs: Vec<SectionDir> = SECTION_IDS
+            .iter()
+            .map(|&id| SectionDir {
+                id,
+                cap: default_chunk_cap(id),
+                total_records: section_records(s, id) as u64,
+                chunks: Vec::new(),
+            })
+            .collect();
+
+        // Encode a window of chunks in parallel, drain it to disk, repeat —
+        // peak transient memory is one window of encoded chunks, not the file.
+        let window = jobs.max(1) * 4;
+        let mut i = 0;
+        while i < specs.len() {
+            let end = (i + window).min(specs.len());
+            let encoded = map_parallel(jobs, end - i, |j| {
+                let (id, start, stop) = specs[i + j];
+                let payload = encode_v3_chunk_payload(s, id, start, stop);
+                let sum = checksum32(&payload);
+                (payload, sum)
+            });
+            for (j, (payload, sum)) in encoded.iter().enumerate() {
+                let (id, start, stop) = specs[i + j];
+                let mut hdr = BytesMut::with_capacity(24);
+                hdr.put_u8(id);
+                put_varu64(&mut hdr, (stop - start) as u64);
+                put_varu64(&mut hdr, payload.len() as u64);
+                hdr.put_u32_le(*sum);
+                f.write_all(&hdr)?;
+                f.write_all(payload)?;
+                dirs[id as usize].chunks.push(ChunkEntry {
+                    offset,
+                    len: payload.len() as u64,
+                    n_records: (stop - start) as u64,
+                    sum: *sum,
+                });
+                offset += hdr.len() as u64 + payload.len() as u64;
+            }
+            i = end;
+        }
+
+        let mut trailer = BytesMut::with_capacity(64 + specs.len() * 24);
+        append_v3_trailer(&mut trailer, &dirs, header_sum, offset);
+        f.write_all(&trailer)?;
+        let f = f.into_inner().map_err(|e| err(format!("snapshot flush failed: {e}")))?;
+        f.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = written {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    fsync_parent(path);
+    Ok(())
+}
+
+/// Parses the v3 shared header from a prefix of the file; returns collected
+/// at, scanned id space, and the offset of the first chunk.
+pub(crate) fn parse_v3_header(prefix: Bytes) -> Result<(SimTime, u64, usize), ModelError> {
+    let total = prefix.len();
+    let mut buf = prefix;
+    if buf.remaining() < 5 || &buf.split_to(4)[..] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = buf.get_u8();
+    if version != VERSION_CHUNKED {
+        return Err(err(format!("not a chunked (v3) snapshot: version {version}")));
+    }
+    let collected_at = SimTime::from_unix(get_vari64(&mut buf)?);
+    let scanned = get_varu64(&mut buf)?;
+    Ok((collected_at, scanned, total - buf.remaining()))
+}
+
+/// Parses and verifies the v3 trailer region (`[trailer_offset, len - 8)`):
+/// the trailer checksum, section order, per-section chunk-count/cap
+/// arithmetic, and the contiguity invariant — chunks tile the byte range
+/// `[first_chunk, trailer_offset)` exactly, in section order.
+pub(crate) fn parse_v3_directory(
+    region: Bytes,
+    first_chunk: u64,
+    trailer_offset: u64,
+) -> Result<V3Directory, ModelError> {
+    if region.len() < 9 {
+        return Err(err("truncated v3 trailer"));
+    }
+    let sum_at = region.len() - 4;
+    let stored = u32::from_le_bytes(region[sum_at..].try_into().expect("4 bytes"));
+    if checksum32(&region[..sum_at]) != stored {
+        return Err(err("checksum mismatch in v3 trailer"));
+    }
+
+    let mut t = region.slice(..sum_at);
+    let n_sections = get_varu64(&mut t)? as usize;
+    if n_sections != SECTION_IDS.len() {
+        return Err(err(format!("expected {} sections, got {n_sections}", SECTION_IDS.len())));
+    }
+    let mut pos = first_chunk;
+    let mut sections = Vec::with_capacity(n_sections);
+    for (i, &expected_id) in SECTION_IDS.iter().enumerate() {
+        if !t.has_remaining() {
+            return Err(err("truncated v3 trailer"));
+        }
+        let id = t.get_u8();
+        if id != expected_id {
+            return Err(err(format!("section {i} has id {id} in trailer")));
+        }
+        let cap = get_varu64(&mut t)?;
+        if cap == 0 {
+            return Err(err(format!("zero chunk capacity for {} section", section_name(id))));
+        }
+        let total_records = get_varu64(&mut t)?;
+        let n_chunks = usize::try_from(get_varu64(&mut t)?).map_err(|_| err("chunk count"))?;
+        if n_chunks as u64 != total_records.div_ceil(cap) {
+            return Err(err(format!(
+                "{} section: {n_chunks} chunks for {total_records} records at cap {cap}",
+                section_name(id)
+            )));
+        }
+        // Each directory entry is at least 3 one-byte varints + 4 checksum
+        // bytes; reject counts that cannot fit before allocating.
+        if n_chunks > t.remaining() / 7 {
+            return Err(err(format!("implausible chunk count {n_chunks}")));
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut records_left = total_records;
+        for k in 0..n_chunks {
+            let offset = get_varu64(&mut t)?;
+            let len = get_varu64(&mut t)?;
+            let n_records = get_varu64(&mut t)?;
+            if t.remaining() < 4 {
+                return Err(err("truncated v3 trailer"));
+            }
+            let sum = t.get_u32_le();
+            let expect = if k + 1 < n_chunks { cap } else { records_left };
+            if n_records != expect {
+                return Err(err(format!(
+                    "{} section chunk {k}: {n_records} records, expected {expect}",
+                    section_name(id)
+                )));
+            }
+            records_left -= n_records;
+            if offset != pos {
+                return Err(err(format!(
+                    "{} section chunk {k} at offset {pos}, directory says {offset}",
+                    section_name(id)
+                )));
+            }
+            pos += 1 + varu64_len(n_records) + varu64_len(len) + 4 + len;
+            if pos > trailer_offset {
+                return Err(err(format!(
+                    "{} section chunk {k} overruns the trailer",
+                    section_name(id)
+                )));
+            }
+            chunks.push(ChunkEntry { offset, len, n_records, sum });
+        }
+        sections.push(SectionDir { id, cap, total_records, chunks });
+    }
+    if t.remaining() < 4 {
+        return Err(err("truncated v3 trailer"));
+    }
+    let header_sum = t.get_u32_le();
+    if t.has_remaining() {
+        return Err(err(format!("{} trailing bytes in v3 trailer", t.remaining())));
+    }
+    if pos != trailer_offset {
+        return Err(err(format!("{} unindexed bytes before v3 trailer", trailer_offset - pos)));
+    }
+    Ok(V3Directory { sections, header_sum })
+}
+
+/// Cross-checks one chunk's inline frame header against its directory entry;
+/// returns the header's byte length. The frame header itself is covered by no
+/// checksum — this cross-check (id, count, length, payload sum all mirrored
+/// in the checksummed directory) is what detects damage to it.
+pub(crate) fn parse_v3_chunk_header(
+    hdr: Bytes,
+    id: u8,
+    k: usize,
+    e: &ChunkEntry,
+) -> Result<usize, ModelError> {
+    let start_len = hdr.remaining();
+    let mut hdr = hdr;
+    if !hdr.has_remaining() {
+        return Err(err(format!("truncated {} section chunk {k}", section_name(id))));
+    }
+    let got_id = hdr.get_u8();
+    let n_records = get_varu64(&mut hdr)?;
+    let len = get_varu64(&mut hdr)?;
+    if hdr.remaining() < 4 {
+        return Err(err(format!("truncated {} section chunk {k}", section_name(id))));
+    }
+    let sum = hdr.get_u32_le();
+    if got_id != id || n_records != e.n_records || len != e.len || sum != e.sum {
+        return Err(err(format!(
+            "chunk header for {} section chunk {k} disagrees with directory",
+            section_name(id)
+        )));
+    }
+    Ok(start_len - hdr.remaining())
+}
+
+/// Decodes one v3 chunk payload: exactly `n` records, full consumption
+/// required. Errors name the section and chunk.
+pub(crate) fn decode_v3_chunk(
+    id: u8,
+    k: usize,
+    n: usize,
+    mut buf: Bytes,
+) -> Result<Section, ModelError> {
+    let out = (|| -> Result<Section, ModelError> {
+        Ok(match id {
+            SECTION_ACCOUNTS => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(get_account(&mut buf)?);
+                }
+                Section::Accounts(v)
+            }
+            SECTION_FRIENDSHIPS => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let a = u32::try_from(get_varu64(&mut buf)?)
+                        .map_err(|_| err("edge endpoint"))?;
+                    let b = u32::try_from(get_varu64(&mut buf)?)
+                        .map_err(|_| err("edge endpoint"))?;
+                    let created_at = SimTime::from_unix(get_vari64(&mut buf)?);
+                    v.push(Friendship { a, b, created_at });
+                }
+                Section::Friendships(v)
+            }
+            SECTION_OWNERSHIPS => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let m = get_len(&mut buf, 3, "owned game")?;
+                    let mut lib = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        let app_id = AppId(
+                            u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("app id"))?,
+                        );
+                        let forever =
+                            u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("playtime"))?;
+                        let two_weeks =
+                            u32::try_from(get_varu64(&mut buf)?).map_err(|_| err("playtime"))?;
+                        lib.push(OwnedGame {
+                            app_id,
+                            playtime_forever_min: forever,
+                            playtime_2weeks_min: two_weeks,
+                        });
+                    }
+                    v.push(lib);
+                }
+                Section::Ownerships(v)
+            }
+            SECTION_GROUPS => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(get_group(&mut buf)?);
+                }
+                Section::Groups(v)
+            }
+            SECTION_MEMBERSHIPS => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let m = get_len(&mut buf, 1, "membership")?;
+                    let mut ms = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        ms.push(
+                            u32::try_from(get_varu64(&mut buf)?)
+                                .map_err(|_| err("group index"))?,
+                        );
+                    }
+                    v.push(ms);
+                }
+                Section::Memberships(v)
+            }
+            SECTION_CATALOG => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(get_game(&mut buf)?);
+                }
+                Section::Catalog(v)
+            }
+            _ => return Err(err(format!("unknown section id {id}"))),
+        })
+    })();
+    let out = out.map_err(|e| err(format!("{} section chunk {k}: {e}", section_name(id))))?;
+    if buf.has_remaining() {
+        return Err(err(format!(
+            "{} trailing bytes in {} section chunk {k}",
+            buf.remaining(),
+            section_name(id)
+        )));
+    }
+    Ok(out)
+}
+
+/// Decodes a v3 container from the *full* buffer (magic included), fanning
+/// chunk verification + decoding out over up to `jobs` workers.
+fn decode_snapshot_v3(full: Bytes, jobs: usize) -> Result<Snapshot, ModelError> {
+    let total = full.len();
+    if total < 5 + 8 + 9 {
+        return Err(err("chunked snapshot too short"));
+    }
+    let (collected_at, scanned_id_space, first_chunk) =
+        parse_v3_header(full.slice(..total.min(64)))?;
+    let trailer_offset = {
+        let mut tail = full.slice(total - 8..);
+        usize::try_from(tail.get_u64_le()).map_err(|_| err("trailer offset overflow"))?
+    };
+    if trailer_offset < first_chunk || trailer_offset > total - 8 {
+        return Err(err("trailer offset out of bounds"));
+    }
+    let dir = parse_v3_directory(
+        full.slice(trailer_offset..total - 8),
+        first_chunk as u64,
+        trailer_offset as u64,
+    )?;
+    if checksum32(&full[..first_chunk]) != dir.header_sum {
+        return Err(err("checksum mismatch in snapshot header"));
+    }
+
+    let chunks: Vec<(u8, usize, ChunkEntry)> = dir
+        .sections
+        .iter()
+        .flat_map(|d| d.chunks.iter().enumerate().map(|(k, &c)| (d.id, k, c)))
+        .collect();
+    let decoded = map_parallel(jobs, chunks.len(), |i| {
+        let (id, k, e) = chunks[i];
+        let frame_start = e.offset as usize;
+        let hdr_len = parse_v3_chunk_header(
+            full.slice(frame_start..trailer_offset.min(frame_start + 32)),
+            id,
+            k,
+            &e,
+        )?;
+        let payload = full.slice(frame_start + hdr_len..frame_start + hdr_len + e.len as usize);
+        if checksum32(&payload) != e.sum {
+            return Err(err(format!(
+                "checksum mismatch in {} section chunk {k}",
+                section_name(id)
+            )));
+        }
+        decode_v3_chunk(id, k, e.n_records as usize, payload)
+    });
+
+    let mut accounts = Vec::with_capacity(dir.sections[0].total_records as usize);
+    let mut friendships = Vec::with_capacity(dir.sections[1].total_records as usize);
+    let mut ownerships = Vec::with_capacity(dir.sections[2].total_records as usize);
+    let mut groups = Vec::with_capacity(dir.sections[3].total_records as usize);
+    let mut memberships = Vec::with_capacity(dir.sections[4].total_records as usize);
+    let mut catalog = Vec::with_capacity(dir.sections[5].total_records as usize);
+    for chunk in decoded {
+        match chunk? {
+            Section::Accounts(v) => accounts.extend(v),
+            Section::Friendships(v) => friendships.extend(v),
+            Section::Ownerships(v) => ownerships.extend(v),
+            Section::Groups(v) => groups.extend(v),
+            Section::Memberships(v) => memberships.extend(v),
+            Section::Catalog(v) => catalog.extend(v),
+        }
+    }
+    if ownerships.len() != accounts.len() || memberships.len() != accounts.len() {
+        return Err(err(format!(
+            "per-account sections disagree: {} accounts, {} libraries, {} membership lists",
+            accounts.len(),
+            ownerships.len(),
+            memberships.len()
+        )));
+    }
+
+    Ok(Snapshot {
+        collected_at,
+        scanned_id_space,
+        accounts,
+        friendships,
+        ownerships,
+        groups,
+        memberships,
+        catalog,
+    })
+}
+
+/// Reads just the magic + version byte of a snapshot file, without loading
+/// or validating the body — how callers decide between the streaming
+/// [`SnapshotReader`](crate::reader) (v3) and a full decode (v1/v2).
+pub fn snapshot_file_version(path: &std::path::Path) -> Result<u8, ModelError> {
+    use std::io::Read;
+    let mut head = [0u8; 5];
+    let mut f = std::fs::File::open(path)?;
+    f.read_exact(&mut head).map_err(|_| err("snapshot file too short"))?;
+    if &head[..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    Ok(head[4])
+}
+
 /// Serializes a week panel (Figure 12 sample).
 pub fn encode_panel(p: &WeekPanel) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + p.users.len() * 16);
@@ -1045,6 +1724,89 @@ pub fn write_snapshot_jobs(
 pub fn read_snapshot_jobs(path: &std::path::Path, jobs: usize) -> Result<Snapshot, ModelError> {
     let raw = std::fs::read(path)?;
     decode_snapshot_jobs(Bytes::from(raw), jobs)
+}
+
+/// Deterministic synthetic snapshot used by codec and reader tests: `n`
+/// users with edges, libraries, groups, and a catalog, all invariants valid.
+#[cfg(test)]
+pub(crate) fn synthetic_snapshot(n: usize) -> Snapshot {
+    let n_games = (n / 4).max(3);
+    let n_groups = (n / 8).max(2);
+    let accounts: Vec<Account> = (0..n)
+        .map(|i| Account {
+            id: SteamId::from_index(i as u64 * 2),
+            created_at: SimTime::from_ymd(2005 + (i % 8) as i32, 1 + (i % 12) as u32, 1 + (i % 28) as u32),
+            visibility: if i % 3 == 0 { Visibility::Private } else { Visibility::Public },
+            country: if i % 2 == 0 { Some(CountryCode::UnitedStates) } else { None },
+            city: if i % 5 == 0 { Some((i % 300) as u16) } else { None },
+            level: (i % 20) as u16,
+            facebook_linked: i % 7 == 0,
+        })
+        .collect();
+    let mut friendships = Vec::new();
+    for i in 0..n.saturating_sub(1) {
+        friendships.push(Friendship::new(
+            i as u32,
+            (i + 1) as u32,
+            SimTime::from_ymd(2009 + (i % 5) as i32, 6, 15),
+        ));
+        if i + 7 < n && i % 3 == 0 {
+            friendships.push(Friendship::new(
+                i as u32,
+                (i + 7) as u32,
+                SimTime::from_ymd(2008 + (i % 6) as i32, 3, 3),
+            ));
+        }
+    }
+    let catalog: Vec<Game> = (0..n_games)
+        .map(|g| Game {
+            app_id: AppId(10 + 10 * g as u32),
+            name: format!("game-{g}"),
+            app_type: AppType::Game,
+            genres: GenreSet::EMPTY,
+            price_cents: (g as u32 % 7) * 499,
+            multiplayer: g % 2 == 0,
+            release_date: SimTime::from_ymd(2007, 1, 1),
+            metacritic: if g % 3 == 0 { Some(60 + (g % 40) as u8) } else { None },
+            achievements: if g % 4 == 0 {
+                vec![Achievement { name: format!("ach-{g}"), global_completion_pct: 12.5 }]
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+    let ownerships: Vec<Vec<OwnedGame>> = (0..n)
+        .map(|i| {
+            (0..n_games)
+                .filter(|g| (i + g) % 3 == 0)
+                .map(|g| OwnedGame {
+                    app_id: AppId(10 + 10 * g as u32),
+                    playtime_forever_min: ((i * 31 + g * 7) % 9000) as u32,
+                    playtime_2weeks_min: ((i * 31 + g * 7) % 9000 / 10) as u32,
+                })
+                .collect()
+        })
+        .collect();
+    let groups: Vec<Group> = (0..n_groups)
+        .map(|g| Group {
+            id: GroupId(100 + g as u32),
+            kind: if g % 2 == 0 { GroupKind::SingleGame } else { GroupKind::GameServer },
+            name: format!("group-{g}"),
+        })
+        .collect();
+    let memberships: Vec<Vec<u32>> = (0..n)
+        .map(|i| (0..n_groups as u32).filter(|g| (i as u32 + g).is_multiple_of(4)).collect())
+        .collect();
+    Snapshot {
+        collected_at: SimTime::from_ymd(2013, 11, 5),
+        scanned_id_space: (n as u64 * 2).max(1),
+        accounts,
+        friendships,
+        ownerships,
+        groups,
+        memberships,
+        catalog,
+    }
 }
 
 #[cfg(test)]
@@ -1410,5 +2172,137 @@ mod tests {
         let d = read_snapshot(&path).unwrap();
         assert_eq!(d.n_users(), s.n_users());
         std::fs::remove_file(&path).ok();
+    }
+
+    // --- v3 (chunked columnar) ----------------------------------------------
+
+    fn cap3(_: u8) -> u64 {
+        3
+    }
+
+    #[test]
+    fn chunked_round_trips_multi_chunk() {
+        let s = synthetic_snapshot(17);
+        for jobs in [1, 4] {
+            let bytes = encode_snapshot_v3_caps(&s, jobs, cap3);
+            assert_eq!(bytes[4], VERSION_CHUNKED);
+            for decode_jobs in [1, 4] {
+                let d = decode_snapshot_jobs(bytes.clone(), decode_jobs).unwrap();
+                assert_eq!(d.collected_at, s.collected_at);
+                assert_eq!(d.scanned_id_space, s.scanned_id_space);
+                assert_eq!(d.accounts, s.accounts);
+                assert_eq!(d.friendships, s.friendships);
+                assert_eq!(d.ownerships, s.ownerships);
+                assert_eq!(d.groups, s.groups);
+                assert_eq!(d.memberships, s.memberships);
+                assert_eq!(d.catalog, s.catalog);
+                d.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_round_trips_default_caps() {
+        let s = sample_snapshot();
+        let d = decode_snapshot(encode_snapshot_v3(&s, 2)).unwrap();
+        assert_eq!(d.accounts, s.accounts);
+        assert_eq!(d.ownerships, s.ownerships);
+        assert_eq!(d.catalog, s.catalog);
+    }
+
+    #[test]
+    fn chunked_handles_empty_sections() {
+        let s = Snapshot { scanned_id_space: 1, ..Snapshot::default() };
+        let d = decode_snapshot(encode_snapshot_v3(&s, 1)).unwrap();
+        assert_eq!(d.n_users(), 0);
+        assert!(d.catalog.is_empty());
+    }
+
+    #[test]
+    fn chunked_encode_is_jobs_invariant() {
+        let s = synthetic_snapshot(17);
+        let serial = encode_snapshot_v3_caps(&s, 1, cap3);
+        let parallel = encode_snapshot_v3_caps(&s, 6, cap3);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn streamed_writer_matches_in_memory_encoder() {
+        let dir = std::env::temp_dir().join(format!("steam-model-v3w-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.v3");
+        let s = synthetic_snapshot(23);
+        write_snapshot_v3(&path, &s, 3).unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        assert_eq!(Bytes::from(streamed), encode_snapshot_v3(&s, 1));
+        let d = read_snapshot(&path).unwrap();
+        assert_eq!(d.accounts, s.accounts);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunked_rejects_truncation_anywhere() {
+        let raw = encode_snapshot_v3_caps(&synthetic_snapshot(8), 1, cap3);
+        for cut in 0..raw.len() {
+            let r = decode_snapshot(raw.slice(..cut));
+            assert!(r.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn chunked_rejects_corrupt_byte_everywhere() {
+        let clean = encode_snapshot_v3_caps(&synthetic_snapshot(8), 1, cap3);
+        for at in 0..clean.len() {
+            let mut raw = clean.to_vec();
+            raw[at] ^= 0x01;
+            let r = decode_snapshot(Bytes::from(raw));
+            assert!(r.is_err(), "flip at {at} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn chunked_names_section_and_chunk() {
+        let s = synthetic_snapshot(12);
+        let clean = encode_snapshot_v3_caps(&s, 1, cap3);
+        // Locate chunk 1 of the accounts section via the directory, then
+        // corrupt one payload byte so only its checksum can notice.
+        let total = clean.len();
+        let (_, _, first_chunk) = parse_v3_header(clean.slice(..64.min(total))).unwrap();
+        let trailer_offset = {
+            let mut tail = clean.slice(total - 8..);
+            tail.get_u64_le() as usize
+        };
+        let dir = parse_v3_directory(
+            clean.slice(trailer_offset..total - 8),
+            first_chunk as u64,
+            trailer_offset as u64,
+        )
+        .unwrap();
+        let e = dir.sections[SECTION_ACCOUNTS as usize].chunks[1];
+        let hdr_len = 1 + varu64_len(e.n_records) + varu64_len(e.len) + 4;
+        let mut raw = clean.to_vec();
+        raw[(e.offset + hdr_len) as usize] ^= 0xff;
+        let msg = decode_snapshot(Bytes::from(raw)).unwrap_err().to_string();
+        assert!(
+            msg.contains("accounts") && msg.contains("chunk 1"),
+            "error should name section and chunk: {msg}"
+        );
+    }
+
+    #[test]
+    fn file_version_probe() {
+        let dir = std::env::temp_dir().join(format!("steam-model-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = sample_snapshot();
+        let p1 = dir.join("v1.bin");
+        let p2 = dir.join("v2.bin");
+        let p3 = dir.join("v3.bin");
+        write_snapshot(&p1, &s).unwrap();
+        write_snapshot_jobs(&p2, &s, 1).unwrap();
+        write_snapshot_v3(&p3, &s, 1).unwrap();
+        assert_eq!(snapshot_file_version(&p1).unwrap(), VERSION);
+        assert_eq!(snapshot_file_version(&p2).unwrap(), VERSION_SECTIONED);
+        assert_eq!(snapshot_file_version(&p3).unwrap(), VERSION_CHUNKED);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,486 @@
+//! Streaming access to chunked (v3) snapshot files — the out-of-core path.
+//!
+//! [`SnapshotReader::open`] maps the file read-only with `mmap` (a std-only
+//! FFI shim in the same spirit as steam-net's epoll shim) and falls back to
+//! plain `pread` when mapping is unavailable. Opening verifies the header
+//! and trailer checksums plus the full chunk directory (section order, chunk
+//! counts, byte-range contiguity), so a torn or spliced file is rejected
+//! before any payload is touched. Each chunk's payload checksum is then
+//! verified lazily at access time: a pass over one section reads only that
+//! section's bytes, and resident memory stays bounded by one chunk per
+//! worker instead of the whole world.
+//!
+//! Safety argument for the mmap path: the mapping is `PROT_READ` +
+//! `MAP_PRIVATE`, so nothing in this process can write through it, and the
+//! pointer/length pair is fixed for the reader's lifetime (unmapped on
+//! drop). The vendored `bytes::Bytes` owns its storage and cannot borrow
+//! foreign memory, so chunk payloads are *copied* out of the map into a
+//! `Bytes` before decoding — a bounded, chunk-sized copy, which also means
+//! decoded structures never alias the mapping and survive it.
+
+use std::fs::File;
+use std::path::Path;
+
+use bytes::{Buf, Bytes};
+
+use crate::account::Account;
+use crate::codec::{self, ChunkEntry, Section, SectionDir};
+use crate::error::ModelError;
+use crate::game::Game;
+use crate::group::Group;
+use crate::ownership::OwnedGame;
+use crate::snapshot::Friendship;
+use crate::time::SimTime;
+
+#[cfg(target_os = "linux")]
+mod mm {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+}
+
+/// Where the bytes come from: a read-only mapping or positional file reads.
+enum Backing {
+    #[cfg(target_os = "linux")]
+    Map {
+        ptr: *const u8,
+        len: usize,
+    },
+    File(File),
+}
+
+// The raw pointer is to an immutable PROT_READ mapping owned by this value;
+// concurrent reads through it are safe.
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backing::Map { ptr, len } = *self {
+            unsafe {
+                mm::munmap(ptr as *mut _, len);
+            }
+        }
+    }
+}
+
+impl Backing {
+    fn new(file: File, len: u64, try_map: bool) -> Self {
+        #[cfg(target_os = "linux")]
+        if try_map && len > 0 {
+            use std::os::unix::io::AsRawFd;
+            if let Ok(l) = usize::try_from(len) {
+                let ptr = unsafe {
+                    mm::mmap(
+                        std::ptr::null_mut(),
+                        l,
+                        mm::PROT_READ,
+                        mm::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != mm::MAP_FAILED {
+                    // The fd can close; the mapping outlives it.
+                    return Backing::Map { ptr: ptr as *const u8, len: l };
+                }
+            }
+        }
+        let _ = try_map;
+        Backing::File(file)
+    }
+
+    fn is_mapped(&self) -> bool {
+        #[cfg(target_os = "linux")]
+        if matches!(self, Backing::Map { .. }) {
+            return true;
+        }
+        false
+    }
+
+    /// Reads `len` bytes at `offset` into an owned buffer.
+    fn read(&self, offset: u64, len: usize) -> Result<Bytes, ModelError> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Backing::Map { ptr, len: map_len } => {
+                let off = usize::try_from(offset).map_err(|_| codec::err("offset overflow"))?;
+                let end = off.checked_add(len).ok_or_else(|| codec::err("offset overflow"))?;
+                if end > *map_len {
+                    return Err(codec::err("read past end of snapshot map"));
+                }
+                let slice = unsafe { std::slice::from_raw_parts(ptr.add(off), len) };
+                Ok(Bytes::from(slice.to_vec()))
+            }
+            Backing::File(f) => {
+                let mut v = vec![0u8; len];
+                read_exact_at(f, &mut v, offset)?;
+                Ok(Bytes::from(v))
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(f: &File, buf: &mut [u8], offset: u64) -> Result<(), ModelError> {
+    use std::os::unix::fs::FileExt;
+    f.read_exact_at(buf, offset).map_err(ModelError::from)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(_f: &File, _buf: &mut [u8], _offset: u64) -> Result<(), ModelError> {
+    Err(codec::err("positional reads unsupported on this platform"))
+}
+
+/// A v3 snapshot opened for streaming chunk access.
+///
+/// `Sync`: chunk reads are positional and share no mutable state, so worker
+/// threads can claim and decode chunks concurrently (the atomic-cursor
+/// pattern the rest of the codebase uses).
+pub struct SnapshotReader {
+    backing: Backing,
+    file_len: u64,
+    trailer_offset: u64,
+    collected_at: SimTime,
+    scanned_id_space: u64,
+    /// One directory per section, indexed by section id.
+    sections: Vec<SectionDir>,
+}
+
+impl SnapshotReader {
+    /// Opens a v3 snapshot file, preferring mmap, falling back to pread.
+    pub fn open(path: &Path) -> Result<Self, ModelError> {
+        Self::open_backed(path, true)
+    }
+
+    /// Opens with the positional-read backing, never mapping — for tests and
+    /// for environments where address space is tighter than page cache.
+    pub fn open_pread(path: &Path) -> Result<Self, ModelError> {
+        Self::open_backed(path, false)
+    }
+
+    fn open_backed(path: &Path, try_map: bool) -> Result<Self, ModelError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < 5 + 8 + 9 {
+            return Err(codec::err("chunked snapshot too short"));
+        }
+        let backing = Backing::new(file, file_len, try_map);
+
+        let head = backing.read(0, file_len.min(64) as usize)?;
+        let (collected_at, scanned_id_space, first_chunk) = codec::parse_v3_header(head)?;
+        let trailer_offset = {
+            let mut tail = backing.read(file_len - 8, 8)?;
+            tail.get_u64_le()
+        };
+        if trailer_offset < first_chunk as u64 || trailer_offset > file_len - 8 {
+            return Err(codec::err("trailer offset out of bounds"));
+        }
+        let region = backing.read(trailer_offset, (file_len - 8 - trailer_offset) as usize)?;
+        let dir = codec::parse_v3_directory(region, first_chunk as u64, trailer_offset)?;
+        let header = backing.read(0, first_chunk)?;
+        if codec::checksum32(&header) != dir.header_sum {
+            return Err(codec::err("checksum mismatch in snapshot header"));
+        }
+        Ok(SnapshotReader {
+            backing,
+            file_len,
+            trailer_offset,
+            collected_at,
+            scanned_id_space,
+            sections: dir.sections,
+        })
+    }
+
+    /// Whether the file is mmap-backed (as opposed to pread fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.backing.is_mapped()
+    }
+
+    /// Total file size in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    pub fn collected_at(&self) -> SimTime {
+        self.collected_at
+    }
+
+    pub fn scanned_id_space(&self) -> u64 {
+        self.scanned_id_space
+    }
+
+    fn dir(&self, id: u8) -> &SectionDir {
+        &self.sections[id as usize]
+    }
+
+    /// Number of accounts (== number of libraries and membership lists).
+    pub fn n_users(&self) -> usize {
+        self.dir(codec::SECTION_ACCOUNTS).total_records as usize
+    }
+
+    /// Number of friendship edges, from the directory — no scan needed.
+    pub fn n_friendships(&self) -> u64 {
+        self.dir(codec::SECTION_FRIENDSHIPS).total_records
+    }
+
+    pub fn n_account_chunks(&self) -> usize {
+        self.dir(codec::SECTION_ACCOUNTS).chunks.len()
+    }
+
+    pub fn n_friendship_chunks(&self) -> usize {
+        self.dir(codec::SECTION_FRIENDSHIPS).chunks.len()
+    }
+
+    pub fn n_library_chunks(&self) -> usize {
+        self.dir(codec::SECTION_OWNERSHIPS).chunks.len()
+    }
+
+    pub fn n_membership_chunks(&self) -> usize {
+        self.dir(codec::SECTION_MEMBERSHIPS).chunks.len()
+    }
+
+    /// Index of the first account in account chunk `k`.
+    pub fn account_chunk_start(&self, k: usize) -> usize {
+        (self.dir(codec::SECTION_ACCOUNTS).cap as usize) * k
+    }
+
+    /// Index of the first user in library chunk `k`.
+    pub fn library_chunk_start(&self, k: usize) -> usize {
+        (self.dir(codec::SECTION_OWNERSHIPS).cap as usize) * k
+    }
+
+    /// Index of the first user in membership chunk `k`.
+    pub fn membership_chunk_start(&self, k: usize) -> usize {
+        (self.dir(codec::SECTION_MEMBERSHIPS).cap as usize) * k
+    }
+
+    /// Reads, verifies, and decodes one chunk of one section.
+    fn chunk(&self, id: u8, k: usize) -> Result<Section, ModelError> {
+        let d = self.dir(id);
+        let e: ChunkEntry = *d.chunks.get(k).ok_or_else(|| {
+            codec::err(format!("{} section has no chunk {k}", codec::section_name(id)))
+        })?;
+        let hdr_room = (self.trailer_offset - e.offset).min(32) as usize;
+        let hdr = self.backing.read(e.offset, hdr_room)?;
+        let hdr_len = codec::parse_v3_chunk_header(hdr, id, k, &e)? as u64;
+        let payload = self.backing.read(e.offset + hdr_len, e.len as usize)?;
+        if codec::checksum32(&payload) != e.sum {
+            return Err(codec::err(format!(
+                "checksum mismatch in {} section chunk {k}",
+                codec::section_name(id)
+            )));
+        }
+        codec::decode_v3_chunk(id, k, e.n_records as usize, payload)
+    }
+
+    /// Decodes account chunk `k` (accounts `start..start + len`, in order).
+    pub fn account_chunk(&self, k: usize) -> Result<Vec<Account>, ModelError> {
+        match self.chunk(codec::SECTION_ACCOUNTS, k)? {
+            Section::Accounts(v) => Ok(v),
+            _ => unreachable!("accounts chunk decoded to wrong section"),
+        }
+    }
+
+    /// Decodes friendship chunk `k` (edges in file order).
+    pub fn friendship_chunk(&self, k: usize) -> Result<Vec<Friendship>, ModelError> {
+        match self.chunk(codec::SECTION_FRIENDSHIPS, k)? {
+            Section::Friendships(v) => Ok(v),
+            _ => unreachable!("friendships chunk decoded to wrong section"),
+        }
+    }
+
+    /// Decodes library chunk `k`: one `Vec<OwnedGame>` per user.
+    pub fn library_chunk(&self, k: usize) -> Result<Vec<Vec<OwnedGame>>, ModelError> {
+        match self.chunk(codec::SECTION_OWNERSHIPS, k)? {
+            Section::Ownerships(v) => Ok(v),
+            _ => unreachable!("ownerships chunk decoded to wrong section"),
+        }
+    }
+
+    /// Decodes membership chunk `k`: one group-index list per user.
+    pub fn membership_chunk(&self, k: usize) -> Result<Vec<Vec<u32>>, ModelError> {
+        match self.chunk(codec::SECTION_MEMBERSHIPS, k)? {
+            Section::Memberships(v) => Ok(v),
+            _ => unreachable!("memberships chunk decoded to wrong section"),
+        }
+    }
+
+    /// Decodes the whole group universe (small next to the per-user data).
+    pub fn groups(&self) -> Result<Vec<Group>, ModelError> {
+        let n_chunks = self.dir(codec::SECTION_GROUPS).chunks.len();
+        let mut out = Vec::with_capacity(self.dir(codec::SECTION_GROUPS).total_records as usize);
+        for k in 0..n_chunks {
+            match self.chunk(codec::SECTION_GROUPS, k)? {
+                Section::Groups(v) => out.extend(v),
+                _ => unreachable!("groups chunk decoded to wrong section"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes the whole catalog (small next to the per-user data).
+    pub fn catalog(&self) -> Result<Vec<Game>, ModelError> {
+        let n_chunks = self.dir(codec::SECTION_CATALOG).chunks.len();
+        let mut out = Vec::with_capacity(self.dir(codec::SECTION_CATALOG).total_records as usize);
+        for k in 0..n_chunks {
+            match self.chunk(codec::SECTION_CATALOG, k)? {
+                Section::Catalog(v) => out.extend(v),
+                _ => unreachable!("catalog chunk decoded to wrong section"),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{synthetic_snapshot, write_snapshot_jobs, write_snapshot_v3};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("steam-model-reader-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn reassemble(r: &SnapshotReader) -> crate::snapshot::Snapshot {
+        let mut s = crate::snapshot::Snapshot {
+            collected_at: r.collected_at(),
+            scanned_id_space: r.scanned_id_space(),
+            groups: r.groups().unwrap(),
+            catalog: r.catalog().unwrap(),
+            ..Default::default()
+        };
+        for k in 0..r.n_account_chunks() {
+            assert_eq!(r.account_chunk_start(k), s.accounts.len());
+            s.accounts.extend(r.account_chunk(k).unwrap());
+        }
+        for k in 0..r.n_friendship_chunks() {
+            s.friendships.extend(r.friendship_chunk(k).unwrap());
+        }
+        for k in 0..r.n_library_chunks() {
+            assert_eq!(r.library_chunk_start(k), s.ownerships.len());
+            s.ownerships.extend(r.library_chunk(k).unwrap());
+        }
+        for k in 0..r.n_membership_chunks() {
+            assert_eq!(r.membership_chunk_start(k), s.memberships.len());
+            s.memberships.extend(r.membership_chunk(k).unwrap());
+        }
+        s
+    }
+
+    #[test]
+    fn reader_matches_full_decode_on_both_backings() {
+        let s = synthetic_snapshot(100);
+        let path = temp_path("stream.v3");
+        write_snapshot_v3(&path, &s, 2).unwrap();
+        for reader in [SnapshotReader::open(&path).unwrap(), SnapshotReader::open_pread(&path).unwrap()]
+        {
+            assert_eq!(reader.n_users(), s.n_users());
+            assert_eq!(reader.n_friendships(), s.n_friendships() as u64);
+            let d = reassemble(&reader);
+            assert_eq!(d.accounts, s.accounts);
+            assert_eq!(d.friendships, s.friendships);
+            assert_eq!(d.ownerships, s.ownerships);
+            assert_eq!(d.groups, s.groups);
+            assert_eq!(d.memberships, s.memberships);
+            assert_eq!(d.catalog, s.catalog);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_rejects_non_v3_files() {
+        let s = synthetic_snapshot(5);
+        let path = temp_path("old.v2");
+        write_snapshot_jobs(&path, &s, 1).unwrap();
+        let e = match SnapshotReader::open(&path) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("v2 file opened as v3"),
+        };
+        assert!(e.contains("v3"), "{e}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_rejects_truncated_files() {
+        let s = synthetic_snapshot(30);
+        let path = temp_path("trunc.v3");
+        write_snapshot_v3(&path, &s, 1).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let cut = temp_path("trunc-cut.v3");
+        for frac in [1usize, 2, 3, 7] {
+            std::fs::write(&cut, &full[..full.len() * frac / 8]).unwrap();
+            assert!(SnapshotReader::open(&cut).is_err(), "cut to {frac}/8 opened");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&cut).ok();
+    }
+
+    #[test]
+    fn payload_corruption_detected_lazily_and_named() {
+        let s = synthetic_snapshot(60);
+        let path = temp_path("corrupt.v3");
+        write_snapshot_v3(&path, &s, 1).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip one byte in the middle of the friendships payload area. Locate
+        // it via an intact reader's directory.
+        let clean = SnapshotReader::open(&path).unwrap();
+        let e = clean.dir(codec::SECTION_FRIENDSHIPS).chunks[0];
+        raw[e.offset as usize + 10] ^= 0x01;
+        drop(clean);
+        std::fs::write(&path, &raw).unwrap();
+        // Directory still verifies, so open succeeds...
+        let r = SnapshotReader::open(&path).unwrap();
+        assert_eq!(r.n_users(), s.n_users());
+        // ...and the damaged chunk is caught at access time, by name.
+        let msg = r.friendship_chunk(0).unwrap_err().to_string();
+        assert!(msg.contains("friendships") && msg.contains("chunk 0"), "{msg}");
+        // Other sections remain readable.
+        assert_eq!(r.catalog().unwrap(), s.catalog);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_chunk_claims_see_consistent_data() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let s = synthetic_snapshot(200);
+        let path = temp_path("par.v3");
+        write_snapshot_v3(&path, &s, 2).unwrap();
+        let r = SnapshotReader::open(&path).unwrap();
+        let n = r.n_account_chunks();
+        let cursor = AtomicUsize::new(0);
+        let counted = std::sync::Mutex::new(0usize);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let chunk = r.account_chunk(k).unwrap();
+                    assert_eq!(chunk[0], s.accounts[r.account_chunk_start(k)]);
+                    *counted.lock().unwrap() += chunk.len();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(*counted.lock().unwrap(), s.n_users());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -541,6 +541,11 @@ impl Dispatcher {
             }
             if let Some(obs) = &self.obs {
                 if req.path == "/metrics" {
+                    // Refresh the process-wide peak-RSS gauge at scrape
+                    // time (kernel `VmHWM`; absent off Linux).
+                    if let Some(peak) = steam_obs::peak_rss_bytes() {
+                        obs.registry.gauge("peak_rss_bytes", &[]).set(peak as i64);
+                    }
                     let resp = Response::text(obs.registry.render_prometheus());
                     return Outcome::Respond { resp, close: !keep_alive, truncate: false, delay };
                 }

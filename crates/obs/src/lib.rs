@@ -29,6 +29,7 @@
 pub mod flight;
 pub mod metrics;
 pub mod registry;
+pub mod rss;
 pub mod trace;
 
 pub use flight::{
@@ -37,6 +38,7 @@ pub use flight::{
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::Registry;
+pub use rss::{peak_rss_bytes, reset_peak_rss};
 pub use trace::{
     enabled, level, recent_events, set_level, set_sink, span, Event, Level, Sink, SpanTimer,
     StderrSink,
